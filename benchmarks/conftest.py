@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artefact (table/figure) via
+pytest-benchmark and asserts the headline reproduction claim on the
+result, so ``pytest benchmarks/ --benchmark-only`` is simultaneously the
+performance harness and the figure-regeneration pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def caffenet_simulator():
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud import CloudSimulator
+
+    return CloudSimulator(caffenet_time_model(), caffenet_accuracy_model())

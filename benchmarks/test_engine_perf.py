@@ -1,0 +1,65 @@
+"""Benchmarks: raw CNN-engine primitives.
+
+The performance of the engine itself (im2col lowering, dense and CSR
+convolution, full-network forward) — the numbers a contributor watches
+when touching the hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn.conv import ConvLayer, im2col
+from repro.cnn.models import build_caffenet, build_small_cnn
+from repro.pruning import L1FilterPruner, PruneSpec
+from repro.pruning.sparse import SparseExecutor
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv2_like():
+    """A Caffenet-conv2-shaped layer and input."""
+    layer = ConvLayer(
+        "conv2", 96, 256, kernel=5, pad=2, groups=2, rng=RNG
+    )
+    x = RNG.standard_normal((1, 96, 27, 27)).astype(np.float32)
+    return layer, x
+
+
+def test_im2col_conv1_geometry(benchmark):
+    x = RNG.standard_normal((1, 3, 227, 227)).astype(np.float32)
+    cols, oh, ow = benchmark(im2col, x, 11, 4, 0)
+    assert (oh, ow) == (55, 55)
+
+
+def test_conv_forward_conv2_geometry(benchmark, conv2_like):
+    layer, x = conv2_like
+    out = benchmark(layer.forward, x)
+    assert out.shape == (1, 256, 27, 27)
+
+
+def test_caffenet_full_forward(benchmark):
+    network = build_caffenet(init="const")
+    x = np.zeros((1, 3, 227, 227), dtype=np.float32)
+    out = benchmark.pedantic(network.forward, args=(x,), rounds=3)
+    assert out.shape == (1, 1000)
+
+
+def test_small_cnn_batch_forward(benchmark):
+    network = build_small_cnn(seed=0)
+    x = RNG.standard_normal((64, 1, 16, 16)).astype(np.float32)
+    out = benchmark(network.forward, x)
+    assert out.shape == (64, 5)
+
+
+def test_sparse_forward_pruned_small_cnn(benchmark):
+    network = build_small_cnn(seed=0)
+    pruned = L1FilterPruner().apply(
+        network, PruneSpec({"conv1": 0.5, "conv2": 0.5})
+    )
+    executor = SparseExecutor(pruned)
+    x = RNG.standard_normal((64, 1, 16, 16)).astype(np.float32)
+    out = benchmark(executor.forward, x)
+    assert out.shape == (64, 5)

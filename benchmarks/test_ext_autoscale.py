@@ -1,0 +1,29 @@
+"""Benchmark: extension — static vs autoscaled fleets under surge load.
+
+Times the full three-deployment comparison (one static run + two
+autoscaled runs over ~150k requests) and asserts the cost/latency
+triangle: elasticity saves most of the static bill, pruning buys back
+part of the latency the scale-out lag costs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_autoscale
+
+
+def test_ext_autoscale(benchmark):
+    ext_autoscale.run.cache_clear()
+    study = benchmark.pedantic(
+        ext_autoscale.run,
+        kwargs=dict(
+            base_rate=80.0, surge_rate=700.0, phase_s=60.0, peak_fleet=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    static = study.row("static peak fleet")
+    auto = study.row("autoscaled, unpruned")
+    pruned = study.row("autoscaled, conv1-2 pruned")
+    assert auto.cost < static.cost
+    assert pruned.cost < auto.cost
+    assert static.p99_s < pruned.p99_s

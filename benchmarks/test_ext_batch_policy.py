@@ -1,0 +1,21 @@
+"""Benchmark: extension — batch-width vs tail-latency sweep.
+
+Times the eight-width serving sweep and asserts the U-shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_batch_policy
+
+
+def test_ext_batch_policy(benchmark):
+    ext_batch_policy.run.cache_clear()
+    study = benchmark.pedantic(
+        ext_batch_policy.run,
+        kwargs=dict(rate_per_s=400.0, duration_s=40.0, instances=3),
+        rounds=1,
+        iterations=1,
+    )
+    best = study.best_width()
+    widths = [p.max_batch for p in study.points]
+    assert best not in (widths[0], widths[-1])

@@ -1,0 +1,23 @@
+"""Benchmark: extension — fine-tuning recovery (real training loop).
+
+Times the prune-then-retrain pipeline and asserts the Li et al. effect:
+retraining recovers accuracy at aggressive prune ratios.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_finetune_recovery
+
+
+def test_ext_finetune_recovery(benchmark):
+    result = benchmark.pedantic(
+        ext_finetune_recovery.run,
+        kwargs=dict(
+            train_n=300, test_n=150, train_epochs=8, finetune_epochs=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    deep = result.point(0.75)
+    assert deep.accuracy_finetuned >= deep.accuracy_pruned
+    assert result.max_recovery >= 0.0

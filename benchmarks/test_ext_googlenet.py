@@ -1,0 +1,19 @@
+"""Benchmark: extension — Googlenet Pareto study over a mixed p2+g3 space.
+
+The paper limits its configuration-space study to Caffenet on p2; this
+extension confirms the Figure 12 implication at scale: every
+cost-Pareto-optimal configuration is g3-based.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_googlenet_pareto
+
+
+def test_ext_googlenet_pareto(benchmark):
+    ext_googlenet_pareto.run.cache_clear()
+    result = benchmark.pedantic(
+        ext_googlenet_pareto.run, rounds=1, iterations=1
+    )
+    assert result.cost_front_categories() == {"g3"}
+    assert len(result.cost_front) >= 2

@@ -1,0 +1,19 @@
+"""Benchmark: extension — the whole methodology with zero paper constants.
+
+Times train -> measure -> fit -> cloud-Pareto end to end, asserting the
+paper's structural findings emerge from fresh measurements.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_real_pipeline
+
+
+def test_ext_real_pipeline(benchmark):
+    ext_real_pipeline.run.cache_clear()
+    result = benchmark.pedantic(
+        ext_real_pipeline.run, rounds=1, iterations=1
+    )
+    assert result.baseline.top1 > 60.0
+    assert result.n_pareto >= 3
+    assert result.cost_saving_at_best > 0.2

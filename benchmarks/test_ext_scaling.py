@@ -1,0 +1,17 @@
+"""Benchmark: extension — strong scaling of the 50k-image workload.
+
+Asserts the fixed-workload scaling shape: linear speedup while shards
+stay saturated, efficiency decay once per-GPU parallelism falls below
+the ~300-inference knee.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_scaling
+
+
+def test_ext_scaling(benchmark):
+    study = benchmark(ext_scaling.run)
+    assert study.point(1).efficiency == 1.0
+    assert study.point(512).efficiency < study.point(8).efficiency
+    assert study.point(512).cost_inflation > 0.1

@@ -1,0 +1,15 @@
+"""Benchmark: extension — calibration sensitivity sweep.
+
+Re-derives the headline conclusions under perturbed fitted constants;
+the assertion is the robustness verdict itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_sensitivity
+
+
+def test_ext_sensitivity(benchmark):
+    study = benchmark(ext_sensitivity.run)
+    assert study.all_robust
+    assert len(study.rows) >= 12

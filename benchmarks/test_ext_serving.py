@@ -1,0 +1,22 @@
+"""Benchmark: extension — latency-SLO serving under bursty traffic.
+
+Measures the discrete-event simulator end to end and asserts the
+amplification finding: pruned operating points meet the same p99 SLO
+with a strictly smaller fleet.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_serving_slo
+
+
+def test_ext_serving_slo(benchmark):
+    study = benchmark.pedantic(
+        ext_serving_slo.run,
+        kwargs=dict(rate_per_s=600.0, duration_s=30.0, slo_s=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    non = study.row("nonpruned")
+    allc = study.row("all-conv sweet spot")
+    assert allc.instances_needed < non.instances_needed

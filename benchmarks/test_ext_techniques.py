@@ -1,0 +1,29 @@
+"""Benchmark: extension — tuning-technique comparison on a real CNN.
+
+Quantifies the paper's §2.1 argument: only pruning reduces effective
+FLOPs (what cloud billing scales with); quantization and weight sharing
+compress memory at (mostly) intact accuracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_technique_comparison
+
+
+def test_ext_technique_comparison(benchmark):
+    result = benchmark.pedantic(
+        ext_technique_comparison.run,
+        kwargs=dict(train_n=300, test_n=150, epochs=8),
+        rounds=1,
+        iterations=1,
+    )
+    base = result.baseline
+    assert base.top1 > 60.0
+    pruned = result.row("L1 filter prune 50%")
+    assert pruned.effective_mflops < base.effective_mflops * 0.9
+    assert result.row("quant@4bit").model_kb < base.model_kb / 5
+    assert result.row("quant@4bit").effective_mflops == pytest.approx(
+        base.effective_mflops
+    )

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 10 — cost-accuracy Pareto study.
+
+Paper: ~1 000 feasible configurations within the $300 budget; Pareto
+costs in the ~$100 decade; up to 55% cost saving at the best accuracy;
+cost frontier coincides with the time frontier.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_cost_pareto
+from repro.experiments.configuration_study import evaluate_space
+
+
+def test_fig10_cost_pareto(benchmark):
+    evaluate_space()  # reuse the shared cached space; time the filtering
+    result = benchmark(fig10_cost_pareto.run)
+    assert 500 < result.top1.n_feasible < 2500
+    lo, hi = result.top1.objective_range
+    assert 40 < lo < hi < 160
+    assert result.top1.saving_at_best_accuracy() >= 0.50
+    assert result.frontier_overlap() >= 0.75

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 11 — TAR over the conv1 x conv2 sweet-spot grid.
+
+Paper: 5 x 6 degrees; for a given accuracy the lowest-TAR degree is the
+fastest; TAR labels live in the 0.3-0.5 decade.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_tar
+
+
+def test_fig11_tar_grid(benchmark):
+    result = benchmark(fig11_tar.run)
+    assert len(result.points) == 30
+    tars = [p.tar_top5 for p in result.points]
+    assert 0.25 < min(tars) < max(tars) < 0.60
+    best = result.best_by_tar("top5")
+    assert best.tar_top5 == min(tars)

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 12 — CAR across the six EC2 resource types.
+
+Paper: CAR flat within a category; p2 ~= 0.57 vs g3 ~= 0.35 per unit
+accuracy (ratio ~1.63) with all GPUs utilised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig12_car
+
+
+def test_fig12_car(benchmark):
+    result = benchmark(fig12_car.run)
+    assert result.within_category_spread("p2") < 0.05
+    assert result.within_category_spread("g3") < 0.05
+    assert result.category_ratio("all") == pytest.approx(1.63, abs=0.07)

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 2 — the paper's three-stage pipeline, end to end.
+
+Characterize -> measure -> model + Pareto on Caffenet; asserts the
+five-Pareto-point structure the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2_pipeline
+
+
+def test_fig2_pipeline(benchmark):
+    result = benchmark.pedantic(fig2_pipeline.run, rounds=2, iterations=1)
+    assert result.characterization.single_inference_s == pytest.approx(0.09)
+    assert result.n_pareto_time == 5
+    assert result.n_pareto_cost == 5

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 3 — Caffenet execution-time distribution.
+
+Paper: conv1 51%, conv2 16%, conv3 9%, conv4 10%, conv5 7%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.models import build_caffenet
+from repro.experiments import fig3_time_distribution
+
+
+def test_fig3_time_distribution(benchmark):
+    network = build_caffenet(init="const")
+    result = benchmark.pedantic(
+        fig3_time_distribution.run,
+        args=(network,),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.shares["conv1"] == pytest.approx(0.51, abs=0.01)
+    assert result.shares["conv2"] == pytest.approx(0.16, abs=0.01)
+    assert result.conv_share > 0.90

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 4 — single-inference time vs uniform prune ratio.
+
+Paper: Caffenet 0.09 s -> 0.05 s; Googlenet 0.16 s -> 0.10 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_single_inference
+
+
+def test_fig4_single_inference(benchmark):
+    result = benchmark(fig4_single_inference.run)
+    assert result.caffenet_s[0] == pytest.approx(0.09)
+    assert result.caffenet_s[-1] == pytest.approx(0.05, rel=0.02)
+    assert result.googlenet_s[0] == pytest.approx(0.16)
+    assert result.googlenet_s[-1] == pytest.approx(0.10, rel=0.02)

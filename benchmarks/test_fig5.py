@@ -1,0 +1,17 @@
+"""Benchmark: Figure 5 — parallel inference saturation on a K80.
+
+Paper: total time falls with parallelism and saturates around 300.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5_parallel_inference
+
+
+def test_fig5_parallel_inference(benchmark):
+    result = benchmark(fig5_parallel_inference.run)
+    assert np.all(np.diff(result.caffenet_s) <= 1e-9)
+    assert 200 <= result.caffenet_knee <= 400
+    assert result.saturation_ratio("caffenet") < 0.12

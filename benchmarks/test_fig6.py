@@ -1,0 +1,19 @@
+"""Benchmark: Figure 6 — Caffenet per-layer pruning sweeps.
+
+Paper: conv2 19 -> 14 min, conv1 19 -> 16.6 min; sweet spots at 30%
+(conv1) and 50% (conv2-5); conv1 Top-5 collapses to 0 at 90%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig6_caffenet_sweeps
+
+
+def test_fig6_caffenet_sweeps(benchmark):
+    result = benchmark(fig6_caffenet_sweeps.run)
+    assert result.sweep("conv2").time_min[-1] == pytest.approx(14.0, rel=0.01)
+    assert result.sweep("conv1").time_min[-1] == pytest.approx(16.6, rel=0.01)
+    assert result.sweep("conv1").sweet_spot.last_sweet_spot == 0.3
+    assert result.sweep("conv1").top5[-1] == 0.0

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 7 — Googlenet per-layer pruning sweeps.
+
+Paper: accuracy flat until ~60% pruning; conv2-3x3 time 13 -> 9 min.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7_googlenet_sweeps
+
+
+def test_fig7_googlenet_sweeps(benchmark):
+    result = benchmark(fig7_googlenet_sweeps.run)
+    assert result.sweep("conv2-3x3").time_min[0] == pytest.approx(13.0)
+    assert result.sweep("conv2-3x3").time_min[-1] == pytest.approx(9.0, rel=0.01)
+    for sweep in result.sweeps:
+        assert sweep.sweet_spot.last_sweet_spot >= 0.6 - 1e-9

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 8 — Caffenet multi-layer pruning.
+
+Paper: nonpruned 19 min / 80% Top-5; conv1-2 13 min / 70%;
+all-conv 11 min / 62%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_multilayer
+
+
+def test_fig8_multilayer(benchmark):
+    result = benchmark(fig8_multilayer.run)
+    assert result.row("nonpruned").time_min == pytest.approx(19.0, rel=1e-6)
+    assert result.row("conv1-2").time_min == pytest.approx(13.0, rel=0.05)
+    assert result.row("conv1-2").top5 == pytest.approx(70.0, abs=1.0)
+    assert result.row("all-conv").time_min == pytest.approx(11.0, rel=0.08)
+    assert result.row("all-conv").top5 == pytest.approx(62.0, abs=3.0)

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 9 — time-accuracy Pareto study.
+
+Paper: a large feasible set under the 10 h deadline; a small multi-point
+Pareto frontier spanning a wide accuracy range; picking the Pareto
+configuration at the best accuracy cuts time by ~50% vs same-accuracy
+alternatives.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_time_pareto
+from repro.experiments.configuration_study import evaluate_space
+
+
+def test_fig9_time_pareto(benchmark):
+    evaluate_space.cache_clear()  # time the full 3 780-point evaluation
+
+    def full_study():
+        return fig9_time_pareto.run()
+
+    result = benchmark.pedantic(full_study, rounds=1, iterations=1)
+    assert 100 < result.top1.n_feasible < result.top1.total_points
+    assert 3 <= result.top1.n_pareto <= 15
+    lo, hi = result.top1.accuracy_range
+    assert hi - lo > 20.0
+    assert result.top1.saving_at_best_accuracy() >= 0.50

@@ -1,0 +1,22 @@
+"""Benchmarks: regenerate Table 1 (Caffenet layers) and Table 3 (catalog)."""
+
+from __future__ import annotations
+
+from repro.experiments import tables
+
+
+def test_table1_caffenet_layers(benchmark):
+    from repro.cnn.models import build_caffenet
+
+    network = build_caffenet(init="const")  # built once, outside the timer
+    rows = benchmark(tables.table1_caffenet_layers, network)
+    by_layer = {r.layer: r for r in rows}
+    assert by_layer["conv1"].size == "55x55x96"
+    assert by_layer["conv2"].filter_size == "5x5x48"
+    assert by_layer["fc3"].size == "1000"
+
+
+def test_table3_catalog(benchmark):
+    rows = benchmark(tables.table3_catalog_rows)
+    assert len(rows) == 6
+    assert rows[0][0] == "p2.xlarge" and rows[0][5] == 0.90

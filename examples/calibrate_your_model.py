@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Calibrate the cost-accuracy models for YOUR application.
+
+The shipped Caffenet/Googlenet models encode the paper's published
+measurements.  To run the same analysis for a different application,
+you measure single-layer pruning sweeps (the paper's Section 3.3
+protocol: prune, run, repeat three times, keep the minimum) and feed
+them to ``repro.calibration.fitting``.  This example walks the workflow
+with a hypothetical "resnet-ish" application whose sweeps you would
+normally read from your own measurement logs:
+
+1. tabulate measured sweeps (ratio → minutes, Top-1 %, Top-5 %);
+2. fit the accuracy and time models (+ one multi-layer anchor for the
+   interaction/synergy terms);
+3. ask the planning questions: cheapest config for a target accuracy,
+   the iso-accuracy (time, cost) frontier.
+
+Run:  python examples/calibrate_your_model.py
+"""
+
+from repro.calibration.accuracy_model import AccuracyPair
+from repro.calibration.fitting import fit_accuracy_model, fit_time_model
+from repro.cloud import CloudSimulator, P2_TYPES
+from repro.core.config_space import enumerate_configurations
+from repro.core.planner import (
+    PlanningSpace,
+    iso_accuracy_frontier,
+    min_budget_for,
+)
+from repro.pruning import DegreeOfPruning, PruneSpec
+
+# ----------------------------------------------------------------------
+# 1. your measurements (here: a made-up application, measured per the
+#    paper's protocol; replace with your own sweep logs)
+# ----------------------------------------------------------------------
+RATIOS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+TIME_SWEEPS = {  # minutes for the reference workload
+    "block1": (RATIOS, (30.0, 28.5, 27.0, 25.6, 24.1)),
+    "block2": (RATIOS, (30.0, 27.2, 24.4, 21.8, 19.2)),
+    "block3": (RATIOS, (30.0, 29.3, 28.6, 27.8, 27.2)),
+}
+TOP1_SWEEPS = {  # percent
+    "block1": (RATIOS, (71.0, 71.0, 69.0, 61.0, 44.0)),
+    "block2": (RATIOS, (71.0, 71.0, 71.0, 66.0, 52.0)),
+    "block3": (RATIOS, (71.0, 71.0, 71.0, 70.0, 64.0)),
+}
+TOP5_SWEEPS = {
+    "block1": (RATIOS, (90.0, 90.0, 88.0, 80.0, 62.0)),
+    "block2": (RATIOS, (90.0, 90.0, 90.0, 85.0, 70.0)),
+    "block3": (RATIOS, (90.0, 90.0, 90.0, 89.0, 82.0)),
+}
+#: one measured multi-layer combination (anchors eta and gamma)
+COMBO = {"block1": 0.2, "block2": 0.4}
+COMBO_TOP5 = 86.0  # measured: 4 points below baseline
+COMBO_TIME_FRACTION = 0.78  # measured: 23.4 of 30 minutes
+
+
+def main() -> None:
+    accuracy_model = fit_accuracy_model(
+        "your-app",
+        AccuracyPair(top1=71.0, top5=90.0),
+        TOP1_SWEEPS,
+        TOP5_SWEEPS,
+        combo_ratios=COMBO,
+        combo_top5=COMBO_TOP5,
+    )
+    time_model = fit_time_model(
+        "your-app",
+        t_saturated=30.0 * 60.0 / 50_000,  # 30 min / 50k reference run
+        single_inference_s=0.12,
+        time_sweeps=TIME_SWEEPS,
+        combo_ratios=COMBO,
+        combo_fraction=COMBO_TIME_FRACTION,
+        per_image_mb=6.0,
+        model_mb=100.0,
+    )
+    print("fitted models:")
+    print(f"  sweet spots : {dict(accuracy_model.sweet_spots)}")
+    print(f"  eta (top5)  : {accuracy_model.eta_top5:.2f}")
+    print(f"  synergy γ   : {time_model.synergy_gamma:.2f}\n")
+
+    simulator = CloudSimulator(time_model, accuracy_model)
+    degrees = [DegreeOfPruning.of(PruneSpec.unpruned())] + [
+        DegreeOfPruning.of(PruneSpec({layer: r}))
+        for layer in TIME_SWEEPS
+        for r in RATIOS[1:]
+    ] + [DegreeOfPruning.of(PruneSpec(COMBO))]
+    space = PlanningSpace.evaluate(
+        simulator,
+        degrees,
+        enumerate_configurations(P2_TYPES, max_per_type=2),
+        images=10_000_000,
+        metric="top5",
+    )
+
+    target = 90.0
+    best = min_budget_for(space, target, deadline_s=4 * 3600.0)
+    print(
+        f"cheapest way to {target:.0f}% Top-5 within 4h: "
+        f"{best.spec.label()} on {best.configuration.label()} — "
+        f"${best.cost:.2f}, {best.time_s / 3600:.2f}h"
+    )
+
+    print(f"\niso-accuracy frontier at {target:.0f}% Top-5:")
+    for r in iso_accuracy_frontier(space, target):
+        print(
+            f"  {r.time_s / 3600:5.2f}h  ${r.cost:7.2f}  "
+            f"{r.spec.label():24} {r.configuration.label()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Render the paper's key figures as ASCII plots in the terminal.
+
+Regenerates Figures 4, 5, 9 and 10 from the library and draws them with
+the built-in ASCII plotter — no plotting stack required.  Compare the
+shapes with the paper: monotone single-inference decline (Fig. 4), the
+~300-inference saturation knee (Fig. 5), and the time/cost-accuracy
+point clouds with their Pareto staircases (Figs. 9, 10).
+
+Run:  python examples/paper_figures.py       (~5 s)
+"""
+
+from repro.experiments import (
+    fig4_single_inference,
+    fig5_parallel_inference,
+    fig9_time_pareto,
+    fig10_cost_pareto,
+)
+from repro.experiments.asciiplot import multi_line, scatter
+
+
+def fig4() -> str:
+    r = fig4_single_inference.run()
+    return multi_line(
+        [
+            ("caffenet", [x * 100 for x in r.ratios], list(r.caffenet_s)),
+            ("googlenet", [x * 100 for x in r.ratios], list(r.googlenet_s)),
+        ],
+        title="Fig 4: time for a single inference",
+        xlabel="prune ratio (%)",
+        ylabel="seconds",
+    )
+
+
+def fig5() -> str:
+    r = fig5_parallel_inference.run()
+    return multi_line(
+        [
+            ("caffenet", list(r.batches), list(r.caffenet_s)),
+            ("googlenet", list(r.batches), list(r.googlenet_s)),
+        ],
+        title="Fig 5: parallel inference on a GPU (50k images)",
+        xlabel="parallel inferences",
+        ylabel="total seconds",
+    )
+
+
+def _pareto_scatter(study, title: str, objective_label: str) -> str:
+    feasible = study.feasible
+    front_keys = {id(r) for r in study.front}
+    xs, ys, highlight = [], [], []
+    for i, r in enumerate(feasible):
+        xs.append(r.accuracy.get(study.metric))
+        ys.append(
+            r.time_hours if study.objective == "time" else r.cost
+        )
+        if id(r) in front_keys:
+            highlight.append(i)
+    return scatter(
+        xs,
+        ys,
+        title=title,
+        xlabel=f"{study.metric} accuracy (%)",
+        ylabel=objective_label,
+        highlight=highlight,
+    )
+
+
+def main() -> None:
+    print(fig4())
+    print()
+    print(fig5())
+    print()
+    study9 = fig9_time_pareto.run().top1
+    print(
+        _pareto_scatter(
+            study9,
+            "Fig 9: accuracy vs execution time (* = Pareto-optimal)",
+            "hours",
+        )
+    )
+    print()
+    study10 = fig10_cost_pareto.run().top1
+    print(
+        _pareto_scatter(
+            study10,
+            "Fig 10: accuracy vs cloud cost (* = Pareto-optimal)",
+            "dollars",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

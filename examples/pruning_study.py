@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""End-to-end REAL pruning study on a trained CNN — no calibration.
+
+The big-model figures in this repo use calibrated response curves
+(DESIGN.md explains why).  This example validates the *mechanism* those
+curves encode with a fully real pipeline on hardware we do have:
+
+1. train a small CNN on the synthetic image dataset (real SGD);
+2. L1-filter-prune conv2 at increasing ratios (Li et al. 2016);
+3. measure true Top-1 accuracy and true wall-clock inference time of the
+   sparse model (3 runs, minimum — the paper's measurement protocol);
+4. detect the sweet-spot region with the same detector the cloud study
+   uses.
+
+Expected outcome (the paper's Observation 1, reproduced for real):
+accuracy stays flat over an initial pruning range while effective FLOPs
+fall; past the knee accuracy degrades.
+
+Run:  python examples/pruning_study.py        (~1 minute on CPU)
+"""
+
+import numpy as np
+
+from repro import L1FilterPruner, PruneSpec, build_small_cnn, find_sweet_spot
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.training import SGDTrainer, evaluate_topk
+from repro.perf.measurement import measure_min
+
+
+def main() -> None:
+    rng_seed = 7
+    train = make_classification_data(
+        n=600, num_classes=5, size=16, seed=rng_seed
+    )
+    test = make_classification_data(
+        n=300, num_classes=5, size=16, seed=rng_seed + 1
+    )
+
+    print("training small CNN on synthetic patterns ...")
+    network = build_small_cnn(seed=rng_seed, width=12)
+    trainer = SGDTrainer(network, lr=0.03)
+    result = trainer.fit(train, epochs=12, batch_size=32)
+    base_acc = evaluate_topk(network, test, k=1)
+    print(
+        f"trained: loss {result.losses[0]:.2f} -> {result.losses[-1]:.3f}, "
+        f"test Top-1 {base_acc:.1%}\n"
+    )
+
+    pruner = L1FilterPruner(propagate=True)
+    ratios = [r / 10 for r in range(10)]
+    accs, times, flops = [], [], []
+    for ratio in ratios:
+        pruned = pruner.apply(network, PruneSpec({"conv2": ratio}))
+        seconds, acc = measure_min(
+            lambda p=pruned: evaluate_topk(p, test, k=1), repeats=3
+        )
+        effective = pruned.total_stats(effective=True).flops
+        accs.append(acc * 100)
+        times.append(seconds)
+        flops.append(effective / 1e6)
+
+    print(f"{'prune':>6} {'Top-1':>8} {'eff. MFLOPs':>12} {'time (s)':>10}")
+    for r, a, f, t in zip(ratios, accs, flops, times):
+        print(f"{r:>5.0%} {a:>7.1f}% {f:>12.2f} {t:>10.4f}")
+
+    region = find_sweet_spot(
+        "conv2", ratios, accs, flops, tolerance=2.0
+    )
+    print(
+        f"\nsweet spot (<=2 accuracy points drop): prune conv2 up to "
+        f"{region.last_sweet_spot:.0%} -> {region.time_reduction:.0%} of "
+        "effective compute removed at "
+        f"{region.accuracy_drop:.1f} points accuracy cost"
+    )
+    drop_at_90 = accs[0] - accs[-1]
+    print(
+        f"past the knee the model degrades: 90% pruning costs "
+        f"{drop_at_90:.1f} points — the flat-then-drop response the "
+        "paper's Figure 6 shows for Caffenet, measured here for real"
+    )
+
+
+if __name__ == "__main__":
+    main()

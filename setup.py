@@ -1,0 +1,8 @@
+"""Setuptools shim: this environment has no `wheel` package, so editable
+installs must go through the legacy `setup.py develop` path
+(`pip install -e . --no-build-isolation --no-use-pep517`).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "Characterizing the Cost-Accuracy Performance of
+Cloud Applications" (Rathnayake, Ramapantulu, Teo; ICPP Workshops 2020).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.  Subpackages:
+
+* :mod:`repro.cnn`        — NumPy CNN inference engine (Caffenet, Googlenet)
+* :mod:`repro.pruning`    — L1-filter / magnitude pruning, sparse compute
+* :mod:`repro.perf`       — GPU device + roofline latency + batching models
+* :mod:`repro.cloud`      — EC2 catalog, pricing, configurations, simulator
+* :mod:`repro.calibration`— paper-calibrated accuracy/time response curves
+* :mod:`repro.core`       — TAR/CAR, Pareto filter, Algorithm 1, pipeline
+* :mod:`repro.experiments`— regeneration of every table and figure
+
+Quickstart::
+
+    from repro import (
+        CloudSimulator, PruneSpec, ResourceConfiguration, CloudInstance,
+        caffenet_time_model, caffenet_accuracy_model, instance_type,
+    )
+
+    sim = CloudSimulator(caffenet_time_model(), caffenet_accuracy_model())
+    spec = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+    config = ResourceConfiguration([CloudInstance(instance_type("p2.xlarge"))])
+    result = sim.run(spec, config, images=50_000)
+    print(result.time_s, result.cost, result.accuracy, result.tar(), result.car())
+"""
+
+from __future__ import annotations
+
+from repro.calibration import (
+    AccuracyModel,
+    AccuracyPair,
+    caffenet_accuracy_model,
+    caffenet_time_model,
+    googlenet_accuracy_model,
+    googlenet_time_model,
+)
+from repro.cloud import (
+    CloudInstance,
+    CloudSimulator,
+    EC2_CATALOG,
+    InstanceType,
+    ResourceConfiguration,
+    SimulationResult,
+    instance_type,
+)
+from repro.cnn import Network, build_caffenet, build_googlenet, build_small_cnn
+from repro.core import (
+    CostAccuracyPipeline,
+    brute_force_allocate,
+    car,
+    enumerate_configurations,
+    find_sweet_spot,
+    greedy_allocate,
+    pareto_front,
+    tar,
+)
+from repro.errors import ReproError
+from repro.perf import BatchingModel, CalibratedTimeModel, K80, M60
+from repro.pruning import (
+    DegreeOfPruning,
+    L1FilterPruner,
+    MagnitudePruner,
+    PruneSpec,
+    single_layer_sweep,
+    uniform_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyModel",
+    "AccuracyPair",
+    "BatchingModel",
+    "CalibratedTimeModel",
+    "CloudInstance",
+    "CloudSimulator",
+    "CostAccuracyPipeline",
+    "DegreeOfPruning",
+    "EC2_CATALOG",
+    "InstanceType",
+    "K80",
+    "L1FilterPruner",
+    "M60",
+    "MagnitudePruner",
+    "Network",
+    "PruneSpec",
+    "ReproError",
+    "ResourceConfiguration",
+    "SimulationResult",
+    "brute_force_allocate",
+    "build_caffenet",
+    "build_googlenet",
+    "build_small_cnn",
+    "caffenet_accuracy_model",
+    "caffenet_time_model",
+    "car",
+    "enumerate_configurations",
+    "find_sweet_spot",
+    "googlenet_accuracy_model",
+    "googlenet_time_model",
+    "greedy_allocate",
+    "instance_type",
+    "pareto_front",
+    "single_layer_sweep",
+    "tar",
+    "uniform_sweep",
+]

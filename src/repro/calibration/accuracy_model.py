@@ -1,0 +1,153 @@
+"""Accuracy-response model: per-layer sweet-spot curves + interaction.
+
+Single-layer behaviour (paper Figures 6, 7) is a *sweet spot*: Top-1 and
+Top-5 accuracy stay at the unpruned baseline until a layer-specific knee
+ratio, then decline.  Each layer gets one calibrated drop curve per
+metric (percentage points lost as a function of prune ratio).
+
+Multi-layer behaviour (paper Figure 8 and Section 4.3.2) shows an
+*interaction*: combining layers pruned *within* their individual sweet
+spots still costs accuracy (conv1@30 + conv2@50 individually cost ~0
+points each but 10 Top-5 points together).  We model this with a latent
+damage term: each pruned layer contributes ``q_l = p_l / knee_l`` of
+normalised stress, and the visible interaction penalty is
+
+    I = eta * sqrt(max(0, sum q_l^2 - max q_l^2))
+
+i.e. the excess latent damage beyond the single most-stressed layer.
+By construction single-layer sweeps are untouched (``I = 0``), the
+conv1-2 anchor fixes ``eta`` (10 Top-5 points), and the all-conv anchor
+is then predicted at ~20 points vs the paper's measured 18.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.curves import PiecewiseCurve
+from repro.errors import CalibrationError
+from repro.pruning.base import PruneSpec
+
+__all__ = ["AccuracyPair", "AccuracyModel"]
+
+
+@dataclass(frozen=True)
+class AccuracyPair:
+    """Top-1 / Top-5 accuracy in percent (the paper's two metrics)."""
+
+    top1: float
+    top5: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.top1 <= 100.0 and 0.0 <= self.top5 <= 100.0):
+            raise CalibrationError(
+                f"accuracy out of range: {self.top1}, {self.top5}"
+            )
+
+    @property
+    def top1_fraction(self) -> float:
+        """Top-1 as the a in [0, 1] used by TAR/CAR (paper Section 3.5)."""
+        return self.top1 / 100.0
+
+    @property
+    def top5_fraction(self) -> float:
+        return self.top5 / 100.0
+
+    def get(self, metric: str) -> float:
+        if metric == "top1":
+            return self.top1
+        if metric == "top5":
+            return self.top5
+        raise KeyError(f"unknown accuracy metric {metric!r}")
+
+
+@dataclass(frozen=True)
+class AccuracyModel:
+    """Calibrated accuracy response of one CNN to degrees of pruning.
+
+    Attributes
+    ----------
+    name:
+        CNN name.
+    baseline:
+        Unpruned Top-1/Top-5 accuracy.
+    drop_curves_top1, drop_curves_top5:
+        Per-layer curves mapping prune ratio to percentage points lost
+        (0 inside the sweet spot).
+    sweet_spots:
+        Per-layer knee ratio ``knee_l`` (the "last sweet spot").
+    eta_top1, eta_top5:
+        Interaction strength in percentage points (see module docstring).
+    default_knee, default_drop_scale:
+        Response for layers without dedicated calibration (deep
+        Googlenet inception convs): knee at ``default_knee``, end drop
+        equal to ``default_drop_scale`` x the baseline.
+    """
+
+    name: str
+    baseline: AccuracyPair
+    drop_curves_top1: Mapping[str, PiecewiseCurve]
+    drop_curves_top5: Mapping[str, PiecewiseCurve]
+    sweet_spots: Mapping[str, float]
+    eta_top1: float
+    eta_top5: float
+    default_knee: float = 0.5
+    default_drop_scale: float = 0.3
+
+    # ------------------------------------------------------------------
+    def knee(self, layer: str) -> float:
+        """Last sweet-spot ratio for ``layer``."""
+        return self.sweet_spots.get(layer, self.default_knee)
+
+    def _drop(self, layer: str, ratio: float, metric: str) -> float:
+        curves = (
+            self.drop_curves_top1 if metric == "top1" else self.drop_curves_top5
+        )
+        curve = curves.get(layer)
+        if curve is not None:
+            return float(curve(ratio))
+        # default sweet-spot response for uncalibrated layers
+        base = self.baseline.get(metric)
+        knee = self.default_knee
+        if ratio <= knee:
+            return 0.0
+        end_drop = self.default_drop_scale * base
+        return end_drop * (ratio - knee) / (0.9 - knee)
+
+    def _interaction(self, spec: PruneSpec, eta: float) -> float:
+        if len(spec.ratios) < 2:
+            return 0.0
+        q2 = np.array(
+            [
+                (ratio / self.knee(layer)) ** 2
+                for layer, ratio in spec.ratios
+            ]
+        )
+        excess = q2.sum() - q2.max()
+        return eta * float(np.sqrt(excess)) if excess > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def accuracy(self, spec: PruneSpec) -> AccuracyPair:
+        """Predicted Top-1/Top-5 accuracy under ``spec``."""
+        top1 = self.baseline.top1
+        top5 = self.baseline.top5
+        for layer, ratio in spec.ratios:
+            top1 -= self._drop(layer, ratio, "top1")
+            top5 -= self._drop(layer, ratio, "top5")
+        top1 -= self._interaction(spec, self.eta_top1)
+        top5 -= self._interaction(spec, self.eta_top5)
+        return AccuracyPair(
+            top1=float(np.clip(top1, 0.0, 100.0)),
+            top5=float(np.clip(top5, 0.0, 100.0)),
+        )
+
+    def is_within_sweet_spot(
+        self, spec: PruneSpec, tolerance_points: float = 0.5
+    ) -> bool:
+        """True when ``spec`` costs at most ``tolerance_points`` Top-5."""
+        return (
+            self.baseline.top5 - self.accuracy(spec).top5
+        ) <= tolerance_points

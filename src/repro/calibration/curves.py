@@ -1,0 +1,85 @@
+"""Piecewise-linear response curves.
+
+The calibration tables store a handful of anchor points per layer
+(read from the paper's published sweeps); :class:`PiecewiseCurve`
+interpolates between them and clamps outside the anchored range.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+__all__ = ["PiecewiseCurve"]
+
+
+class PiecewiseCurve:
+    """Monotone-x piecewise-linear interpolation through anchor points.
+
+    Parameters
+    ----------
+    points:
+        ``(x, y)`` pairs with strictly increasing ``x``.  Evaluation
+        outside ``[x_min, x_max]`` clamps to the boundary values.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise CalibrationError("curve needs at least two points")
+        xs = np.asarray([p[0] for p in points], dtype=float)
+        ys = np.asarray([p[1] for p in points], dtype=float)
+        if np.any(np.diff(xs) <= 0):
+            raise CalibrationError(
+                f"curve x-values must be strictly increasing, got {xs}"
+            )
+        self._xs = xs
+        self._ys = ys
+
+    # ------------------------------------------------------------------
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        y = np.interp(x, self._xs, self._ys)
+        return float(y) if np.isscalar(x) else y
+
+    @property
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self._xs.tolist(), self._ys.tolist()))
+
+    @property
+    def x_range(self) -> tuple[float, float]:
+        return float(self._xs[0]), float(self._xs[-1])
+
+    def is_nonincreasing(self) -> bool:
+        """True when the curve never rises (time/accuracy responses)."""
+        return bool(np.all(np.diff(self._ys) <= 1e-12))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def flat_then_linear(
+        cls, knee_x: float, end_x: float, start_y: float, end_y: float
+    ) -> "PiecewiseCurve":
+        """The sweet-spot shape: constant until ``knee_x``, then linear.
+
+        This is the response family the paper observes for accuracy
+        under pruning (flat plateau, then gradual decline).
+        """
+        if not 0.0 <= knee_x < end_x:
+            raise CalibrationError("need 0 <= knee_x < end_x")
+        points = []
+        if knee_x > 0.0:
+            points.append((0.0, start_y))
+        points.append((knee_x, start_y))
+        points.append((end_x, end_y))
+        return cls(points)
+
+    @classmethod
+    def linear(
+        cls, x0: float, y0: float, x1: float, y1: float
+    ) -> "PiecewiseCurve":
+        """Straight line through two points (clamped outside)."""
+        return cls([(x0, y0), (x1, y1)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PiecewiseCurve({self.points})"

@@ -1,0 +1,202 @@
+"""Fit calibrated models from measured sweeps.
+
+The shipped Caffenet/Googlenet calibrations encode anchors read from the
+paper.  A user with *their own* application measures single-layer sweeps
+(the paper's Section 3.3 protocol) and needs the same model objects; the
+fitters here close that loop:
+
+* :func:`fit_time_curves` — per-layer remaining-time-fraction curves
+  from measured (ratio, time) sweeps;
+* :func:`fit_synergy_gamma` — the multi-layer synergy exponent from one
+  measured multi-layer combination;
+* :func:`fit_accuracy_model` — per-layer drop curves, sweet-spot knees
+  and the interaction strength eta from measured accuracy sweeps plus
+  (optionally) one multi-layer anchor;
+* :func:`fit_time_model` — assemble a full
+  :class:`~repro.perf.latency.CalibratedTimeModel` from the above.
+
+``experiments/ext_real_pipeline.py`` uses these on genuinely measured
+small-CNN sweeps, running the paper's whole methodology with no
+paper-derived constants at all.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.calibration.accuracy_model import AccuracyModel, AccuracyPair
+from repro.calibration.curves import PiecewiseCurve
+from repro.errors import CalibrationError
+from repro.perf.latency import CalibratedTimeModel
+
+__all__ = [
+    "fit_time_curves",
+    "fit_synergy_gamma",
+    "fit_accuracy_model",
+    "fit_time_model",
+]
+
+#: a measured sweep: (ratios, values) with ratios starting at 0.
+Sweep = tuple[Sequence[float], Sequence[float]]
+
+
+def _validate_sweep(layer: str, ratios, values) -> tuple[np.ndarray, np.ndarray]:
+    r = np.asarray(ratios, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if r.shape != v.shape or r.ndim != 1 or r.size < 2:
+        raise CalibrationError(
+            f"{layer}: sweep needs equal-length 1-D ratios/values"
+        )
+    if r[0] != 0.0 or np.any(np.diff(r) <= 0):
+        raise CalibrationError(
+            f"{layer}: ratios must start at 0 and increase"
+        )
+    return r, v
+
+
+def fit_time_curves(
+    time_sweeps: Mapping[str, Sweep]
+) -> dict[str, PiecewiseCurve]:
+    """Per-layer remaining-time-fraction curves from measured sweeps.
+
+    Each sweep's times are normalised by its own ratio-0 measurement;
+    non-monotone jitter (measurement noise) is smoothed by a running
+    minimum, since pruning more can never make the true time longer.
+    """
+    curves = {}
+    for layer, (ratios, times) in time_sweeps.items():
+        r, t = _validate_sweep(layer, ratios, times)
+        if t[0] <= 0:
+            raise CalibrationError(f"{layer}: baseline time must be positive")
+        fraction = np.minimum.accumulate(t / t[0])
+        curves[layer] = PiecewiseCurve(list(zip(r.tolist(), fraction.tolist())))
+    return curves
+
+
+def fit_synergy_gamma(
+    time_curves: Mapping[str, PiecewiseCurve],
+    combo_ratios: Mapping[str, float],
+    measured_fraction: float,
+) -> float:
+    """Fit gamma from one measured multi-layer combination.
+
+    Solves ``(prod_l f_l(p_l))^gamma = measured_fraction``; gamma = 1
+    when the product already explains the measurement or when the combo
+    touches fewer than two calibrated layers.
+    """
+    if not 0 < measured_fraction <= 1:
+        raise CalibrationError("measured_fraction must be in (0, 1]")
+    product = 1.0
+    layers = 0
+    for layer, ratio in combo_ratios.items():
+        curve = time_curves.get(layer)
+        if curve is None:
+            continue
+        product *= float(curve(ratio))
+        layers += 1
+    if layers < 2 or product >= 1.0 or measured_fraction >= 1.0:
+        return 1.0
+    gamma = math.log(measured_fraction) / math.log(product)
+    return max(1.0, gamma)
+
+
+def _knee_of(r: np.ndarray, acc: np.ndarray, tolerance: float) -> float:
+    """Largest contiguous-from-zero ratio within tolerance of baseline."""
+    ok = acc >= acc[0] - tolerance
+    qualifying = np.where(np.cumprod(ok))[0]
+    return float(r[int(qualifying[-1])])
+
+
+def fit_accuracy_model(
+    name: str,
+    baseline: AccuracyPair,
+    top1_sweeps: Mapping[str, Sweep],
+    top5_sweeps: Mapping[str, Sweep],
+    combo_ratios: Mapping[str, float] | None = None,
+    combo_top5: float | None = None,
+    tolerance: float = 1.0,
+) -> AccuracyModel:
+    """Fit an :class:`AccuracyModel` from measured accuracy sweeps.
+
+    Parameters
+    ----------
+    top1_sweeps, top5_sweeps:
+        Per-layer measured (ratio, accuracy-percent) sweeps.
+    combo_ratios, combo_top5:
+        Optionally, one measured multi-layer combination to fit the
+        interaction strength ``eta`` (defaults to 0 — no interaction —
+        when absent).
+    tolerance:
+        Accuracy-points tolerance for knee detection.
+    """
+    if set(top1_sweeps) != set(top5_sweeps):
+        raise CalibrationError("top1/top5 sweeps must cover the same layers")
+    drop1: dict[str, PiecewiseCurve] = {}
+    drop5: dict[str, PiecewiseCurve] = {}
+    knees: dict[str, float] = {}
+    for layer in top5_sweeps:
+        r5, a5 = _validate_sweep(layer, *top5_sweeps[layer])
+        r1, a1 = _validate_sweep(layer, *top1_sweeps[layer])
+        # drops are non-negative and monotone (noise smoothed)
+        d5 = np.maximum.accumulate(np.maximum(a5[0] - a5, 0.0))
+        d1 = np.maximum.accumulate(np.maximum(a1[0] - a1, 0.0))
+        drop5[layer] = PiecewiseCurve(list(zip(r5.tolist(), d5.tolist())))
+        drop1[layer] = PiecewiseCurve(list(zip(r1.tolist(), d1.tolist())))
+        knee = _knee_of(r5, a5, tolerance)
+        knees[layer] = knee if knee > 0 else float(r5[1]) / 2
+    eta5 = 0.0
+    if combo_ratios is not None and combo_top5 is not None:
+        # predicted drop without interaction
+        plain = sum(
+            float(drop5[l](p)) for l, p in combo_ratios.items() if l in drop5
+        )
+        residual = max(0.0, (baseline.top5 - combo_top5) - plain)
+        q2 = np.array(
+            [
+                (p / knees.get(l, 0.5)) ** 2
+                for l, p in combo_ratios.items()
+            ]
+        )
+        excess = q2.sum() - q2.max()
+        eta5 = residual / math.sqrt(excess) if excess > 0 else 0.0
+    eta1 = eta5 * (baseline.top1 / baseline.top5 if baseline.top5 else 1.0)
+    return AccuracyModel(
+        name=name,
+        baseline=baseline,
+        drop_curves_top1=drop1,
+        drop_curves_top5=drop5,
+        sweet_spots=knees,
+        eta_top1=eta1,
+        eta_top5=eta5,
+    )
+
+
+def fit_time_model(
+    name: str,
+    t_saturated: float,
+    single_inference_s: float,
+    time_sweeps: Mapping[str, Sweep],
+    combo_ratios: Mapping[str, float] | None = None,
+    combo_fraction: float | None = None,
+    floor_fraction: float = 0.3,
+    **kwargs,
+) -> CalibratedTimeModel:
+    """Assemble a :class:`CalibratedTimeModel` from measured sweeps."""
+    if t_saturated <= 0 or single_inference_s <= 0:
+        raise CalibrationError("time anchors must be positive")
+    curves = fit_time_curves(time_sweeps)
+    gamma = 1.0
+    if combo_ratios is not None and combo_fraction is not None:
+        gamma = fit_synergy_gamma(curves, combo_ratios, combo_fraction)
+    return CalibratedTimeModel(
+        name=name,
+        t_saturated_k80=t_saturated,
+        single_inference_s=single_inference_s,
+        time_curves=curves,
+        synergy_gamma=gamma,
+        floor_fraction=floor_fraction,
+        **kwargs,
+    )

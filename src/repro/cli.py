@@ -1,0 +1,414 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog``
+    Print the EC2 instance catalog (Table 3).
+``experiments [id ...]``
+    Regenerate all (or selected) paper artefacts.
+``sweep --model M --layer L``
+    Single-layer pruning sweep: time / Top-1 / Top-5 per ratio.
+``allocate --images N --deadline H --budget D``
+    Run Algorithm 1 over the degrees ladder and the full catalog.
+``simulate --spec conv1=0.3,conv2=0.5 --instances p2.xlarge ...``
+    Evaluate one (degree of pruning, configuration) pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_spec(text: str):
+    """Parse ``conv1=0.3,conv2=0.5`` into a PruneSpec."""
+    from repro.pruning.base import PruneSpec
+
+    if not text or text == "none":
+        return PruneSpec.unpruned()
+    ratios = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"expected layer=ratio, got {part!r}"
+            )
+        layer, _, value = part.partition("=")
+        try:
+            ratios[layer.strip()] = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad ratio {value!r} for layer {layer!r}"
+            ) from None
+    return PruneSpec(ratios)
+
+
+def _models(name: str):
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+        googlenet_accuracy_model,
+        googlenet_time_model,
+    )
+
+    if name == "caffenet":
+        return caffenet_time_model(), caffenet_accuracy_model()
+    if name == "googlenet":
+        return googlenet_time_model(), googlenet_accuracy_model()
+    raise argparse.ArgumentTypeError(f"unknown model {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cost-accuracy performance of cloud applications "
+            "(ICPP Workshops 2020 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="print the EC2 catalog (Table 3)")
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate paper tables/figures"
+    )
+    p_exp.add_argument(
+        "ids", nargs="*", help="artefact ids (default: all)"
+    )
+
+    p_sweep = sub.add_parser("sweep", help="single-layer pruning sweep")
+    p_sweep.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_sweep.add_argument("--layer", required=True)
+    p_sweep.add_argument("--images", type=int, default=50_000)
+
+    p_alloc = sub.add_parser(
+        "allocate", help="Algorithm 1 over the full catalog"
+    )
+    p_alloc.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_alloc.add_argument("--images", type=int, required=True)
+    p_alloc.add_argument(
+        "--deadline", type=float, required=True, help="hours"
+    )
+    p_alloc.add_argument(
+        "--budget", type=float, required=True, help="dollars"
+    )
+    p_alloc.add_argument(
+        "--instances-per-type", type=int, default=3
+    )
+
+    p_sim = sub.add_parser(
+        "simulate", help="evaluate one (spec, configuration) pair"
+    )
+    p_sim.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_sim.add_argument(
+        "--spec",
+        type=_parse_spec,
+        default="none",
+        help="layer=ratio[,layer=ratio...] or 'none'",
+    )
+    p_sim.add_argument(
+        "--instances",
+        nargs="+",
+        required=True,
+        help="instance type names, repeated for multiples",
+    )
+    p_sim.add_argument("--images", type=int, default=50_000)
+
+    p_serve = sub.add_parser(
+        "serve", help="online-serving simulation (latency percentiles)"
+    )
+    p_serve.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_serve.add_argument(
+        "--spec", type=_parse_spec, default="none"
+    )
+    p_serve.add_argument(
+        "--instances", nargs="+", required=True
+    )
+    p_serve.add_argument("--rate", type=float, default=200.0, help="req/s")
+    p_serve.add_argument("--duration", type=float, default=60.0, help="s")
+    p_serve.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=["poisson", "uniform", "bursty"],
+    )
+    p_serve.add_argument("--max-batch", type=int, default=32)
+    p_serve.add_argument("--max-wait", type=float, default=0.05)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--histogram",
+        action="store_true",
+        help="also print the latency histogram",
+    )
+    p_serve.add_argument(
+        "--slo", type=float, help="report headroom against a p99 SLO (s)"
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="per-instance execution trace of a batch job"
+    )
+    p_trace.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_trace.add_argument("--spec", type=_parse_spec, default="none")
+    p_trace.add_argument("--instances", nargs="+", required=True)
+    p_trace.add_argument("--images", type=int, default=1_000_000)
+    p_trace.add_argument(
+        "--proportional",
+        action="store_true",
+        help="capacity-proportional split instead of the paper's Eq. 4",
+    )
+
+    p_export = sub.add_parser(
+        "export", help="write all artefacts as txt/json/csv"
+    )
+    p_export.add_argument("directory")
+    p_export.add_argument("ids", nargs="*", help="artefact subset")
+    return parser
+
+
+def _cmd_catalog() -> int:
+    from repro.experiments.tables import render_table3
+
+    print(render_table3())
+    return 0
+
+
+def _cmd_experiments(ids: Sequence[str]) -> int:
+    from repro.experiments.runner import EXPERIMENTS, run_all
+
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown artefacts {unknown}; available: "
+            f"{sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for output in run_all(tuple(ids) or None):
+        print(f"\n=== {output.artefact}: {output.title} ===")
+        print(output.text)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.cloud.simulator import CloudSimulator
+    from repro.experiments.fig6_caffenet_sweeps import sweep_layer
+    from repro.experiments.report import format_table
+
+    time_model, accuracy_model = _models(args.model)
+    simulator = CloudSimulator(time_model, accuracy_model)
+    sweep = sweep_layer(simulator, args.layer, images=args.images)
+    print(
+        format_table(
+            ["Prune", "Time (min)", "Top-1 (%)", "Top-5 (%)"],
+            [
+                (f"{r * 100:.0f}%", f"{t:.2f}", f"{a1:.1f}", f"{a5:.1f}")
+                for r, t, a1, a5 in zip(
+                    sweep.ratios, sweep.time_min, sweep.top1, sweep.top5
+                )
+            ],
+        )
+    )
+    print(
+        f"last sweet spot: {sweep.sweet_spot.last_sweet_spot * 100:.0f}% "
+        f"({sweep.sweet_spot.time_reduction * 100:.1f}% time saved)"
+    )
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    from repro.cloud.catalog import EC2_CATALOG
+    from repro.cloud.instance import CloudInstance
+    from repro.cloud.simulator import CloudSimulator
+    from repro.core.allocation import greedy_allocate
+    from repro.errors import InfeasibleError
+    from repro.experiments.algorithm1 import _default_degrees
+
+    time_model, accuracy_model = _models(args.model)
+    simulator = CloudSimulator(time_model, accuracy_model)
+    pool = [
+        CloudInstance(itype)
+        for itype in EC2_CATALOG
+        for _ in range(args.instances_per_type)
+    ]
+    degrees = _default_degrees() if args.model == "caffenet" else None
+    if degrees is None:
+        from repro.experiments.ext_googlenet_pareto import (
+            googlenet_variant_set,
+        )
+
+        degrees = googlenet_variant_set()
+    try:
+        allocation = greedy_allocate(
+            degrees,
+            pool,
+            simulator,
+            images=args.images,
+            deadline_s=args.deadline * 3600.0,
+            budget=args.budget,
+        )
+    except InfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    r = allocation.result
+    print(f"degree of pruning : {r.spec.label()}")
+    print(f"configuration     : {r.configuration.label()}")
+    print(f"time              : {r.time_s / 3600.0:.2f} h")
+    print(f"cost              : ${r.cost:.2f}")
+    print(f"accuracy          : top1 {r.accuracy.top1:.1f}% / top5 {r.accuracy.top5:.1f}%")
+    print(f"TAR / CAR (top5)  : {r.tar():.3f} / {r.car():.3f}")
+    print(f"model evaluations : {allocation.evaluations}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.cloud.simulator import CloudSimulator
+
+    time_model, accuracy_model = _models(args.model)
+    simulator = CloudSimulator(time_model, accuracy_model)
+    config = ResourceConfiguration(
+        [CloudInstance(instance_type(n)) for n in args.instances]
+    )
+    r = simulator.run(args.spec, config, args.images)
+    print(f"spec      : {r.spec.label()}")
+    print(f"config    : {r.configuration.label()}")
+    print(f"time      : {r.time_s:.1f} s ({r.time_s / 60.0:.2f} min)")
+    print(f"cost      : ${r.cost:.4f}")
+    print(f"accuracy  : top1 {r.accuracy.top1:.1f}% / top5 {r.accuracy.top5:.1f}%")
+    print(f"TAR (top5): {r.tar():.4f} h | CAR (top5): ${r.car():.4f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.serving import (
+        BatchPolicy,
+        ServingSimulator,
+        bursty_arrivals,
+        poisson_arrivals,
+        uniform_arrivals,
+    )
+
+    time_model, accuracy_model = _models(args.model)
+    config = ResourceConfiguration(
+        [CloudInstance(instance_type(n)) for n in args.instances]
+    )
+    generator = {
+        "poisson": poisson_arrivals,
+        "uniform": uniform_arrivals,
+        "bursty": bursty_arrivals,
+    }[args.arrival]
+    kwargs = {"seed": args.seed} if args.arrival != "uniform" else {}
+    arrivals = generator(args.rate, args.duration, **kwargs)
+    simulator = ServingSimulator(
+        time_model,
+        accuracy_model,
+        config,
+        args.spec,
+        BatchPolicy(max_batch=args.max_batch, max_wait_s=args.max_wait),
+    )
+    report = simulator.run(arrivals)
+    print(f"served    : {report.requests} requests in {report.duration_s:.1f}s")
+    print(f"latency   : p50 {report.p50:.3f}s  p99 {report.p99:.3f}s  mean {report.mean_latency:.3f}s")
+    print(f"batching  : mean width {report.mean_batch:.1f}")
+    print(f"fleet     : {report.worker_count} GPUs at {report.utilisation:.0%} utilisation")
+    print(f"cost      : ${report.cost:.4f}")
+    print(f"accuracy  : top5 {report.accuracy.top5:.1f}%")
+    if args.histogram:
+        from repro.serving.metrics import render_histogram
+
+        print(render_histogram(report))
+    if args.slo is not None:
+        from repro.serving.metrics import slo_headroom
+
+        headroom = slo_headroom(report, args.slo)
+        print(
+            f"SLO {args.slo:.2f}s: miss rate {headroom['miss_rate']:.1%}, "
+            f"margin {headroom['margin_s']:+.2f}s"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.cloud.trace import render_gantt, trace_job
+
+    time_model, _ = _models(args.model)
+    config = ResourceConfiguration(
+        [CloudInstance(instance_type(n)) for n in args.instances]
+    )
+    trace = trace_job(
+        time_model,
+        args.spec,
+        config,
+        args.images,
+        proportional_split=args.proportional,
+    )
+    print(render_gantt(trace))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all
+    from repro.experiments.runner import EXPERIMENTS
+
+    bad = [i for i in args.ids if i not in EXPERIMENTS]
+    if bad:
+        print(
+            f"unknown artefacts {bad}; available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for path in export_all(args.directory, tuple(args.ids) or None):
+        print(path)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "catalog":
+            return _cmd_catalog()
+        if args.command == "experiments":
+            return _cmd_experiments(args.ids)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "allocate":
+            return _cmd_allocate(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "export":
+            return _cmd_export(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

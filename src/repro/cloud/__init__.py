@@ -1,0 +1,40 @@
+"""Amazon EC2 cloud substrate: catalog, pricing, configurations, simulator.
+
+Everything the paper's Table 3 and Section 3.4 equations describe:
+
+* :mod:`repro.cloud.catalog` — the six GPU instance types (Table 3);
+* :mod:`repro.cloud.pricing` — hourly prices pro-rated to the second;
+* :mod:`repro.cloud.instance` — an allocated instance with its virtual
+  GPUs and per-GPU batch capacity;
+* :mod:`repro.cloud.configuration` — a resource configuration *R* (a
+  multiset of instances) with workload distribution (Eq. 4), makespan
+  (Eq. 2-3) and cost (Eq. 1);
+* :mod:`repro.cloud.simulator` — runs a (pruned CNN, W images) job on a
+  configuration, producing time/cost/accuracy records.
+"""
+
+from repro.cloud.catalog import (
+    EC2_CATALOG,
+    G3_TYPES,
+    P2_TYPES,
+    InstanceType,
+    instance_type,
+)
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.pricing import billed_cost, billed_seconds
+from repro.cloud.simulator import CloudSimulator, SimulationResult
+
+__all__ = [
+    "CloudInstance",
+    "CloudSimulator",
+    "EC2_CATALOG",
+    "G3_TYPES",
+    "InstanceType",
+    "P2_TYPES",
+    "ResourceConfiguration",
+    "SimulationResult",
+    "billed_cost",
+    "billed_seconds",
+    "instance_type",
+]

@@ -1,0 +1,80 @@
+"""Amazon EC2 GPU instance catalog — the paper's Table 3, verbatim.
+
+Six instance types from the EC2 Oregon region, two GPU families:
+p2 (NVIDIA K80) and g3 (NVIDIA M60).  Both families run Intel Xeon
+E5-2686 v4 hosts; GPUs are virtualised.  Prices are the 2020 on-demand
+hourly rates the paper lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.perf.device import K80, M60, GPUDevice
+
+__all__ = [
+    "InstanceType",
+    "EC2_CATALOG",
+    "P2_TYPES",
+    "G3_TYPES",
+    "instance_type",
+]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One EC2 instance type (a row of the paper's Table 3)."""
+
+    name: str
+    vcpus: int
+    gpus: int
+    memory_gb: int
+    gpu_memory_gb: int
+    price_per_hour: float
+    gpu: GPUDevice
+
+    def __post_init__(self) -> None:
+        if self.gpus < 1 or self.price_per_hour <= 0:
+            raise ConfigurationError(f"invalid instance type {self.name!r}")
+
+    @property
+    def category(self) -> str:
+        """Resource category ("p2" or "g3") — Figure 12 groups by this."""
+        return self.name.split(".")[0]
+
+    @property
+    def price_per_gpu_hour(self) -> float:
+        """Hourly price per GPU; constant within a category on EC2."""
+        return self.price_per_hour / self.gpus
+
+
+#: Table 3 rows.  GPU memory is the per-board total the paper lists;
+#: per-GPU device memory comes from the GPUDevice spec.
+EC2_CATALOG: tuple[InstanceType, ...] = (
+    InstanceType("p2.xlarge", 4, 1, 61, 12, 0.90, K80),
+    InstanceType("p2.8xlarge", 32, 8, 488, 96, 7.20, K80),
+    InstanceType("p2.16xlarge", 64, 16, 732, 192, 14.40, K80),
+    InstanceType("g3.4xlarge", 16, 1, 122, 8, 1.14, M60),
+    InstanceType("g3.8xlarge", 32, 2, 244, 16, 2.28, M60),
+    InstanceType("g3.16xlarge", 64, 4, 488, 32, 4.56, M60),
+)
+
+P2_TYPES: tuple[InstanceType, ...] = tuple(
+    t for t in EC2_CATALOG if t.category == "p2"
+)
+G3_TYPES: tuple[InstanceType, ...] = tuple(
+    t for t in EC2_CATALOG if t.category == "g3"
+)
+
+_BY_NAME = {t.name: t for t in EC2_CATALOG}
+
+
+def instance_type(name: str) -> InstanceType:
+    """Catalog lookup by name; raises :class:`ConfigurationError` if absent."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance type {name!r}; catalog has {sorted(_BY_NAME)}"
+        ) from None

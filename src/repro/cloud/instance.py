@@ -1,0 +1,74 @@
+"""An allocated cloud instance: type + number of GPUs in use.
+
+The paper's Table 2 models each resource *i* with ``v_i`` GPUs, a unit
+cost ``c_i`` and a max parallel-inference capacity ``b_i``.  Section 4.5.2
+additionally studies using only one of an instance's GPUs versus all of
+them (Figure 12), so the GPU-in-use count is explicit here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.catalog import InstanceType
+from repro.errors import ConfigurationError
+from repro.perf.latency import CalibratedTimeModel
+
+__all__ = ["CloudInstance"]
+
+
+@dataclass(frozen=True)
+class CloudInstance:
+    """One rented instance.
+
+    Attributes
+    ----------
+    itype:
+        The EC2 instance type.
+    gpus_used:
+        GPUs actually running inference; defaults to all of them ("it is
+        ideal to utilize all GPUs in the allocated resource", Sec. 4.5.2).
+        Billing always charges the whole instance regardless.
+    """
+
+    itype: InstanceType
+    gpus_used: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.gpus_used == -1:
+            object.__setattr__(self, "gpus_used", self.itype.gpus)
+        if not 1 <= self.gpus_used <= self.itype.gpus:
+            raise ConfigurationError(
+                f"{self.itype.name} has {self.itype.gpus} GPUs; "
+                f"cannot use {self.gpus_used}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.itype.name
+
+    @property
+    def price_per_hour(self) -> float:
+        """c_i: unit cost of the whole instance (Table 2)."""
+        return self.itype.price_per_hour
+
+    def max_batch(self, time_model: CalibratedTimeModel) -> int:
+        """b_i: max parallel inferences across the GPUs in use (Eq. 3)."""
+        return self.gpus_used * time_model.max_batch(self.itype.gpu)
+
+    def inference_time(
+        self, time_model: CalibratedTimeModel, spec, images: int
+    ) -> float:
+        """Seconds for this instance to infer ``images`` (Eqs. 2-3).
+
+        Images are spread evenly across the GPUs in use; the instance
+        finishes when its most-loaded GPU does.
+        """
+        if images <= 0:
+            return 0.0
+        per_gpu = -(-images // self.gpus_used)  # ceil split
+        return time_model.inference_time(spec, per_gpu, self.itype.gpu)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.gpus_used}gpu]"

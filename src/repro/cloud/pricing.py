@@ -1,0 +1,35 @@
+"""Pay-per-use pricing, pro-rated to the second.
+
+The paper notes (Section 4.1.2) that although EC2 quotes hourly prices,
+"the hourly price mentioned in the specification is pro-rated to the
+nearest second" — so a job is billed for ``ceil(seconds)`` at the hourly
+rate divided by 3600.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.catalog import InstanceType
+from repro.errors import ConfigurationError
+
+__all__ = ["billed_seconds", "billed_cost", "hourly_rate_cost"]
+
+
+def billed_seconds(elapsed_s: float) -> int:
+    """Seconds billed for an ``elapsed_s``-second run (round up)."""
+    if elapsed_s < 0:
+        raise ConfigurationError("elapsed time must be non-negative")
+    return int(math.ceil(elapsed_s))
+
+
+def billed_cost(itype: InstanceType, elapsed_s: float) -> float:
+    """Dollars billed for running ``itype`` for ``elapsed_s`` seconds."""
+    return billed_seconds(elapsed_s) * itype.price_per_hour / 3600.0
+
+
+def hourly_rate_cost(rate_per_hour: float, elapsed_s: float) -> float:
+    """Dollars for an arbitrary hourly rate, per-second pro-rated."""
+    if rate_per_hour < 0:
+        raise ConfigurationError("rate must be non-negative")
+    return billed_seconds(elapsed_s) * rate_per_hour / 3600.0

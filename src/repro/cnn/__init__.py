@@ -1,0 +1,47 @@
+"""From-scratch NumPy CNN inference engine.
+
+This subpackage is the substrate standing in for the paper's Caffe (plus
+sparse-Caffe fork) deployment.  It provides:
+
+* real forward-pass execution for convolution, pooling, LRN, fully-connected
+  and inception layers (:mod:`repro.cnn.layers` et al.);
+* exact Caffenet / Googlenet architecture builders matching the paper's
+  Table 1 (:mod:`repro.cnn.models`);
+* dense and sparsity-aware FLOP / memory-traffic accounting used by the
+  GPU latency model (:mod:`repro.cnn.flops`);
+* a synthetic procedural dataset and a minimal SGD trainer so that the
+  pruning -> accuracy mechanism can be demonstrated end-to-end with *real*
+  numbers on small networks (:mod:`repro.cnn.datasets`,
+  :mod:`repro.cnn.training`).
+"""
+
+from repro.cnn.activations import ReLU, Softmax
+from repro.cnn.conv import ConvLayer
+from repro.cnn.dense import DenseLayer, Flatten
+from repro.cnn.inception import InceptionModule
+from repro.cnn.layers import Layer, LayerStats, WeightedLayer
+from repro.cnn.models import build_caffenet, build_googlenet, build_small_cnn
+from repro.cnn.network import Network
+from repro.cnn.normalization import Concat, LocalResponseNorm
+from repro.cnn.pooling import AvgPool, GlobalAvgPool, MaxPool
+
+__all__ = [
+    "AvgPool",
+    "Concat",
+    "ConvLayer",
+    "DenseLayer",
+    "Flatten",
+    "GlobalAvgPool",
+    "InceptionModule",
+    "Layer",
+    "LayerStats",
+    "LocalResponseNorm",
+    "MaxPool",
+    "Network",
+    "ReLU",
+    "Softmax",
+    "WeightedLayer",
+    "build_caffenet",
+    "build_googlenet",
+    "build_small_cnn",
+]

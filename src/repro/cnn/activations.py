@@ -1,0 +1,64 @@
+"""Elementwise activation layers: ReLU and Softmax.
+
+These carry no weights and negligible compute relative to convolutions,
+but they still move activation bytes — the roofline latency model counts
+that traffic so that the paper's "other" time slice in Figure 3 is non-zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layers import ITEMSIZE, Layer, LayerStats
+
+__all__ = ["ReLU", "Softmax"]
+
+
+def _size(shape: tuple[int, ...]) -> int:
+    size = 1
+    for d in shape:
+        size *= d
+    return size
+
+
+class ReLU(Layer):
+    """Rectified linear unit, applied elementwise on any-rank input."""
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        size = _size(input_shape)
+        return LayerStats(
+            flops=size,
+            input_bytes=size * ITEMSIZE,
+            output_bytes=size * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )
+
+
+class Softmax(Layer):
+    """Numerically-stable softmax over the last axis."""
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=-1, keepdims=True)
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        size = _size(input_shape)
+        # exp + subtract + divide + reductions ~ 5 ops/element
+        return LayerStats(
+            flops=5 * size,
+            input_bytes=size * ITEMSIZE,
+            output_bytes=size * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )

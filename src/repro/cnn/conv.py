@@ -1,0 +1,202 @@
+"""2-D convolution layer with grouped-convolution support.
+
+The forward pass uses the classic im2col + GEMM lowering — the same strategy
+Caffe uses on both CPU and GPU — so the arithmetic executed here has the same
+structure the paper's measurements captured.  Grouped convolution is needed
+because Caffenet (AlexNet) splits conv2, conv4 and conv5 into two groups, a
+relic of the original two-GPU training; it is also why Table 1 lists conv2's
+filter size as ``5x5x48`` although conv1 produces 96 channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layers import DTYPE, ITEMSIZE, Layer, LayerStats, WeightedLayer
+from repro.errors import ShapeError
+
+__all__ = ["ConvLayer", "im2col", "conv_output_hw"]
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: int, stride: int, pad: int
+) -> tuple[int, int]:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"kernel {kernel} stride {stride} pad {pad} does not fit "
+            f"input {h}x{w}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Lower image patches to columns for GEMM-based convolution.
+
+    Parameters
+    ----------
+    x:
+        Input batch of shape ``(n, c, h, w)``.
+    kernel, stride, pad:
+        Square window geometry.
+
+    Returns
+    -------
+    cols, out_h, out_w:
+        ``cols`` has shape ``(n, c * kernel * kernel, out_h * out_w)``.
+        Patches are gathered with stride tricks (views, no per-patch copy)
+        and materialised once by the final ``reshape``.
+    """
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, pad)
+    if pad:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    sn, sc, sh, sw = x.strides
+    # windows view: (n, c, out_h, out_w, kernel, kernel)
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # -> (n, c, kernel, kernel, out_h, out_w) -> (n, c*k*k, out_h*out_w)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        n, c * kernel * kernel, out_h * out_w
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+class ConvLayer(WeightedLayer):
+    """Square-kernel 2-D convolution with optional channel groups.
+
+    Parameters
+    ----------
+    name:
+        Layer identifier (e.g. ``"conv1"``).
+    in_channels, out_channels:
+        Channel counts; both must be divisible by ``groups``.
+    kernel:
+        Square kernel side length.
+    stride, pad:
+        Window stride and symmetric zero padding.
+    groups:
+        Number of channel groups (1 = ordinary convolution; 2 for
+        Caffenet's conv2/conv4/conv5).
+    rng:
+        Source for He-style weight initialisation; pass a seeded
+        ``numpy.random.Generator`` for reproducible networks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(name)
+        if in_channels % groups or out_channels % groups:
+            raise ShapeError(
+                f"{name}: channels ({in_channels}->{out_channels}) not "
+                f"divisible by groups={groups}"
+            )
+        if kernel < 1 or stride < 1 or pad < 0:
+            raise ShapeError(f"{name}: invalid geometry k={kernel} s={stride} p={pad}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.groups = groups
+        rng = rng or np.random.default_rng(0)
+        fan_in = (in_channels // groups) * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        # weights: (out_channels, in_channels // groups, kernel, kernel)
+        # scale before the cast: a float64 scalar would silently promote
+        # the whole array back to float64
+        self.weights = (
+            rng.standard_normal(
+                (out_channels, in_channels // groups, kernel, kernel)
+            )
+            * scale
+        ).astype(DTYPE)
+        self.bias = np.zeros(out_channels, dtype=DTYPE)
+
+    # ------------------------------------------------------------------
+    @property
+    def filter_shape(self) -> tuple[int, int, int]:
+        """Per-filter shape ``(kernel, kernel, in_channels_per_group)``.
+
+        Matches the "Filter Size" column of the paper's Table 1 (e.g.
+        conv2 of Caffenet reports ``5x5x48`` because of its two groups).
+        """
+        return (self.kernel, self.kernel, self.in_channels // self.groups)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        out_h, out_w = conv_output_hw(h, w, self.kernel, self.stride, self.pad)
+        return (self.out_channels, out_h, out_w)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_rank(x, 4)
+        n, c, h, w = x.shape
+        out_c, out_h, out_w = self.output_shape((c, h, w))
+        g = self.groups
+        icg = self.in_channels // g
+        ocg = self.out_channels // g
+        out = np.empty((n, out_c, out_h * out_w), dtype=DTYPE)
+        for gi in range(g):
+            xs = x[:, gi * icg : (gi + 1) * icg]
+            cols, _, _ = im2col(xs, self.kernel, self.stride, self.pad)
+            wmat = self.weights[gi * ocg : (gi + 1) * ocg].reshape(ocg, -1)
+            # (ocg, icg*k*k) @ (n, icg*k*k, hw) -> (n, ocg, hw)
+            out[:, gi * ocg : (gi + 1) * ocg] = np.matmul(wmat, cols)
+        out += self.bias[None, :, None]
+        return out.reshape(n, out_c, out_h, out_w)
+
+    # ------------------------------------------------------------------
+    def _positions(self, input_shape: tuple[int, ...]) -> int:
+        _, h, w = input_shape
+        out_h, out_w = conv_output_hw(h, w, self.kernel, self.stride, self.pad)
+        return out_h * out_w
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        c, h, w = input_shape
+        out_c, out_h, out_w = self.output_shape(input_shape)
+        positions = out_h * out_w
+        macs_per_position = self.weights.size // self.out_channels  # per filter
+        flops = 2 * positions * self.out_channels * macs_per_position
+        return LayerStats(
+            flops=flops,
+            input_bytes=c * h * w * ITEMSIZE,
+            output_bytes=out_c * out_h * out_w * ITEMSIZE,
+            weight_bytes=(self.weights.size + self.bias.size) * ITEMSIZE,
+            params=self.weights.size + self.bias.size,
+        )
+
+    def effective_stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        dense = self.stats(input_shape)
+        d = self.density()
+        nz_bytes = (self.nnz() + self.bias.size) * ITEMSIZE
+        return LayerStats(
+            flops=int(round(dense.flops * d)),
+            input_bytes=dense.input_bytes,
+            output_bytes=dense.output_bytes,
+            weight_bytes=nz_bytes,
+            params=dense.params,
+        )

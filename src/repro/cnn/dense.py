@@ -1,0 +1,105 @@
+"""Fully-connected layers and the flatten adapter.
+
+Caffenet's classifier is fc1 (4096), fc2 (4096), fc3 (1000); Googlenet has a
+single 1000-way linear classifier after global average pooling.  The paper's
+Figure 3 shows these layers contribute little inference time despite their
+parameter count — they do a single GEMV per image with no convolutional
+reuse — which the stats protocol here captures (high ``weight_bytes``,
+comparatively low ``flops``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layers import DTYPE, ITEMSIZE, Layer, LayerStats, WeightedLayer
+from repro.errors import ShapeError
+
+__all__ = ["DenseLayer", "Flatten"]
+
+
+class Flatten(Layer):
+    """Collapse ``(n, c, h, w)`` activations to ``(n, c*h*w)`` vectors."""
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        size = 1
+        for d in input_shape:
+            size *= d
+        return (size,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(x.reshape(x.shape[0], -1))
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        size = self.output_shape(input_shape)[0]
+        return LayerStats(
+            flops=0,
+            input_bytes=size * ITEMSIZE,
+            output_bytes=size * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )
+
+
+class DenseLayer(WeightedLayer):
+    """Affine layer ``y = W x + b`` with ``W`` of shape ``(out, in)``."""
+
+    def __init__(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(name)
+        if in_features < 1 or out_features < 1:
+            raise ShapeError(f"{name}: features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        # scale before the cast: a float64 scalar would silently promote
+        # the whole array back to float64
+        self.weights = (
+            rng.standard_normal((out_features, in_features)) * scale
+        ).astype(DTYPE)
+        self.bias = np.zeros(out_features, dtype=DTYPE)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ShapeError(
+                f"{self.name}: expected ({self.in_features},) input, "
+                f"got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_rank(x, 2)
+        if x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_features} features, "
+                f"got {x.shape[1]}"
+            )
+        return x @ self.weights.T + self.bias
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        self.output_shape(input_shape)  # validates
+        flops = 2 * self.in_features * self.out_features
+        return LayerStats(
+            flops=flops,
+            input_bytes=self.in_features * ITEMSIZE,
+            output_bytes=self.out_features * ITEMSIZE,
+            weight_bytes=(self.weights.size + self.bias.size) * ITEMSIZE,
+            params=self.weights.size + self.bias.size,
+        )
+
+    def effective_stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        dense = self.stats(input_shape)
+        d = self.density()
+        return LayerStats(
+            flops=int(round(dense.flops * d)),
+            input_bytes=dense.input_bytes,
+            output_bytes=dense.output_bytes,
+            weight_bytes=(self.nnz() + self.bias.size) * ITEMSIZE,
+            params=dense.params,
+        )

@@ -1,0 +1,66 @@
+"""Dropout (Srivastava et al.), as deployed in Caffenet's fc layers.
+
+AlexNet/Caffenet train fc1 and fc2 under 50% dropout.  At *inference*
+dropout is the identity (Caffe's deploy prototxt keeps the layers but
+they pass activations through), so the paper's timing measurements are
+unaffected — but a faithful architecture carries them, and the trainer
+uses the inverted-dropout mask so small-CNN training can regularise the
+same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layers import ITEMSIZE, Layer, LayerStats
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: identity at inference, random mask in training.
+
+    Parameters
+    ----------
+    name:
+        Layer name (``drop6``, ``drop7`` in Caffenet).
+    rate:
+        Probability of zeroing an activation during training.
+    seed:
+        Mask stream seed (training only; inference draws nothing).
+    """
+
+    def __init__(self, name: str, rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.training = False
+        self._rng = np.random.default_rng(seed)
+        #: mask of the most recent training forward (for backprop).
+        self.last_mask: np.ndarray | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self.last_mask = None
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        self.last_mask = mask
+        return x * mask
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        size = 1
+        for d in input_shape:
+            size *= d
+        # inference identity: traffic only, no compute
+        return LayerStats(
+            flops=0,
+            input_bytes=size * ITEMSIZE,
+            output_bytes=size * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )

@@ -1,0 +1,75 @@
+"""Network-level FLOP / traffic accounting helpers.
+
+Thin aggregation layer over the per-layer cost protocol; the GPU latency
+model and the figure-regeneration code consume these dictionaries rather
+than poking at layers directly.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.layers import LayerStats
+from repro.cnn.network import Network
+
+__all__ = [
+    "flop_breakdown",
+    "traffic_breakdown",
+    "param_breakdown",
+    "conv_flop_fraction",
+    "sparsity_summary",
+]
+
+
+def flop_breakdown(network: Network, effective: bool = False) -> dict[str, int]:
+    """Per-top-level-layer FLOPs at batch size 1."""
+    return {
+        name: stats.flops
+        for name, stats in network.layer_stats(effective=effective).items()
+    }
+
+
+def traffic_breakdown(
+    network: Network, effective: bool = False
+) -> dict[str, int]:
+    """Per-top-level-layer bytes moved (activations + weights)."""
+    return {
+        name: stats.total_bytes
+        for name, stats in network.layer_stats(effective=effective).items()
+    }
+
+
+def param_breakdown(network: Network) -> dict[str, int]:
+    """Per-top-level-layer learnable parameter counts."""
+    return {
+        name: stats.params for name, stats in network.layer_stats().items()
+    }
+
+
+def conv_flop_fraction(network: Network) -> float:
+    """Fraction of total FLOPs spent in convolution layers.
+
+    The paper's Section 4.3 justifies pruning only convolutions because
+    they account for >90% of inference time; this is the FLOP-side
+    counterpart of that observation.
+    """
+    from repro.cnn.conv import ConvLayer
+    from repro.cnn.inception import InceptionModule
+
+    breakdown = network.layer_stats()
+    total = sum(s.flops for s in breakdown.values())
+    conv = 0
+    for layer in network.layers:
+        if isinstance(layer, (ConvLayer, InceptionModule)):
+            conv += breakdown[layer.name].flops
+    return conv / total if total else 0.0
+
+
+def sparsity_summary(network: Network) -> dict[str, float]:
+    """Per-weighted-layer density (1.0 = unpruned)."""
+    return {
+        layer.name: layer.density() for layer in network.weighted_layers()
+    }
+
+
+def total_stats(network: Network, effective: bool = False) -> LayerStats:
+    """Convenience alias for :meth:`Network.total_stats`."""
+    return network.total_stats(effective=effective)

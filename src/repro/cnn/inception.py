@@ -1,0 +1,127 @@
+"""GoogLeNet inception module (Szegedy et al. 2015).
+
+Each module runs four parallel branches over the same input and
+concatenates their channel outputs:
+
+1. ``1x1``                    — pointwise convolution
+2. ``3x3-reduce`` -> ``3x3``  — bottlenecked 3x3 convolution
+3. ``5x5-reduce`` -> ``5x5``  — bottlenecked 5x5 convolution
+4. ``pool`` -> ``pool-proj``  — 3x3 max pool + pointwise projection
+
+The paper prunes individual inner convolutions (its Figure 7 uses names
+like ``inception-3a-3x3``); sub-layers here are named
+``{module}-{branch}`` so those identifiers resolve directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.activations import ReLU
+from repro.cnn.conv import ConvLayer
+from repro.cnn.layers import Layer, LayerStats, WeightedLayer
+from repro.cnn.normalization import Concat
+from repro.cnn.pooling import MaxPool
+
+__all__ = ["InceptionModule"]
+
+
+class InceptionModule(Layer):
+    """Four-branch inception block.
+
+    Parameters
+    ----------
+    name:
+        Module name, e.g. ``"inception-3a"``.
+    in_channels:
+        Channels of the incoming feature map.
+    n1x1, n3x3red, n3x3, n5x5red, n5x5, pool_proj:
+        Output channel counts for each inner convolution, in the order
+        used by the GoogLeNet paper's Table 1.
+    rng:
+        Weight-initialisation source shared by all inner convolutions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        n1x1: int,
+        n3x3red: int,
+        n3x3: int,
+        n5x5red: int,
+        n5x5: int,
+        pool_proj: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.b1 = ConvLayer(f"{name}-1x1", in_channels, n1x1, 1, rng=rng)
+        self.b2_reduce = ConvLayer(
+            f"{name}-3x3-reduce", in_channels, n3x3red, 1, rng=rng
+        )
+        self.b2 = ConvLayer(f"{name}-3x3", n3x3red, n3x3, 3, pad=1, rng=rng)
+        self.b3_reduce = ConvLayer(
+            f"{name}-5x5-reduce", in_channels, n5x5red, 1, rng=rng
+        )
+        self.b3 = ConvLayer(f"{name}-5x5", n5x5red, n5x5, 5, pad=2, rng=rng)
+        self.pool = MaxPool(f"{name}-pool", kernel=3, stride=1, pad=1)
+        self.b4 = ConvLayer(
+            f"{name}-pool-proj", in_channels, pool_proj, 1, rng=rng
+        )
+        self._relu = ReLU(f"{name}-relu")
+        self._concat = Concat(f"{name}-concat")
+        self.out_channels = n1x1 + n3x3 + n5x5 + pool_proj
+
+    # ------------------------------------------------------------------
+    def conv_layers(self) -> list[ConvLayer]:
+        """All prunable inner convolutions, in branch order."""
+        return [
+            self.b1,
+            self.b2_reduce,
+            self.b2,
+            self.b3_reduce,
+            self.b3,
+            self.b4,
+        ]
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        _, h, w = input_shape
+        return (self.out_channels, h, w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_rank(x, 4)
+        relu = self._relu.forward
+        y1 = relu(self.b1.forward(x))
+        y2 = relu(self.b2.forward(relu(self.b2_reduce.forward(x))))
+        y3 = relu(self.b3.forward(relu(self.b3_reduce.forward(x))))
+        y4 = relu(self.b4.forward(self.pool.forward(x)))
+        return self._concat.forward([y1, y2, y3, y4])
+
+    # ------------------------------------------------------------------
+    def _branch_stats(
+        self, input_shape: tuple[int, ...], effective: bool
+    ) -> LayerStats:
+        def cost(layer: WeightedLayer, shape: tuple[int, ...]) -> LayerStats:
+            return (
+                layer.effective_stats(shape)
+                if effective
+                else layer.stats(shape)
+            )
+
+        total = cost(self.b1, input_shape)
+        s2 = self.b2_reduce.output_shape(input_shape)
+        total += cost(self.b2_reduce, input_shape) + cost(self.b2, s2)
+        s3 = self.b3_reduce.output_shape(input_shape)
+        total += cost(self.b3_reduce, input_shape) + cost(self.b3, s3)
+        total += self.pool.stats(input_shape)
+        total += cost(self.b4, input_shape)
+        return total
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        return self._branch_stats(input_shape, effective=False)
+
+    def effective_stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        """Sparsity-aware cost over all inner convolutions."""
+        return self._branch_stats(input_shape, effective=True)

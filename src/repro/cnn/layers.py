@@ -1,0 +1,163 @@
+"""Layer protocol shared by every network component.
+
+A :class:`Layer` knows three things:
+
+1. how to run a forward pass on a batch (``forward``),
+2. how its output shape derives from its input shape (``output_shape``),
+3. what it costs: multiply-accumulate FLOPs and bytes moved (``stats``).
+
+The cost protocol is what lets the GPU latency model
+(:mod:`repro.perf.latency`) price a network layer-by-layer exactly the way
+the paper's per-layer measurements do (their Figure 3).
+
+Shapes follow the NCHW convention used by Caffe: a batch is
+``(n, channels, height, width)``; fully-connected activations are ``(n, d)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["Layer", "LayerStats", "WeightedLayer"]
+
+#: dtype used for all activations and weights (Caffe uses float32).
+DTYPE = np.float32
+#: bytes per element of :data:`DTYPE`.
+ITEMSIZE = np.dtype(DTYPE).itemsize
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Cost accounting for one layer at a given input shape.
+
+    Attributes
+    ----------
+    flops:
+        Floating point operations for a *single* input (batch size 1).
+        Multiply-accumulates count as 2 FLOPs, matching the convention of
+        the CNN performance literature the paper builds on.
+    input_bytes:
+        Bytes read for activations (batch size 1).
+    output_bytes:
+        Bytes written for activations (batch size 1).
+    weight_bytes:
+        Bytes of parameters read (independent of batch size; amortised
+        across a batch by the latency model).
+    params:
+        Number of learnable parameters.
+    """
+
+    flops: int
+    input_bytes: int
+    output_bytes: int
+    weight_bytes: int
+    params: int
+
+    @property
+    def activation_bytes(self) -> int:
+        """Total activation traffic (read + write) for one input."""
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved for one input, weights included."""
+        return self.activation_bytes + self.weight_bytes
+
+    def __add__(self, other: "LayerStats") -> "LayerStats":
+        return LayerStats(
+            flops=self.flops + other.flops,
+            input_bytes=self.input_bytes + other.input_bytes,
+            output_bytes=self.output_bytes + other.output_bytes,
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            params=self.params + other.params,
+        )
+
+
+ZERO_STATS = LayerStats(0, 0, 0, 0, 0)
+
+
+class Layer(abc.ABC):
+    """Abstract network layer.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in pruning specs, timing breakdowns and reports.
+        Must be unique within a :class:`~repro.cnn.network.Network`.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("layer name must be non-empty")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # shape protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape (without batch dim) produced for ``input_shape`` input."""
+
+    # ------------------------------------------------------------------
+    # execution protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the layer on a batch ``x`` (leading dim = batch)."""
+
+    # ------------------------------------------------------------------
+    # cost protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        """Cost of one forward pass at batch size 1 for ``input_shape``."""
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _require_rank(self, x: np.ndarray, rank: int) -> None:
+        if x.ndim != rank:
+            raise ShapeError(
+                f"layer {self.name!r} expects rank-{rank} input "
+                f"(incl. batch), got shape {x.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class WeightedLayer(Layer):
+    """A layer with learnable parameters that pruning can act on.
+
+    Subclasses expose ``weights`` (the primary kernel/matrix) and ``bias``
+    as plain NumPy arrays so pruners can mutate them in place, and must
+    implement :meth:`density` so sparsity-aware FLOP accounting works.
+    """
+
+    weights: np.ndarray
+    bias: np.ndarray
+
+    def density(self) -> float:
+        """Fraction of non-zero weights, in ``[0, 1]``."""
+        total = self.weights.size
+        if total == 0:
+            return 1.0
+        return float(np.count_nonzero(self.weights)) / total
+
+    def nnz(self) -> int:
+        """Number of non-zero weights."""
+        return int(np.count_nonzero(self.weights))
+
+    @abc.abstractmethod
+    def effective_stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        """Like :meth:`stats` but discounting zeroed weights.
+
+        This models execution on a sparse-matrix compute library (the
+        paper's extended Caffe [31]): multiply-accumulates with zero
+        weights are skipped, and only non-zero weights are fetched.
+        """

@@ -1,0 +1,202 @@
+"""Sequential network container with per-layer cost and timing hooks.
+
+A :class:`Network` is an ordered list of layers plus a fixed input shape.
+Beyond running inference it provides the two views the paper's methodology
+needs:
+
+* :meth:`layer_stats` / :meth:`total_stats` — the per-layer FLOP/byte
+  breakdown behind the execution-time distribution study (Figure 3);
+* :meth:`forward_timed` — wall-clock per-layer timing of the *real* NumPy
+  execution, used by tests and the small-CNN demos.
+
+Layer lookup (:meth:`layer`, :meth:`weighted_layers`) resolves inception
+inner convolutions by their flat names (``inception-3a-3x3``), which is how
+pruning specs address Googlenet layers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.cnn.inception import InceptionModule
+from repro.cnn.layers import Layer, LayerStats, WeightedLayer
+from repro.errors import ShapeError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An ordered stack of layers with a fixed input shape.
+
+    Parameters
+    ----------
+    name:
+        Model name (``"caffenet"``, ``"googlenet"``, ...).
+    input_shape:
+        Per-sample input shape, e.g. ``(3, 224, 224)``.
+    layers:
+        Layers in execution order.  Names must be unique, including the
+        inner convolutions of inception modules.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: tuple[int, ...],
+        layers: Iterable[Layer],
+    ) -> None:
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.layers: list[Layer] = list(layers)
+        self._by_name: dict[str, Layer] = {}
+        for layer in self._iter_addressable():
+            if layer.name in self._by_name:
+                raise ShapeError(
+                    f"duplicate layer name {layer.name!r} in network {name!r}"
+                )
+            self._by_name[layer.name] = layer
+        # validate shape propagation eagerly so bad architectures fail
+        # at construction, not mid-inference.
+        self._shapes = self._propagate_shapes()
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _iter_addressable(self) -> Iterator[Layer]:
+        for layer in self.layers:
+            yield layer
+            if isinstance(layer, InceptionModule):
+                yield from layer.conv_layers()
+
+    def layer(self, name: str) -> Layer:
+        """Look up any layer (or inception inner conv) by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"network {self.name!r} has no layer {name!r}; "
+                f"known: {sorted(self._by_name)}"
+            ) from None
+
+    def layer_names(self) -> list[str]:
+        """Names of all addressable layers, in execution order."""
+        return [layer.name for layer in self._iter_addressable()]
+
+    def weighted_layers(self) -> list[WeightedLayer]:
+        """All prunable layers (convolutions and dense layers)."""
+        return [
+            layer
+            for layer in self._iter_addressable()
+            if isinstance(layer, WeightedLayer)
+            and not isinstance(layer, InceptionModule)
+        ]
+
+    def conv_layer_names(self) -> list[str]:
+        """Names of convolution layers only (the paper prunes only these)."""
+        from repro.cnn.conv import ConvLayer
+
+        return [
+            layer.name
+            for layer in self._iter_addressable()
+            if isinstance(layer, ConvLayer)
+        ]
+
+    # ------------------------------------------------------------------
+    # shapes
+    # ------------------------------------------------------------------
+    def _propagate_shapes(self) -> list[tuple[int, ...]]:
+        shapes = [self.input_shape]
+        for layer in self.layers:
+            shapes.append(layer.output_shape(shapes[-1]))
+        return shapes
+
+    def input_shape_of(self, layer_name: str) -> tuple[int, ...]:
+        """Input shape seen by a *top-level* layer."""
+        for i, layer in enumerate(self.layers):
+            if layer.name == layer_name:
+                return self._shapes[i]
+        raise KeyError(f"no top-level layer {layer_name!r}")
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        return self._shapes[-1]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run inference on a batch; returns the final activation."""
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ShapeError(
+                f"network {self.name!r} expects input {self.input_shape}, "
+                f"got {tuple(x.shape[1:])}"
+            )
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def forward_timed(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, float]]:
+        """Run inference, returning per-top-level-layer wall-clock seconds."""
+        timings: dict[str, float] = {}
+        for layer in self.layers:
+            start = time.perf_counter()
+            x = layer.forward(x)
+            timings[layer.name] = time.perf_counter() - start
+        return x, timings
+
+    def predict_topk(self, x: np.ndarray, k: int = 5) -> np.ndarray:
+        """Class indices of the ``k`` highest scores, best first: ``(n, k)``."""
+        scores = self.forward(x)
+        if scores.ndim != 2:
+            scores = scores.reshape(scores.shape[0], -1)
+        part = np.argpartition(scores, -k, axis=1)[:, -k:]
+        order = np.argsort(
+            np.take_along_axis(scores, part, axis=1), axis=1
+        )[:, ::-1]
+        return np.take_along_axis(part, order, axis=1)
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+    def layer_stats(self, effective: bool = False) -> dict[str, LayerStats]:
+        """Per-top-level-layer cost at batch size 1.
+
+        With ``effective=True``, zeroed (pruned) weights are discounted,
+        modelling execution on the sparse compute library.
+        """
+        out: dict[str, LayerStats] = {}
+        for i, layer in enumerate(self.layers):
+            shape = self._shapes[i]
+            if effective and isinstance(
+                layer, (WeightedLayer, InceptionModule)
+            ):
+                out[layer.name] = layer.effective_stats(shape)
+            else:
+                out[layer.name] = layer.stats(shape)
+        return out
+
+    def total_stats(self, effective: bool = False) -> LayerStats:
+        """Whole-network cost at batch size 1."""
+        total: LayerStats | None = None
+        for stats in self.layer_stats(effective=effective).values():
+            total = stats if total is None else total + stats
+        assert total is not None, "network has no layers"
+        return total
+
+    def total_params(self) -> int:
+        """Learnable parameter count across all weighted layers."""
+        return sum(
+            layer.weights.size + layer.bias.size
+            for layer in self.weighted_layers()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Network {self.name!r}: {len(self.layers)} layers, "
+            f"input {self.input_shape}>"
+        )

@@ -1,0 +1,107 @@
+"""Local response normalisation and channel concatenation.
+
+LRN is the AlexNet-era cross-channel normalisation Caffenet applies after
+pool1 and pool2; :class:`Concat` joins inception-branch outputs along the
+channel axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layers import ITEMSIZE, Layer, LayerStats
+from repro.errors import ShapeError
+
+__all__ = ["LocalResponseNorm", "Concat"]
+
+
+class LocalResponseNorm(Layer):
+    """Cross-channel LRN: ``y = x / (k + alpha/n * sum x^2)^beta``.
+
+    Defaults match Caffe's Caffenet deployment (``local_size=5``,
+    ``alpha=1e-4``, ``beta=0.75``, ``k=1``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        local_size: int = 5,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        k: float = 1.0,
+    ) -> None:
+        super().__init__(name)
+        if local_size < 1 or local_size % 2 == 0:
+            raise ShapeError(f"{name}: local_size must be odd and positive")
+        self.local_size = local_size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_rank(x, 4)
+        sq = x * x
+        c = x.shape[1]
+        half = self.local_size // 2
+        # cumulative sum along channels gives each sliding window in O(c)
+        csum = np.cumsum(
+            np.pad(sq, ((0, 0), (1, 0), (0, 0), (0, 0))), axis=1
+        )
+        lo = np.clip(np.arange(c) - half, 0, c)
+        hi = np.clip(np.arange(c) + half + 1, 0, c)
+        window = csum[:, hi] - csum[:, lo]
+        scale = (self.k + (self.alpha / self.local_size) * window) ** self.beta
+        return (x / scale).astype(x.dtype, copy=False)
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        c, h, w = input_shape
+        size = c * h * w
+        # square + windowed sum + pow + divide ~ local_size + 3 ops/element
+        return LayerStats(
+            flops=(self.local_size + 3) * size,
+            input_bytes=size * ITEMSIZE,
+            output_bytes=size * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )
+
+
+class Concat(Layer):
+    """Concatenate a list of equal-spatial-size maps along channels.
+
+    Unlike other layers, ``forward`` takes a *list* of arrays; it is only
+    used internally by :class:`repro.cnn.inception.InceptionModule`.
+    """
+
+    def output_shape_multi(
+        self, input_shapes: list[tuple[int, ...]]
+    ) -> tuple[int, ...]:
+        if not input_shapes:
+            raise ShapeError("concat of zero inputs")
+        _, h, w = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if shape[1:] != (h, w):
+                raise ShapeError(
+                    f"{self.name}: mismatched spatial sizes {input_shapes}"
+                )
+        return (sum(s[0] for s in input_shapes), h, w)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def forward(self, xs: list[np.ndarray]) -> np.ndarray:  # type: ignore[override]
+        return np.concatenate(xs, axis=1)
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        c, h, w = input_shape
+        size = c * h * w
+        return LayerStats(
+            flops=0,
+            input_bytes=size * ITEMSIZE,
+            output_bytes=size * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )

@@ -1,0 +1,117 @@
+"""Spatial pooling layers (max, average, global average).
+
+Caffenet uses overlapping 3x3/stride-2 max pooling after conv1, conv2 and
+conv5; Googlenet additionally uses average pooling inside inception modules
+and a global average pool before its classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.conv import conv_output_hw, im2col
+from repro.cnn.layers import ITEMSIZE, Layer, LayerStats
+
+__all__ = ["MaxPool", "AvgPool", "GlobalAvgPool"]
+
+
+class _Pool(Layer):
+    """Shared machinery for windowed pooling layers."""
+
+    #: per-window-element FLOP cost (1 compare or 1 add).
+    _op_cost = 1
+
+    def __init__(
+        self, name: str, kernel: int, stride: int, pad: int = 0
+    ) -> None:
+        super().__init__(name)
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h, out_w = conv_output_hw(h, w, self.kernel, self.stride, self.pad)
+        return (c, out_h, out_w)
+
+    def _windows(self, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Window view of shape ``(n, c, k*k, out_h*out_w)``."""
+        n, c, h, w = x.shape
+        cols, out_h, out_w = im2col(
+            x.reshape(n * c, 1, h, w), self.kernel, self.stride, self.pad
+        )
+        return cols.reshape(n, c, self.kernel * self.kernel, -1), out_h, out_w
+
+    def _reduce(self, windows: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_rank(x, 4)
+        n, c = x.shape[:2]
+        windows, out_h, out_w = self._windows(x)
+        return self._reduce(windows).reshape(n, c, out_h, out_w)
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        c, h, w = input_shape
+        out_c, out_h, out_w = self.output_shape(input_shape)
+        flops = self._op_cost * out_c * out_h * out_w * self.kernel * self.kernel
+        return LayerStats(
+            flops=flops,
+            input_bytes=c * h * w * ITEMSIZE,
+            output_bytes=out_c * out_h * out_w * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )
+
+
+class MaxPool(_Pool):
+    """Max pooling over square windows (padding contributes ``-inf``)."""
+
+    def _windows(self, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        # zero-padding would corrupt max pooling of negative activations,
+        # so pad with -inf before the shared window extraction.
+        if self.pad:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                mode="constant",
+                constant_values=-np.inf,
+            )
+            saved, self.pad = self.pad, 0
+            try:
+                return super()._windows(x)
+            finally:
+                self.pad = saved
+        return super()._windows(x)
+
+    def _reduce(self, windows: np.ndarray) -> np.ndarray:
+        return windows.max(axis=2)
+
+
+class AvgPool(_Pool):
+    """Average pooling over square windows."""
+
+    def _reduce(self, windows: np.ndarray) -> np.ndarray:
+        return windows.mean(axis=2)
+
+
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions, producing ``(n, c, 1, 1)``."""
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, _h, _w = input_shape
+        return (c, 1, 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_rank(x, 4)
+        return x.mean(axis=(2, 3), keepdims=True)
+
+    def stats(self, input_shape: tuple[int, ...]) -> LayerStats:
+        c, h, w = input_shape
+        return LayerStats(
+            flops=c * h * w,
+            input_bytes=c * h * w * ITEMSIZE,
+            output_bytes=c * ITEMSIZE,
+            weight_bytes=0,
+            params=0,
+        )

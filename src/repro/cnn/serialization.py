@@ -1,0 +1,61 @@
+"""Saving and loading network weights (.npz).
+
+A practical library necessity the paper's workflow implies: pruned /
+fine-tuned model variants ("degrees of pruning") need to be stored and
+shipped to cloud instances.  Weights are keyed ``{layer}.weights`` /
+``{layer}.bias`` in a compressed archive; loading validates both
+coverage and shapes so a checkpoint can never be silently applied to
+the wrong architecture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cnn.network import Network
+from repro.errors import ShapeError
+
+__all__ = ["save_weights", "load_weights", "state_dict", "load_state_dict"]
+
+
+def state_dict(network: Network) -> dict[str, np.ndarray]:
+    """All learnable arrays keyed by ``{layer}.{weights|bias}``."""
+    out: dict[str, np.ndarray] = {}
+    for layer in network.weighted_layers():
+        out[f"{layer.name}.weights"] = layer.weights
+        out[f"{layer.name}.bias"] = layer.bias
+    return out
+
+
+def load_state_dict(
+    network: Network, state: dict[str, np.ndarray]
+) -> None:
+    """Copy arrays into the network in place, validating shapes."""
+    expected = state_dict(network)
+    missing = sorted(set(expected) - set(state))
+    if missing:
+        raise ShapeError(f"checkpoint missing arrays: {missing}")
+    extra = sorted(set(state) - set(expected))
+    if extra:
+        raise ShapeError(f"checkpoint has unknown arrays: {extra}")
+    for key, target in expected.items():
+        source = np.asarray(state[key])
+        if source.shape != target.shape:
+            raise ShapeError(
+                f"{key}: checkpoint shape {source.shape} != "
+                f"network shape {target.shape}"
+            )
+        target[...] = source.astype(target.dtype, copy=False)
+
+
+def save_weights(network: Network, path: str | os.PathLike) -> None:
+    """Write all weights to a compressed ``.npz`` archive."""
+    np.savez_compressed(path, **state_dict(network))
+
+
+def load_weights(network: Network, path: str | os.PathLike) -> None:
+    """Load an archive written by :func:`save_weights` in place."""
+    with np.load(path) as archive:
+        load_state_dict(network, dict(archive.items()))

@@ -1,0 +1,276 @@
+"""Minimal SGD training for small networks built from this package's layers.
+
+The paper uses *pre-trained* ImageNet models and never trains on the cloud,
+so training here exists for one purpose: producing genuinely-trained small
+CNNs whose accuracy-under-pruning can be measured for real (no calibration),
+validating the sweet-spot mechanism end to end (``examples/pruning_study.py``
+and the integration tests).
+
+Backpropagation is implemented for the layer types
+:func:`repro.cnn.models.build_small_cnn` uses — ungrouped convolution,
+ReLU, max pooling, flatten and dense — via explicit isinstance dispatch.
+Loss is softmax cross-entropy over logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cnn.conv import ConvLayer, conv_output_hw, im2col
+from repro.cnn.activations import ReLU
+from repro.cnn.dense import DenseLayer, Flatten
+from repro.cnn.dropout import Dropout
+from repro.cnn.datasets import SyntheticImages
+from repro.cnn.layers import DTYPE
+from repro.cnn.network import Network
+from repro.cnn.pooling import MaxPool
+from repro.errors import ReproError
+
+__all__ = ["SGDTrainer", "TrainResult", "evaluate_topk", "softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. ``logits``."""
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    loss = -float(log_probs[np.arange(n), labels].mean())
+    grad = np.exp(log_probs)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, (grad / n).astype(DTYPE)
+
+
+def _col2im(
+    dcols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image layout (inverse of im2col)."""
+    n, c, h, w = input_shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, pad)
+    dx = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=DTYPE)
+    dcols = dcols.reshape(n, c, kernel, kernel, out_h, out_w)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            dx[
+                :,
+                :,
+                ki : ki + out_h * stride : stride,
+                kj : kj + out_w * stride : stride,
+            ] += dcols[:, :, ki, kj]
+    if pad:
+        dx = dx[:, :, pad:-pad, pad:-pad]
+    return dx
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory and final training accuracy of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    final_accuracy: float = 0.0
+    epochs: int = 0
+
+
+class SGDTrainer:
+    """Plain mini-batch SGD with optional momentum.
+
+    Parameters
+    ----------
+    network:
+        Must contain only ungrouped :class:`ConvLayer`, :class:`ReLU`,
+        :class:`MaxPool`, :class:`Flatten`, :class:`DenseLayer` layers and
+        end in logits (no softmax).
+    lr, momentum:
+        Step size and classical momentum coefficient.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        preserve_zeros: bool = False,
+    ) -> None:
+        for layer in network.layers:
+            if isinstance(layer, ConvLayer) and layer.groups != 1:
+                raise ReproError(
+                    f"trainer does not support grouped conv {layer.name!r}"
+                )
+            if not isinstance(
+                layer,
+                (ConvLayer, ReLU, MaxPool, Flatten, DenseLayer, Dropout),
+            ):
+                raise ReproError(
+                    f"trainer does not support layer type "
+                    f"{type(layer).__name__} ({layer.name!r})"
+                )
+        self.network = network
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # sparsity-preserving fine-tuning (Li et al. prune *then*
+        # retrain): capture the zero pattern now and clamp it after
+        # every update so pruned weights stay pruned.
+        self._masks: dict[str, np.ndarray] = {}
+        if preserve_zeros:
+            self._masks = {
+                layer.name: layer.weights != 0
+                for layer in network.weighted_layers()
+            }
+
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Forward pass caching each layer's *input*."""
+        cache: list[np.ndarray] = []
+        for layer in self.network.layers:
+            cache.append(x)
+            x = layer.forward(x)
+        return x, cache
+
+    def _backward(
+        self, grad: np.ndarray, cache: list[np.ndarray]
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Backward pass; returns per-layer (dW, db) for weighted layers."""
+        grads: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for layer, x in zip(reversed(self.network.layers), reversed(cache)):
+            if isinstance(layer, DenseLayer):
+                grads[layer.name] = (grad.T @ x, grad.sum(axis=0))
+                grad = grad @ layer.weights
+            elif isinstance(layer, Flatten):
+                grad = grad.reshape(x.shape)
+            elif isinstance(layer, ReLU):
+                grad = grad * (x > 0)
+            elif isinstance(layer, Dropout):
+                if layer.last_mask is not None:
+                    grad = grad * layer.last_mask
+            elif isinstance(layer, MaxPool):
+                grad = self._maxpool_backward(layer, x, grad)
+            elif isinstance(layer, ConvLayer):
+                grad = self._conv_backward(layer, x, grad, grads)
+            else:  # pragma: no cover - constructor guards this
+                raise ReproError(f"unsupported layer {layer!r}")
+        return grads
+
+    def _maxpool_backward(
+        self, layer: MaxPool, x: np.ndarray, grad: np.ndarray
+    ) -> np.ndarray:
+        n, c, h, w = x.shape
+        windows, out_h, out_w = layer._windows(x)
+        flat = windows.reshape(n, c, layer.kernel * layer.kernel, -1)
+        winners = flat.argmax(axis=2)  # (n, c, out_h*out_w)
+        dcols = np.zeros_like(flat)
+        np.put_along_axis(
+            dcols,
+            winners[:, :, None, :],
+            grad.reshape(n, c, 1, -1),
+            axis=2,
+        )
+        dcols = dcols.reshape(n * c, layer.kernel * layer.kernel, -1)
+        dx = _col2im(
+            dcols,
+            (n * c, 1, h, w),
+            layer.kernel,
+            layer.stride,
+            layer.pad,
+        )
+        return dx.reshape(n, c, h, w)
+
+    def _conv_backward(
+        self,
+        layer: ConvLayer,
+        x: np.ndarray,
+        grad: np.ndarray,
+        grads: dict[str, tuple[np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        n = x.shape[0]
+        cols, out_h, out_w = im2col(x, layer.kernel, layer.stride, layer.pad)
+        gflat = grad.reshape(n, layer.out_channels, out_h * out_w)
+        # dW: sum over batch of gflat @ cols^T
+        dw = np.einsum("nop,ncp->oc", gflat, cols).reshape(
+            layer.weights.shape
+        )
+        db = gflat.sum(axis=(0, 2))
+        grads[layer.name] = (dw, db)
+        wmat = layer.weights.reshape(layer.out_channels, -1)
+        dcols = np.matmul(wmat.T, gflat)  # (n, c*k*k, hw)
+        return _col2im(
+            dcols, x.shape, layer.kernel, layer.stride, layer.pad
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One SGD step on a mini-batch; returns the batch loss."""
+        logits, cache = self._forward(x)
+        loss, grad = softmax_cross_entropy(logits, y)
+        grads = self._backward(grad, cache)
+        for layer in self.network.weighted_layers():
+            if layer.name not in grads:
+                continue
+            dw, db = grads[layer.name]
+            vw, vb = self._velocity.get(
+                layer.name,
+                (np.zeros_like(layer.weights), np.zeros_like(layer.bias)),
+            )
+            vw = self.momentum * vw - self.lr * dw
+            vb = self.momentum * vb - self.lr * db
+            self._velocity[layer.name] = (vw, vb)
+            layer.weights += vw
+            layer.bias += vb
+            mask = self._masks.get(layer.name)
+            if mask is not None:
+                layer.weights *= mask
+        return loss
+
+    def fit(
+        self,
+        data: SyntheticImages,
+        epochs: int = 5,
+        batch_size: int = 32,
+    ) -> TrainResult:
+        """Train over the dataset; returns the loss trajectory.
+
+        Dropout layers run in training mode for the duration of the fit
+        and are restored to inference mode afterwards.
+        """
+        dropouts = [
+            layer
+            for layer in self.network.layers
+            if isinstance(layer, Dropout)
+        ]
+        for layer in dropouts:
+            layer.training = True
+        try:
+            result = TrainResult()
+            for _ in range(epochs):
+                for bx, by in data.batches(batch_size):
+                    result.losses.append(self.step(bx, by))
+                result.epochs += 1
+        finally:
+            for layer in dropouts:
+                layer.training = False
+                layer.last_mask = None
+        result.final_accuracy = evaluate_topk(self.network, data, k=1)
+        return result
+
+
+def evaluate_topk(
+    network: Network, data: SyntheticImages, k: int = 1, batch_size: int = 64
+) -> float:
+    """Top-``k`` accuracy of ``network`` on ``data`` (Section 3.2.2).
+
+    Top-1 is the fraction of samples whose highest-scoring class is the
+    label; Top-``k`` accepts the label anywhere in the ``k`` best scores.
+    """
+    hits = 0
+    for bx, by in data.batches(batch_size):
+        topk = network.predict_topk(bx, k=k)
+        hits += int((topk == by[:, None]).any(axis=1).sum())
+    return hits / len(data)

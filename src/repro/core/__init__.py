@@ -1,0 +1,38 @@
+"""The paper's primary contribution: cost-accuracy analysis machinery.
+
+* :mod:`repro.core.metrics` — TAR and CAR (Section 3.5);
+* :mod:`repro.core.pareto` — Pareto-frontier filtering (Section 3.4);
+* :mod:`repro.core.config_space` — resource-configuration enumeration;
+* :mod:`repro.core.sweet_spot` — sweet-spot region detection (Obs. 1);
+* :mod:`repro.core.allocation` — Algorithm 1 (TAR/CAR greedy) and the
+  exponential brute-force baseline it replaces;
+* :mod:`repro.core.pipeline` — the end-to-end three-stage approach of
+  the paper's Figure 2.
+"""
+
+from repro.core.allocation import (
+    AllocationResult,
+    brute_force_allocate,
+    greedy_allocate,
+)
+from repro.core.config_space import enumerate_configurations
+from repro.core.metrics import car, tar
+from repro.core.pareto import ParetoPoint, pareto_front, pareto_indices
+from repro.core.pipeline import CostAccuracyPipeline, ConfigurationPoint
+from repro.core.sweet_spot import SweetSpotRegion, find_sweet_spot
+
+__all__ = [
+    "AllocationResult",
+    "ConfigurationPoint",
+    "CostAccuracyPipeline",
+    "ParetoPoint",
+    "SweetSpotRegion",
+    "brute_force_allocate",
+    "car",
+    "enumerate_configurations",
+    "find_sweet_spot",
+    "greedy_allocate",
+    "pareto_front",
+    "pareto_indices",
+    "tar",
+]

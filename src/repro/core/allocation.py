@@ -1,0 +1,176 @@
+"""Resource allocation: the paper's Algorithm 1 and its brute-force baseline.
+
+Algorithm 1 (Section 4.5.3) finds a resource configuration achieving the
+best possible accuracy within a time deadline T' and cost budget C':
+
+1. sort the degrees of pruning *P* by accuracy descending, breaking ties
+   by TAR ascending;
+2. for each degree, sort the available resources *G* by CAR ascending
+   and add them greedily (cheapest accuracy first), re-distributing the
+   workload after each addition, until the (T, C) estimate fits both
+   constraints;
+3. the first fit wins — the highest-accuracy degree that fits at all.
+
+Exhaustive search over resource subsets is O(2^|G|) per degree; the
+greedy is O(|G| log |G|) (the sort dominates).  Both are implemented so
+the complexity claim and the solution-quality gap can be measured
+(``benchmarks/test_algorithm1.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.errors import InfeasibleError
+from repro.pruning.schedule import DegreeOfPruning
+
+__all__ = ["AllocationResult", "greedy_allocate", "brute_force_allocate"]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a resource-allocation search.
+
+    ``evaluations`` counts (configuration, degree) model evaluations —
+    the complexity measure the Algorithm 1 benchmark compares.
+    """
+
+    result: SimulationResult
+    evaluations: int
+
+    @property
+    def accuracy_top1(self) -> float:
+        return self.result.accuracy.top1
+
+    @property
+    def accuracy_top5(self) -> float:
+        return self.result.accuracy.top5
+
+
+def _sorted_degrees(
+    degrees: Sequence[DegreeOfPruning],
+    simulator: CloudSimulator,
+    reference: CloudInstance,
+    images: int,
+    metric: str,
+) -> list[tuple[DegreeOfPruning, float, float]]:
+    """Degrees with (accuracy, reference TAR), sorted per Algorithm 1."""
+    rows = []
+    ref_config = ResourceConfiguration([reference])
+    for degree in degrees:
+        sim = simulator.run(degree.spec, ref_config, images)
+        acc = sim.accuracy.get(metric)
+        # a zero-accuracy degree has infinite TAR and can never win
+        ratio = sim.tar(metric) if acc > 0 else float("inf")
+        rows.append((degree, acc, ratio))
+    rows.sort(key=lambda row: (-row[1], row[2]))
+    return rows
+
+
+def _instance_car(
+    simulator: CloudSimulator,
+    instance: CloudInstance,
+    degree: DegreeOfPruning,
+    images: int,
+    metric: str,
+) -> float:
+    """CAR of running the reference workload on one instance alone."""
+    sim = simulator.run(
+        degree.spec, ResourceConfiguration([instance]), images
+    )
+    if sim.accuracy.get(metric) <= 0:
+        return float("inf")
+    return sim.car(metric)
+
+
+def greedy_allocate(
+    degrees: Sequence[DegreeOfPruning],
+    resources: Sequence[CloudInstance],
+    simulator: CloudSimulator,
+    images: int,
+    deadline_s: float,
+    budget: float,
+    metric: str = "top5",
+    reference: CloudInstance | None = None,
+) -> AllocationResult:
+    """Algorithm 1: TAR/CAR-guided polynomial-time allocation.
+
+    Raises :class:`InfeasibleError` when no (degree, prefix-of-G)
+    combination satisfies both constraints — the algorithm's line 14.
+    """
+    if not degrees or not resources:
+        raise InfeasibleError("empty degrees or resource set")
+    reference = reference or resources[0]
+    evaluations = 0
+    ordered = _sorted_degrees(degrees, simulator, reference, images, metric)
+    evaluations += len(ordered)
+    for degree, _acc, _tar in ordered:
+        ranked = sorted(
+            resources,
+            key=lambda inst: _instance_car(
+                simulator, inst, degree, images, metric
+            ),
+        )
+        evaluations += len(ranked)
+        chosen: list[CloudInstance] = []
+        for instance in ranked:
+            chosen.append(instance)  # add resource with lowest CAR
+            sim = simulator.run(
+                degree.spec, ResourceConfiguration(chosen), images
+            )
+            evaluations += 1
+            if sim.within(deadline_s, budget):
+                return AllocationResult(result=sim, evaluations=evaluations)
+    raise InfeasibleError(
+        f"no feasible allocation within T'={deadline_s}s, C'=${budget} "
+        f"(searched {len(ordered)} degrees x {len(resources)} resources)"
+    )
+
+
+def brute_force_allocate(
+    degrees: Sequence[DegreeOfPruning],
+    resources: Sequence[CloudInstance],
+    simulator: CloudSimulator,
+    images: int,
+    deadline_s: float,
+    budget: float,
+    metric: str = "top5",
+) -> AllocationResult:
+    """Exhaustive O(2^|G|) baseline: best accuracy, then lowest cost.
+
+    Enumerates every non-empty subset of ``resources`` for every degree
+    of pruning, keeping the feasible result with the highest accuracy
+    (ties broken by lower cost, then lower time).
+    """
+    if not degrees or not resources:
+        raise InfeasibleError("empty degrees or resource set")
+    best: SimulationResult | None = None
+    evaluations = 0
+    for degree in degrees:
+        for r in range(1, len(resources) + 1):
+            for subset in itertools.combinations(resources, r):
+                sim = simulator.run(
+                    degree.spec, ResourceConfiguration(subset), images
+                )
+                evaluations += 1
+                if not sim.within(deadline_s, budget):
+                    continue
+                if best is None or _better(sim, best, metric):
+                    best = sim
+    if best is None:
+        raise InfeasibleError(
+            f"no feasible allocation within T'={deadline_s}s, C'=${budget}"
+        )
+    return AllocationResult(result=best, evaluations=evaluations)
+
+
+def _better(a: SimulationResult, b: SimulationResult, metric: str) -> bool:
+    """Is ``a`` preferable to ``b``? Accuracy desc, cost asc, time asc."""
+    ka = (-a.accuracy.get(metric), a.cost, a.time_s)
+    kb = (-b.accuracy.get(metric), b.cost, b.time_s)
+    return ka < kb

@@ -1,0 +1,71 @@
+"""Resource-configuration space enumeration.
+
+The paper's configuration space is the set of multisets over the catalog
+("three Amazon EC2 resource types from p2 category with three resource
+instances from each type", Section 4.3.2).  For ``k`` types with up to
+``m`` instances each the space has ``(m+1)^k - 1`` non-empty
+configurations — exponential in the catalog size, which is exactly why
+the paper introduces the TAR/CAR greedy algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.cloud.catalog import InstanceType
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.errors import ConfigurationError
+
+__all__ = ["enumerate_configurations", "configuration_space_size"]
+
+
+def configuration_space_size(num_types: int, max_per_type: int) -> int:
+    """Number of non-empty configurations for the given space bounds."""
+    if num_types < 1 or max_per_type < 1:
+        raise ConfigurationError("need >= 1 type and >= 1 instance")
+    return (max_per_type + 1) ** num_types - 1
+
+
+def enumerate_configurations(
+    types: Sequence[InstanceType],
+    max_per_type: int = 3,
+    gpus_used: str = "all",
+) -> list[ResourceConfiguration]:
+    """All non-empty multisets with up to ``max_per_type`` of each type.
+
+    Parameters
+    ----------
+    types:
+        Catalog subset to draw from.
+    max_per_type:
+        Maximum instances of each type (the paper uses 3).
+    gpus_used:
+        ``"all"`` — every instance runs inference on all its GPUs (the
+        paper's recommended operating point); ``"one"`` — a single GPU
+        per instance (the Figure 12 comparison case).
+    """
+    if not types:
+        raise ConfigurationError("need at least one instance type")
+    if gpus_used not in ("all", "one"):
+        raise ConfigurationError(f"gpus_used must be 'all' or 'one', got {gpus_used!r}")
+    if len({t.name for t in types}) != len(types):
+        raise ConfigurationError("duplicate instance types in space")
+    configs = []
+    for counts in itertools.product(
+        range(max_per_type + 1), repeat=len(types)
+    ):
+        if not any(counts):
+            continue
+        instances = []
+        for itype, count in zip(types, counts):
+            gpus = itype.gpus if gpus_used == "all" else 1
+            instances.extend(
+                CloudInstance(itype, gpus_used=gpus) for _ in range(count)
+            )
+        configs.append(ResourceConfiguration(instances))
+    assert len(configs) == configuration_space_size(
+        len(types), max_per_type
+    )
+    return configs

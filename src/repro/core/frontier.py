@@ -1,0 +1,110 @@
+"""Quantitative comparison of Pareto frontiers.
+
+The paper argues by pointing at frontiers; comparing two of them
+(greedy-found vs exhaustive, even-split vs proportional-split) needs
+numbers.  For the 2-D (maximise accuracy, minimise objective) setting:
+
+* :func:`hypervolume` — area dominated by a frontier relative to a
+  reference point (bigger = better frontier);
+* :func:`coverage` — fraction of frontier A's points weakly dominated
+  by frontier B (Zitzler's C-metric);
+* :func:`additive_epsilon` — smallest objective inflation that makes
+  frontier B dominate frontier A everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["hypervolume", "coverage", "additive_epsilon"]
+
+Point = tuple[float, float]  # (accuracy, objective)
+
+
+def _clean(front: Sequence[Point]) -> np.ndarray:
+    if not front:
+        raise ValueError("frontier must be non-empty")
+    arr = np.asarray(front, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("frontier must be (accuracy, objective) pairs")
+    # sort by accuracy descending; keep the running objective minimum
+    order = np.argsort(-arr[:, 0], kind="stable")
+    arr = arr[order]
+    keep = []
+    best = np.inf
+    for acc, obj in arr:
+        if obj < best:
+            keep.append((acc, obj))
+            best = obj
+    return np.asarray(keep)
+
+
+def hypervolume(
+    front: Sequence[Point], ref_accuracy: float, ref_objective: float
+) -> float:
+    """Dominated area between the frontier and a reference point.
+
+    The reference must be dominated by every frontier point
+    (``ref_accuracy`` at most the minimum accuracy, ``ref_objective``
+    at least the maximum objective); the area is then the union of
+    rectangles ``[ref_acc, acc_i] x [obj_i, ref_obj]``.
+    """
+    arr = _clean(front)
+    if ref_accuracy > arr[:, 0].min() or ref_objective < arr[:, 1].max():
+        raise ValueError(
+            "reference point must be dominated by the whole frontier"
+        )
+    # scan from the highest-accuracy point; each point owns the
+    # accuracy strip between itself and the next (lower-accuracy) point
+    volume = 0.0
+    prev_obj = ref_objective
+    for acc, obj in arr:
+        volume += (acc - ref_accuracy) * (prev_obj - obj)
+        prev_obj = obj
+    return volume
+
+
+def _weakly_dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Does point ``a`` weakly dominate point ``b``?"""
+    return a[0] >= b[0] and a[1] <= b[1]
+
+
+def coverage(
+    covered: Sequence[Point], by: Sequence[Point]
+) -> float:
+    """C(by, covered): fraction of ``covered`` weakly dominated by ``by``."""
+    covered_arr = _clean(covered)
+    by_arr = _clean(by)
+    hit = 0
+    for point in covered_arr:
+        if any(_weakly_dominates(candidate, point) for candidate in by_arr):
+            hit += 1
+    return hit / len(covered_arr)
+
+
+def additive_epsilon(
+    approx: Sequence[Point], reference: Sequence[Point]
+) -> float:
+    """Smallest ``eps`` such that every reference point is weakly
+    dominated by some approx point after relaxing the approx frontier by
+    ``eps`` (accuracy decreased, objective increased).
+
+    Zero means ``approx`` already covers ``reference``; the value is the
+    worst-case quality gap in the objectives' own units.
+    """
+    approx_arr = _clean(approx)
+    ref_arr = _clean(reference)
+    eps = 0.0
+    for point in ref_arr:
+        best = np.inf
+        for candidate in approx_arr:
+            need = max(
+                point[0] - candidate[0],  # accuracy shortfall
+                candidate[1] - point[1],  # objective excess
+                0.0,
+            )
+            best = min(best, need)
+        eps = max(eps, best)
+    return eps

@@ -1,0 +1,56 @@
+"""Time Accuracy Ratio (TAR) and Cost Accuracy Ratio (CAR).
+
+The paper's Section 3.5 defines
+
+    TAR = t / a        CAR = c / a
+
+with ``t, c in (0, inf)`` and ``a in [0, 1]``: the time (cost) needed to
+achieve one unit of accuracy.  Lower is better for both.  The paper's
+figures use hours for ``t`` and dollars for ``c``; these functions are
+unit-agnostic but the library consistently passes hours/dollars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tar", "car", "tar_array", "car_array"]
+
+
+def _ratio(value: float, accuracy: float, what: str) -> float:
+    if value < 0:
+        raise ValueError(f"{what} must be non-negative, got {value}")
+    if not 0.0 < accuracy <= 1.0:
+        raise ValueError(
+            f"accuracy must be in (0, 1], got {accuracy} "
+            "(a zero-accuracy configuration has no meaningful ratio)"
+        )
+    return value / accuracy
+
+
+def tar(time: float, accuracy: float) -> float:
+    """Time Accuracy Ratio: time per unit of accuracy (lower is better)."""
+    return _ratio(time, accuracy, "time")
+
+
+def car(cost: float, accuracy: float) -> float:
+    """Cost Accuracy Ratio: cost per unit of accuracy (lower is better)."""
+    return _ratio(cost, accuracy, "cost")
+
+
+def tar_array(times: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
+    """Vectorised TAR; zero-accuracy entries map to ``inf``."""
+    times = np.asarray(times, dtype=float)
+    accuracies = np.asarray(accuracies, dtype=float)
+    if np.any(times < 0):
+        raise ValueError("times must be non-negative")
+    if np.any(accuracies < 0) or np.any(accuracies > 1):
+        raise ValueError("accuracies must be in [0, 1]")
+    with np.errstate(divide="ignore"):
+        out = np.where(accuracies > 0, times / np.maximum(accuracies, 1e-300), np.inf)
+    return out
+
+
+def car_array(costs: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
+    """Vectorised CAR; zero-accuracy entries map to ``inf``."""
+    return tar_array(costs, accuracies)

@@ -1,0 +1,180 @@
+"""The end-to-end three-stage approach of the paper's Figure 2.
+
+Stage 1 — *application characterization*: layer time distribution,
+single-inference response to pruning, GPU saturation point.
+
+Stage 2 — *measurements*: evaluate every degree of pruning on a reference
+instance, producing the list of (degree, time, cost, TAR, CAR) records.
+
+Stage 3 — *model + Pareto optimization*: evaluate the cross product of
+degrees and resource configurations, filter by the deadline/budget, and
+extract the time-accuracy and cost-accuracy Pareto frontiers.
+
+:class:`CostAccuracyPipeline` wires the three stages over the calibrated
+models; the experiment modules and examples drive it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.calibration.accuracy_model import AccuracyModel
+from repro.cloud.catalog import InstanceType, instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.perf.latency import CalibratedTimeModel
+from repro.perf.measurement import MeasurementRecord
+from repro.pruning.schedule import DegreeOfPruning
+
+__all__ = ["ConfigurationPoint", "CostAccuracyPipeline", "Characterization"]
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Stage-1 output: the application's performance fingerprint."""
+
+    layer_time_shares: dict[str, float]
+    single_inference_s: float
+    single_inference_pruned_s: float
+    saturation_batch: int
+
+
+@dataclass(frozen=True)
+class ConfigurationPoint:
+    """One point of the stage-3 configuration space."""
+
+    result: SimulationResult
+    feasible: bool
+
+    @property
+    def spec_label(self) -> str:
+        return self.result.spec.label()
+
+    @property
+    def config_label(self) -> str:
+        return self.result.configuration.label()
+
+
+class CostAccuracyPipeline:
+    """Characterize -> measure -> model+Pareto, per the paper's Figure 2."""
+
+    def __init__(
+        self,
+        time_model: CalibratedTimeModel,
+        accuracy_model: AccuracyModel,
+        reference_type: InstanceType | str = "p2.xlarge",
+    ) -> None:
+        self.time_model = time_model
+        self.accuracy_model = accuracy_model
+        if isinstance(reference_type, str):
+            reference_type = instance_type(reference_type)
+        self.reference = CloudInstance(reference_type)
+        self.simulator = CloudSimulator(time_model, accuracy_model)
+
+    # ------------------------------------------------------------------
+    # stage 1
+    # ------------------------------------------------------------------
+    def characterize(
+        self, layer_time_shares: dict[str, float]
+    ) -> Characterization:
+        """Stage 1: summarize layer shares, prune response and saturation.
+
+        ``layer_time_shares`` comes from per-layer measurement (Figure 3
+        calibration data or a roofline-model distribution).
+        """
+        from repro.pruning.base import PruneSpec
+
+        device = self.reference.itype.gpu
+        all_layers = list(self.time_model.time_curves)
+        heavy = PruneSpec.uniform(all_layers, 0.9)
+        batching = self.time_model.batching_model(
+            PruneSpec.unpruned(), device
+        )
+        return Characterization(
+            layer_time_shares=dict(layer_time_shares),
+            single_inference_s=self.time_model.single_inference(
+                PruneSpec.unpruned(), device
+            ),
+            single_inference_pruned_s=self.time_model.single_inference(
+                heavy, device
+            ),
+            saturation_batch=batching.knee_batch(),
+        )
+
+    # ------------------------------------------------------------------
+    # stage 2
+    # ------------------------------------------------------------------
+    def measure(
+        self, degrees: Sequence[DegreeOfPruning], images: int
+    ) -> list[MeasurementRecord]:
+        """Stage 2: per-degree time/cost/accuracy on the reference instance."""
+        records = []
+        ref_config = ResourceConfiguration([self.reference])
+        for degree in degrees:
+            sim = self.simulator.run(degree.spec, ref_config, images)
+            records.append(
+                MeasurementRecord(
+                    spec=degree.spec,
+                    time_s=sim.time_s,
+                    cost=sim.cost,
+                    top1=sim.accuracy.top1,
+                    top5=sim.accuracy.top5,
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    # stage 3
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        degrees: Sequence[DegreeOfPruning],
+        configurations: Sequence[ResourceConfiguration],
+        images: int,
+        deadline_s: float | None = None,
+        budget: float | None = None,
+    ) -> list[ConfigurationPoint]:
+        """Stage 3a: evaluate the full (degree x configuration) space."""
+        points = []
+        for degree in degrees:
+            for config in configurations:
+                sim = self.simulator.run(degree.spec, config, images)
+                points.append(
+                    ConfigurationPoint(
+                        result=sim,
+                        feasible=sim.within(deadline_s, budget),
+                    )
+                )
+        return points
+
+    @staticmethod
+    def feasible(
+        points: Sequence[ConfigurationPoint],
+    ) -> list[ConfigurationPoint]:
+        return [p for p in points if p.feasible]
+
+    @staticmethod
+    def pareto(
+        points: Sequence[ConfigurationPoint],
+        objective: str = "time",
+        metric: str = "top5",
+    ) -> list[ParetoPoint[ConfigurationPoint]]:
+        """Stage 3b: Pareto frontier of the feasible set.
+
+        ``objective`` is ``"time"`` (hours) or ``"cost"`` (dollars);
+        ``metric`` selects Top-1 or Top-5 accuracy.
+        """
+        if objective not in ("time", "cost"):
+            raise ValueError(f"objective must be 'time' or 'cost', got {objective!r}")
+        triples = []
+        for p in points:
+            if not p.feasible:
+                continue
+            obj = (
+                p.result.time_hours if objective == "time" else p.result.cost
+            )
+            triples.append((p.result.accuracy.get(metric), obj, p))
+        return pareto_front(triples)

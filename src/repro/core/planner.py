@@ -1,0 +1,129 @@
+"""Inverse planning queries over the configuration space.
+
+The paper answers "what fits inside (T', C')?"; a consumer budgeting a
+project asks the inverse questions:
+
+* :func:`min_budget_for` — the cheapest money that buys a target
+  accuracy within a deadline;
+* :func:`min_deadline_for` — the shortest completion time a budget can
+  buy at a target accuracy;
+* :func:`iso_accuracy_frontier` — the (deadline, budget) trade curve
+  for one accuracy target: every point is a different Pareto-optimal
+  configuration for the same result quality.
+
+All three scan a (degrees x configurations) space evaluated through the
+same simulator as everything else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.core.pareto import pareto_front
+from repro.errors import InfeasibleError
+from repro.pruning.schedule import DegreeOfPruning
+
+__all__ = [
+    "PlanningSpace",
+    "min_budget_for",
+    "min_deadline_for",
+    "iso_accuracy_frontier",
+]
+
+
+@dataclass(frozen=True)
+class PlanningSpace:
+    """An evaluated (degree x configuration) space to plan over."""
+
+    results: tuple[SimulationResult, ...]
+    metric: str = "top5"
+
+    @classmethod
+    def evaluate(
+        cls,
+        simulator: CloudSimulator,
+        degrees: Sequence[DegreeOfPruning],
+        configurations: Sequence[ResourceConfiguration],
+        images: int,
+        metric: str = "top5",
+    ) -> "PlanningSpace":
+        results = tuple(
+            simulator.run(d.spec, c, images)
+            for d in degrees
+            for c in configurations
+        )
+        return cls(results=results, metric=metric)
+
+    # ------------------------------------------------------------------
+    def _accurate_enough(self, target: float):
+        return [
+            r
+            for r in self.results
+            if r.accuracy.get(self.metric) >= target
+        ]
+
+    def reachable_accuracy(self) -> float:
+        """Best accuracy anywhere in the space (no constraints)."""
+        return max(r.accuracy.get(self.metric) for r in self.results)
+
+
+def min_budget_for(
+    space: PlanningSpace,
+    target_accuracy: float,
+    deadline_s: float,
+) -> SimulationResult:
+    """Cheapest configuration reaching ``target_accuracy`` in time."""
+    candidates = [
+        r
+        for r in space._accurate_enough(target_accuracy)
+        if r.time_s <= deadline_s
+    ]
+    if not candidates:
+        raise InfeasibleError(
+            f"no configuration reaches {target_accuracy}% "
+            f"{space.metric} within {deadline_s:.0f}s"
+        )
+    return min(candidates, key=lambda r: (r.cost, r.time_s))
+
+
+def min_deadline_for(
+    space: PlanningSpace,
+    target_accuracy: float,
+    budget: float,
+) -> SimulationResult:
+    """Fastest configuration reaching ``target_accuracy`` on budget."""
+    candidates = [
+        r
+        for r in space._accurate_enough(target_accuracy)
+        if r.cost <= budget
+    ]
+    if not candidates:
+        raise InfeasibleError(
+            f"no configuration reaches {target_accuracy}% "
+            f"{space.metric} within ${budget:.2f}"
+        )
+    return min(candidates, key=lambda r: (r.time_s, r.cost))
+
+
+def iso_accuracy_frontier(
+    space: PlanningSpace, target_accuracy: float
+) -> list[SimulationResult]:
+    """The (time, cost) Pareto curve at one accuracy target.
+
+    Points are mutually non-dominated in (time, cost) among all
+    configurations meeting the accuracy bar; walking the curve trades
+    money for completion time at constant result quality.
+    """
+    candidates = space._accurate_enough(target_accuracy)
+    if not candidates:
+        raise InfeasibleError(
+            f"no configuration reaches {target_accuracy}% {space.metric}"
+        )
+    # reuse the 2-D filter with accuracy := -time (maximise -time)
+    front = pareto_front(
+        [(-r.time_s, r.cost, r) for r in candidates]
+    )
+    return [p.payload for p in front]

@@ -1,0 +1,101 @@
+"""Strong-scaling analysis of inference workloads on the cloud.
+
+The paper frames itself against Amdahl's and Gustafson's laws ("the
+cloud research community has extended the fixed-workload and fixed-time
+scaling on the cloud", Section 1) and its prior work (CELIA [25],
+Rathnayake et al. [26]) studies cost-time scaling.  This module provides
+the fixed-workload (Amdahl-style) analysis for the inference jobs here:
+
+* ``speedup(N) = T(1) / T(N)`` over instance count ``N``;
+* ``efficiency(N) = speedup(N) / N``;
+* ``cost(N)`` under per-second billing — ideally flat (pay the same
+  GPU-seconds, just sooner), in practice rising where batching
+  overheads bite (small per-instance shards run below saturation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.accuracy_model import AccuracyModel
+from repro.cloud.catalog import InstanceType
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator
+from repro.errors import ConfigurationError
+from repro.perf.latency import CalibratedTimeModel
+from repro.pruning.base import PruneSpec
+
+__all__ = ["ScalingPoint", "ScalingStudy", "strong_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One fleet size of a strong-scaling sweep."""
+
+    instances: int
+    time_s: float
+    cost: float
+    speedup: float
+    efficiency: float
+    cost_inflation: float
+
+
+@dataclass(frozen=True)
+class ScalingStudy:
+    """A full fixed-workload scaling sweep."""
+
+    itype_name: str
+    images: int
+    points: tuple[ScalingPoint, ...]
+
+    def point(self, instances: int) -> ScalingPoint:
+        for p in self.points:
+            if p.instances == instances:
+                return p
+        raise KeyError(instances)
+
+    def max_efficient_instances(self, threshold: float = 0.9) -> int:
+        """Largest N whose parallel efficiency is >= ``threshold``."""
+        useful = [
+            p.instances for p in self.points if p.efficiency >= threshold
+        ]
+        return max(useful) if useful else 1
+
+
+def strong_scaling(
+    time_model: CalibratedTimeModel,
+    accuracy_model: AccuracyModel,
+    itype: InstanceType,
+    images: int,
+    spec: PruneSpec | None = None,
+    instance_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> ScalingStudy:
+    """Fixed-workload scaling over growing same-type fleets."""
+    if images < 1:
+        raise ConfigurationError("images must be >= 1")
+    spec = spec or PruneSpec.unpruned()
+    simulator = CloudSimulator(time_model, accuracy_model)
+    baseline = simulator.run(
+        spec, ResourceConfiguration([CloudInstance(itype)]), images
+    )
+    points = []
+    for n in instance_counts:
+        config = ResourceConfiguration(
+            [CloudInstance(itype) for _ in range(n)]
+        )
+        result = simulator.run(spec, config, images)
+        speedup = baseline.time_s / result.time_s
+        points.append(
+            ScalingPoint(
+                instances=n,
+                time_s=result.time_s,
+                cost=result.cost,
+                speedup=speedup,
+                efficiency=speedup / n,
+                cost_inflation=result.cost / baseline.cost - 1.0,
+            )
+        )
+    return ScalingStudy(
+        itype_name=itype.name, images=images, points=tuple(points)
+    )

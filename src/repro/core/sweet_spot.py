@@ -1,0 +1,78 @@
+"""Sweet-spot region detection (the paper's Observation 1).
+
+A *sweet-spot region* of a single-layer pruning sweep is the ratio range
+starting at 0% where accuracy stays within a tolerance of the unpruned
+baseline while inference time strictly decreases.  The *last sweet spot*
+is the largest such ratio — the operating point the paper's multi-layer
+configurations (Figure 8) are built from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SweetSpotRegion", "find_sweet_spot"]
+
+
+@dataclass(frozen=True)
+class SweetSpotRegion:
+    """A detected sweet-spot region of one pruning sweep."""
+
+    layer: str
+    last_sweet_spot: float
+    time_reduction: float
+    accuracy_drop: float
+
+    @property
+    def exists(self) -> bool:
+        """True when pruning saves any time at zero accuracy cost."""
+        return self.last_sweet_spot > 0 and self.time_reduction > 0
+
+
+def find_sweet_spot(
+    layer: str,
+    ratios: Sequence[float],
+    accuracies: Sequence[float],
+    times: Sequence[float],
+    tolerance: float = 0.5,
+) -> SweetSpotRegion:
+    """Locate the sweet-spot region in one single-layer sweep.
+
+    Parameters
+    ----------
+    layer:
+        Layer name (for the report).
+    ratios, accuracies, times:
+        The sweep: prune ratios (ascending, starting at 0), accuracy in
+        percent and inference time (any consistent unit).
+    tolerance:
+        Maximum accuracy drop (percentage points) still counted as
+        "no reduction in accuracy".
+
+    Returns
+    -------
+    SweetSpotRegion with the largest qualifying ratio, the fractional
+    time saved there, and the (small) accuracy drop incurred.
+    """
+    r = np.asarray(ratios, dtype=float)
+    a = np.asarray(accuracies, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if not (r.shape == a.shape == t.shape) or r.ndim != 1 or r.size < 2:
+        raise ValueError("ratios/accuracies/times must be equal-length 1-D")
+    if r[0] != 0.0 or np.any(np.diff(r) <= 0):
+        raise ValueError("ratios must start at 0 and increase")
+    baseline_acc = a[0]
+    baseline_time = t[0]
+    ok = a >= baseline_acc - tolerance
+    # the region must be contiguous from 0%
+    qualifying = np.where(np.cumprod(ok))[0]
+    last = int(qualifying[-1])
+    return SweetSpotRegion(
+        layer=layer,
+        last_sweet_spot=float(r[last]),
+        time_reduction=float(1.0 - t[last] / baseline_time),
+        accuracy_drop=float(baseline_acc - a[last]),
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch one type to handle any library-originated failure while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "ConfigurationError",
+    "PruningError",
+    "CalibrationError",
+    "InfeasibleError",
+    "MeasurementError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor or layer was given data of an incompatible shape."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A cloud resource configuration or catalog entry is invalid."""
+
+
+class PruningError(ReproError, ValueError):
+    """A pruning specification is invalid (bad ratio, unknown layer, ...)."""
+
+
+class CalibrationError(ReproError, ValueError):
+    """Calibration constants are missing or inconsistent for a model."""
+
+
+class InfeasibleError(ReproError, RuntimeError):
+    """No resource allocation satisfies the given deadline/budget."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A measurement run failed or produced no samples."""

@@ -1,0 +1,139 @@
+"""Minimal ASCII scatter/line plots.
+
+No plotting stack is available offline, but several of the paper's
+figures (4, 5, 9, 10) are easier to eyeball as plots than as columns.
+These renderers draw into a fixed character grid; they are used by the
+experiment ``render()`` functions and the examples, and are precise
+enough to show knees, plateaus and Pareto frontiers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["scatter", "line", "multi_line"]
+
+_MARKERS = "xo*+#@"
+
+
+def _grid(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _scale(
+    values: np.ndarray, lo: float, hi: float, steps: int
+) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    pos = (values - lo) / (hi - lo) * (steps - 1)
+    return np.clip(np.round(pos).astype(int), 0, steps - 1)
+
+
+def _render(
+    grid: list[list[str]],
+    xlo: float,
+    xhi: float,
+    ylo: float,
+    yhi: float,
+    xlabel: str,
+    ylabel: str,
+    title: str,
+) -> str:
+    height = len(grid)
+    width = len(grid[0])
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{yhi:>9.3g}"
+        elif row_idx == height - 1:
+            label = f"{ylo:>9.3g}"
+        else:
+            label = " " * 9
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    xaxis = f"{xlo:<.3g}".ljust(width - 8) + f"{xhi:>.3g}"
+    lines.append(" " * 11 + xaxis)
+    if xlabel or ylabel:
+        lines.append(" " * 11 + f"x: {xlabel}   y: {ylabel}".strip())
+    return "\n".join(lines)
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 18,
+    marker: str = "x",
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+    highlight: Sequence[int] = (),
+) -> str:
+    """Scatter plot; indices in ``highlight`` are drawn with ``*``."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size == 0 or x.shape != y.shape:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    grid = _grid(width, height)
+    cols = _scale(x, x.min(), x.max(), width)
+    rows = _scale(y, y.min(), y.max(), height)
+    highlight_set = set(highlight)
+    for i, (c, r) in enumerate(zip(cols, rows)):
+        grid[height - 1 - r][c] = "*" if i in highlight_set else marker
+    return _render(
+        grid, x.min(), x.max(), y.min(), y.max(), xlabel, ylabel, title
+    )
+
+
+def line(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    **kwargs,
+) -> str:
+    """Single-series line plot (dense x-interpolation of a scatter)."""
+    return multi_line([("", list(xs), list(ys))], **kwargs)
+
+
+def multi_line(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 18,
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+) -> str:
+    """Overlay several (name, xs, ys) series with distinct markers."""
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(s[1], dtype=float) for s in series])
+    all_y = np.concatenate([np.asarray(s[2], dtype=float) for s in series])
+    xlo, xhi = float(all_x.min()), float(all_x.max())
+    ylo, yhi = float(all_y.min()), float(all_y.max())
+    grid = _grid(width, height)
+    for idx, (_name, xs, ys) in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        # densify straight segments so lines read as lines
+        xd, yd = [], []
+        for a in range(len(x) - 1):
+            steps = max(2, width // max(1, len(x) - 1))
+            xd.extend(np.linspace(x[a], x[a + 1], steps, endpoint=False))
+            yd.extend(np.linspace(y[a], y[a + 1], steps, endpoint=False))
+        xd.append(x[-1])
+        yd.append(y[-1])
+        cols = _scale(np.asarray(xd), xlo, xhi, width)
+        rows = _scale(np.asarray(yd), ylo, yhi, height)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, (name, _, _) in enumerate(series)
+        if name
+    )
+    body = _render(grid, xlo, xhi, ylo, yhi, xlabel, ylabel, title)
+    return body + ("\n" + " " * 11 + legend if legend else "")

@@ -1,0 +1,158 @@
+"""Extension: static vs autoscaled fleets — elasticity meets accuracy.
+
+The paper's evaluation allocates statically; its related work (Section
+2.2) is all about elastic scaling.  This experiment serves a three-phase
+load (quiet -> 9x surge -> quiet) three ways:
+
+* a **static peak** fleet sized for the surge (the paper's allocation
+  style — meets the SLO always, pays for the peak always);
+* a **reactive autoscaler** on the unpruned model (pays for what it
+  uses, but the scale-out lag during the surge punishes tail latency);
+* the **autoscaler on the sweet-spot pruned model** — faster batches
+  both drain the backlog quicker *and* need fewer instances, so pruning
+  buys back most of the latency the elasticity costs.
+
+The cost/latency triangle the table shows is the paper's cost-accuracy
+trade extended with the elasticity axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.experiments.report import format_table
+from repro.pruning.base import PruneSpec
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.autoscaler import AutoscalePolicy, AutoscalingSimulator
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import ServingSimulator
+
+__all__ = ["AutoscaleRow", "AutoscaleStudy", "run", "render"]
+
+_SWEET_SPOT = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+
+
+@dataclass(frozen=True)
+class AutoscaleRow:
+    name: str
+    cost: float
+    p99_s: float
+    mean_fleet: float
+    peak_fleet: int
+    top5: float
+
+
+@dataclass(frozen=True)
+class AutoscaleStudy:
+    rows: tuple[AutoscaleRow, ...]
+
+    def row(self, name: str) -> AutoscaleRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+
+def _three_phase_load(
+    base: float, surge: float, phase_s: float, seed: int
+) -> np.ndarray:
+    quiet1 = poisson_arrivals(base, phase_s, seed=seed)
+    heavy = phase_s + poisson_arrivals(surge, phase_s, seed=seed + 1)
+    quiet2 = 2 * phase_s + poisson_arrivals(base, phase_s, seed=seed + 2)
+    return np.concatenate([quiet1, heavy, quiet2])
+
+
+@lru_cache(maxsize=1)
+def run(
+    base_rate: float = 100.0,
+    surge_rate: float = 900.0,
+    phase_s: float = 100.0,
+    peak_fleet: int = 8,
+    seed: int = 5,
+) -> AutoscaleStudy:
+    arrivals = _three_phase_load(base_rate, surge_rate, phase_s, seed)
+    itype = instance_type("p2.8xlarge")
+    policy = BatchPolicy(max_batch=32, max_wait_s=0.05)
+    autoscale = AutoscalePolicy(
+        interval_s=10.0,
+        min_instances=1,
+        max_instances=peak_fleet,
+        boot_delay_s=15.0,
+    )
+    tm, am = caffenet_time_model(), caffenet_accuracy_model()
+    rows = []
+
+    static = ServingSimulator(
+        tm,
+        am,
+        ResourceConfiguration(
+            [CloudInstance(itype) for _ in range(peak_fleet)]
+        ),
+        PruneSpec.unpruned(),
+        policy,
+    ).run(arrivals)
+    rows.append(
+        AutoscaleRow(
+            name="static peak fleet",
+            cost=static.cost,
+            p99_s=static.p99,
+            mean_fleet=float(peak_fleet),
+            peak_fleet=peak_fleet,
+            top5=static.accuracy.top5,
+        )
+    )
+
+    for name, spec in (
+        ("autoscaled, unpruned", PruneSpec.unpruned()),
+        ("autoscaled, conv1-2 pruned", _SWEET_SPOT),
+    ):
+        report = AutoscalingSimulator(
+            tm, am, itype, spec, policy, autoscale
+        ).run(arrivals)
+        rows.append(
+            AutoscaleRow(
+                name=name,
+                cost=report.cost,
+                p99_s=report.p99,
+                mean_fleet=report.mean_instances,
+                peak_fleet=report.peak_instances,
+                top5=am.accuracy(spec).top5,
+            )
+        )
+    return AutoscaleStudy(rows=tuple(rows))
+
+
+def render(result: AutoscaleStudy | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        ["Deployment", "Cost ($)", "p99 (s)", "mean fleet", "peak", "Top-5"],
+        [
+            (
+                r.name,
+                f"{r.cost:.3f}",
+                f"{r.p99_s:.2f}",
+                f"{r.mean_fleet:.2f}",
+                r.peak_fleet,
+                f"{r.top5:.0f}%",
+            )
+            for r in result.rows
+        ],
+    )
+    static = result.row("static peak fleet")
+    pruned = result.row("autoscaled, conv1-2 pruned")
+    return (
+        table
+        + f"\nautoscaling + sweet-spot pruning costs "
+        f"{pruned.cost / static.cost:.0%} of the static peak fleet"
+        f" (p99 {pruned.p99_s:.1f}s vs {static.p99_s:.1f}s)"
+    )

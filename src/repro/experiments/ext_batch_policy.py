@@ -1,0 +1,133 @@
+"""Extension: the batch-width/latency trade in online serving.
+
+The paper's Figure 5 says *bigger batches are better* — true for batch
+throughput, and exactly wrong for online tail latency: a full 128-wide
+Caffenet batch takes ~3.7 s on a K80 by itself, so no fleet size can
+meet a 2-second p99 at that width.  This study sweeps the batcher's
+maximum width at a fixed fleet and load, exposing the U-shape:
+
+* too narrow — the GPU runs far below its saturation knee, throughput
+  starves, queues build;
+* too wide — each dispatched batch is its own latency floor;
+* the sweet spot sits where one batch's service time is a small
+  fraction of the SLO while width still amortises the launch overhead.
+
+This is the serving-side counterpart of Figure 5's saturation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.experiments.report import format_table
+from repro.pruning.base import PruneSpec
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import ServingSimulator
+
+__all__ = ["BatchPolicyPoint", "BatchPolicyStudy", "run", "render"]
+
+_WIDTHS = (1, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class BatchPolicyPoint:
+    max_batch: int
+    p50_s: float
+    p99_s: float
+    mean_batch: float
+    utilisation: float
+    single_batch_service_s: float
+
+
+@dataclass(frozen=True)
+class BatchPolicyStudy:
+    rate_per_s: float
+    points: tuple[BatchPolicyPoint, ...]
+
+    def best_width(self) -> int:
+        """Width with the lowest p99."""
+        return min(self.points, key=lambda p: p.p99_s).max_batch
+
+    def point(self, width: int) -> BatchPolicyPoint:
+        for p in self.points:
+            if p.max_batch == width:
+                return p
+        raise KeyError(width)
+
+
+@lru_cache(maxsize=1)
+def run(
+    rate_per_s: float = 500.0,
+    duration_s: float = 60.0,
+    instances: int = 3,
+    seed: int = 13,
+) -> BatchPolicyStudy:
+    arrivals = poisson_arrivals(rate_per_s, duration_s, seed=seed)
+    tm, am = caffenet_time_model(), caffenet_accuracy_model()
+    itype = instance_type("p2.8xlarge")
+    config = ResourceConfiguration(
+        [CloudInstance(itype) for _ in range(instances)]
+    )
+    batching = tm.batching_model(PruneSpec.unpruned(), itype.gpu)
+    points = []
+    for width in _WIDTHS:
+        simulator = ServingSimulator(
+            tm,
+            am,
+            config,
+            PruneSpec.unpruned(),
+            BatchPolicy(max_batch=width, max_wait_s=0.02),
+        )
+        report = simulator.run(arrivals)
+        points.append(
+            BatchPolicyPoint(
+                max_batch=width,
+                p50_s=report.p50,
+                p99_s=report.p99,
+                mean_batch=report.mean_batch,
+                utilisation=report.utilisation,
+                single_batch_service_s=batching.batch_time(width),
+            )
+        )
+    return BatchPolicyStudy(rate_per_s=rate_per_s, points=tuple(points))
+
+
+def render(result: BatchPolicyStudy | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        [
+            "max batch",
+            "p50 (s)",
+            "p99 (s)",
+            "mean width",
+            "util",
+            "one-batch service (s)",
+        ],
+        [
+            (
+                p.max_batch,
+                f"{p.p50_s:.2f}",
+                f"{p.p99_s:.2f}",
+                f"{p.mean_batch:.1f}",
+                f"{p.utilisation:.2f}",
+                f"{p.single_batch_service_s:.2f}",
+            )
+            for p in result.points
+        ],
+    )
+    return (
+        f"{result.rate_per_s:.0f} req/s Poisson on 3x p2.8xlarge\n"
+        + table
+        + f"\nbest p99 at max batch = {result.best_width()} — wider pays "
+        "its own service time as a latency floor, narrower starves "
+        "throughput"
+    )

@@ -1,0 +1,88 @@
+"""Extension: fine-tuning recovery — why sweet spots are wide.
+
+The paper uses Li et al.'s pruning *tool*, which retrains after pruning;
+its measured sweet spots (flat accuracy until 30-50% pruning) are
+properties of fine-tuned models.  This experiment shows the effect for
+real on a trained small CNN: pruning alone dents accuracy well before
+the fine-tuned model does, and sparsity-preserving retraining buys the
+accuracy back — widening the sweet-spot region, which is what makes the
+paper's cost savings reachable at zero accuracy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.models import build_small_cnn
+from repro.cnn.training import SGDTrainer
+from repro.experiments.report import format_table
+from repro.pruning.finetune import RecoveryPoint, recovery_sweep
+
+__all__ = ["FinetuneRecovery", "run", "render"]
+
+
+@dataclass(frozen=True)
+class FinetuneRecovery:
+    layer: str
+    points: tuple[RecoveryPoint, ...]
+
+    @property
+    def max_recovery(self) -> float:
+        return max(p.recovered for p in self.points)
+
+    def point(self, ratio: float) -> RecoveryPoint:
+        for p in self.points:
+            if abs(p.ratio - ratio) < 1e-9:
+                return p
+        raise KeyError(ratio)
+
+
+def run(
+    layer: str = "conv2",
+    train_n: int = 400,
+    test_n: int = 200,
+    train_epochs: int = 10,
+    finetune_epochs: int = 4,
+    seed: int = 21,
+) -> FinetuneRecovery:
+    train = make_classification_data(n=train_n, num_classes=5, seed=seed)
+    test = make_classification_data(
+        n=test_n, num_classes=5, seed=seed + 1
+    )
+    network = build_small_cnn(seed=seed, width=12)
+    SGDTrainer(network, lr=0.03).fit(
+        train, epochs=train_epochs, batch_size=32
+    )
+    points = recovery_sweep(
+        network,
+        layer,
+        train,
+        test,
+        ratios=(0.0, 0.25, 0.5, 0.75),
+        epochs=finetune_epochs,
+    )
+    return FinetuneRecovery(layer=layer, points=tuple(points))
+
+
+def render(result: FinetuneRecovery | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        ["Prune ratio", "pruned only (%)", "fine-tuned (%)", "recovered"],
+        [
+            (
+                f"{p.ratio:.0%}",
+                f"{p.accuracy_pruned:.1f}",
+                f"{p.accuracy_finetuned:.1f}",
+                f"+{p.recovered:.1f}",
+            )
+            for p in result.points
+        ],
+    )
+    return (
+        f"layer: {result.layer}\n"
+        + table
+        + f"\nmax recovery: {result.max_recovery:.1f} points — retraining"
+        " widens the sweet spot, which is the regime the paper's"
+        " measurements (via Li et al.'s tool) operate in"
+    )

@@ -1,0 +1,146 @@
+"""Extension: the Pareto study the paper skipped — Googlenet, mixed fleet.
+
+Section 4.3.2 limits the configuration-space study to "the simpler
+Caffenet CNN" on p2 instances only.  This extension runs the identical
+methodology on Googlenet over a *mixed* p2 + g3 space, which adds the
+dimension the paper's own Figure 12 motivates: g3 (M60) delivers
+cheaper accuracy per dollar, so the cost frontier should be dominated
+by g3 configurations while the time frontier can mix in p2 capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.calibration.googlenet import (
+    GOOGLENET_SWEET_SPOTS,
+    googlenet_accuracy_model,
+    googlenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.core.config_space import enumerate_configurations
+from repro.core.pareto import pareto_front
+from repro.experiments.report import format_kv, format_table
+from repro.pruning.base import PruneSpec
+from repro.pruning.schedule import DegreeOfPruning
+
+__all__ = ["GooglenetPareto", "run", "render", "googlenet_variant_set"]
+
+IMAGES = 20_000_000
+DEADLINE_S = 10 * 3600.0
+BUDGET = 300.0
+
+
+def googlenet_variant_set() -> list[DegreeOfPruning]:
+    """Degrees of pruning over the six selected Googlenet layers."""
+    layers = tuple(GOOGLENET_SWEET_SPOTS)
+    variants = [DegreeOfPruning.of(PruneSpec.unpruned())]
+    for r in (0.2, 0.4, 0.6, 0.7, 0.8):
+        variants.append(DegreeOfPruning.of(PruneSpec.uniform(layers, r)))
+    for layer in layers:
+        for r in (0.3, 0.6, 0.8):
+            variants.append(DegreeOfPruning.of(PruneSpec({layer: r})))
+    # stem + strongest inner layer combos (the Googlenet conv1-2 analog)
+    for r1 in (0.3, 0.6):
+        for r2 in (0.3, 0.6, 0.8):
+            variants.append(
+                DegreeOfPruning.of(
+                    PruneSpec(
+                        {"conv1-7x7-s2": r1, "conv2-3x3": r2}
+                    )
+                )
+            )
+    return variants
+
+
+@dataclass(frozen=True)
+class GooglenetPareto:
+    total_points: int
+    n_time_feasible: int
+    n_cost_feasible: int
+    time_front: tuple[SimulationResult, ...]
+    cost_front: tuple[SimulationResult, ...]
+
+    def cost_front_categories(self) -> set[str]:
+        """Instance categories appearing on the cost frontier."""
+        return {
+            inst.itype.category
+            for r in self.cost_front
+            for inst in r.configuration.instances
+        }
+
+
+@lru_cache(maxsize=1)
+def run() -> GooglenetPareto:
+    simulator = CloudSimulator(
+        googlenet_time_model(), googlenet_accuracy_model()
+    )
+    # mixed space: the two workhorse types of each category, <= 2 each
+    types = [
+        instance_type(n)
+        for n in ("p2.8xlarge", "p2.16xlarge", "g3.8xlarge", "g3.16xlarge")
+    ]
+    configurations = enumerate_configurations(types, max_per_type=2)
+    degrees = googlenet_variant_set()
+    points = [
+        simulator.run(d.spec, c, IMAGES)
+        for d in degrees
+        for c in configurations
+    ]
+    time_feasible = [r for r in points if r.time_s <= DEADLINE_S]
+    cost_feasible = [r for r in points if r.cost <= BUDGET]
+    time_front = tuple(
+        p.payload
+        for p in pareto_front(
+            [(r.accuracy.top5, r.time_hours, r) for r in time_feasible]
+        )
+    )
+    cost_front = tuple(
+        p.payload
+        for p in pareto_front(
+            [(r.accuracy.top5, r.cost, r) for r in cost_feasible]
+        )
+    )
+    return GooglenetPareto(
+        total_points=len(points),
+        n_time_feasible=len(time_feasible),
+        n_cost_feasible=len(cost_feasible),
+        time_front=time_front,
+        cost_front=cost_front,
+    )
+
+
+def render(result: GooglenetPareto | None = None) -> str:
+    result = result or run()
+    summary = format_kv(
+        [
+            ("points evaluated", result.total_points),
+            ("feasible (10h deadline)", result.n_time_feasible),
+            ("feasible ($300 budget)", result.n_cost_feasible),
+            ("time-Pareto points", len(result.time_front)),
+            ("cost-Pareto points", len(result.cost_front)),
+            (
+                "categories on cost frontier",
+                ",".join(sorted(result.cost_front_categories())),
+            ),
+        ]
+    )
+    rows = [
+        (
+            r.spec.label(),
+            r.configuration.label(),
+            f"{r.accuracy.top5:.1f}",
+            f"{r.cost:.0f}",
+        )
+        for r in result.cost_front
+    ]
+    return (
+        summary
+        + "\n\ncost-accuracy frontier:\n"
+        + format_table(
+            ["Degree of pruning", "Configuration", "Top-5 (%)", "Cost ($)"],
+            rows,
+        )
+    )

@@ -1,0 +1,109 @@
+"""Extension: why the paper measures min-of-3 (Section 3.3).
+
+"To minimize the measurement error, we run each experiment three times
+and record the minimum time measurement."  Under the *asymmetric* noise
+of virtualised cloud GPUs (interference only ever slows a run), the
+minimum is the right estimator; this experiment quantifies it by
+replaying the same measurement campaign through the noisy time model at
+several noise levels and comparing three estimators' mean absolute
+relative error against the clean ground truth.
+
+Expected shape: ``min`` beats ``single`` and beats ``mean`` at every
+noise level, and its advantage grows with the noise — the paper's
+protocol, justified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.calibration.caffenet import caffenet_time_model
+from repro.experiments.report import format_table
+from repro.perf.device import K80
+from repro.perf.noise import NoisyTimeModel, estimator_errors
+from repro.pruning.base import PruneSpec
+
+__all__ = ["NoiseRow", "NoiseStudy", "run", "render"]
+
+
+@dataclass(frozen=True)
+class NoiseRow:
+    spread: float
+    err_single: float
+    err_mean: float
+    err_min: float
+
+    @property
+    def min_wins(self) -> bool:
+        return (
+            self.err_min <= self.err_single
+            and self.err_min <= self.err_mean
+        )
+
+
+@dataclass(frozen=True)
+class NoiseStudy:
+    rows: tuple[NoiseRow, ...]
+    runs_per_trial: int
+
+    @property
+    def protocol_always_best(self) -> bool:
+        return all(r.min_wins for r in self.rows)
+
+
+@lru_cache(maxsize=1)
+def run(
+    spreads: tuple[float, ...] = (0.02, 0.05, 0.10, 0.20),
+    trials: int = 300,
+    runs_per_trial: int = 3,
+    seed: int = 23,
+) -> NoiseStudy:
+    clean = caffenet_time_model()
+    rows = []
+    for spread in spreads:
+        noisy = NoisyTimeModel(clean, spread=spread, sigma=1.0, seed=seed)
+        errors = estimator_errors(
+            noisy,
+            PruneSpec.unpruned(),
+            50_000,
+            K80,
+            trials=trials,
+            runs_per_trial=runs_per_trial,
+        )
+        rows.append(
+            NoiseRow(
+                spread=spread,
+                err_single=errors["single"],
+                err_mean=errors["mean"],
+                err_min=errors["min"],
+            )
+        )
+    return NoiseStudy(rows=tuple(rows), runs_per_trial=runs_per_trial)
+
+
+def render(result: NoiseStudy | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        [
+            "noise spread",
+            "single-run error",
+            f"mean-of-{result.runs_per_trial} error",
+            f"min-of-{result.runs_per_trial} error (paper)",
+        ],
+        [
+            (
+                f"{r.spread:.0%}",
+                f"{r.err_single:.2%}",
+                f"{r.err_mean:.2%}",
+                f"{r.err_min:.2%}",
+            )
+            for r in result.rows
+        ],
+    )
+    verdict = (
+        "min-of-N is the best estimator at every noise level"
+        if result.protocol_always_best
+        else "WARNING: min-of-N lost somewhere"
+    )
+    return table + "\n" + verdict

@@ -1,0 +1,65 @@
+"""Extension: strong scaling of the inference workload (Amdahl on EC2).
+
+The paper positions itself in the fixed-workload/fixed-time scaling
+tradition (Section 1) but never shows a scaling curve.  This experiment
+produces it for the paper's 50 k-image Caffenet set on growing
+p2.xlarge fleets:
+
+* near-linear speedup while each shard keeps its GPU saturated;
+* efficiency decays once per-instance shards drop below the batching
+  knee (~300 parallel inferences), so time improvements flatten while
+  per-second-billed cost inflates — the fixed-workload analogue of the
+  paper's "GPU saturates around 300" observation, and the reason its
+  Eq. 3/Eq. 4 model prices large fleets fairly only for large
+  workloads.
+"""
+
+from __future__ import annotations
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.core.scaling import ScalingStudy, strong_scaling
+from repro.experiments.report import format_table
+
+__all__ = ["run", "render"]
+
+
+def run(
+    images: int = 50_000,
+    instance: str = "p2.xlarge",
+    counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+) -> ScalingStudy:
+    return strong_scaling(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        instance_type(instance),
+        images=images,
+        instance_counts=counts,
+    )
+
+
+def render(result: ScalingStudy | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        ["Instances", "Time (h)", "Cost ($)", "Speedup", "Efficiency", "Cost inflation"],
+        [
+            (
+                p.instances,
+                f"{p.time_s / 3600:.3f}",
+                f"{p.cost:.3f}",
+                f"{p.speedup:.1f}x",
+                f"{p.efficiency:.0%}",
+                f"{p.cost_inflation:+.1%}",
+            )
+            for p in result.points
+        ],
+    )
+    return (
+        f"{result.images:,} Caffenet images on N x {result.itype_name}\n"
+        + table
+        + f"\nefficient up to {result.max_efficient_instances(0.9)} "
+        "instances (>= 90% parallel efficiency)"
+    )

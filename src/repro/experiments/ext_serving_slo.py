@@ -1,0 +1,147 @@
+"""Extension: latency-SLO serving — what pruning buys online.
+
+The paper's batch-job evaluation prices *throughput*; its motivating
+example (near-real-time image filtering) is priced by *latency*.  This
+experiment serves identical bursty traffic at several degrees of pruning
+and, for each, finds the smallest p2.8xlarge fleet whose p99 latency
+meets the SLO.  Because pruned models clear batches faster, they need
+fewer GPUs for the same tail latency — pruning's cost saving is larger
+online than the batch-time fraction alone suggests (queueing amplifies
+service-time gains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.experiments.report import format_table
+from repro.pruning.base import PruneSpec
+from repro.serving.arrivals import bursty_arrivals
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import ServingSimulator
+
+__all__ = ["SLORow", "SLOStudy", "run", "render"]
+
+OPERATING_POINTS: dict[str, PruneSpec] = {
+    "nonpruned": PruneSpec.unpruned(),
+    "conv1-2 sweet spot": PruneSpec({"conv1": 0.3, "conv2": 0.5}),
+    "all-conv sweet spot": PruneSpec(
+        {"conv1": 0.3, "conv2": 0.5, "conv3": 0.5, "conv4": 0.5, "conv5": 0.5}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SLORow:
+    name: str
+    instances_needed: int
+    p99_s: float
+    utilisation: float
+    hourly_cost: float
+    top5: float
+
+
+@dataclass(frozen=True)
+class SLOStudy:
+    slo_s: float
+    rate_per_s: float
+    rows: tuple[SLORow, ...]
+
+    def row(self, name: str) -> SLORow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+
+def _fleet_report(
+    spec: PruneSpec, instances: int, arrivals, policy: BatchPolicy
+):
+    config = ResourceConfiguration(
+        [
+            CloudInstance(instance_type("p2.8xlarge"))
+            for _ in range(instances)
+        ]
+    )
+    simulator = ServingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        config,
+        spec,
+        policy,
+    )
+    return simulator.run(arrivals)
+
+
+def run(
+    rate_per_s: float = 800.0,
+    duration_s: float = 60.0,
+    slo_s: float = 2.0,
+    max_instances: int = 8,
+    seed: int = 3,
+) -> SLOStudy:
+    arrivals = bursty_arrivals(
+        rate_per_s, duration_s, burst_factor=4.0, seed=seed
+    )
+    # batch width 32 keeps a single batch's service under the SLO on a
+    # K80 (128-wide batches alone take ~3.7 s — wider is not better
+    # when latency is the objective)
+    policy = BatchPolicy(max_batch=32, max_wait_s=0.05)
+    rows = []
+    for name, spec in OPERATING_POINTS.items():
+        chosen = None
+        for n in range(1, max_instances + 1):
+            report = _fleet_report(spec, n, arrivals, policy)
+            if report.p99 <= slo_s:
+                chosen = (n, report)
+                break
+        if chosen is None:  # pragma: no cover - sized to always fit
+            chosen = (max_instances, report)
+        n, report = chosen
+        rows.append(
+            SLORow(
+                name=name,
+                instances_needed=n,
+                p99_s=report.p99,
+                utilisation=report.utilisation,
+                hourly_cost=n * instance_type("p2.8xlarge").price_per_hour,
+                top5=report.accuracy.top5,
+            )
+        )
+    return SLOStudy(slo_s=slo_s, rate_per_s=rate_per_s, rows=tuple(rows))
+
+
+def render(result: SLOStudy | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        [
+            "Operating point",
+            "p2.8xlarge needed",
+            "p99 (s)",
+            "util",
+            "$/hour",
+            "Top-5 (%)",
+        ],
+        [
+            (
+                r.name,
+                r.instances_needed,
+                f"{r.p99_s:.2f}",
+                f"{r.utilisation:.2f}",
+                f"{r.hourly_cost:.2f}",
+                f"{r.top5:.0f}",
+            )
+            for r in result.rows
+        ],
+    )
+    return (
+        f"bursty feed at {result.rate_per_s:.0f} req/s, p99 SLO "
+        f"{result.slo_s:.1f}s\n" + table
+    )

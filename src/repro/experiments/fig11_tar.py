@@ -1,0 +1,99 @@
+"""Figure 11: time-accuracy of degrees of pruning, labelled with TAR.
+
+Paper setup (Section 4.5.1): Caffenet on one p2.xlarge, conv1 swept
+0-40% and conv2 swept 0-50% in 10% steps inside their sweet-spot regions
+(a 5x6 grid of degrees), each point labelled with its TAR.  For any
+accuracy, the degree with the lowest TAR is the one delivering that
+accuracy in the least time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator
+from repro.experiments.report import format_table
+from repro.pruning.schedule import multi_layer_grid
+
+__all__ = ["Fig11Point", "Fig11Result", "run", "render"]
+
+#: The grid of Figure 11: conv1 0-40%, conv2 0-50%, 10% increments.
+CONV1_RATIOS = (0.0, 0.1, 0.2, 0.3, 0.4)
+CONV2_RATIOS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class Fig11Point:
+    label: str
+    time_min: float
+    top1: float
+    top5: float
+    tar_top1: float
+    tar_top5: float
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    points: tuple[Fig11Point, ...]
+
+    def best_by_tar(self, metric: str = "top5") -> Fig11Point:
+        key = (
+            (lambda p: p.tar_top1)
+            if metric == "top1"
+            else (lambda p: p.tar_top5)
+        )
+        return min(self.points, key=key)
+
+
+def run(images: int = 50_000) -> Fig11Result:
+    simulator = CloudSimulator(
+        caffenet_time_model(), caffenet_accuracy_model()
+    )
+    config = ResourceConfiguration(
+        [CloudInstance(instance_type("p2.xlarge"))]
+    )
+    degrees = multi_layer_grid(
+        {"conv1": CONV1_RATIOS, "conv2": CONV2_RATIOS}
+    )
+    points = []
+    for degree in degrees:
+        res = simulator.run(degree.spec, config, images)
+        points.append(
+            Fig11Point(
+                label=degree.label,
+                time_min=res.time_s / 60.0,
+                top1=res.accuracy.top1,
+                top5=res.accuracy.top5,
+                tar_top1=res.tar("top1"),
+                tar_top5=res.tar("top5"),
+            )
+        )
+    return Fig11Result(points=tuple(points))
+
+
+def render(result: Fig11Result | None = None) -> str:
+    result = result or run()
+    rows = [
+        (
+            p.label,
+            f"{p.time_min:.2f}",
+            f"{p.top1:.1f}",
+            f"{p.top5:.1f}",
+            f"{p.tar_top1:.3f}",
+            f"{p.tar_top5:.3f}",
+        )
+        for p in sorted(result.points, key=lambda p: -p.top5)
+    ]
+    table = format_table(
+        ["Degree", "Time (min)", "Top-1", "Top-5", "TAR(top1)", "TAR(top5)"],
+        rows,
+    )
+    best = result.best_by_tar("top5")
+    return table + f"\nlowest TAR(top5): {best.label} ({best.tar_top5:.3f})"

@@ -1,0 +1,131 @@
+"""Figure 12: Caffenet CAR across the six EC2 resource types.
+
+Paper setup (Section 4.5.2): Caffenet with conv1 and conv2 pruned 20%,
+run on each of the six instance types, once using all GPUs and once
+using a single GPU.  Paper findings:
+
+* CAR is approximately constant *within* a resource category (per-GPU
+  pricing is flat within p2 and within g3);
+* CAR differs *across* categories — p2 ~= $0.57 vs g3 ~= $0.35 per unit
+  accuracy with all GPUs — making g3 the cost-efficient choice.
+
+Our absolute CAR values inherit the calibrated 19-minute anchor; the
+category-flatness and the p2/g3 ratio (0.57/0.35 ~= 1.63) are the
+reproduction targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import EC2_CATALOG
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator
+from repro.experiments.report import format_table
+from repro.pruning.base import PruneSpec
+
+__all__ = ["Fig12Row", "Fig12Result", "run", "render", "FIG12_SPEC"]
+
+#: Section 4.5.2: first two convolution layers pruned by 20%.
+FIG12_SPEC = PruneSpec({"conv1": 0.2, "conv2": 0.2})
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    instance: str
+    category: str
+    car_all_gpus_top1: float
+    car_all_gpus_top5: float
+    car_one_gpu_top1: float
+    car_one_gpu_top5: float
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    rows: tuple[Fig12Row, ...]
+
+    def category_mean(self, category: str, mode: str = "all") -> float:
+        """Mean Top-1 CAR of one category (the bar height of Figure 12)."""
+        cars = [
+            r.car_all_gpus_top1 if mode == "all" else r.car_one_gpu_top1
+            for r in self.rows
+            if r.category == category
+        ]
+        return sum(cars) / len(cars)
+
+    def category_ratio(self, mode: str = "all") -> float:
+        """p2 CAR / g3 CAR — the paper's ~0.57/0.35 ~= 1.63."""
+        return self.category_mean("p2", mode) / self.category_mean(
+            "g3", mode
+        )
+
+    def within_category_spread(self, category: str) -> float:
+        """Relative spread of all-GPU CAR within one category."""
+        cars = [
+            r.car_all_gpus_top1
+            for r in self.rows
+            if r.category == category
+        ]
+        return (max(cars) - min(cars)) / min(cars)
+
+
+def run(images: int = 50_000) -> Fig12Result:
+    simulator = CloudSimulator(
+        caffenet_time_model(), caffenet_accuracy_model()
+    )
+    rows = []
+    for itype in EC2_CATALOG:
+        res_all = simulator.run(
+            FIG12_SPEC,
+            ResourceConfiguration([CloudInstance(itype)]),
+            images,
+        )
+        res_one = simulator.run(
+            FIG12_SPEC,
+            ResourceConfiguration([CloudInstance(itype, gpus_used=1)]),
+            images,
+        )
+        rows.append(
+            Fig12Row(
+                instance=itype.name,
+                category=itype.category,
+                car_all_gpus_top1=res_all.car("top1"),
+                car_all_gpus_top5=res_all.car("top5"),
+                car_one_gpu_top1=res_one.car("top1"),
+                car_one_gpu_top5=res_one.car("top5"),
+            )
+        )
+    return Fig12Result(rows=tuple(rows))
+
+
+def render(result: Fig12Result | None = None) -> str:
+    result = result or run()
+    table = format_table(
+        [
+            "Resource type",
+            "CAR all-GPU (top1)",
+            "CAR all-GPU (top5)",
+            "CAR 1-GPU (top1)",
+            "CAR 1-GPU (top5)",
+        ],
+        [
+            (
+                r.instance,
+                f"{r.car_all_gpus_top1:.3f}",
+                f"{r.car_all_gpus_top5:.3f}",
+                f"{r.car_one_gpu_top1:.3f}",
+                f"{r.car_one_gpu_top5:.3f}",
+            )
+            for r in result.rows
+        ],
+    )
+    return (
+        table
+        + f"\np2/g3 CAR ratio (all GPUs): "
+        f"{result.category_ratio('all'):.2f} (paper: 0.57/0.35 = 1.63)"
+    )

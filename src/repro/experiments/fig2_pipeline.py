@@ -1,0 +1,132 @@
+"""Figure 2: the three-stage approach, executed end to end.
+
+The paper's Figure 2 is its methodology diagram — application
+characterization feeding measurements feeding the model + Pareto
+optimization.  This artefact *runs* the diagram via
+:class:`~repro.core.pipeline.CostAccuracyPipeline` on Caffenet and
+prints each stage's output: the characterization fingerprint, the
+measurement table (the "list of degrees of pruning with their inference
+time, cost, TAR, and CAR" of Section 3.3), and the Pareto stage's
+feasible/front counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import (
+    CAFFENET_TIME_SHARES,
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import P2_TYPES
+from repro.core.config_space import enumerate_configurations
+from repro.core.pipeline import Characterization, CostAccuracyPipeline
+from repro.experiments.report import format_kv, format_table
+from repro.perf.measurement import MeasurementRecord
+from repro.pruning.schedule import DegreeOfPruning, single_layer_sweep
+
+__all__ = ["Fig2Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    characterization: Characterization
+    measurements: tuple[MeasurementRecord, ...]
+    n_points: int
+    n_feasible: int
+    n_pareto_time: int
+    n_pareto_cost: int
+
+
+def run(images: int = 50_000) -> Fig2Result:
+    pipeline = CostAccuracyPipeline(
+        caffenet_time_model(), caffenet_accuracy_model()
+    )
+    # stage 1: characterization
+    characterization = pipeline.characterize(CAFFENET_TIME_SHARES)
+    # stage 2: measurements over a degrees-of-pruning ladder
+    degrees = single_layer_sweep("conv2") + single_layer_sweep("conv1")
+    seen: set[str] = set()
+    unique: list[DegreeOfPruning] = []
+    for d in degrees:
+        if d.label not in seen:
+            seen.add(d.label)
+            unique.append(d)
+    measurements = tuple(pipeline.measure(unique, images))
+    # stage 3: model + Pareto over a configuration space
+    configurations = enumerate_configurations(P2_TYPES, max_per_type=2)
+    points = pipeline.explore(
+        unique,
+        configurations,
+        images=20_000_000,
+        deadline_s=10 * 3600.0,
+        budget=300.0,
+    )
+    feasible = pipeline.feasible(points)
+    time_front = pipeline.pareto(points, objective="time", metric="top5")
+    cost_front = pipeline.pareto(points, objective="cost", metric="top5")
+    return Fig2Result(
+        characterization=characterization,
+        measurements=measurements,
+        n_points=len(points),
+        n_feasible=len(feasible),
+        n_pareto_time=len(time_front),
+        n_pareto_cost=len(cost_front),
+    )
+
+
+def render(result: Fig2Result | None = None) -> str:
+    result = result or run()
+    ch = result.characterization
+    stage1 = format_kv(
+        [
+            ("single inference (s)", f"{ch.single_inference_s:.3f}"),
+            (
+                "single inference, 90% pruned (s)",
+                f"{ch.single_inference_pruned_s:.3f}",
+            ),
+            ("GPU saturation batch", ch.saturation_batch),
+            (
+                "heaviest layers",
+                ", ".join(
+                    f"{l} {s:.0%}"
+                    for l, s in sorted(
+                        ch.layer_time_shares.items(),
+                        key=lambda kv: -kv[1],
+                    )[:2]
+                ),
+            ),
+        ]
+    )
+    rows = [
+        (
+            r.label,
+            f"{r.time_s / 60:.2f}",
+            f"{r.cost:.3f}",
+            f"{r.top5:.1f}",
+            f"{r.tar('top5'):.3f}",
+            f"{r.car('top5'):.3f}",
+        )
+        for r in result.measurements[:8]
+    ]
+    stage2 = format_table(
+        ["Degree", "Time (min)", "Cost ($)", "Top-5", "TAR", "CAR"],
+        rows,
+    )
+    stage3 = format_kv(
+        [
+            ("configuration points", result.n_points),
+            ("feasible (T' and C')", result.n_feasible),
+            ("time-accuracy Pareto points", result.n_pareto_time),
+            ("cost-accuracy Pareto points", result.n_pareto_cost),
+        ]
+    )
+    return (
+        "== stage 1: application characterization ==\n"
+        + stage1
+        + "\n\n== stage 2: measurements (first rows) ==\n"
+        + stage2
+        + "\n\n== stage 3: model + Pareto optimization ==\n"
+        + stage3
+    )

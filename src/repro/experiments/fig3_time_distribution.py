@@ -1,0 +1,74 @@
+"""Figure 3: Caffenet execution-time distribution across CNN layers.
+
+Paper result: conv1 51%, conv2 16%, conv3 9%, conv4 10%, conv5 7% of
+inference time; fully-connected and auxiliary layers make up the small
+remainder.
+
+We regenerate the distribution from the roofline latency model *fitted
+to the paper's measured shares* (the measurement-driven calibration
+step), then verify two model-independent structural claims on the raw
+engine stats: convolutions dominate, and the fc layers are cheap despite
+holding >90% of the parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import CAFFENET_TIME_SHARES
+from repro.cnn.models import CAFFENET_CONV_LAYERS, build_caffenet
+from repro.cnn.network import Network
+from repro.experiments.report import format_table
+from repro.perf.device import K80
+from repro.perf.latency import RooflineLatencyModel, fit_layer_scales
+
+__all__ = ["Fig3Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Layer time shares (model) plus structural cross-checks (engine)."""
+
+    shares: dict[str, float]
+    conv_share: float
+    fc_share: float
+    fc_param_fraction: float
+
+
+def run(network: Network | None = None) -> Fig3Result:
+    """Regenerate the Figure 3 distribution."""
+    network = network or build_caffenet(init="const")
+    base = RooflineLatencyModel(K80)
+    scales = fit_layer_scales(network, base, CAFFENET_TIME_SHARES)
+    fitted = RooflineLatencyModel(K80, layer_scales=scales)
+    dist = fitted.time_distribution(network)
+
+    conv_share = sum(dist[l] for l in CAFFENET_CONV_LAYERS)
+    fc_share = sum(dist[l] for l in ("fc1", "fc2", "fc3"))
+    params = {
+        name: stats.params for name, stats in network.layer_stats().items()
+    }
+    total_params = sum(params.values())
+    fc_params = params["fc1"] + params["fc2"] + params["fc3"]
+    return Fig3Result(
+        shares=dist,
+        conv_share=conv_share,
+        fc_share=fc_share,
+        fc_param_fraction=fc_params / total_params,
+    )
+
+
+def render(result: Fig3Result | None = None) -> str:
+    result = result or run()
+    interesting = [
+        (layer, f"{share * 100:.1f}%")
+        for layer, share in result.shares.items()
+        if share >= 0.005
+    ]
+    table = format_table(["Layer", "Time share"], interesting)
+    summary = (
+        f"\nconvolutions: {result.conv_share * 100:.1f}% of time"
+        f" | fc layers: {result.fc_share * 100:.1f}% of time"
+        f" but {result.fc_param_fraction * 100:.1f}% of parameters"
+    )
+    return table + summary

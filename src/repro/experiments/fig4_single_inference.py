@@ -1,0 +1,82 @@
+"""Figure 4: time for a single inference vs uniform prune ratio.
+
+Paper result: pruning all convolution layers uniformly from 0% to 90%
+drops a single Caffenet inference from 0.09 s to 0.05 s (about half) and
+a single Googlenet inference from 0.16 s to 0.10 s (about a third off) —
+evidence that "inference performance has not hit the wall".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import caffenet_time_model
+from repro.calibration.googlenet import (
+    GOOGLENET_SWEET_SPOTS,
+    googlenet_time_model,
+)
+from repro.cnn.models import CAFFENET_CONV_LAYERS
+from repro.experiments.report import format_table
+from repro.perf.device import K80
+from repro.pruning.base import PruneSpec
+from repro.pruning.schedule import DEFAULT_RATIOS
+
+__all__ = ["Fig4Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Single-inference seconds per uniform prune ratio, both CNNs."""
+
+    ratios: tuple[float, ...]
+    caffenet_s: tuple[float, ...]
+    googlenet_s: tuple[float, ...]
+
+    @property
+    def caffenet_reduction(self) -> float:
+        return 1.0 - self.caffenet_s[-1] / self.caffenet_s[0]
+
+    @property
+    def googlenet_reduction(self) -> float:
+        return 1.0 - self.googlenet_s[-1] / self.googlenet_s[0]
+
+
+def run(ratios: tuple[float, ...] = DEFAULT_RATIOS) -> Fig4Result:
+    caffe_tm = caffenet_time_model()
+    google_tm = googlenet_time_model()
+    google_layers = tuple(GOOGLENET_SWEET_SPOTS)
+    caffe, google = [], []
+    for r in ratios:
+        caffe.append(
+            caffe_tm.single_inference(
+                PruneSpec.uniform(CAFFENET_CONV_LAYERS, r), K80
+            )
+        )
+        google.append(
+            google_tm.single_inference(
+                PruneSpec.uniform(google_layers, r), K80
+            )
+        )
+    return Fig4Result(
+        ratios=tuple(ratios),
+        caffenet_s=tuple(caffe),
+        googlenet_s=tuple(google),
+    )
+
+
+def render(result: Fig4Result | None = None) -> str:
+    result = result or run()
+    rows = [
+        (f"{r * 100:.0f}%", f"{c:.4f}", f"{g:.4f}")
+        for r, c, g in zip(
+            result.ratios, result.caffenet_s, result.googlenet_s
+        )
+    ]
+    table = format_table(
+        ["Prune ratio", "Caffenet (s)", "Googlenet (s)"], rows
+    )
+    return (
+        table
+        + f"\nCaffenet reduction: {result.caffenet_reduction * 100:.0f}%"
+        + f" | Googlenet reduction: {result.googlenet_reduction * 100:.0f}%"
+    )

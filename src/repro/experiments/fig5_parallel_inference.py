@@ -1,0 +1,77 @@
+"""Figure 5: total time vs number of parallel inferences on one GPU.
+
+Paper result: on a p2.xlarge (K80), total time for the 50 000-image
+workload falls steadily with the number of parallel inferences and
+"saturates around 300", after which additional parallelism buys little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.caffenet import caffenet_time_model
+from repro.calibration.googlenet import googlenet_time_model
+from repro.experiments.report import format_table
+from repro.perf.device import K80
+from repro.pruning.base import PruneSpec
+
+__all__ = ["Fig5Result", "run", "render", "DEFAULT_BATCHES"]
+
+DEFAULT_BATCHES: tuple[int, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 150, 200, 300, 400, 600, 800,
+    1000, 1200, 1400, 1600, 1800, 2000,
+)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Total seconds for the 50k workload per parallel-inference count."""
+
+    batches: tuple[int, ...]
+    caffenet_s: tuple[float, ...]
+    googlenet_s: tuple[float, ...]
+    caffenet_knee: int
+    googlenet_knee: int
+
+    def saturation_ratio(self, series: str = "caffenet") -> float:
+        """Remaining improvement available past the 300-inference knee."""
+        ys = self.caffenet_s if series == "caffenet" else self.googlenet_s
+        at_knee = float(np.interp(300, self.batches, ys))
+        return (at_knee - ys[-1]) / ys[-1]
+
+
+def run(
+    images: int = 50_000, batches: tuple[int, ...] = DEFAULT_BATCHES
+) -> Fig5Result:
+    spec = PruneSpec.unpruned()
+    caffe_bm = caffenet_time_model().batching_model(spec, K80)
+    google_bm = googlenet_time_model().batching_model(spec, K80)
+    caffe = tuple(caffe_bm.total_time(images, b) for b in batches)
+    google = tuple(google_bm.total_time(images, b) for b in batches)
+    return Fig5Result(
+        batches=tuple(batches),
+        caffenet_s=caffe,
+        googlenet_s=google,
+        caffenet_knee=caffe_bm.knee_batch(),
+        googlenet_knee=google_bm.knee_batch(),
+    )
+
+
+def render(result: Fig5Result | None = None) -> str:
+    result = result or run()
+    rows = [
+        (b, f"{c:.0f}", f"{g:.0f}")
+        for b, c, g in zip(
+            result.batches, result.caffenet_s, result.googlenet_s
+        )
+    ]
+    table = format_table(
+        ["Parallel inferences", "Caffenet (s)", "Googlenet (s)"], rows
+    )
+    return (
+        table
+        + f"\nsaturation knee: caffenet={result.caffenet_knee}, "
+        f"googlenet={result.googlenet_knee} parallel inferences"
+    )

@@ -1,0 +1,115 @@
+"""Figure 6: Caffenet per-layer pruning sweeps (time, Top-1, Top-5).
+
+Paper results reproduced here:
+
+* near-linear time decrease for all five layers; conv2 strongest
+  (19 -> 14 min), conv1 weakest (19 -> 16.6 min);
+* Observation 1 (sweet spots): accuracy flat until a per-layer knee
+  (conv1 at 30%, others at 50%), then a gradual drop;
+* Observation 2: conv1's accuracy collapses to 0% Top-5 at 90% while
+  other layers bottom out near 25%, and the impact ordering does not
+  follow the layers' parameter counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.cloud.simulator import CloudSimulator
+from repro.cnn.models import CAFFENET_CONV_LAYERS
+from repro.core.sweet_spot import SweetSpotRegion, find_sweet_spot
+from repro.experiments.report import format_table
+from repro.pruning.base import PruneSpec
+from repro.pruning.schedule import DEFAULT_RATIOS
+
+__all__ = ["LayerSweep", "Fig6Result", "run", "render", "sweep_layer"]
+
+
+@dataclass(frozen=True)
+class LayerSweep:
+    """One subplot: a single layer's (time, top1, top5) response."""
+
+    layer: str
+    ratios: tuple[float, ...]
+    time_min: tuple[float, ...]
+    top1: tuple[float, ...]
+    top5: tuple[float, ...]
+    sweet_spot: SweetSpotRegion
+
+
+def sweep_layer(
+    simulator: CloudSimulator,
+    layer: str,
+    images: int = 50_000,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    instance: str = "p2.xlarge",
+) -> LayerSweep:
+    """Single-layer sweep on one reference instance."""
+    config = ResourceConfiguration([CloudInstance(instance_type(instance))])
+    times, top1s, top5s = [], [], []
+    for r in ratios:
+        res = simulator.run(PruneSpec({layer: r}), config, images)
+        times.append(res.time_s / 60.0)
+        top1s.append(res.accuracy.top1)
+        top5s.append(res.accuracy.top5)
+    region = find_sweet_spot(layer, ratios, top5s, times)
+    return LayerSweep(
+        layer=layer,
+        ratios=tuple(ratios),
+        time_min=tuple(times),
+        top1=tuple(top1s),
+        top5=tuple(top5s),
+        sweet_spot=region,
+    )
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    sweeps: tuple[LayerSweep, ...]
+
+    def sweep(self, layer: str) -> LayerSweep:
+        for s in self.sweeps:
+            if s.layer == layer:
+                return s
+        raise KeyError(layer)
+
+
+def run(images: int = 50_000) -> Fig6Result:
+    simulator = CloudSimulator(
+        caffenet_time_model(), caffenet_accuracy_model()
+    )
+    return Fig6Result(
+        sweeps=tuple(
+            sweep_layer(simulator, layer, images=images)
+            for layer in CAFFENET_CONV_LAYERS
+        )
+    )
+
+
+def render(result: Fig6Result | None = None) -> str:
+    result = result or run()
+    blocks = []
+    for sweep in result.sweeps:
+        rows = [
+            (f"{r * 100:.0f}%", f"{t:.2f}", f"{a1:.1f}", f"{a5:.1f}")
+            for r, t, a1, a5 in zip(
+                sweep.ratios, sweep.time_min, sweep.top1, sweep.top5
+            )
+        ]
+        table = format_table(
+            ["Prune", "Time (min)", "Top-1 (%)", "Top-5 (%)"], rows
+        )
+        blocks.append(
+            f"== {sweep.layer} (last sweet spot: "
+            f"{sweep.sweet_spot.last_sweet_spot * 100:.0f}%, saving "
+            f"{sweep.sweet_spot.time_reduction * 100:.1f}% time) ==\n"
+            + table
+        )
+    return "\n\n".join(blocks)

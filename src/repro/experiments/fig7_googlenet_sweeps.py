@@ -1,0 +1,65 @@
+"""Figure 7: Googlenet per-layer pruning sweeps (six selected layers).
+
+Paper results reproduced here: for the selected layers (two stem
+convolutions and four inception-branch convolutions) accuracy stays flat
+until ~60% pruning while time decreases; ``conv2-3x3`` has the strongest
+time impact (13 -> 9 min, ~30%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration.googlenet import (
+    googlenet_accuracy_model,
+    googlenet_time_model,
+)
+from repro.cloud.simulator import CloudSimulator
+from repro.cnn.models import GOOGLENET_SELECTED_LAYERS
+from repro.experiments.fig6_caffenet_sweeps import LayerSweep, sweep_layer
+from repro.experiments.report import format_table
+
+__all__ = ["Fig7Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    sweeps: tuple[LayerSweep, ...]
+
+    def sweep(self, layer: str) -> LayerSweep:
+        for s in self.sweeps:
+            if s.layer == layer:
+                return s
+        raise KeyError(layer)
+
+
+def run(images: int = 50_000) -> Fig7Result:
+    simulator = CloudSimulator(
+        googlenet_time_model(), googlenet_accuracy_model()
+    )
+    return Fig7Result(
+        sweeps=tuple(
+            sweep_layer(simulator, layer, images=images)
+            for layer in GOOGLENET_SELECTED_LAYERS
+        )
+    )
+
+
+def render(result: Fig7Result | None = None) -> str:
+    result = result or run()
+    blocks = []
+    for sweep in result.sweeps:
+        rows = [
+            (f"{r * 100:.0f}%", f"{t:.2f}", f"{a1:.1f}", f"{a5:.1f}")
+            for r, t, a1, a5 in zip(
+                sweep.ratios, sweep.time_min, sweep.top1, sweep.top5
+            )
+        ]
+        blocks.append(
+            f"== {sweep.layer} (last sweet spot: "
+            f"{sweep.sweet_spot.last_sweet_spot * 100:.0f}%) ==\n"
+            + format_table(
+                ["Prune", "Time (min)", "Top-1 (%)", "Top-5 (%)"], rows
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,81 @@
+"""Figure 9: impact of accuracy on cloud execution time (Pareto study).
+
+Paper results (Observation 4 / Section 4.3.3): with a 10-hour deadline
+for one million Caffenet inferences over the p2 configuration space
+there are 7 654 feasible configurations; five are Pareto-optimal for
+each accuracy metric, spanning Top-1 27-53% / Top-5 45-78% and 3-5 hours;
+picking the Pareto-optimal configuration at the highest accuracy halves
+execution time versus other configurations with the same accuracy.
+
+(The paper does not publish its exact 60 pruned variants, so the
+feasible-set cardinality differs; the structural findings — a large
+feasible set, a small multi-point Pareto frontier, and ~50% time saving
+at the best accuracy — are the reproduction targets.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configuration_study import (
+    STUDY_DEADLINE_S,
+    ParetoStudy,
+    pareto_study,
+)
+from repro.experiments.report import format_kv, format_table
+
+__all__ = ["Fig9Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    top1: ParetoStudy
+    top5: ParetoStudy
+
+
+def run(deadline_s: float = STUDY_DEADLINE_S) -> Fig9Result:
+    return Fig9Result(
+        top1=pareto_study("time", "top1", deadline_s=deadline_s),
+        top5=pareto_study("time", "top5", deadline_s=deadline_s),
+    )
+
+
+def _render_study(study: ParetoStudy) -> str:
+    acc_lo, acc_hi = study.accuracy_range
+    t_lo, t_hi = study.objective_range
+    summary = format_kv(
+        [
+            ("points evaluated", study.total_points),
+            ("feasible within deadline", study.n_feasible),
+            ("Pareto-optimal", study.n_pareto),
+            (f"{study.metric} range (%)", f"{acc_lo:.1f} - {acc_hi:.1f}"),
+            ("time range (h)", f"{t_lo:.2f} - {t_hi:.2f}"),
+            (
+                "time saving at best accuracy",
+                f"{study.saving_at_best_accuracy() * 100:.0f}%",
+            ),
+        ]
+    )
+    rows = [
+        (
+            r.spec.label(),
+            r.configuration.label(),
+            f"{r.accuracy.get(study.metric):.1f}",
+            f"{r.time_hours:.2f}",
+        )
+        for r in study.front
+    ]
+    return summary + "\n" + format_table(
+        ["Degree of pruning", "Configuration", f"{study.metric} (%)", "Time (h)"],
+        rows,
+    )
+
+
+def render(result: Fig9Result | None = None) -> str:
+    result = result or run()
+    return (
+        "== (a) Top-1 ==\n"
+        + _render_study(result.top1)
+        + "\n\n== (b) Top-5 ==\n"
+        + _render_study(result.top5)
+    )

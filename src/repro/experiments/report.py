@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment outputs.
+
+Benchmarks and EXPERIMENTS.md need aligned, diff-friendly text — no
+plotting dependencies are available offline, and the paper's "rows and
+series" are what we compare against anyway.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_kv", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace-aligned table with a header rule."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Sequence[tuple[str, object]]) -> str:
+    """Aligned ``key: value`` block."""
+    width = max(len(k) for k, _ in pairs) if pairs else 0
+    return "\n".join(f"{k.ljust(width)} : {_fmt(v)}" for k, v in pairs)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """One figure series as two aligned columns."""
+    rows = list(zip(xs, ys))
+    return f"# {name}\n" + format_table(["x", "y"], rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

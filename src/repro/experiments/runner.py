@@ -1,0 +1,141 @@
+"""Experiment registry: run the whole evaluation in one call.
+
+``run_all()`` regenerates every table and figure and returns rendered
+outputs keyed by artefact id — the data EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["ExperimentOutput", "EXPERIMENTS", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentOutput:
+    """One regenerated artefact."""
+
+    artefact: str
+    title: str
+    text: str
+
+
+def _tables1() -> str:
+    from repro.experiments.tables import render_table1
+
+    return render_table1()
+
+
+def _tables3() -> str:
+    from repro.experiments.tables import render_table3
+
+    return render_table3()
+
+
+def _fig(module_name: str) -> Callable[[], str]:
+    def runner() -> str:
+        import importlib
+
+        module = importlib.import_module(
+            f"repro.experiments.{module_name}"
+        )
+        return module.render()
+
+    return runner
+
+
+#: artefact id -> (title, renderer)
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "table1": ("Caffenet layers", _tables1),
+    "table3": ("EC2 cloud resource types", _tables3),
+    "fig2": ("The three-stage approach, executed", _fig("fig2_pipeline")),
+    "fig3": ("Execution time distribution", _fig("fig3_time_distribution")),
+    "fig4": ("Time for a single inference", _fig("fig4_single_inference")),
+    "fig5": ("Parallel inference on a GPU", _fig("fig5_parallel_inference")),
+    "fig6": ("Caffenet individual-layer pruning", _fig("fig6_caffenet_sweeps")),
+    "fig7": ("Googlenet individual-layer pruning", _fig("fig7_googlenet_sweeps")),
+    "fig8": ("Caffenet multi-layer pruning", _fig("fig8_multilayer")),
+    "fig9": ("Impact of accuracy on execution time", _fig("fig9_time_pareto")),
+    "fig10": ("Impact of accuracy on cloud cost", _fig("fig10_cost_pareto")),
+    "fig11": ("Time-accuracy with TAR", _fig("fig11_tar")),
+    "fig12": ("CAR across resource types", _fig("fig12_car")),
+    "algorithm1": ("Greedy vs brute-force allocation", _fig("algorithm1")),
+    "ext-techniques": (
+        "Extension: pruning vs quantization vs weight sharing (real)",
+        _fig("ext_technique_comparison"),
+    ),
+    "ext-googlenet-pareto": (
+        "Extension: Googlenet Pareto study over mixed p2+g3 space",
+        _fig("ext_googlenet_pareto"),
+    ),
+    "ext-finetune": (
+        "Extension: fine-tuning recovery widens sweet spots (real)",
+        _fig("ext_finetune_recovery"),
+    ),
+    "ext-serving-slo": (
+        "Extension: latency-SLO serving under bursty traffic",
+        _fig("ext_serving_slo"),
+    ),
+    "ext-sensitivity": (
+        "Extension: sensitivity of conclusions to fitted constants",
+        _fig("ext_sensitivity"),
+    ),
+    "ext-split": (
+        "Extension: even (Eq. 4) vs proportional workload split at scale",
+        _fig("ext_split_pareto"),
+    ),
+    "ext-scaling": (
+        "Extension: strong scaling of the inference workload",
+        _fig("ext_scaling"),
+    ),
+    "ext-autoscale": (
+        "Extension: static vs autoscaled fleets under surge load",
+        _fig("ext_autoscale"),
+    ),
+    "ext-real-pipeline": (
+        "Extension: the whole methodology with zero paper constants",
+        _fig("ext_real_pipeline"),
+    ),
+    "ext-criteria": (
+        "Extension: L1 vs L2 vs random pruning criteria (real)",
+        _fig("ext_criterion_comparison"),
+    ),
+    "ext-batch-policy": (
+        "Extension: batch-width vs tail latency in online serving",
+        _fig("ext_batch_policy"),
+    ),
+    "ext-noise": (
+        "Extension: the min-of-3 measurement protocol, justified",
+        _fig("ext_noise_protocol"),
+    ),
+}
+
+
+def run_all(
+    only: tuple[str, ...] | None = None,
+) -> list[ExperimentOutput]:
+    """Regenerate all (or selected) artefacts."""
+    outputs = []
+    for artefact, (title, renderer) in EXPERIMENTS.items():
+        if only is not None and artefact not in only:
+            continue
+        outputs.append(
+            ExperimentOutput(
+                artefact=artefact, title=title, text=renderer()
+            )
+        )
+    return outputs
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import sys
+
+    only = tuple(sys.argv[1:]) or None
+    for output in run_all(only):
+        print(f"\n{'=' * 72}\n{output.artefact}: {output.title}\n{'=' * 72}")
+        print(output.text)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

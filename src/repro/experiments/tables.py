@@ -1,0 +1,111 @@
+"""Tables 1 and 3: Caffenet layer inventory and the EC2 catalog.
+
+Table 1 is *generated from the engine*: the rows come from the built
+Caffenet network's actual layer geometry, so any architecture drift from
+the paper's table fails the comparison test rather than being hidden by
+hard-coded strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.catalog import EC2_CATALOG
+from repro.cnn.conv import ConvLayer
+from repro.cnn.dense import DenseLayer
+from repro.cnn.models import build_caffenet
+from repro.cnn.network import Network
+from repro.experiments.report import format_table
+
+__all__ = [
+    "Table1Row",
+    "table1_caffenet_layers",
+    "render_table1",
+    "table3_catalog_rows",
+    "render_table3",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    layer: str
+    size: str
+    num_filters: str
+    filter_size: str
+
+
+def table1_caffenet_layers(network: Network | None = None) -> list[Table1Row]:
+    """Regenerate Table 1 from the engine's Caffenet architecture."""
+    network = network or build_caffenet(init="const")
+    rows = [
+        Table1Row(
+            layer="input",
+            size="x".join(str(d) for d in reversed(network.input_shape)),
+            num_filters="-",
+            filter_size="-",
+        )
+    ]
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            out = layer.output_shape(network.input_shape_of(layer.name))
+            c, h, w = out
+            k, _, depth = layer.filter_shape
+            rows.append(
+                Table1Row(
+                    layer=layer.name,
+                    size=f"{h}x{w}x{c}",
+                    num_filters=str(layer.out_channels),
+                    filter_size=f"{k}x{k}x{depth}",
+                )
+            )
+        elif isinstance(layer, DenseLayer):
+            rows.append(
+                Table1Row(
+                    layer=layer.name,
+                    size=str(layer.out_features),
+                    num_filters="-",
+                    filter_size="-",
+                )
+            )
+    return rows
+
+
+def render_table1(rows: list[Table1Row] | None = None) -> str:
+    rows = rows or table1_caffenet_layers()
+    return format_table(
+        ["Layer", "Size", "Number of Filters", "Filter Size"],
+        [(r.layer, r.size, r.num_filters, r.filter_size) for r in rows],
+    )
+
+
+def table3_catalog_rows() -> list[tuple]:
+    """The paper's Table 3 straight from the catalog module."""
+    return [
+        (
+            t.name,
+            t.vcpus,
+            t.gpus,
+            t.memory_gb,
+            t.gpu_memory_gb,
+            t.price_per_hour,
+            t.gpu.name,
+        )
+        for t in EC2_CATALOG
+    ]
+
+
+def render_table3() -> str:
+    return format_table(
+        [
+            "Instance Type",
+            "vCPUs",
+            "GPUs",
+            "Mem (GB)",
+            "GPU Mem (GB)",
+            "Price ($/hr)",
+            "GPU Type",
+        ],
+        table3_catalog_rows(),
+    )

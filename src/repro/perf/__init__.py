@@ -1,0 +1,31 @@
+"""GPU performance models.
+
+The paper measures CNN inference on virtualised EC2 GPUs (NVIDIA K80 and
+M60).  Without that hardware we model it, in three parts:
+
+* :mod:`repro.perf.device` — device descriptions (cores, memory,
+  bandwidth, peak compute) for the two GPU types of the paper's Table 3;
+* :mod:`repro.perf.latency` — a roofline per-layer latency model driven by
+  the CNN engine's FLOP/byte accounting, plus the calibrated whole-network
+  time model used by the cloud simulator;
+* :mod:`repro.perf.batching` — the parallel-inference saturation model
+  behind Figure 5 (GPU saturates around 300 concurrent inferences);
+* :mod:`repro.perf.measurement` — the paper's measurement protocol
+  (three runs, keep the minimum) and measurement records.
+"""
+
+from repro.perf.batching import BatchingModel
+from repro.perf.device import K80, M60, GPUDevice
+from repro.perf.latency import CalibratedTimeModel, RooflineLatencyModel
+from repro.perf.measurement import MeasurementRecord, measure_min
+
+__all__ = [
+    "BatchingModel",
+    "CalibratedTimeModel",
+    "GPUDevice",
+    "K80",
+    "M60",
+    "MeasurementRecord",
+    "RooflineLatencyModel",
+    "measure_min",
+]

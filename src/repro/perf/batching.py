@@ -1,0 +1,100 @@
+"""Parallel-inference (batch-size) saturation model — Figure 5.
+
+The paper measures total time for a fixed workload while growing the
+number of parallel inferences ``b`` on one K80, observing a gradual
+decline that flattens around ``b ~= 300``.  We model the per-image time as
+
+    t(b) = t_sat * (1 + k / sqrt(b))            for b <= b_max
+
+a rational-saturation law: at ``b = 1`` the image pays the full kernel
+launch / underutilisation overhead (``t(1) = t_sat * (1 + k)``); overhead
+amortises like ``1/sqrt(b)`` as independent inferences share the device;
+and by ``b ~ 300`` the curve is within a few percent of its floor, which
+is the saturation knee the paper reports.  ``k`` is calibrated from the
+paper's single-inference (0.09 s) and 50k-image (19 min => 22.8 ms/image)
+Caffenet anchors: ``k = 0.09 / 0.0228 - 1 ~= 2.95``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BatchingModel"]
+
+
+@dataclass(frozen=True)
+class BatchingModel:
+    """Per-image inference time as a function of batch size.
+
+    Attributes
+    ----------
+    t_saturated:
+        Asymptotic per-image seconds at full GPU utilisation.
+    overhead_k:
+        Dimensionless overhead coefficient (see module docstring).
+    saturation_batch:
+        Batch size at which the device is considered saturated; the
+        paper's experimentally-determined value is 300 for the K80.
+    """
+
+    t_saturated: float
+    overhead_k: float = 2.95
+    saturation_batch: int = 300
+
+    def __post_init__(self) -> None:
+        if self.t_saturated <= 0:
+            raise ValueError("t_saturated must be positive")
+        if self.overhead_k < 0:
+            raise ValueError("overhead_k must be non-negative")
+
+    # ------------------------------------------------------------------
+    def per_image_time(self, batch: int | np.ndarray) -> float | np.ndarray:
+        """Seconds per image when ``batch`` inferences run in parallel."""
+        b = np.asarray(batch, dtype=float)
+        if np.any(b < 1):
+            raise ValueError("batch must be >= 1")
+        t = self.t_saturated * (1.0 + self.overhead_k / np.sqrt(b))
+        return float(t) if np.isscalar(batch) else t
+
+    def batch_time(self, batch: int) -> float:
+        """Seconds to finish one batch of ``batch`` images."""
+        return self.per_image_time(batch) * batch
+
+    def total_time(self, images: int, batch: int) -> float:
+        """Seconds to infer ``images`` at batch width up to ``batch``.
+
+        The batch count ``n = ceil(W / b)`` follows the paper's Eq. 3;
+        batches are then *balanced* (width ``ceil(W / n)``) the way any
+        real serving loop packs a fixed workload — otherwise a workload
+        slightly above a multiple of the maximum batch pays for a nearly
+        empty final launch, which would wrongly penalise many-GPU
+        instances in the CAR comparison (Figure 12).
+        """
+        if images < 1:
+            raise ValueError("images must be >= 1")
+        n_batches = -(-images // batch)
+        balanced = -(-images // n_batches)
+        return n_batches * self.batch_time(balanced)
+
+    # ------------------------------------------------------------------
+    def utilisation(self, batch: int) -> float:
+        """Fraction of peak throughput achieved at ``batch``."""
+        return self.t_saturated / self.per_image_time(batch)
+
+    def is_saturated(self, batch: int, threshold: float = 0.85) -> bool:
+        """True once utilisation reaches ``threshold`` (defaults to the
+        level the model reaches at the paper's 300-inference knee)."""
+        return self.utilisation(batch) >= threshold
+
+    def knee_batch(self, threshold: float = 0.85) -> int:
+        """Smallest batch with utilisation >= ``threshold``.
+
+        Closed form from the saturation law:
+        ``b = (k * u / (1 - u))^2`` at utilisation ``u``.
+        """
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        b = (self.overhead_k * threshold / (1.0 - threshold)) ** 2
+        return max(1, int(np.ceil(b)))

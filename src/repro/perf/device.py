@@ -1,0 +1,85 @@
+"""GPU device models for the two accelerators in the paper's Table 3.
+
+``K80`` (Kepler GK210, p2 instances) and ``M60`` (Maxwell GM204, g3
+instances) carry their public hardware specifications plus one calibrated
+quantity: ``inference_speedup`` — per-GPU CNN inference throughput relative
+to the K80.  The paper never states it directly, but its Figure 12 CAR
+values (p2 ≈ $0.57, g3 ≈ $0.35 per unit accuracy, with p2 costing
+$0.90/GPU-h and g3 $1.14/GPU-h) imply
+
+    t_K80 / t_M60 = (CAR_p2 / CAR_g3) x (price_g3 / price_p2)
+                  = (0.57 / 0.35) x (1.14 / 0.90) ~= 2.06
+
+i.e. the newer M60 delivers roughly twice the inference throughput per
+GPU, which matches its higher clocks and single-precision efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUDevice", "K80", "M60", "DEVICE_BY_NAME"]
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """One physical (virtualised) GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"NVIDIA K80"``.
+    cuda_cores:
+        Parallel cores — the paper quotes 2496 (K80) and 2048 (M60).
+    memory_gb:
+        Device memory per GPU, bounds the maximum inference batch.
+    bandwidth_gbs:
+        Peak memory bandwidth (GB/s), the roofline memory ceiling.
+    peak_gflops:
+        Peak single-precision GFLOP/s, the roofline compute ceiling.
+    inference_speedup:
+        Calibrated CNN-inference throughput relative to the K80
+        (see module docstring).
+    """
+
+    name: str
+    cuda_cores: int
+    memory_gb: float
+    bandwidth_gbs: float
+    peak_gflops: float
+    inference_speedup: float = 1.0
+
+    def max_batch(self, per_image_mb: float, model_mb: float = 0.0) -> int:
+        """Largest inference batch fitting in device memory.
+
+        The paper's symbol ``b_i`` — "max parallel inference (batch size)
+        of i" (Table 2).  A fixed 10% of memory is reserved for runtime
+        overheads, mirroring framework allocator headroom.
+        """
+        if per_image_mb <= 0:
+            raise ValueError("per_image_mb must be positive")
+        usable_mb = self.memory_gb * 1024 * 0.9 - model_mb
+        return max(1, int(usable_mb / per_image_mb))
+
+
+#: Kepler GK210 (one of the two dies on a K80 board) — p2 instances.
+K80 = GPUDevice(
+    name="NVIDIA K80",
+    cuda_cores=2496,
+    memory_gb=12.0,
+    bandwidth_gbs=240.0,
+    peak_gflops=2800.0,
+    inference_speedup=1.0,
+)
+
+#: Maxwell GM204 — g3 instances.
+M60 = GPUDevice(
+    name="NVIDIA M60",
+    cuda_cores=2048,
+    memory_gb=8.0,
+    bandwidth_gbs=160.0,
+    peak_gflops=4800.0,
+    inference_speedup=2.06,
+)
+
+DEVICE_BY_NAME: dict[str, GPUDevice] = {"K80": K80, "M60": M60}

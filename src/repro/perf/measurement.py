@@ -1,0 +1,79 @@
+"""Measurement protocol and records (paper Section 3.3).
+
+"To minimize the measurement error, we run each experiment three times
+and record the minimum time measurement" — :func:`measure_min` implements
+exactly that for real (engine) measurements, and
+:class:`MeasurementRecord` is the tuple the measurement phase outputs:
+"a list of degrees of pruning with their inference time, cost, TAR, and
+CAR".
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.pruning.base import PruneSpec
+
+__all__ = ["measure_min", "MeasurementRecord"]
+
+
+def measure_min(
+    fn: Callable[[], object], repeats: int = 3
+) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (min seconds, last result)."""
+    if repeats < 1:
+        raise MeasurementError("repeats must be >= 1")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One measured application configuration (degree of pruning).
+
+    Times are seconds, cost is dollars, accuracies are percent;
+    TAR/CAR use hours and accuracy fractions per the paper's Figure 11/12
+    conventions (``TAR = t / a`` with ``a`` in [0, 1]).
+    """
+
+    spec: PruneSpec
+    time_s: float
+    cost: float
+    top1: float
+    top5: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0 or self.cost < 0:
+            raise MeasurementError("time and cost must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def time_hours(self) -> float:
+        return self.time_s / 3600.0
+
+    def tar(self, metric: str = "top5") -> float:
+        """Time Accuracy Ratio (hours per unit accuracy)."""
+        from repro.core.metrics import tar
+
+        acc = self.top1 if metric == "top1" else self.top5
+        return tar(self.time_hours, acc / 100.0)
+
+    def car(self, metric: str = "top5") -> float:
+        """Cost Accuracy Ratio (dollars per unit accuracy)."""
+        from repro.core.metrics import car
+
+        acc = self.top1 if metric == "top1" else self.top5
+        return car(self.cost, acc / 100.0)
+
+    @property
+    def label(self) -> str:
+        return self.spec.label()

@@ -1,0 +1,45 @@
+"""Pruning: the paper's accuracy-tuning knob.
+
+The paper varies CNN inference accuracy with the L1-norm filter pruning of
+Li et al. 2016 [17], executed on a sparse-matrix Caffe fork [31].  This
+subpackage provides:
+
+* :class:`~repro.pruning.base.PruneSpec` — a "degree of pruning" *p* in the
+  paper's set *P*: per-layer prune ratios;
+* :class:`~repro.pruning.l1_filter.L1FilterPruner` — whole-filter removal
+  ranked by L1 norm, with optional propagation of the removed feature maps
+  into the successor layer's input channels;
+* :class:`~repro.pruning.magnitude.MagnitudePruner` — element-wise
+  magnitude pruning (baseline comparator);
+* :mod:`~repro.pruning.schedule` — sweep/grid generators producing the
+  degrees-of-pruning sets behind Figures 4, 6-11;
+* :mod:`~repro.pruning.sparse` — CSR sparse-compute path standing in for
+  the sparse Caffe fork, with the density crossover study.
+"""
+
+from repro.pruning.base import PruneSpec, Pruner
+from repro.pruning.l1_filter import L1FilterPruner
+from repro.pruning.magnitude import MagnitudePruner
+from repro.pruning.quantization import QuantizationTuner
+from repro.pruning.schedule import (
+    DegreeOfPruning,
+    multi_layer_grid,
+    single_layer_sweep,
+    uniform_sweep,
+)
+from repro.pruning.sparse import SparseExecutor
+from repro.pruning.weight_sharing import WeightSharingTuner
+
+__all__ = [
+    "DegreeOfPruning",
+    "L1FilterPruner",
+    "MagnitudePruner",
+    "PruneSpec",
+    "Pruner",
+    "QuantizationTuner",
+    "SparseExecutor",
+    "WeightSharingTuner",
+    "multi_layer_grid",
+    "single_layer_sweep",
+    "uniform_sweep",
+]

@@ -1,0 +1,91 @@
+"""Prune-then-retrain: the full Li et al. 2016 recipe.
+
+The pruning tool the paper uses [17] does not just zero filters — it
+*retrains* the pruned network so the surviving weights compensate.  The
+paper's measured sweet spots therefore reflect fine-tuned models.  This
+module closes that loop for the really-executable small networks:
+:func:`prune_and_finetune` applies a pruner and then runs
+sparsity-preserving SGD (pruned weights are clamped at zero every step),
+and :func:`recovery_sweep` measures how much accuracy fine-tuning buys
+back at each prune ratio — the mechanism that *creates* wide sweet
+spots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnn.datasets import SyntheticImages
+from repro.cnn.network import Network
+from repro.cnn.training import SGDTrainer, evaluate_topk
+from repro.pruning.base import PruneSpec, Pruner
+from repro.pruning.l1_filter import L1FilterPruner
+
+__all__ = ["prune_and_finetune", "recovery_sweep", "RecoveryPoint"]
+
+
+def prune_and_finetune(
+    network: Network,
+    spec: PruneSpec,
+    train: SyntheticImages,
+    pruner: Pruner | None = None,
+    epochs: int = 3,
+    lr: float = 0.01,
+    batch_size: int = 32,
+) -> Network:
+    """Prune ``network`` per ``spec`` and retrain the survivors.
+
+    Returns a new network; the original is untouched.  The fine-tuning
+    pass cannot resurrect pruned weights (their zero pattern is
+    preserved), exactly like the sparse retraining of Li et al.
+    """
+    pruner = pruner or L1FilterPruner(propagate=True)
+    pruned = pruner.apply(network, spec)
+    if epochs > 0:
+        trainer = SGDTrainer(pruned, lr=lr, preserve_zeros=True)
+        trainer.fit(train, epochs=epochs, batch_size=batch_size)
+    return pruned
+
+
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """Accuracy with and without fine-tuning at one prune ratio."""
+
+    ratio: float
+    accuracy_pruned: float
+    accuracy_finetuned: float
+
+    @property
+    def recovered(self) -> float:
+        """Percentage points of accuracy bought back by retraining."""
+        return self.accuracy_finetuned - self.accuracy_pruned
+
+
+def recovery_sweep(
+    network: Network,
+    layer: str,
+    train: SyntheticImages,
+    test: SyntheticImages,
+    ratios: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75),
+    epochs: int = 3,
+    lr: float = 0.01,
+) -> list[RecoveryPoint]:
+    """Measure fine-tuning's accuracy recovery across prune ratios."""
+    pruner = L1FilterPruner(propagate=True)
+    points = []
+    for ratio in ratios:
+        spec = PruneSpec({layer: ratio})
+        pruned = pruner.apply(network, spec)
+        acc_pruned = evaluate_topk(pruned, test, k=1) * 100.0
+        tuned = prune_and_finetune(
+            network, spec, train, pruner=pruner, epochs=epochs, lr=lr
+        )
+        acc_tuned = evaluate_topk(tuned, test, k=1) * 100.0
+        points.append(
+            RecoveryPoint(
+                ratio=ratio,
+                accuracy_pruned=acc_pruned,
+                accuracy_finetuned=acc_tuned,
+            )
+        )
+    return points

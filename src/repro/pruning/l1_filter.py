@@ -1,0 +1,177 @@
+"""Filter pruning (Li et al. 2016) — the paper's pruning tool.
+
+Filters (output-channel kernel slices) of a convolution are ranked by a
+saliency criterion; the lowest-ranked fraction is zeroed whole.  Zeroing
+a filter makes its output feature map constant, so the weights any
+*successor* layer applies to that map are dead too — with
+``propagate=True`` (default) those successor input channels are also
+zeroed, which is what makes pruning one layer speed up the next and is the
+"dependency among CNN layers" the paper's Section 4.3.2 studies.
+
+Criteria: the paper uses Li et al.'s **L1** norm; **L2** is the common
+variant (Anwar et al. [3] explore richer scoring); **random** is the
+control every saliency criterion must beat (see the criterion-comparison
+extension experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.conv import ConvLayer
+from repro.cnn.dense import DenseLayer, Flatten
+from repro.cnn.inception import InceptionModule
+from repro.cnn.network import Network
+from repro.errors import PruningError
+from repro.pruning.base import Pruner
+
+__all__ = ["L1FilterPruner", "filters_to_prune"]
+
+
+def filters_to_prune(
+    weights: np.ndarray,
+    ratio: float,
+    criterion: str = "l1",
+    seed: int = 0,
+) -> np.ndarray:
+    """Indices of the ``ratio`` fraction of lowest-saliency filters.
+
+    ``weights`` has filters along axis 0 (conv kernels or dense rows).
+    Uses round-half-down on the count so a 50% ratio of 96 filters prunes
+    exactly 48.  Ties are broken by filter index for determinism.
+
+    ``criterion``: ``"l1"`` (the paper's, Li et al.), ``"l2"``, or
+    ``"random"`` (seeded control).
+    """
+    n_filters = weights.shape[0]
+    count = int(round(ratio * n_filters))
+    if count == 0:
+        return np.empty(0, dtype=np.intp)
+    flat = weights.reshape(n_filters, -1)
+    if criterion == "l1":
+        scores = np.abs(flat).sum(axis=1)
+    elif criterion == "l2":
+        scores = np.square(flat).sum(axis=1)
+    elif criterion == "random":
+        scores = np.random.default_rng(seed).permutation(n_filters).astype(
+            float
+        )
+    else:
+        raise PruningError(
+            f"unknown criterion {criterion!r}; use l1, l2 or random"
+        )
+    # stable argsort => deterministic tie-breaking by index
+    return np.argsort(scores, kind="stable")[:count]
+
+
+class L1FilterPruner(Pruner):
+    """Whole-filter pruning ranked by a saliency criterion (default L1).
+
+    Parameters
+    ----------
+    propagate:
+        Also zero the successor layer's weights that consume the removed
+        feature maps.  Propagation follows the top-level layer chain
+        through shape-preserving layers (ReLU, pooling, LRN, flatten) and
+        handles Caffenet's grouped convolutions; it stops at inception
+        modules, whose branches are pruned individually by name instead.
+    criterion:
+        ``"l1"`` (Li et al., the paper's tool), ``"l2"`` or ``"random"``.
+    seed:
+        Permutation seed for the random criterion.
+    """
+
+    def __init__(
+        self,
+        propagate: bool = True,
+        criterion: str = "l1",
+        seed: int = 0,
+    ) -> None:
+        if criterion not in ("l1", "l2", "random"):
+            raise PruningError(f"unknown criterion {criterion!r}")
+        self.propagate = propagate
+        self.criterion = criterion
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def prune_layer(
+        self, network: Network, layer_name: str, ratio: float
+    ) -> None:
+        layer = network.layer(layer_name)
+        if isinstance(layer, ConvLayer):
+            dead = filters_to_prune(
+                layer.weights, ratio, self.criterion, self.seed
+            )
+            layer.weights[dead] = 0.0
+            layer.bias[dead] = 0.0
+            if self.propagate and dead.size:
+                self._propagate(network, layer, dead)
+        elif isinstance(layer, DenseLayer):
+            dead = filters_to_prune(
+                layer.weights, ratio, self.criterion, self.seed
+            )
+            layer.weights[dead] = 0.0
+            layer.bias[dead] = 0.0
+        else:
+            raise PruningError(
+                f"layer {layer_name!r} of type {type(layer).__name__} "
+                "is not filter-prunable"
+            )
+
+    # ------------------------------------------------------------------
+    def _propagate(
+        self, network: Network, pruned: ConvLayer, dead: np.ndarray
+    ) -> None:
+        """Zero successor weights reading the killed feature maps."""
+        successor = self._find_successor(network, pruned.name)
+        if successor is None:
+            return
+        if isinstance(successor, ConvLayer):
+            self._zero_conv_inputs(successor, dead)
+        elif isinstance(successor, tuple):  # (dense, channel_block_size)
+            dense, block = successor
+            cols = (
+                dead[:, None] * block + np.arange(block)[None, :]
+            ).ravel()
+            dense.weights[:, cols] = 0.0
+
+    @staticmethod
+    def _zero_conv_inputs(conv: ConvLayer, dead: np.ndarray) -> None:
+        """Zero ``conv``'s weights on dead input channels (group-aware)."""
+        icg = conv.in_channels // conv.groups
+        ocg = conv.out_channels // conv.groups
+        for ch in dead:
+            group, local = divmod(int(ch), icg)
+            if group >= conv.groups:
+                continue  # channel out of range (defensive)
+            conv.weights[group * ocg : (group + 1) * ocg, local] = 0.0
+
+    @staticmethod
+    def _find_successor(network: Network, layer_name: str):
+        """Next weight-bearing consumer of ``layer_name``'s feature maps.
+
+        Returns a :class:`ConvLayer`, a ``(DenseLayer, block_size)`` pair
+        when the maps are flattened first, or ``None`` when the consumer
+        cannot be identified (inception module, end of network, or the
+        pruned conv is *inside* an inception module).
+        """
+        top_names = [layer.name for layer in network.layers]
+        if layer_name not in top_names:
+            return None  # inner inception conv; handled per-branch
+        idx = top_names.index(layer_name)
+        flatten_shape: tuple[int, ...] | None = None
+        for follower, shape in zip(
+            network.layers[idx + 1 :], network._shapes[idx + 1 : -1]
+        ):
+            if isinstance(follower, ConvLayer):
+                return follower
+            if isinstance(follower, InceptionModule):
+                return None
+            if isinstance(follower, Flatten):
+                flatten_shape = shape  # input shape of the flatten
+            elif isinstance(follower, DenseLayer):
+                if flatten_shape is None or len(flatten_shape) != 3:
+                    return None
+                _, h, w = flatten_shape
+                return (follower, h * w)
+        return None

@@ -1,0 +1,48 @@
+"""Element-wise magnitude pruning.
+
+The baseline comparator to filter pruning: zero the smallest-magnitude
+fraction of individual weights.  It reaches the same density as filter
+pruning but scatters zeros irregularly, which is why sparse libraries
+speed it up less (see the sparse-crossover ablation,
+``benchmarks/test_ablation_sparse.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layers import WeightedLayer
+from repro.cnn.network import Network
+from repro.errors import PruningError
+from repro.pruning.base import Pruner
+
+__all__ = ["MagnitudePruner", "magnitude_mask"]
+
+
+def magnitude_mask(weights: np.ndarray, ratio: float) -> np.ndarray:
+    """Boolean mask, True where a weight should be *kept*.
+
+    Zeros the ``ratio`` fraction of entries with smallest ``|w|``;
+    deterministic tie-breaking by flat index.
+    """
+    count = int(round(ratio * weights.size))
+    if count == 0:
+        return np.ones(weights.shape, dtype=bool)
+    order = np.argsort(np.abs(weights), axis=None, kind="stable")
+    mask = np.ones(weights.size, dtype=bool)
+    mask[order[:count]] = False
+    return mask.reshape(weights.shape)
+
+
+class MagnitudePruner(Pruner):
+    """Zero the smallest-magnitude ``ratio`` of each targeted layer."""
+
+    def prune_layer(
+        self, network: Network, layer_name: str, ratio: float
+    ) -> None:
+        layer = network.layer(layer_name)
+        if not isinstance(layer, WeightedLayer):
+            raise PruningError(
+                f"layer {layer_name!r} has no weights to prune"
+            )
+        layer.weights *= magnitude_mask(layer.weights, ratio)

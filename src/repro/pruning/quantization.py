@@ -1,0 +1,101 @@
+"""Weight quantization — the paper's first alternative accuracy knob.
+
+Section 2.1: "Quantization [7, 32] is used to change the length of
+variables that hold CNN parameters ... This has a direct impact on the
+memory usage of the application.  Quantization improves the execution
+time if there is hardware support for higher speed computations with
+shorter bit representation."
+
+:class:`QuantizationTuner` applies uniform affine (range-symmetric)
+quantization per layer: weights are snapped to ``2^bits`` evenly spaced
+levels spanning the layer's weight range, then *dequantized* back to
+float32 so the engine can execute them (fake quantization, the standard
+evaluation technique).  Following the paper, the memory footprint
+shrinks with the bit width while execution time is unchanged — our
+simulated K80/M60 have no low-precision fast path, exactly the situation
+the paper describes.
+
+The extension experiment (``experiments/ext_technique_comparison``)
+compares this against pruning and weight sharing on a really-trained
+network.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cnn.layers import DTYPE, WeightedLayer
+from repro.cnn.network import Network
+from repro.errors import PruningError
+
+__all__ = ["QuantizationTuner", "quantize_array", "quantized_model_bytes"]
+
+
+def quantize_array(weights: np.ndarray, bits: int) -> np.ndarray:
+    """Fake-quantize to ``2^bits`` uniform levels over the value range.
+
+    Returns a float32 array whose values lie on the quantization grid;
+    an all-equal input is returned unchanged (its range is empty).
+    """
+    if not 1 <= bits <= 32:
+        raise PruningError(f"bits must be in [1, 32], got {bits}")
+    lo = float(weights.min())
+    hi = float(weights.max())
+    if hi <= lo:
+        return weights.astype(DTYPE, copy=True)
+    levels = (1 << bits) - 1
+    scale = (hi - lo) / levels
+    q = np.round((weights - lo) / scale)
+    return (q * scale + lo).astype(DTYPE)
+
+
+def quantized_model_bytes(network: Network, bits: int) -> int:
+    """Model size in bytes at ``bits`` per weight (plus float32 biases
+    and one per-layer (lo, scale) pair for dequantization)."""
+    total = 0
+    for layer in network.weighted_layers():
+        total += (layer.weights.size * bits + 7) // 8
+        total += layer.bias.size * 4
+        total += 8  # lo + scale as float32
+    return total
+
+
+@dataclass(frozen=True)
+class QuantizationTuner:
+    """Quantize every weighted layer to ``bits``-bit weights.
+
+    Unlike pruning there is no per-layer ratio; the bit width is the
+    single knob (the paper's example: 64-bit parameters re-represented
+    in 32 bits).
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 32:
+            raise PruningError(f"bits must be in [1, 32], got {self.bits}")
+
+    def apply(self, network: Network, inplace: bool = False) -> Network:
+        """Produce the quantized version of ``network``."""
+        target = network if inplace else copy.deepcopy(network)
+        for layer in target.weighted_layers():
+            layer.weights[...] = quantize_array(layer.weights, self.bits)
+        return target
+
+    def model_bytes(self, network: Network) -> int:
+        """Stored model size after quantization."""
+        return quantized_model_bytes(network, self.bits)
+
+    def compression_ratio(self, network: Network) -> float:
+        """float32 size / quantized size."""
+        dense = sum(
+            (layer.weights.size + layer.bias.size) * 4
+            for layer in network.weighted_layers()
+        )
+        return dense / self.model_bytes(network)
+
+    def label(self) -> str:
+        return f"quant@{self.bits}bit"

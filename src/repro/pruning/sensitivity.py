@@ -1,0 +1,89 @@
+"""Per-layer pruning-sensitivity scanning.
+
+The paper's Observation 2: a layer's pruning impact "does not directly
+correlate with convolution layer parameter values" — conv4 holds the
+most compute yet conv1 dominates the accuracy response.  So a
+practitioner cannot pick layers by size; they must *scan*.  This module
+is that tool for really-executable networks: probe-prune every
+prunable layer at a probe ratio, measure the true accuracy drop and the
+effective-FLOP saving, and rank.
+
+The ranking feeds directly into schedule construction: prune the layers
+with the best saving-per-accuracy-point first (a per-layer analogue of
+the paper's TAR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnn.datasets import SyntheticImages
+from repro.cnn.network import Network
+from repro.cnn.training import evaluate_topk
+from repro.pruning.base import PruneSpec
+from repro.pruning.l1_filter import L1FilterPruner
+
+__all__ = ["LayerSensitivity", "scan_sensitivity", "rank_layers"]
+
+
+@dataclass(frozen=True)
+class LayerSensitivity:
+    """One layer's response to a probe prune."""
+
+    layer: str
+    probe_ratio: float
+    accuracy_drop: float
+    flop_saving: float
+    params: int
+
+    @property
+    def saving_per_point(self) -> float:
+        """Fractional FLOPs saved per accuracy point lost (higher =
+        better pruning target); infinite for free layers."""
+        if self.accuracy_drop <= 0:
+            return float("inf")
+        return self.flop_saving / self.accuracy_drop
+
+
+def scan_sensitivity(
+    network: Network,
+    data: SyntheticImages,
+    probe_ratio: float = 0.5,
+    layers: list[str] | None = None,
+    k: int = 1,
+) -> list[LayerSensitivity]:
+    """Probe-prune each layer alone and measure the real response."""
+    pruner = L1FilterPruner(propagate=True)
+    target_layers = layers or network.conv_layer_names()
+    baseline_acc = evaluate_topk(network, data, k=k) * 100.0
+    baseline_flops = network.total_stats().flops
+    out = []
+    params = {
+        layer.name: layer.weights.size + layer.bias.size
+        for layer in network.weighted_layers()
+    }
+    for name in target_layers:
+        pruned = pruner.apply(network, PruneSpec({name: probe_ratio}))
+        acc = evaluate_topk(pruned, data, k=k) * 100.0
+        flops = pruned.total_stats(effective=True).flops
+        out.append(
+            LayerSensitivity(
+                layer=name,
+                probe_ratio=probe_ratio,
+                accuracy_drop=max(0.0, baseline_acc - acc),
+                flop_saving=1.0 - flops / baseline_flops,
+                params=params.get(name, 0),
+            )
+        )
+    return out
+
+
+def rank_layers(
+    sensitivities: list[LayerSensitivity],
+) -> list[LayerSensitivity]:
+    """Best pruning targets first (most saving per accuracy point;
+    ties broken by absolute FLOP saving)."""
+    return sorted(
+        sensitivities,
+        key=lambda s: (-s.saving_per_point, -s.flop_saving),
+    )

@@ -1,0 +1,150 @@
+"""CSR sparse execution path — stand-in for the sparse Caffe fork [31].
+
+The paper runs pruned models on "an extended version of Caffe framework
+for efficient sparse matrix computation".  Here the same role is played by
+SciPy CSR matrices: a pruned layer's weight matrix is converted once, and
+the layer's GEMM becomes a sparse-dense product.  :class:`SparseExecutor`
+wraps a network and runs its weighted layers through this path, which lets
+tests assert numerical equivalence with the dense engine and lets the
+sparse-crossover ablation measure at what density sparse wins.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+
+from repro.cnn.conv import ConvLayer, im2col
+from repro.cnn.dense import DenseLayer
+from repro.cnn.inception import InceptionModule
+from repro.cnn.layers import DTYPE
+from repro.cnn.network import Network
+
+__all__ = ["SparseExecutor", "sparse_vs_dense_time", "layer_density_profile"]
+
+
+class SparseExecutor:
+    """Run a network with CSR weights for its conv/dense layers.
+
+    Weight matrices are converted to CSR lazily on first use and cached;
+    call :meth:`invalidate` after mutating weights (e.g. re-pruning).
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._cache: dict[str, list[sparse.csr_matrix]] = {}
+
+    def invalidate(self) -> None:
+        """Drop cached CSR matrices (weights changed)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _csr_for_conv(self, layer: ConvLayer) -> list[sparse.csr_matrix]:
+        if layer.name not in self._cache:
+            ocg = layer.out_channels // layer.groups
+            mats = []
+            for gi in range(layer.groups):
+                wmat = layer.weights[gi * ocg : (gi + 1) * ocg].reshape(
+                    ocg, -1
+                )
+                mats.append(sparse.csr_matrix(wmat))
+            self._cache[layer.name] = mats
+        return self._cache[layer.name]
+
+    def _csr_for_dense(self, layer: DenseLayer) -> list[sparse.csr_matrix]:
+        if layer.name not in self._cache:
+            self._cache[layer.name] = [sparse.csr_matrix(layer.weights)]
+        return self._cache[layer.name]
+
+    # ------------------------------------------------------------------
+    def _conv_forward(self, layer: ConvLayer, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_c, out_h, out_w = layer.output_shape((c, h, w))
+        g = layer.groups
+        icg = layer.in_channels // g
+        ocg = layer.out_channels // g
+        mats = self._csr_for_conv(layer)
+        out = np.empty((n, out_c, out_h * out_w), dtype=DTYPE)
+        for gi in range(g):
+            xs = x[:, gi * icg : (gi + 1) * icg]
+            cols, _, _ = im2col(xs, layer.kernel, layer.stride, layer.pad)
+            # CSR @ dense must be 2-D: fold batch into the column axis.
+            folded = cols.transpose(1, 0, 2).reshape(cols.shape[1], -1)
+            prod = mats[gi] @ folded  # (ocg, n*hw)
+            out[:, gi * ocg : (gi + 1) * ocg] = (
+                prod.reshape(ocg, n, -1).transpose(1, 0, 2)
+            )
+        out += layer.bias[None, :, None]
+        return out.reshape(n, out_c, out_h, out_w)
+
+    def _dense_forward(self, layer: DenseLayer, x: np.ndarray) -> np.ndarray:
+        (mat,) = self._csr_for_dense(layer)
+        return np.asarray((mat @ x.T).T) + layer.bias
+
+    def _inception_forward(
+        self, module: InceptionModule, x: np.ndarray
+    ) -> np.ndarray:
+        """Inception module with every inner convolution on CSR."""
+        relu = module._relu.forward
+        conv = self._conv_forward
+        y1 = relu(conv(module.b1, x))
+        y2 = relu(conv(module.b2, relu(conv(module.b2_reduce, x))))
+        y3 = relu(conv(module.b3, relu(conv(module.b3_reduce, x))))
+        y4 = relu(conv(module.b4, module.pool.forward(x)))
+        return module._concat.forward([y1, y2, y3, y4])
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Full-network inference using the sparse path where applicable."""
+        for layer in self.network.layers:
+            if isinstance(layer, ConvLayer):
+                x = self._conv_forward(layer, x)
+            elif isinstance(layer, DenseLayer):
+                x = self._dense_forward(layer, x)
+            elif isinstance(layer, InceptionModule):
+                x = self._inception_forward(layer, x)
+            else:
+                x = layer.forward(x)
+        return x
+
+
+def sparse_vs_dense_time(
+    rows: int,
+    cols: int,
+    density: float,
+    batch: int = 64,
+    repeats: int = 3,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Wall-clock seconds for one (rows x cols) GEMM, dense vs CSR.
+
+    Returns ``(dense_seconds, sparse_seconds)``, each the minimum of
+    ``repeats`` runs — the paper's own measurement protocol (Section 3.3).
+    Used by the sparse-crossover ablation to locate the density below
+    which the sparse library pays off.
+    """
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((rows, cols)).astype(DTYPE)
+    mask = rng.random((rows, cols)) < density
+    w *= mask
+    x = rng.standard_normal((cols, batch)).astype(DTYPE)
+    ws = sparse.csr_matrix(w)
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    return best(lambda: w @ x), best(lambda: ws @ x)
+
+
+def layer_density_profile(network: Network) -> dict[str, float]:
+    """Density of every weighted layer — sparsity introspection helper."""
+    return {
+        layer.name: layer.density() for layer in network.weighted_layers()
+    }

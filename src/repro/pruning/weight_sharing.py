@@ -1,0 +1,110 @@
+"""Weight sharing — the paper's second alternative accuracy knob.
+
+Section 2.1: "weight sharing [1] is a technique to cluster parameters in
+CNNs together based on a 'closeness' measure.  Multiple parameters that
+have values close to each other would be reduced to one parameter.  This
+also has a direct impact on the memory and storage usage of the CNN
+rather than the execution time."
+
+:class:`WeightSharingTuner` clusters each layer's weights into
+``clusters`` groups with a 1-D Lloyd's (k-means) iteration seeded at
+value quantiles, then replaces every weight by its cluster centroid.
+Stored size becomes a per-layer codebook of centroids plus a
+``log2(clusters)``-bit index per weight.  Execution time is unchanged,
+matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cnn.layers import DTYPE
+from repro.cnn.network import Network
+from repro.errors import PruningError
+
+__all__ = ["WeightSharingTuner", "share_weights", "shared_model_bytes"]
+
+
+def share_weights(
+    weights: np.ndarray, clusters: int, iterations: int = 8
+) -> np.ndarray:
+    """Cluster values into ``clusters`` centroids (1-D k-means).
+
+    Returns a float32 array with every entry replaced by its centroid.
+    Degenerate layers (fewer distinct values than clusters) are
+    returned unchanged.
+    """
+    if clusters < 2:
+        raise PruningError(f"need >= 2 clusters, got {clusters}")
+    flat = weights.ravel().astype(np.float64)
+    if np.unique(flat).size <= clusters:
+        return weights.astype(DTYPE, copy=True)
+    # quantile seeding spreads centroids over the value distribution
+    centroids = np.quantile(
+        flat, np.linspace(0.0, 1.0, clusters)
+    )
+    for _ in range(iterations):
+        # assign each weight to the nearest centroid via sorted bins
+        order = np.argsort(centroids)
+        centroids = centroids[order]
+        edges = (centroids[:-1] + centroids[1:]) / 2.0
+        assignment = np.searchsorted(edges, flat)
+        sums = np.bincount(assignment, weights=flat, minlength=clusters)
+        counts = np.bincount(assignment, minlength=clusters)
+        occupied = counts > 0
+        centroids[occupied] = sums[occupied] / counts[occupied]
+    edges = (np.sort(centroids)[:-1] + np.sort(centroids)[1:]) / 2.0
+    assignment = np.searchsorted(edges, flat)
+    shared = np.sort(centroids)[assignment]
+    return shared.reshape(weights.shape).astype(DTYPE)
+
+
+def shared_model_bytes(network: Network, clusters: int) -> int:
+    """Stored size: per-weight index + per-layer codebook + biases."""
+    index_bits = max(1, math.ceil(math.log2(clusters)))
+    total = 0
+    for layer in network.weighted_layers():
+        total += (layer.weights.size * index_bits + 7) // 8
+        total += clusters * 4  # codebook (float32 centroids)
+        total += layer.bias.size * 4
+    return total
+
+
+@dataclass(frozen=True)
+class WeightSharingTuner:
+    """Share weights across ``clusters`` centroids in every layer."""
+
+    clusters: int
+    iterations: int = 8
+
+    def __post_init__(self) -> None:
+        if self.clusters < 2:
+            raise PruningError(
+                f"need >= 2 clusters, got {self.clusters}"
+            )
+
+    def apply(self, network: Network, inplace: bool = False) -> Network:
+        """Produce the weight-shared version of ``network``."""
+        target = network if inplace else copy.deepcopy(network)
+        for layer in target.weighted_layers():
+            layer.weights[...] = share_weights(
+                layer.weights, self.clusters, self.iterations
+            )
+        return target
+
+    def model_bytes(self, network: Network) -> int:
+        return shared_model_bytes(network, self.clusters)
+
+    def compression_ratio(self, network: Network) -> float:
+        dense = sum(
+            (layer.weights.size + layer.bias.size) * 4
+            for layer in network.weighted_layers()
+        )
+        return dense / self.model_bytes(network)
+
+    def label(self) -> str:
+        return f"share@{self.clusters}"

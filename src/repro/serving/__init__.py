@@ -1,0 +1,33 @@
+"""Discrete-event online-serving simulator.
+
+The paper's introduction motivates the cost-accuracy trade with
+*near-real-time* image filtering (350 M uploads/day on a social
+platform), but its evaluation only covers offline batch jobs.  This
+subpackage extends the reproduction to the motivating scenario: requests
+arrive continuously, a batcher packs them, GPU workers serve them with
+batch-size-dependent latency from the calibrated models, and the report
+gives latency percentiles, deadline-miss rate, utilisation and
+per-second-billed cost.
+
+* :mod:`repro.serving.events`   — the event queue;
+* :mod:`repro.serving.arrivals` — Poisson / uniform / bursty arrivals;
+* :mod:`repro.serving.batcher`  — batch-forming policy;
+* :mod:`repro.serving.simulator`— the event loop + report.
+"""
+
+from repro.serving.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import ServingReport, ServingSimulator
+
+__all__ = [
+    "BatchPolicy",
+    "ServingReport",
+    "ServingSimulator",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

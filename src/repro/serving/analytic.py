@@ -1,0 +1,94 @@
+"""Closed-form cross-checks for the serving simulator.
+
+Discrete-event simulators earn trust by agreeing with the regimes where
+queueing theory has answers.  For the batch-service system here
+(Poisson arrivals, ``c`` workers, batch width ``B``, batch service time
+``S(b)`` from the calibrated batching model) two regimes are tractable:
+
+* **saturation**: with the queue never empty, every batch is full, so
+  the system's capacity is ``c * B / S(B)`` requests/second and
+  utilisation under load ``lam`` is ``lam / capacity``;
+* **light load**: arrivals are so sparse that every request rides its
+  own batch, so latency is just ``S(1)`` plus (for ``max_wait > 0``)
+  the batching delay it opted into.
+
+``tests/test_serving_analytic.py`` holds the DES to these limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.batching import BatchingModel
+from repro.serving.batcher import BatchPolicy
+
+__all__ = ["BatchServiceModel"]
+
+
+@dataclass(frozen=True)
+class BatchServiceModel:
+    """Analytic view of ``c`` workers running a batching model.
+
+    Attributes
+    ----------
+    batching:
+        Per-device batching model (service time per batch width).
+    workers:
+        Number of GPU workers.
+    policy:
+        The batch-forming policy in force.
+    """
+
+    batching: BatchingModel
+    workers: int
+    policy: BatchPolicy
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+
+    # ------------------------------------------------------------------
+    def capacity(self) -> float:
+        """Maximum sustainable arrival rate (requests/second).
+
+        Reached when every batch is full at the policy's width: each
+        worker completes ``B / S(B)`` requests per second.
+        """
+        b = self.policy.max_batch
+        return self.workers * b / self.batching.batch_time(b)
+
+    def utilisation(self, rate_per_s: float) -> float:
+        """Long-run busy fraction at offered load ``rate_per_s``.
+
+        Valid below capacity; above it the queue is unstable and the
+        busy fraction pins at 1.
+        """
+        if rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        return min(1.0, rate_per_s / self.capacity())
+
+    def is_stable(self, rate_per_s: float) -> bool:
+        """Can the fleet keep up with ``rate_per_s`` at all?"""
+        return rate_per_s < self.capacity()
+
+    # ------------------------------------------------------------------
+    def light_load_latency(self) -> float:
+        """Expected latency as the arrival rate approaches zero.
+
+        A lone request waits out ``max_wait`` (no peers arrive), then
+        rides a single-element batch.
+        """
+        return self.policy.max_wait_s + self.batching.batch_time(1)
+
+    def full_batch_latency(self) -> float:
+        """Service component of latency when batches run full."""
+        return self.batching.batch_time(self.policy.max_batch)
+
+    def effective_service_per_request(self, mean_batch: float) -> float:
+        """Seconds of worker time a request consumes at a given mean
+        batch width — the quantity utilisation accounting uses."""
+        if mean_batch < 1:
+            raise ValueError("mean_batch must be >= 1")
+        return self.batching.batch_time(
+            max(1, int(round(mean_batch)))
+        ) / max(1.0, round(mean_batch))

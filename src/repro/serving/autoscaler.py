@@ -1,0 +1,305 @@
+"""Reactive autoscaling for the serving simulator.
+
+The paper's related work (Section 2.2) is dominated by cloud
+auto-scaling under deadlines and budgets (PRESS [8], Mao et al.
+[21, 22], Sharma et al. [28]); its own evaluation allocates statically.
+This module adds the missing piece: a reactive autoscaler over the
+serving simulator, so the cost-accuracy trade can be studied under the
+elasticity the cloud actually offers.
+
+Mechanics: the fleet starts at ``min_instances`` of one instance type.
+Every ``interval_s`` the controller inspects utilisation over the last
+window and scales out (paying a boot delay before new GPUs serve) when
+hot, or scales in (releasing the most recently launched instance once
+its GPUs drain) when cold.  Billing is per instance, per second, from
+launch to release — unlike the batch model's Eq. 1, an elastic fleet
+doesn't bill released capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.accuracy_model import AccuracyModel
+from repro.cloud.catalog import InstanceType
+from repro.cloud.pricing import hourly_rate_cost
+from repro.errors import ConfigurationError
+from repro.perf.latency import CalibratedTimeModel
+from repro.pruning.base import PruneSpec
+from repro.serving.batcher import BatchPolicy, PendingQueue
+from repro.serving.events import EventQueue
+
+__all__ = ["AutoscalePolicy", "AutoscaleReport", "AutoscalingSimulator"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Reactive scaling rule.
+
+    Attributes
+    ----------
+    interval_s:
+        Control period: utilisation is evaluated this often.
+    scale_out_above, scale_in_below:
+        Utilisation thresholds (busy fraction over the last window).
+    min_instances, max_instances:
+        Fleet bounds.
+    boot_delay_s:
+        Seconds between launching an instance and its GPUs serving
+        (billing starts at launch, as on EC2).
+    """
+
+    interval_s: float = 10.0
+    scale_out_above: float = 0.75
+    scale_in_below: float = 0.30
+    min_instances: int = 1
+    max_instances: int = 16
+    boot_delay_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale_in_below < self.scale_out_above <= 1.0:
+            raise ConfigurationError(
+                "need 0 < scale_in_below < scale_out_above <= 1"
+            )
+        if not 1 <= self.min_instances <= self.max_instances:
+            raise ConfigurationError("bad instance bounds")
+        if self.interval_s <= 0 or self.boot_delay_s < 0:
+            raise ConfigurationError("bad timing parameters")
+
+
+@dataclass(frozen=True)
+class AutoscaleReport:
+    """Outcome of an autoscaled serving run."""
+
+    requests: int
+    duration_s: float
+    latencies_s: np.ndarray
+    cost: float
+    fleet_timeline: tuple[tuple[float, int], ...]
+    peak_instances: int
+    mean_instances: float
+
+    def latency_percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies_s, q))
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99)
+
+    def miss_rate(self, slo_s: float) -> float:
+        return float((self.latencies_s > slo_s).mean())
+
+
+class _Instance:
+    """One elastic instance: billing window + its GPU worker ids."""
+
+    def __init__(
+        self, launched_at: float, worker_ids: list[int]
+    ) -> None:
+        self.launched_at = launched_at
+        self.released_at: float | None = None
+        self.worker_ids = worker_ids
+        self.draining = False
+
+
+class AutoscalingSimulator:
+    """Serve arrivals with a reactive, elastically billed fleet."""
+
+    def __init__(
+        self,
+        time_model: CalibratedTimeModel,
+        accuracy_model: AccuracyModel,
+        itype: InstanceType,
+        spec: PruneSpec,
+        batch_policy: BatchPolicy,
+        autoscale: AutoscalePolicy,
+    ) -> None:
+        if time_model.name != accuracy_model.name:
+            raise ConfigurationError("time/accuracy model mismatch")
+        self.time_model = time_model
+        self.accuracy_model = accuracy_model
+        self.itype = itype
+        self.spec = spec
+        self.batch_policy = batch_policy
+        self.autoscale = autoscale
+        self._batching = time_model.batching_model(spec, itype.gpu)
+        self._cap = min(
+            batch_policy.max_batch, time_model.max_batch(itype.gpu)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals: np.ndarray) -> AutoscaleReport:
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            raise ConfigurationError("no arrivals to serve")
+        if np.any(np.diff(arrivals) < 0):
+            raise ConfigurationError("arrivals must be sorted")
+
+        events = EventQueue()
+        for idx, t in enumerate(arrivals):
+            events.push(float(t), "arrival", idx)
+        events.push(self.autoscale.interval_s, "control", None)
+
+        pending = PendingQueue()
+        latencies = np.empty(arrivals.size)
+        instances: list[_Instance] = []
+        free: list[int] = []
+        busy_window = 0.0  # worker-busy seconds in current control window
+        worker_busy_until: dict[int, float] = {}
+        next_worker_id = 0
+        timeline: list[tuple[float, int]] = []
+        served = 0
+        now = 0.0
+
+        def live_instances() -> list[_Instance]:
+            return [i for i in instances if i.released_at is None]
+
+        def live_worker_count() -> int:
+            return sum(
+                len(i.worker_ids)
+                for i in live_instances()
+                if not i.draining
+            )
+
+        def launch(at: float) -> None:
+            nonlocal next_worker_id
+            ids = list(
+                range(next_worker_id, next_worker_id + self.itype.gpus)
+            )
+            next_worker_id += self.itype.gpus
+            instances.append(_Instance(at, ids))
+            timeline.append((at, len(live_instances())))
+            # GPUs come online after the boot delay
+            events.push(
+                at + self.autoscale.boot_delay_s, "online", ids
+            )
+
+        def try_release(at: float) -> None:
+            """Release the newest non-draining instance beyond the
+            minimum; it drains (stops taking work) immediately and is
+            billed until its last GPU finishes."""
+            candidates = [
+                i
+                for i in live_instances()
+                if not i.draining
+            ]
+            if len(candidates) <= self.autoscale.min_instances:
+                return
+            victim = candidates[-1]
+            victim.draining = True
+            for wid in victim.worker_ids:
+                if wid in free:
+                    free.remove(wid)
+            events.push(at, "maybe-drained", victim)
+
+        def dispatch(at: float) -> None:
+            nonlocal busy_window
+            while free and pending.should_dispatch(at, self.batch_policy):
+                wid = free.pop()
+                batch = pending.take(self._cap)
+                service = self._batching.batch_time(len(batch))
+                busy_window += service
+                worker_busy_until[wid] = at + service
+                events.push(at + service, "done", (wid, batch))
+            if pending and free:
+                due = (
+                    pending.oldest_arrival()
+                    + self.batch_policy.max_wait_s
+                )
+                events.push(max(due, at), "timer", None)
+
+        # initial fleet boots instantly (it exists before t=0)
+        for _ in range(self.autoscale.min_instances):
+            launch(0.0)
+        for instance in instances:
+            free.extend(instance.worker_ids)
+        boot_skip = {
+            wid for i in instances for wid in i.worker_ids
+        }
+        # collapse the per-launch construction records into one entry
+        del timeline[:-1]
+
+        while events:
+            event = events.pop()
+            now = event.time
+            if event.kind == "arrival":
+                pending.push(event.payload, now)
+            elif event.kind == "done":
+                wid, batch = event.payload
+                for request_id, arrival_s in batch:
+                    latencies[request_id] = now - arrival_s
+                served += len(batch)
+                owner = next(
+                    i
+                    for i in instances
+                    if wid in i.worker_ids
+                )
+                if not owner.draining and owner.released_at is None:
+                    free.append(wid)
+                else:
+                    events.push(now, "maybe-drained", owner)
+            elif event.kind == "online":
+                free.extend(
+                    wid for wid in event.payload if wid not in boot_skip
+                )
+            elif event.kind == "maybe-drained":
+                instance = event.payload
+                if instance.released_at is None and all(
+                    worker_busy_until.get(wid, 0.0) <= now + 1e-9
+                    for wid in instance.worker_ids
+                ):
+                    instance.released_at = now
+                    timeline.append((now, len(live_instances())))
+            elif event.kind == "control":
+                window_capacity = (
+                    live_worker_count() * self.autoscale.interval_s
+                )
+                utilisation = (
+                    busy_window / window_capacity
+                    if window_capacity > 0
+                    else 1.0
+                )
+                busy_window = 0.0
+                if (
+                    utilisation > self.autoscale.scale_out_above
+                    and len(live_instances())
+                    < self.autoscale.max_instances
+                ):
+                    launch(now)
+                elif utilisation < self.autoscale.scale_in_below:
+                    try_release(now)
+                if served < arrivals.size:
+                    events.push(
+                        now + self.autoscale.interval_s, "control", None
+                    )
+            dispatch(now)
+
+        # release whatever is still running at the end
+        for instance in instances:
+            if instance.released_at is None:
+                instance.released_at = now
+        cost = sum(
+            hourly_rate_cost(
+                self.itype.price_per_hour,
+                instance.released_at - instance.launched_at,
+            )
+            for instance in instances
+        )
+        seconds = np.array(
+            [
+                (i.released_at - i.launched_at)
+                for i in instances
+            ]
+        )
+        mean_instances = float(seconds.sum() / max(now, 1e-9))
+        return AutoscaleReport(
+            requests=arrivals.size,
+            duration_s=now,
+            latencies_s=latencies,
+            cost=cost,
+            fleet_timeline=tuple(timeline),
+            peak_instances=max(n for _, n in timeline),
+            mean_instances=mean_instances,
+        )

@@ -1,0 +1,80 @@
+"""Batch-forming policy for the serving simulator.
+
+GPU inference throughput depends on batch width (the paper's Figure 5),
+but online requests arrive one at a time — so a server must trade
+queueing delay for batch efficiency.  :class:`BatchPolicy` captures the
+standard policy: dispatch when either ``max_batch`` requests are waiting
+or the oldest has waited ``max_wait_s``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["BatchPolicy", "PendingQueue"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to close a batch.
+
+    Attributes
+    ----------
+    max_batch:
+        Never dispatch more than this many requests in one batch
+        (bounded by the device's memory-limited batch size).
+    max_wait_s:
+        Dispatch a partial batch once its oldest request has waited this
+        long, even if the batch is not full.  ``0`` means dispatch
+        immediately whenever a GPU is free (lowest latency, worst
+        efficiency).
+    """
+
+    max_batch: int
+    max_wait_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+
+
+@dataclass
+class PendingQueue:
+    """FIFO of (request id, arrival time) awaiting dispatch."""
+
+    _queue: deque = field(default_factory=deque)
+
+    def push(self, request_id: int, arrival_s: float) -> None:
+        self._queue.append((request_id, arrival_s))
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def oldest_arrival(self) -> float:
+        if not self._queue:
+            raise IndexError("empty queue")
+        return self._queue[0][1]
+
+    def should_dispatch(self, now: float, policy: BatchPolicy) -> bool:
+        """Is a batch ready under ``policy`` at time ``now``?
+
+        The wait comparison carries a 1 ns epsilon: a timeout event
+        scheduled at ``arrival + max_wait`` must satisfy the test at its
+        own timestamp despite float rounding (``1.2 - 1.0 < 0.2`` in
+        binary floating point), otherwise the timer re-arms forever.
+        """
+        if not self._queue:
+            return False
+        if len(self._queue) >= policy.max_batch:
+            return True
+        return now - self.oldest_arrival() >= policy.max_wait_s - 1e-9
+
+    def take(self, n: int) -> list[tuple[int, float]]:
+        """Remove and return up to ``n`` oldest requests."""
+        out = []
+        while self._queue and len(out) < n:
+            out.append(self._queue.popleft())
+        return out

@@ -1,0 +1,58 @@
+"""Minimal discrete-event machinery: a time-ordered event queue.
+
+Events are ``(time, sequence, kind, payload)`` tuples in a heap; the
+sequence number makes ordering total and deterministic when several
+events share a timestamp (arrival before completion before timeout is
+decided purely by insertion order, which the simulator controls).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; comparison orders by (time, seq)."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time(self) -> float:
+        if not self._heap:
+            raise IndexError("empty event queue")
+        return self._heap[0].time

@@ -1,0 +1,85 @@
+"""Post-hoc analysis of serving runs.
+
+:class:`ServingReport` carries raw latencies; operators want views:
+per-second throughput series, a latency histogram, and the SLO-headroom
+summary.  These are pure functions over the report, used by the CLI's
+``serve`` output and the serving tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.simulator import ServingReport
+
+__all__ = [
+    "throughput_series",
+    "latency_histogram",
+    "render_histogram",
+    "slo_headroom",
+]
+
+
+def throughput_series(
+    arrivals: np.ndarray, report: ServingReport, bin_s: float = 1.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(bin starts, offered rate, completion rate) per time bin.
+
+    Offered = arrivals per bin; completed = request completions per bin
+    (arrival time + latency).  A persistent gap means the fleet is
+    underwater.
+    """
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    completions = arrivals + report.latencies_s
+    horizon = float(completions.max())
+    edges = np.arange(0.0, horizon + bin_s, bin_s)
+    offered, _ = np.histogram(arrivals, bins=edges)
+    completed, _ = np.histogram(completions, bins=edges)
+    return edges[:-1], offered / bin_s, completed / bin_s
+
+
+def latency_histogram(
+    report: ServingReport, bins: int = 12
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bin edges, counts) over the latency distribution."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    counts, edges = np.histogram(report.latencies_s, bins=bins)
+    return edges, counts
+
+
+def render_histogram(
+    report: ServingReport, bins: int = 12, width: int = 40
+) -> str:
+    """ASCII latency histogram with percentile markers."""
+    edges, counts = latency_histogram(report, bins)
+    peak = counts.max() if counts.size else 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(
+            f"{edges[i]:7.2f}-{edges[i + 1]:7.2f}s |{bar.ljust(width)}| "
+            f"{count}"
+        )
+    lines.append(
+        f"p50 {report.p50:.3f}s   p95 {report.latency_percentile(95):.3f}s"
+        f"   p99 {report.p99:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def slo_headroom(report: ServingReport, slo_s: float) -> dict[str, float]:
+    """How close a run sails to its SLO.
+
+    Returns the miss rate, the p99/SLO ratio (>1 = violating) and the
+    latency margin (seconds between p99 and the SLO; negative when
+    violating).
+    """
+    if slo_s <= 0:
+        raise ValueError("slo_s must be positive")
+    return {
+        "miss_rate": report.miss_rate(slo_s),
+        "p99_over_slo": report.p99 / slo_s,
+        "margin_s": slo_s - report.p99,
+    }

@@ -1,0 +1,189 @@
+"""The serving event loop and its report.
+
+Each GPU of each instance in the configuration is one worker; service
+time for a batch of ``b`` requests comes from the calibrated batching
+model (``batch_time(b)``), so all the paper's machinery — pruning's time
+fraction, device speedups, batch-size saturation — shapes the latency
+distribution.  Billing is per-second pro-rated from simulation start to
+the last completion, on every instance (the paper's Eq. 1 discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.accuracy_model import AccuracyModel, AccuracyPair
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.pricing import hourly_rate_cost
+from repro.errors import ConfigurationError
+from repro.perf.batching import BatchingModel
+from repro.perf.latency import CalibratedTimeModel
+from repro.pruning.base import PruneSpec
+from repro.serving.batcher import BatchPolicy, PendingQueue
+from repro.serving.events import EventQueue
+
+__all__ = ["ServingSimulator", "ServingReport"]
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of one serving simulation."""
+
+    requests: int
+    duration_s: float
+    latencies_s: np.ndarray
+    batch_sizes: np.ndarray
+    busy_s: float
+    worker_count: int
+    cost: float
+    accuracy: AccuracyPair
+
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in seconds (q in [0, 100])."""
+        return float(np.percentile(self.latencies_s, q))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies_s.mean())
+
+    @property
+    def mean_batch(self) -> float:
+        return float(self.batch_sizes.mean())
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per second of simulated time."""
+        return self.requests / self.duration_s
+
+    @property
+    def utilisation(self) -> float:
+        """Busy fraction across all workers over the run."""
+        return self.busy_s / (self.worker_count * self.duration_s)
+
+    def miss_rate(self, slo_s: float) -> float:
+        """Fraction of requests exceeding a latency SLO."""
+        return float((self.latencies_s > slo_s).mean())
+
+
+class ServingSimulator:
+    """Online inference serving over a cloud resource configuration.
+
+    Parameters
+    ----------
+    time_model, accuracy_model:
+        Calibrated models of the CNN being served.
+    configuration:
+        Instances whose GPUs form the worker pool.
+    spec:
+        Degree of pruning of the deployed model.
+    policy:
+        Batch-forming policy; ``max_batch`` is clamped to each device's
+        memory-limited batch size.
+    """
+
+    def __init__(
+        self,
+        time_model: CalibratedTimeModel,
+        accuracy_model: AccuracyModel,
+        configuration: ResourceConfiguration,
+        spec: PruneSpec,
+        policy: BatchPolicy,
+    ) -> None:
+        if time_model.name != accuracy_model.name:
+            raise ConfigurationError("time/accuracy model mismatch")
+        self.time_model = time_model
+        self.accuracy_model = accuracy_model
+        self.configuration = configuration
+        self.spec = spec
+        self.policy = policy
+        # one worker per GPU in use; each carries its batching model
+        self._workers: list[tuple[BatchingModel, int]] = []
+        for instance in configuration.instances:
+            device = instance.itype.gpu
+            batching = time_model.batching_model(spec, device)
+            cap = min(policy.max_batch, time_model.max_batch(device))
+            self._workers.extend(
+                (batching, cap) for _ in range(instance.gpus_used)
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals: np.ndarray) -> ServingReport:
+        """Serve all ``arrivals`` (sorted seconds); returns the report."""
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            raise ConfigurationError("no arrivals to serve")
+        if np.any(np.diff(arrivals) < 0):
+            raise ConfigurationError("arrivals must be sorted")
+
+        events = EventQueue()
+        for idx, t in enumerate(arrivals):
+            events.push(float(t), "arrival", idx)
+
+        pending = PendingQueue()
+        free_workers = list(range(len(self._workers)))
+        latencies = np.empty(arrivals.size)
+        batch_sizes: list[int] = []
+        busy_s = 0.0
+        timer_at: float | None = None
+        now = 0.0
+
+        def dispatch(now: float) -> None:
+            nonlocal busy_s, timer_at
+            while free_workers and pending.should_dispatch(
+                now, self.policy
+            ):
+                worker_id = free_workers.pop()
+                batching, cap = self._workers[worker_id]
+                batch = pending.take(cap)
+                service = batching.batch_time(len(batch))
+                busy_s += service
+                batch_sizes.append(len(batch))
+                events.push(
+                    now + service, "done", (worker_id, batch)
+                )
+            if pending and free_workers:
+                # waiting on max_wait: arm a timer for the oldest request
+                due = pending.oldest_arrival() + self.policy.max_wait_s
+                if timer_at is None or due < timer_at:
+                    timer_at = due
+                    events.push(max(due, now), "timer", None)
+
+        while events:
+            event = events.pop()
+            now = event.time
+            if event.kind == "arrival":
+                pending.push(event.payload, now)
+            elif event.kind == "done":
+                worker_id, batch = event.payload
+                free_workers.append(worker_id)
+                for request_id, arrival_s in batch:
+                    latencies[request_id] = now - arrival_s
+            elif event.kind == "timer":
+                timer_at = None
+            dispatch(now)
+
+        duration = now  # last completion time
+        cost = hourly_rate_cost(
+            self.configuration.total_price_per_hour, duration
+        )
+        return ServingReport(
+            requests=arrivals.size,
+            duration_s=duration,
+            latencies_s=latencies,
+            batch_sizes=np.asarray(batch_sizes),
+            busy_s=busy_s,
+            worker_count=len(self._workers),
+            cost=cost,
+            accuracy=self.accuracy_model.accuracy(self.spec),
+        )

@@ -1,0 +1,83 @@
+"""Composite arrival workloads: diurnal cycles and trace replay.
+
+The elementary processes live in :mod:`repro.serving.arrivals`; real
+services see *composites* — a day-night cycle with noise on top, or a
+recorded trace replayed against a candidate fleet.  Both are what the
+autoscaler is for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["diurnal_arrivals", "replay_trace", "phase_rates"]
+
+
+def phase_rates(
+    mean_rate: float, phases: int, amplitude: float
+) -> np.ndarray:
+    """Sinusoidal per-phase rates averaging ``mean_rate``.
+
+    ``amplitude`` in [0, 1): 0 = flat, 0.9 = deep night-day swing.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError("amplitude must be in [0, 1)")
+    if phases < 1:
+        raise ValueError("need >= 1 phase")
+    x = np.arange(phases) * 2 * np.pi / phases
+    return mean_rate * (1 + amplitude * np.sin(x))
+
+
+def diurnal_arrivals(
+    mean_rate: float,
+    duration_s: float,
+    cycle_s: float,
+    amplitude: float = 0.7,
+    phases_per_cycle: int = 24,
+    seed: int = 0,
+) -> np.ndarray:
+    """A day-night load: piecewise-Poisson with sinusoidal rate.
+
+    ``cycle_s`` is one full "day"; the rate follows a sine through
+    ``phases_per_cycle`` constant-rate segments per cycle, averaging
+    ``mean_rate`` requests/second over the run.
+    """
+    if mean_rate <= 0 or duration_s <= 0 or cycle_s <= 0:
+        raise ValueError("rates and durations must be positive")
+    rng = np.random.default_rng(seed)
+    phase_len = cycle_s / phases_per_cycle
+    rates = phase_rates(mean_rate, phases_per_cycle, amplitude)
+    times: list[np.ndarray] = []
+    t = 0.0
+    phase = 0
+    while t < duration_s:
+        end = min(t + phase_len, duration_s)
+        rate = float(rates[phase % phases_per_cycle])
+        if rate > 0:
+            expected = rate * (end - t)
+            n = int(expected + 6 * np.sqrt(max(expected, 1.0)) + 16)
+            gaps = rng.exponential(1.0 / rate, size=n)
+            stamps = t + np.cumsum(gaps)
+            times.append(stamps[stamps < end])
+        t = end
+        phase += 1
+    return np.sort(np.concatenate(times)) if times else np.empty(0)
+
+
+def replay_trace(
+    timestamps: np.ndarray | list[float],
+    time_scale: float = 1.0,
+    offset_s: float = 0.0,
+) -> np.ndarray:
+    """Normalise a recorded arrival trace for simulation.
+
+    Sorts, shifts so the first request lands at ``offset_s``, and
+    optionally compresses/stretches time (``time_scale`` 0.5 = replay
+    twice as fast).
+    """
+    arr = np.sort(np.asarray(timestamps, dtype=float))
+    if arr.size == 0:
+        raise ValueError("empty trace")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    return (arr - arr[0]) * time_scale + offset_s

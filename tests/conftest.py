@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Heavy networks (Caffenet, Googlenet) are built once per session with
+constant weights — tests that need real weights build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_caffenet, build_googlenet, build_small_cnn
+from repro.cnn.datasets import make_classification_data
+
+
+@pytest.fixture(scope="session")
+def caffenet_const():
+    """Caffenet with constant weights (cost-model studies)."""
+    return build_caffenet(init="const")
+
+
+@pytest.fixture(scope="session")
+def googlenet_const():
+    """Googlenet with constant weights (cost-model studies)."""
+    return build_googlenet(init="const")
+
+
+@pytest.fixture(scope="session")
+def caffenet_random():
+    """Caffenet with He-initialised weights (pruning-rank studies)."""
+    return build_caffenet(seed=7)
+
+
+@pytest.fixture()
+def small_cnn():
+    """Fresh small CNN per test (tests mutate weights)."""
+    return build_small_cnn(seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Small synthetic dataset for quick evaluation tests."""
+    return make_classification_data(n=60, num_classes=5, size=16, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

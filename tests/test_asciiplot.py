@@ -1,0 +1,72 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.asciiplot import line, multi_line, scatter
+
+
+class TestScatter:
+    def test_marks_every_point(self):
+        out = scatter([0, 1, 2], [0, 1, 2], width=30, height=10)
+        assert out.count("x") == 3
+
+    def test_highlight_uses_star(self):
+        out = scatter([0, 1, 2], [0, 2, 1], highlight=[1])
+        assert "*" in out
+
+    def test_axis_labels_present(self):
+        out = scatter(
+            [0, 10], [5, 50], xlabel="accuracy", ylabel="time"
+        )
+        assert "x: accuracy" in out and "y: time" in out
+
+    def test_bounds_rendered(self):
+        out = scatter([0.0, 10.0], [5.0, 50.0])
+        assert "10" in out and "50" in out
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            scatter([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            scatter([], [])
+
+    def test_constant_series_does_not_crash(self):
+        out = scatter([1, 2, 3], [5, 5, 5])
+        assert "x" in out
+
+
+class TestLine:
+    def test_title_rendered(self):
+        out = line([0, 1], [0, 1], title="Figure 4")
+        assert "Figure 4" in out
+
+    def test_line_is_dense(self):
+        out = line([0, 10], [0, 10], width=40, height=12)
+        # a diagonal through a 40-wide grid leaves many marks
+        assert out.count("x") > 10
+
+
+class TestMultiLine:
+    def test_legend(self):
+        out = multi_line(
+            [
+                ("caffenet", [0, 1], [1, 0]),
+                ("googlenet", [0, 1], [2, 1]),
+            ]
+        )
+        assert "x caffenet" in out
+        assert "o googlenet" in out
+
+    def test_distinct_markers(self):
+        out = multi_line(
+            [("a", [0, 1], [0, 0]), ("b", [0, 1], [1, 1])]
+        )
+        assert "x" in out and "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line([])

@@ -1,0 +1,156 @@
+"""Tests for the reactive autoscaler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import instance_type
+from repro.errors import ConfigurationError
+from repro.pruning import PruneSpec
+from repro.serving import BatchPolicy, poisson_arrivals
+from repro.serving.autoscaler import (
+    AutoscalePolicy,
+    AutoscalingSimulator,
+)
+
+
+def _simulator(
+    min_instances: int = 1,
+    max_instances: int = 6,
+    boot_delay_s: float = 10.0,
+    spec: PruneSpec | None = None,
+) -> AutoscalingSimulator:
+    return AutoscalingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        instance_type("p2.8xlarge"),
+        spec or PruneSpec.unpruned(),
+        BatchPolicy(max_batch=32, max_wait_s=0.05),
+        AutoscalePolicy(
+            interval_s=10.0,
+            min_instances=min_instances,
+            max_instances=max_instances,
+            boot_delay_s=boot_delay_s,
+        ),
+    )
+
+
+def _surge(seed: int = 1) -> np.ndarray:
+    quiet = poisson_arrivals(80.0, 60.0, seed=seed)
+    heavy = 60.0 + poisson_arrivals(800.0, 60.0, seed=seed + 1)
+    tail = 120.0 + poisson_arrivals(80.0, 60.0, seed=seed + 2)
+    return np.concatenate([quiet, heavy, tail])
+
+
+class TestAutoscalePolicy:
+    def test_threshold_order_enforced(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(scale_out_above=0.3, scale_in_below=0.5)
+
+    def test_instance_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_instances=5, max_instances=2)
+
+    def test_timing_validated(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(interval_s=0.0)
+
+
+class TestAutoscalingSimulator:
+    def test_all_requests_served(self):
+        arrivals = poisson_arrivals(100.0, 30.0, seed=0)
+        report = _simulator().run(arrivals)
+        assert report.requests == arrivals.size
+        assert np.all(report.latencies_s > 0)
+
+    def test_scales_out_under_surge(self):
+        report = _simulator().run(_surge())
+        assert report.peak_instances > 1
+
+    def test_scales_back_in_after_surge(self):
+        report = _simulator().run(_surge())
+        final_fleet = report.fleet_timeline[-1][1]
+        assert final_fleet < report.peak_instances
+
+    def test_respects_max_instances(self):
+        report = _simulator(max_instances=3).run(_surge())
+        assert report.peak_instances <= 3
+
+    def test_never_below_min_instances(self):
+        report = _simulator(min_instances=2).run(_surge())
+        assert min(n for _, n in report.fleet_timeline) >= 2
+
+    def test_cheaper_than_peak_static_billing(self):
+        report = _simulator().run(_surge())
+        peak_static = (
+            report.peak_instances
+            * instance_type("p2.8xlarge").price_per_hour
+            * report.duration_s
+            / 3600.0
+        )
+        assert report.cost < peak_static
+
+    def test_mean_fleet_below_peak(self):
+        report = _simulator().run(_surge())
+        assert report.mean_instances < report.peak_instances
+
+    def test_boot_delay_worsens_surge_latency(self):
+        fast = _simulator(boot_delay_s=0.0).run(_surge())
+        slow = _simulator(boot_delay_s=60.0).run(_surge())
+        assert slow.p99 >= fast.p99
+
+    def test_pruned_model_cheaper_and_faster(self):
+        arrivals = _surge(seed=9)
+        base = _simulator().run(arrivals)
+        pruned = _simulator(
+            spec=PruneSpec({"conv1": 0.3, "conv2": 0.5})
+        ).run(arrivals)
+        assert pruned.cost < base.cost
+        assert pruned.p99 <= base.p99
+
+    def test_rejects_bad_arrivals(self):
+        sim = _simulator()
+        with pytest.raises(ConfigurationError):
+            sim.run(np.array([]))
+        with pytest.raises(ConfigurationError):
+            sim.run(np.array([2.0, 1.0]))
+
+    def test_deterministic(self):
+        arrivals = _surge(seed=11)
+        a = _simulator().run(arrivals)
+        b = _simulator().run(arrivals)
+        np.testing.assert_array_equal(a.latencies_s, b.latencies_s)
+        assert a.cost == b.cost
+
+
+class TestAutoscaleStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments import ext_autoscale
+
+        ext_autoscale.run.cache_clear()
+        return ext_autoscale.run(
+            base_rate=80.0, surge_rate=700.0, phase_s=60.0, peak_fleet=6
+        )
+
+    def test_autoscaling_cuts_cost(self, study):
+        static = study.row("static peak fleet")
+        auto = study.row("autoscaled, unpruned")
+        assert auto.cost < 0.7 * static.cost
+
+    def test_pruning_helps_the_autoscaled_fleet(self, study):
+        auto = study.row("autoscaled, unpruned")
+        pruned = study.row("autoscaled, conv1-2 pruned")
+        assert pruned.cost < auto.cost
+        assert pruned.p99_s <= auto.p99_s
+
+    def test_static_has_best_latency(self, study):
+        static = study.row("static peak fleet")
+        assert static.p99_s == min(r.p99_s for r in study.rows)
+
+    def test_render(self, study):
+        from repro.experiments import ext_autoscale
+
+        assert "static peak fleet" in ext_autoscale.render(study)

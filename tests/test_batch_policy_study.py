@@ -1,0 +1,98 @@
+"""Tests for the batch-width/latency trade study and autoscaler fuzzing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ext_batch_policy
+
+
+class TestBatchPolicyStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        ext_batch_policy.run.cache_clear()
+        return ext_batch_policy.run(
+            rate_per_s=400.0, duration_s=40.0, instances=3
+        )
+
+    def test_width_one_overloads(self, study):
+        # unbatched serving cannot keep up: p99 explodes
+        assert study.point(1).p99_s > 5 * study.point(8).p99_s
+
+    def test_u_shape_minimum_interior(self, study):
+        best = study.best_width()
+        widths = [p.max_batch for p in study.points]
+        assert best not in (widths[0], widths[-1])
+
+    def test_wide_batches_floor_latency(self, study):
+        # each dispatched batch's own service time lower-bounds p50
+        for p in study.points:
+            if p.mean_batch >= p.max_batch * 0.9:  # batches run full
+                assert p.p50_s >= p.single_batch_service_s * 0.5
+
+    def test_service_time_grows_with_width(self, study):
+        services = [p.single_batch_service_s for p in study.points]
+        assert services == sorted(services)
+
+    def test_render(self, study):
+        assert "best p99" in ext_batch_policy.render(study)
+
+
+class TestAutoscalerFuzz:
+    """Property-based stress: random loads and policies never violate
+    the autoscaler's invariants."""
+
+    @given(
+        rate=st.floats(20.0, 400.0),
+        min_i=st.integers(1, 3),
+        extra=st.integers(0, 5),
+        boot=st.floats(0.0, 30.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_invariants(self, rate, min_i, extra, boot, seed):
+        from repro.calibration import (
+            caffenet_accuracy_model,
+            caffenet_time_model,
+        )
+        from repro.cloud import instance_type
+        from repro.pruning import PruneSpec
+        from repro.serving import BatchPolicy, poisson_arrivals
+        from repro.serving.autoscaler import (
+            AutoscalePolicy,
+            AutoscalingSimulator,
+        )
+
+        arrivals = poisson_arrivals(rate, 30.0, seed=seed)
+        simulator = AutoscalingSimulator(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            instance_type("p2.8xlarge"),
+            PruneSpec.unpruned(),
+            BatchPolicy(max_batch=32, max_wait_s=0.05),
+            AutoscalePolicy(
+                interval_s=5.0,
+                min_instances=min_i,
+                max_instances=min_i + extra,
+                boot_delay_s=boot,
+            ),
+        )
+        report = simulator.run(arrivals)
+        # every request served exactly once, positive latency
+        assert report.requests == arrivals.size
+        assert np.all(report.latencies_s > 0)
+        # fleet bounds respected
+        counts = [n for _, n in report.fleet_timeline]
+        assert max(counts) <= min_i + extra
+        assert min(counts) >= min_i
+        # billing is positive and bounded by max fleet running always
+        upper = (
+            (min_i + extra)
+            * instance_type("p2.8xlarge").price_per_hour
+            * (report.duration_s + 1)
+            / 3600.0
+        ) + (min_i + extra) / 3600.0
+        assert 0 < report.cost <= upper + 0.01

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_spec, build_parser, main
+
+
+class TestSpecParsing:
+    def test_none(self):
+        assert _parse_spec("none").is_unpruned()
+        assert _parse_spec("").is_unpruned()
+
+    def test_multi_layer(self):
+        spec = _parse_spec("conv1=0.3,conv2=0.5")
+        assert spec.as_dict() == {"conv1": 0.3, "conv2": 0.5}
+
+    def test_bad_format(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_spec("conv1")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_spec("conv1=abc")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_catalog_command(self):
+        args = build_parser().parse_args(["catalog"])
+        assert args.command == "catalog"
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--spec",
+                "conv1=0.2",
+                "--instances",
+                "p2.xlarge",
+                "g3.4xlarge",
+            ]
+        )
+        assert args.spec.ratio_for("conv1") == 0.2
+        assert args.instances == ["p2.xlarge", "g3.4xlarge"]
+
+
+class TestMain:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "p2.16xlarge" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--spec",
+                "conv1=0.3,conv2=0.5",
+                "--instances",
+                "p2.xlarge",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "12.71 min" in out
+        assert "top5 70.0%" in out
+
+    def test_simulate_unknown_instance(self, capsys):
+        code = main(
+            ["simulate", "--instances", "p9.xlarge"]
+        )
+        assert code == 1
+        assert "unknown" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--layer", "conv2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "last sweet spot: 50%" in out
+
+    def test_sweep_unknown_layer_is_time_neutral_but_runs(self, capsys):
+        # unknown layers fall back to the default accuracy response
+        code = main(["sweep", "--layer", "conv9"])
+        assert code == 0
+
+    def test_allocate_feasible(self, capsys):
+        code = main(
+            [
+                "allocate",
+                "--images",
+                "2000000",
+                "--deadline",
+                "1",
+                "--budget",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "configuration" in out
+
+    def test_allocate_infeasible(self, capsys):
+        code = main(
+            [
+                "allocate",
+                "--images",
+                "500000000",
+                "--deadline",
+                "0.1",
+                "--budget",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        assert "g3.16xlarge" in capsys.readouterr().out

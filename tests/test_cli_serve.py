@@ -1,0 +1,119 @@
+"""Tests for the CLI ``serve`` subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestServeCommand:
+    def test_poisson_serve(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.8xlarge",
+                "--rate",
+                "100",
+                "--duration",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "utilisation" in out
+
+    def test_pruned_serve_reports_accuracy(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.8xlarge",
+                "--spec",
+                "conv1=0.3,conv2=0.5",
+                "--rate",
+                "100",
+                "--duration",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "top5 70.0%" in capsys.readouterr().out
+
+    def test_uniform_arrival(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "g3.8xlarge",
+                "--arrival",
+                "uniform",
+                "--rate",
+                "50",
+                "--duration",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "served    : 500 requests" in capsys.readouterr().out
+
+    def test_bursty_arrival(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.8xlarge",
+                "--arrival",
+                "bursty",
+                "--rate",
+                "150",
+                "--duration",
+                "20",
+                "--seed",
+                "7",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_instance_fails_cleanly(self, capsys):
+        code = main(
+            ["serve", "--instances", "x9.gigantic", "--rate", "10"]
+        )
+        assert code == 1
+        assert "unknown" in capsys.readouterr().err
+
+    def test_histogram_and_slo_flags(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.8xlarge",
+                "--rate",
+                "100",
+                "--duration",
+                "10",
+                "--histogram",
+                "--slo",
+                "2.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "miss rate" in out
+
+    def test_multi_instance_fleet(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.8xlarge",
+                "p2.8xlarge",
+                "--rate",
+                "200",
+                "--duration",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "16 GPUs" in capsys.readouterr().out

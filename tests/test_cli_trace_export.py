@@ -1,0 +1,74 @@
+"""Tests for the CLI ``trace`` and ``export`` subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_even_split_shows_straggler(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--instances",
+                "p2.xlarge",
+                "g3.16xlarge",
+                "--images",
+                "1000000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "straggler" in out
+        assert "p2.xlarge" in out
+
+    def test_proportional_flag_balances(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--instances",
+                "p2.xlarge",
+                "g3.16xlarge",
+                "--images",
+                "1000000",
+                "--proportional",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # balanced split: both instances essentially fully busy
+        assert "mean utilisation 99%" in out or "mean utilisation 100%" in out
+
+    def test_pruned_trace(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--instances",
+                "p2.xlarge",
+                "--spec",
+                "conv2=0.5",
+                "--images",
+                "50000",
+            ]
+        )
+        assert code == 0
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_export_selected(self, tmp_path, capsys):
+        code = main(["export", str(tmp_path), "table3", "fig8"])
+        assert code == 0
+        assert (tmp_path / "table3.txt").exists()
+        assert (tmp_path / "fig8.csv").exists()
+        manifest = json.loads((tmp_path / "index.json").read_text())
+        assert len(manifest) == 2
+
+    def test_export_unknown_artefact(self, tmp_path, capsys):
+        code = main(["export", str(tmp_path), "fig99"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err

@@ -1,0 +1,232 @@
+"""Unit tests for individual layer types: shapes, values, cost stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.activations import ReLU, Softmax
+from repro.cnn.conv import ConvLayer, conv_output_hw, im2col
+from repro.cnn.dense import DenseLayer, Flatten
+from repro.cnn.layers import ITEMSIZE, LayerStats
+from repro.cnn.normalization import LocalResponseNorm
+from repro.cnn.pooling import AvgPool, GlobalAvgPool, MaxPool
+from repro.errors import ShapeError
+
+
+class TestConvOutputHW:
+    def test_basic(self):
+        assert conv_output_hw(227, 227, 11, 4, 0) == (55, 55)
+
+    def test_padded(self):
+        assert conv_output_hw(27, 27, 5, 1, 2) == (27, 27)
+
+    def test_stride_two(self):
+        assert conv_output_hw(224, 224, 7, 2, 3) == (112, 112)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(4, 4, 7, 1, 0)
+
+
+class TestIm2col:
+    def test_identity_kernel_one(self):
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float32).reshape(2, 3, 4, 4)
+        cols, oh, ow = im2col(x, kernel=1, stride=1, pad=0)
+        assert (oh, ow) == (4, 4)
+        np.testing.assert_array_equal(cols, x.reshape(2, 3, 16))
+
+    def test_known_patch(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, oh, ow = im2col(x, kernel=2, stride=2, pad=0)
+        assert (oh, ow) == (2, 2)
+        # first output position sees pixels (0,0),(0,1),(1,0),(1,1) = 0,1,4,5
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+        # last position sees 10,11,14,15
+        np.testing.assert_array_equal(cols[0, :, 3], [10, 11, 14, 15])
+
+    def test_padding_zeroes_border(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        cols, oh, ow = im2col(x, kernel=3, stride=1, pad=1)
+        assert (oh, ow) == (2, 2)
+        # corner window: 4 zeros from padding + ... total sum = 4 ones
+        assert cols[0, :, 0].sum() == 4.0
+
+
+class TestConvLayer:
+    def test_matches_naive_convolution(self, rng):
+        layer = ConvLayer("c", 2, 3, kernel=3, stride=1, pad=1, rng=rng)
+        x = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        out = layer.forward(x)
+        # naive direct convolution
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros_like(out)
+        for n in range(2):
+            for o in range(3):
+                for i in range(5):
+                    for j in range(5):
+                        patch = xp[n, :, i : i + 3, j : j + 3]
+                        ref[n, o, i, j] = (
+                            patch * layer.weights[o]
+                        ).sum() + layer.bias[o]
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_grouped_conv_isolates_groups(self, rng):
+        layer = ConvLayer("g", 4, 4, kernel=1, groups=2, rng=rng)
+        x = rng.standard_normal((1, 4, 3, 3)).astype(np.float32)
+        base = layer.forward(x)
+        # perturbing group-2 input channels must not change group-1 output
+        x2 = x.copy()
+        x2[:, 2:] += 10.0
+        out = layer.forward(x2)
+        np.testing.assert_allclose(out[:, :2], base[:, :2], rtol=1e-5)
+        assert not np.allclose(out[:, 2:], base[:, 2:])
+
+    def test_stride_and_shape(self, rng):
+        layer = ConvLayer("c", 3, 96, kernel=11, stride=4, rng=rng)
+        assert layer.output_shape((3, 227, 227)) == (96, 55, 55)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = ConvLayer("c", 3, 8, kernel=3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.output_shape((4, 10, 10))
+
+    def test_bad_groups_raises(self):
+        with pytest.raises(ShapeError):
+            ConvLayer("c", 3, 8, kernel=3, groups=2)
+
+    def test_stats_flops_formula(self, rng):
+        layer = ConvLayer("c", 3, 96, kernel=11, stride=4, rng=rng)
+        stats = layer.stats((3, 227, 227))
+        assert stats.flops == 2 * 55 * 55 * 96 * 11 * 11 * 3
+        assert stats.params == 96 * 3 * 11 * 11 + 96
+
+    def test_effective_stats_tracks_density(self, rng):
+        layer = ConvLayer("c", 4, 8, kernel=3, rng=rng)
+        dense = layer.stats((4, 10, 10))
+        layer.weights[:4] = 0.0  # kill half the filters
+        eff = layer.effective_stats((4, 10, 10))
+        assert eff.flops == pytest.approx(dense.flops / 2, rel=0.01)
+        assert eff.weight_bytes < dense.weight_bytes
+
+    def test_filter_shape_matches_table1(self, rng):
+        conv2 = ConvLayer("conv2", 96, 256, kernel=5, pad=2, groups=2, rng=rng)
+        assert conv2.filter_shape == (5, 5, 48)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool("p", kernel=2, stride=2).forward(x)
+        np.testing.assert_array_equal(
+            out[0, 0], [[5.0, 7.0], [13.0, 15.0]]
+        )
+
+    def test_maxpool_negative_input_with_padding(self):
+        # zero padding would wrongly win over all-negative activations
+        x = -np.ones((1, 1, 3, 3), dtype=np.float32)
+        out = MaxPool("p", kernel=3, stride=2, pad=1).forward(x)
+        assert (out == -1.0).all()
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = AvgPool("p", kernel=2, stride=2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avgpool(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        out = GlobalAvgPool("g").forward(x)
+        assert out.shape == (1, 2, 1, 1)
+        np.testing.assert_allclose(out.ravel(), [1.5, 5.5])
+
+    def test_overlapping_pool_shape(self):
+        # Caffenet pool1: 55 -> 27 with 3x3 stride 2
+        p = MaxPool("p", kernel=3, stride=2)
+        assert p.output_shape((96, 55, 55)) == (96, 27, 27)
+
+
+class TestDense:
+    def test_affine_values(self, rng):
+        layer = DenseLayer("d", 3, 2, rng=rng)
+        layer.weights = np.array([[1, 0, 0], [0, 2, 0]], dtype=np.float32)
+        layer.bias = np.array([1, -1], dtype=np.float32)
+        x = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        np.testing.assert_allclose(layer.forward(x), [[2.0, 3.0]])
+
+    def test_feature_mismatch_raises(self, rng):
+        layer = DenseLayer("d", 3, 2, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 4), dtype=np.float32))
+
+    def test_flatten_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        out = Flatten("f").forward(x)
+        assert out.shape == (2, 60)
+        np.testing.assert_array_equal(out[1], x[1].ravel())
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(
+            ReLU("r").forward(x), [[0.0, 0.0, 2.0]]
+        )
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((4, 10)).astype(np.float32) * 50
+        out = Softmax("s").forward(x)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-5)
+        assert (out >= 0).all()
+
+    def test_softmax_stability_large_logits(self):
+        x = np.array([[1000.0, 1000.0]], dtype=np.float32)
+        out = Softmax("s").forward(x)
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+
+class TestLRN:
+    def test_matches_direct_computation(self, rng):
+        lrn = LocalResponseNorm("n", local_size=3, alpha=0.1, beta=0.5, k=2.0)
+        x = rng.standard_normal((1, 5, 2, 2)).astype(np.float32)
+        out = lrn.forward(x)
+        # direct per-channel windowed computation
+        sq = x * x
+        for c in range(5):
+            lo, hi = max(0, c - 1), min(5, c + 2)
+            denom = (2.0 + (0.1 / 3) * sq[:, lo:hi].sum(axis=1)) ** 0.5
+            np.testing.assert_allclose(
+                out[:, c], x[:, c] / denom, rtol=1e-5
+            )
+
+    def test_preserves_shape(self, rng):
+        lrn = LocalResponseNorm("n")
+        x = rng.standard_normal((2, 96, 27, 27)).astype(np.float32)
+        assert lrn.forward(x).shape == x.shape
+
+    def test_even_local_size_rejected(self):
+        with pytest.raises(ShapeError):
+            LocalResponseNorm("n", local_size=4)
+
+
+class TestLayerStats:
+    def test_addition(self):
+        a = LayerStats(1, 2, 3, 4, 5)
+        b = LayerStats(10, 20, 30, 40, 50)
+        c = a + b
+        assert (c.flops, c.params) == (11, 55)
+        assert c.total_bytes == (2 + 3 + 4) + (20 + 30 + 40)
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dense_stats_consistent(self, inf, outf, _batch):
+        layer = DenseLayer("d", inf, outf)
+        stats = layer.stats((inf,))
+        assert stats.flops == 2 * inf * outf
+        assert stats.params == inf * outf + outf
+        assert stats.input_bytes == inf * ITEMSIZE

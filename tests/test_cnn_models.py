@@ -1,0 +1,172 @@
+"""Architecture tests: Caffenet/Googlenet match the paper's Table 1 shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_caffenet, build_googlenet, build_small_cnn
+from repro.cnn.flops import (
+    conv_flop_fraction,
+    flop_breakdown,
+    param_breakdown,
+)
+from repro.cnn.models import (
+    CAFFENET_CONV_LAYERS,
+    GOOGLENET_SELECTED_LAYERS,
+)
+from repro.errors import ShapeError
+
+
+class TestCaffenetArchitecture:
+    """Every row of the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "layer,out_shape,n_filters,filter_shape",
+        [
+            ("conv1", (96, 55, 55), 96, (11, 11, 3)),
+            ("conv2", (256, 27, 27), 256, (5, 5, 48)),
+            ("conv3", (384, 13, 13), 384, (3, 3, 256)),
+            ("conv4", (384, 13, 13), 384, (3, 3, 192)),
+            ("conv5", (256, 13, 13), 256, (3, 3, 192)),
+        ],
+    )
+    def test_conv_layer_row(
+        self, caffenet_const, layer, out_shape, n_filters, filter_shape
+    ):
+        conv = caffenet_const.layer(layer)
+        in_shape = caffenet_const.input_shape_of(layer)
+        assert conv.output_shape(in_shape) == out_shape
+        assert conv.out_channels == n_filters
+        assert conv.filter_shape == filter_shape
+
+    @pytest.mark.parametrize(
+        "layer,width", [("fc1", 4096), ("fc2", 4096), ("fc3", 1000)]
+    )
+    def test_fc_layer_row(self, caffenet_const, layer, width):
+        assert caffenet_const.layer(layer).out_features == width
+
+    def test_five_conv_three_fc(self, caffenet_const):
+        assert caffenet_const.conv_layer_names() == list(
+            CAFFENET_CONV_LAYERS
+        )
+
+    def test_param_count_is_alexnet_scale(self, caffenet_const):
+        # canonical AlexNet/Caffenet: ~61 M parameters
+        assert 60e6 < caffenet_const.total_params() < 63e6
+
+    def test_output_is_1000_way(self, caffenet_const):
+        assert caffenet_const.output_shape == (1000,)
+
+    def test_forward_batch(self, caffenet_const):
+        x = np.zeros((2, 3, 227, 227), dtype=np.float32)
+        out = caffenet_const.forward(x)
+        assert out.shape == (2, 1000)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_wrong_input_shape_raises(self, caffenet_const):
+        with pytest.raises(ShapeError):
+            caffenet_const.forward(np.zeros((1, 3, 224, 224), dtype=np.float32))
+
+    def test_convs_dominate_flops(self, caffenet_const):
+        # Section 4.3: convolution layers account for >90% of inference
+        # time; FLOP-wise they are ~92% of Caffenet.
+        assert conv_flop_fraction(caffenet_const) > 0.85
+
+    def test_fc_holds_most_params(self, caffenet_const):
+        params = param_breakdown(caffenet_const)
+        fc = params["fc1"] + params["fc2"] + params["fc3"]
+        assert fc > 0.9 * caffenet_const.total_params()
+
+
+class TestGooglenetArchitecture:
+    def test_conv_layer_count(self, googlenet_const):
+        # paper counts 56 = 2 stem + 9 x 6 inception convolutions; the
+        # canonical network additionally has the conv2-reduce bottleneck.
+        names = googlenet_const.conv_layer_names()
+        assert len(names) == 57
+        stem = [n for n in names if not n.startswith("inception")]
+        assert stem == ["conv1-7x7-s2", "conv2-reduce", "conv2-3x3"]
+
+    def test_nine_inception_modules(self, googlenet_const):
+        from repro.cnn.inception import InceptionModule
+
+        modules = [
+            layer
+            for layer in googlenet_const.layers
+            if isinstance(layer, InceptionModule)
+        ]
+        assert len(modules) == 9
+        assert all(len(m.conv_layers()) == 6 for m in modules)
+
+    def test_selected_figure7_layers_exist(self, googlenet_const):
+        for name in GOOGLENET_SELECTED_LAYERS:
+            googlenet_const.layer(name)  # must not raise
+
+    def test_param_count_small_despite_depth(self, googlenet_const):
+        # the paper notes Googlenet has far fewer parameters than
+        # Caffenet despite being much deeper (canonical ~7 M).
+        assert googlenet_const.total_params() < 8e6
+
+    def test_feature_map_ladder(self, googlenet_const):
+        # canonical 224 -> 112 -> 56 -> 28 -> 14 -> 7 spatial ladder
+        assert googlenet_const.input_shape_of("pool1-3x3-s2") == (64, 112, 112)
+        assert googlenet_const.input_shape_of("inception-3a") == (192, 28, 28)
+        assert googlenet_const.input_shape_of("inception-4a") == (480, 14, 14)
+        assert googlenet_const.input_shape_of("inception-5a") == (832, 7, 7)
+
+    def test_inception_channel_arithmetic(self, googlenet_const):
+        m = googlenet_const.layer("inception-3a")
+        assert m.out_channels == 64 + 128 + 32 + 32 == 256
+
+    def test_forward(self, googlenet_const):
+        x = np.zeros((1, 3, 224, 224), dtype=np.float32)
+        out = googlenet_const.forward(x)
+        assert out.shape == (1, 1000)
+
+    def test_flops_less_than_caffenet_fc_heavy_parts(self, googlenet_const):
+        breakdown = flop_breakdown(googlenet_const)
+        assert breakdown["loss3-classifier"] < breakdown["conv2-3x3"]
+
+
+class TestSmallCNN:
+    def test_forward_shape(self, small_cnn, rng):
+        x = rng.standard_normal((4, 1, 16, 16)).astype(np.float32)
+        assert small_cnn.forward(x).shape == (4, 5)
+
+    def test_configurable_classes(self):
+        net = build_small_cnn(num_classes=7, input_size=32, width=4)
+        assert net.output_shape == (7,)
+
+
+class TestNetworkContainer:
+    def test_duplicate_names_rejected(self):
+        from repro.cnn.activations import ReLU
+        from repro.cnn.network import Network
+
+        with pytest.raises(ShapeError):
+            Network("bad", (4,), [ReLU("a"), ReLU("a")])
+
+    def test_layer_lookup_error_lists_known(self, small_cnn):
+        with pytest.raises(KeyError, match="conv1"):
+            small_cnn.layer("no-such-layer")
+
+    def test_inception_inner_convs_addressable(self, googlenet_const):
+        conv = googlenet_const.layer("inception-4d-5x5")
+        assert conv.kernel == 5
+
+    def test_forward_timed_covers_all_layers(self, small_cnn, rng):
+        x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+        out, timings = small_cnn.forward_timed(x)
+        assert set(timings) == {l.name for l in small_cnn.layers}
+        assert all(t >= 0 for t in timings.values())
+        np.testing.assert_allclose(out, small_cnn.forward(x), rtol=1e-5)
+
+    def test_predict_topk_ordering(self, rng):
+        from repro.cnn.activations import Softmax
+        from repro.cnn.network import Network
+
+        net = Network("id", (4,), [Softmax("s")])
+        x = np.array([[0.1, 3.0, 2.0, -1.0]], dtype=np.float32)
+        topk = net.predict_topk(x, k=3)
+        np.testing.assert_array_equal(topk[0], [1, 2, 0])

@@ -1,0 +1,168 @@
+"""Tests for quantization and weight sharing (the paper's §2.1 alternatives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn import build_small_cnn
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.training import SGDTrainer, evaluate_topk
+from repro.errors import PruningError
+from repro.pruning import QuantizationTuner, WeightSharingTuner
+from repro.pruning.quantization import quantize_array, quantized_model_bytes
+from repro.pruning.weight_sharing import share_weights, shared_model_bytes
+
+
+class TestQuantizeArray:
+    def test_one_bit_two_levels(self, rng):
+        w = rng.standard_normal(1000).astype(np.float32)
+        q = quantize_array(w, bits=1)
+        assert np.unique(q).size <= 2
+
+    def test_levels_bounded_by_bits(self, rng):
+        w = rng.standard_normal(5000).astype(np.float32)
+        q = quantize_array(w, bits=3)
+        assert np.unique(q).size <= 8
+
+    def test_high_bits_near_lossless(self, rng):
+        w = rng.standard_normal(100).astype(np.float32)
+        q = quantize_array(w, bits=16)
+        np.testing.assert_allclose(q, w, atol=1e-3)
+
+    def test_preserves_range(self, rng):
+        w = rng.standard_normal(100).astype(np.float32)
+        q = quantize_array(w, bits=4)
+        assert q.min() == pytest.approx(w.min(), abs=1e-6)
+        assert q.max() == pytest.approx(w.max(), abs=1e-6)
+
+    def test_constant_array_unchanged(self):
+        w = np.full((3, 3), 0.5, dtype=np.float32)
+        np.testing.assert_array_equal(quantize_array(w, 2), w)
+
+    def test_invalid_bits(self):
+        w = np.zeros(4, dtype=np.float32)
+        with pytest.raises(PruningError):
+            quantize_array(w, 0)
+        with pytest.raises(PruningError):
+            quantize_array(w, 33)
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_error_shrinks_with_bits(self, bits):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(2000).astype(np.float32)
+        err_lo = np.abs(quantize_array(w, bits) - w).max()
+        err_hi = np.abs(quantize_array(w, bits + 1) - w).max()
+        assert err_hi <= err_lo + 1e-7
+
+
+class TestQuantizationTuner:
+    def test_apply_clones_by_default(self, small_cnn):
+        before = small_cnn.layer("fc1").weights.copy()
+        QuantizationTuner(bits=2).apply(small_cnn)
+        np.testing.assert_array_equal(
+            small_cnn.layer("fc1").weights, before
+        )
+
+    def test_compression_ratio_scales_with_bits(self, small_cnn):
+        r8 = QuantizationTuner(bits=8).compression_ratio(small_cnn)
+        r4 = QuantizationTuner(bits=4).compression_ratio(small_cnn)
+        assert r4 > r8 > 1.0
+
+    def test_model_bytes_formula(self, small_cnn):
+        n_weights = sum(
+            l.weights.size for l in small_cnn.weighted_layers()
+        )
+        n_bias = sum(l.bias.size for l in small_cnn.weighted_layers())
+        expected = n_weights + n_bias * 4 + 8 * len(
+            small_cnn.weighted_layers()
+        )
+        assert quantized_model_bytes(small_cnn, 8) == expected
+
+    def test_accuracy_degrades_gracefully(self, small_cnn):
+        """8-bit quantization is near-lossless on a trained model;
+        1-bit is destructive — the accuracy/memory trade the paper
+        describes."""
+        data = make_classification_data(n=200, num_classes=5, seed=5)
+        SGDTrainer(small_cnn, lr=0.03).fit(data, epochs=8, batch_size=25)
+        base = evaluate_topk(small_cnn, data, k=1)
+        q8 = evaluate_topk(
+            QuantizationTuner(8).apply(small_cnn), data, k=1
+        )
+        q1 = evaluate_topk(
+            QuantizationTuner(1).apply(small_cnn), data, k=1
+        )
+        assert base > 0.5
+        assert q8 >= base - 0.05
+        assert q1 < q8
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(PruningError):
+            QuantizationTuner(bits=0)
+
+
+class TestShareWeights:
+    def test_cluster_count_bound(self, rng):
+        w = rng.standard_normal(3000).astype(np.float32)
+        shared = share_weights(w, clusters=8)
+        assert np.unique(shared).size <= 8
+
+    def test_centroids_represent_values(self, rng):
+        w = rng.standard_normal(3000).astype(np.float32)
+        shared = share_weights(w, clusters=16)
+        # k-means with quantile seeding: small mean displacement
+        assert np.abs(shared - w).mean() < 0.15
+
+    def test_degenerate_input_unchanged(self):
+        w = np.array([1.0, 1.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(share_weights(w, 4), w)
+
+    def test_shape_preserved(self, rng):
+        w = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        assert share_weights(w, 4).shape == w.shape
+
+    def test_invalid_clusters(self, rng):
+        with pytest.raises(PruningError):
+            share_weights(np.zeros(10, dtype=np.float32), 1)
+
+    @given(st.integers(2, 64))
+    @settings(max_examples=15, deadline=None)
+    def test_more_clusters_less_error(self, clusters):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal(2000).astype(np.float32)
+        err = np.abs(share_weights(w, clusters) - w).mean()
+        err2 = np.abs(share_weights(w, clusters * 2) - w).mean()
+        assert err2 <= err + 1e-3
+
+
+class TestWeightSharingTuner:
+    def test_apply(self, small_cnn):
+        shared = WeightSharingTuner(clusters=16).apply(small_cnn)
+        for layer in shared.weighted_layers():
+            assert np.unique(layer.weights).size <= 16
+
+    def test_compression_ratio(self, small_cnn):
+        tuner = WeightSharingTuner(clusters=16)  # 4-bit indices
+        ratio = tuner.compression_ratio(small_cnn)
+        assert ratio > 4.0  # ~8x for weight-dominated layers
+
+    def test_shared_bytes_smaller_than_dense(self, small_cnn):
+        dense = sum(
+            (l.weights.size + l.bias.size) * 4
+            for l in small_cnn.weighted_layers()
+        )
+        assert shared_model_bytes(small_cnn, 16) < dense
+
+    def test_forward_still_works(self, small_cnn, rng):
+        shared = WeightSharingTuner(clusters=32).apply(small_cnn)
+        x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+        out = shared.forward(x)
+        assert out.shape == (2, 5)
+        assert np.isfinite(out).all()
+
+    def test_labels(self):
+        assert QuantizationTuner(4).label() == "quant@4bit"
+        assert WeightSharingTuner(16).label() == "share@16"

@@ -1,0 +1,262 @@
+"""Tests for config-space enumeration, sweet spots, Algorithm 1 and pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import (
+    CloudInstance,
+    CloudSimulator,
+    P2_TYPES,
+    instance_type,
+)
+from repro.core import (
+    CostAccuracyPipeline,
+    brute_force_allocate,
+    enumerate_configurations,
+    find_sweet_spot,
+    greedy_allocate,
+)
+from repro.core.config_space import configuration_space_size
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.pruning import PruneSpec
+from repro.pruning.schedule import DegreeOfPruning, single_layer_sweep
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return CloudSimulator(caffenet_time_model(), caffenet_accuracy_model())
+
+
+@pytest.fixture(scope="module")
+def degrees():
+    return [
+        DegreeOfPruning.of(PruneSpec.unpruned()),
+        DegreeOfPruning.of(PruneSpec({"conv1": 0.3, "conv2": 0.5})),
+        DegreeOfPruning.of(PruneSpec.uniform(
+            ["conv1", "conv2", "conv3", "conv4", "conv5"], 0.7
+        )),
+    ]
+
+
+@pytest.fixture(scope="module")
+def resources():
+    return [
+        CloudInstance(instance_type("p2.xlarge")),
+        CloudInstance(instance_type("p2.8xlarge")),
+        CloudInstance(instance_type("g3.4xlarge")),
+        CloudInstance(instance_type("g3.8xlarge")),
+    ]
+
+
+class TestConfigSpace:
+    def test_size_formula(self):
+        assert configuration_space_size(3, 3) == 63
+        assert configuration_space_size(1, 1) == 1
+
+    def test_enumeration_count(self):
+        configs = enumerate_configurations(P2_TYPES, max_per_type=3)
+        assert len(configs) == 63
+
+    def test_enumeration_is_unique(self):
+        configs = enumerate_configurations(P2_TYPES, max_per_type=2)
+        labels = {c.label() for c in configs}
+        assert len(labels) == len(configs)
+
+    def test_single_gpu_mode(self):
+        configs = enumerate_configurations(
+            P2_TYPES, max_per_type=1, gpus_used="one"
+        )
+        assert all(
+            inst.gpus_used == 1 for c in configs for inst in c.instances
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_configurations([], 3)
+        with pytest.raises(ConfigurationError):
+            enumerate_configurations(P2_TYPES, 3, gpus_used="two")
+        with pytest.raises(ConfigurationError):
+            enumerate_configurations([P2_TYPES[0], P2_TYPES[0]], 1)
+
+
+class TestSweetSpot:
+    def test_detects_knee(self):
+        ratios = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        acc = [80, 80, 80, 80, 75, 70]
+        times = [19, 18.5, 18, 17.5, 17, 16.5]
+        region = find_sweet_spot("conv1", ratios, acc, times)
+        assert region.last_sweet_spot == 0.3
+        assert region.exists
+        assert region.time_reduction == pytest.approx(1 - 17.5 / 19)
+
+    def test_requires_contiguity(self):
+        # a dip below tolerance breaks the region even if it recovers
+        ratios = [0.0, 0.1, 0.2, 0.3]
+        acc = [80, 70, 80, 80]
+        times = [19, 18, 17, 16]
+        region = find_sweet_spot("x", ratios, acc, times)
+        assert region.last_sweet_spot == 0.0
+
+    def test_no_sweet_spot_when_immediate_drop(self):
+        region = find_sweet_spot(
+            "x", [0.0, 0.1], [80, 60], [19, 18]
+        )
+        assert not region.exists
+
+    def test_tolerance_widens_region(self):
+        ratios = [0.0, 0.1, 0.2]
+        acc = [80, 79.8, 79.0]
+        times = [19, 18, 17]
+        tight = find_sweet_spot("x", ratios, acc, times, tolerance=0.1)
+        loose = find_sweet_spot("x", ratios, acc, times, tolerance=1.0)
+        assert tight.last_sweet_spot < loose.last_sweet_spot
+
+    def test_on_calibrated_caffenet_sweeps(self, sim):
+        """The detector recovers the paper's published sweet spots."""
+        from repro.calibration.caffenet import CAFFENET_SWEET_SPOTS
+        from repro.cloud import ResourceConfiguration
+
+        cfg = ResourceConfiguration(
+            [CloudInstance(instance_type("p2.xlarge"))]
+        )
+        for layer, knee in CAFFENET_SWEET_SPOTS.items():
+            ratios = [r / 10 for r in range(10)]
+            accs, times = [], []
+            for r in ratios:
+                res = sim.run(PruneSpec({layer: r}), cfg, 50_000)
+                accs.append(res.accuracy.top5)
+                times.append(res.time_s)
+            region = find_sweet_spot(layer, ratios, accs, times)
+            assert region.last_sweet_spot == pytest.approx(knee, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_sweet_spot("x", [0.1, 0.2], [80, 80], [19, 18])
+        with pytest.raises(ValueError):
+            find_sweet_spot("x", [0.0], [80], [19])
+
+
+class TestGreedyAllocation:
+    def test_finds_feasible_solution(self, sim, degrees, resources):
+        result = greedy_allocate(
+            degrees,
+            resources,
+            sim,
+            images=100_000,
+            deadline_s=3600.0,
+            budget=5.0,
+        )
+        assert result.result.within(3600.0, 5.0)
+
+    def test_prefers_highest_accuracy(self, sim, degrees, resources):
+        # generous constraints: the unpruned degree must win
+        result = greedy_allocate(
+            degrees,
+            resources,
+            sim,
+            images=50_000,
+            deadline_s=10 * 3600.0,
+            budget=100.0,
+        )
+        assert result.accuracy_top5 == pytest.approx(80.0)
+
+    def test_tight_constraints_force_pruning(self, sim, degrees, resources):
+        loose = greedy_allocate(
+            degrees, resources, sim, 200_000, 10 * 3600.0, 100.0
+        )
+        tight = greedy_allocate(
+            degrees, resources, sim, 200_000, 900.0, 100.0
+        )
+        assert tight.accuracy_top5 <= loose.accuracy_top5
+        assert tight.result.time_s <= 900.0
+
+    def test_infeasible_raises(self, sim, degrees, resources):
+        with pytest.raises(InfeasibleError):
+            greedy_allocate(
+                degrees, resources, sim, 10_000_000, 60.0, 0.01
+            )
+
+    def test_empty_inputs_raise(self, sim, degrees):
+        with pytest.raises(InfeasibleError):
+            greedy_allocate([], [], sim, 1000, 60.0, 1.0)
+
+    def test_polynomial_evaluation_count(self, sim, degrees, resources):
+        result = greedy_allocate(
+            degrees, resources, sim, 50_000, 10 * 3600.0, 100.0
+        )
+        # greedy: |P| sorts + per-degree |G| CAR rankings + prefix sims;
+        # far below the 2^|G| x |P| brute-force count
+        assert result.evaluations <= len(degrees) * (
+            2 * len(resources) + 1
+        ) + len(degrees)
+
+
+class TestBruteForceAllocation:
+    def test_agrees_with_greedy_on_accuracy(self, sim, degrees, resources):
+        greedy = greedy_allocate(
+            degrees, resources, sim, 100_000, 2 * 3600.0, 10.0
+        )
+        brute = brute_force_allocate(
+            degrees, resources, sim, 100_000, 2 * 3600.0, 10.0
+        )
+        # Algorithm 1's heuristic must reach the same best accuracy
+        assert greedy.accuracy_top5 == pytest.approx(
+            brute.accuracy_top5, abs=1e-9
+        )
+        # brute force may find a cheaper configuration, never a better accuracy
+        assert brute.result.cost <= greedy.result.cost + 1e-9
+
+    def test_exponential_evaluation_count(self, sim, degrees, resources):
+        brute = brute_force_allocate(
+            degrees, resources, sim, 50_000, 10 * 3600.0, 100.0
+        )
+        assert brute.evaluations == len(degrees) * (
+            2 ** len(resources) - 1
+        )
+
+    def test_infeasible_raises(self, sim, degrees, resources):
+        with pytest.raises(InfeasibleError):
+            brute_force_allocate(
+                degrees, resources, sim, 10_000_000, 60.0, 0.01
+            )
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return CostAccuracyPipeline(
+            caffenet_time_model(), caffenet_accuracy_model()
+        )
+
+    def test_characterize(self, pipeline):
+        from repro.calibration.caffenet import CAFFENET_TIME_SHARES
+
+        ch = pipeline.characterize(CAFFENET_TIME_SHARES)
+        assert ch.single_inference_s == pytest.approx(0.09)
+        assert ch.single_inference_pruned_s < ch.single_inference_s
+        assert 200 <= ch.saturation_batch <= 400
+
+    def test_measure_stage(self, pipeline):
+        records = pipeline.measure(single_layer_sweep("conv2"), 50_000)
+        assert len(records) == 10
+        assert records[0].time_s / 60 == pytest.approx(19.0, rel=1e-6)
+        times = [r.time_s for r in records]
+        assert times == sorted(times, reverse=True)
+
+    def test_explore_and_pareto(self, pipeline):
+        configs = enumerate_configurations(P2_TYPES, max_per_type=1)
+        degrees = single_layer_sweep("conv2", [0.0, 0.5, 0.9])
+        points = pipeline.explore(
+            degrees, configs, 50_000, deadline_s=3600.0, budget=10.0
+        )
+        assert len(points) == len(degrees) * len(configs)
+        front = pipeline.pareto(points, objective="cost", metric="top5")
+        assert front
+        accs = [p.accuracy for p in front]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_pareto_rejects_bad_objective(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.pareto([], objective="energy")

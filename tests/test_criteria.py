@@ -1,0 +1,94 @@
+"""Tests for pruning-criterion variants and their comparison study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_small_cnn
+from repro.errors import PruningError
+from repro.pruning import L1FilterPruner, PruneSpec
+from repro.pruning.l1_filter import filters_to_prune
+
+
+class TestCriteria:
+    def test_l1_vs_l2_can_differ(self, rng):
+        # one filter with a single huge weight (big L2, moderate L1),
+        # one with many medium weights (big L1, moderate L2)
+        w = np.zeros((3, 16), dtype=np.float32)
+        w[0, 0] = 4.0          # L1 = 4,  L2 = 16
+        w[1, :] = 0.3          # L1 = 4.8, L2 = 1.44
+        w[2, :] = 1.0          # clearly largest on both
+        l1_dead = filters_to_prune(w, 1 / 3, criterion="l1")
+        l2_dead = filters_to_prune(w, 1 / 3, criterion="l2")
+        assert list(l1_dead) == [0]
+        assert list(l2_dead) == [1]
+
+    def test_random_is_seed_deterministic(self, rng):
+        w = rng.standard_normal((8, 5)).astype(np.float32)
+        a = filters_to_prune(w, 0.5, criterion="random", seed=3)
+        b = filters_to_prune(w, 0.5, criterion="random", seed=3)
+        np.testing.assert_array_equal(a, b)
+        c = filters_to_prune(w, 0.5, criterion="random", seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_criterion_rejected(self, rng):
+        w = rng.standard_normal((4, 3)).astype(np.float32)
+        with pytest.raises(PruningError):
+            filters_to_prune(w, 0.5, criterion="l3")
+        with pytest.raises(PruningError):
+            L1FilterPruner(criterion="taylor")
+
+    def test_pruner_uses_criterion(self, small_cnn):
+        l1 = L1FilterPruner(propagate=False, criterion="l1").apply(
+            small_cnn, PruneSpec({"conv2": 0.5})
+        )
+        rnd = L1FilterPruner(
+            propagate=False, criterion="random", seed=9
+        ).apply(small_cnn, PruneSpec({"conv2": 0.5}))
+        # same density, (almost surely) different filters
+        assert l1.layer("conv2").density() == pytest.approx(
+            rnd.layer("conv2").density()
+        )
+        assert not np.array_equal(
+            l1.layer("conv2").weights, rnd.layer("conv2").weights
+        )
+
+
+class TestCriterionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments import ext_criterion_comparison
+
+        ext_criterion_comparison.run.cache_clear()
+        return ext_criterion_comparison.run()
+
+    def test_three_criteria_swept(self, study):
+        assert {s.criterion for s in study.sweeps} == {
+            "l1",
+            "l2",
+            "random",
+        }
+
+    def test_all_start_at_baseline(self, study):
+        baselines = {s.top1[0] for s in study.sweeps}
+        assert len(baselines) == 1
+
+    def test_saliency_beats_random_in_sweet_spot_range(self, study):
+        for ratio in (0.25, 0.5):
+            best_saliency = max(
+                study.sweep("l1").accuracy_at(ratio),
+                study.sweep("l2").accuracy_at(ratio),
+            )
+            assert best_saliency > study.sweep("random").accuracy_at(
+                ratio
+            )
+
+    def test_saliency_advantage_material(self, study):
+        assert study.saliency_advantage(0.5) > 5.0
+
+    def test_render(self, study):
+        from repro.experiments import ext_criterion_comparison
+
+        text = ext_criterion_comparison.render(study)
+        assert "random" in text and "saliency advantage" in text

@@ -1,0 +1,164 @@
+"""Tests for dropout and weight serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_caffenet, build_small_cnn
+from repro.cnn.activations import ReLU
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.dropout import Dropout
+from repro.cnn.dense import DenseLayer
+from repro.cnn.network import Network
+from repro.cnn.serialization import (
+    load_state_dict,
+    load_weights,
+    save_weights,
+    state_dict,
+)
+from repro.cnn.training import SGDTrainer
+from repro.errors import ShapeError
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout("d", rate=0.5)
+        x = rng.standard_normal((4, 10)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x), x)
+        assert layer.last_mask is None
+
+    def test_training_mode_zeroes_roughly_rate(self, rng):
+        layer = Dropout("d", rate=0.5, seed=1)
+        layer.training = True
+        x = np.ones((100, 100), dtype=np.float32)
+        out = layer.forward(x)
+        zero_frac = (out == 0).mean()
+        assert zero_frac == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scaling_preserves_expectation(self, rng):
+        layer = Dropout("d", rate=0.5, seed=2)
+        layer.training = True
+        x = np.ones((200, 200), dtype=np.float32)
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_rate_is_identity_even_training(self, rng):
+        layer = Dropout("d", rate=0.0)
+        layer.training = True
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", rate=1.0)
+        with pytest.raises(ValueError):
+            Dropout("d", rate=-0.1)
+
+    def test_caffenet_carries_dropout(self, caffenet_const):
+        assert isinstance(caffenet_const.layer("drop6"), Dropout)
+        assert isinstance(caffenet_const.layer("drop7"), Dropout)
+
+    def test_caffenet_inference_unaffected_by_dropout(self, caffenet_const):
+        # dropout layers at inference are identity: prob sums to one
+        x = np.zeros((1, 3, 227, 227), dtype=np.float32)
+        out = caffenet_const.forward(x)
+        assert out.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_trainer_toggles_training_mode(self):
+        net = Network(
+            "d",
+            (8,),
+            [
+                DenseLayer("fc", 8, 8),
+                ReLU("r"),
+                Dropout("drop", rate=0.5, seed=3),
+                DenseLayer("out", 8, 3),
+            ],
+        )
+        data = make_classification_data(
+            n=32, num_classes=3, size=1, channels=8, seed=0
+        )
+        flat = data.x.reshape(32, 8)
+        from repro.cnn.datasets import SyntheticImages
+
+        data2 = SyntheticImages(x=flat, y=data.y)
+        trainer = SGDTrainer(net, lr=0.01)
+        trainer.fit(data2, epochs=1, batch_size=8)
+        drop = net.layer("drop")
+        assert drop.training is False
+        assert drop.last_mask is None
+
+    def test_training_with_dropout_still_learns(self):
+        from repro.cnn.conv import ConvLayer
+        from repro.cnn.dense import Flatten
+        from repro.cnn.pooling import MaxPool
+
+        net = Network(
+            "sd",
+            (1, 16, 16),
+            [
+                ConvLayer("conv1", 1, 8, 3, pad=1,
+                          rng=np.random.default_rng(0)),
+                ReLU("r1"),
+                MaxPool("p1", 2, 2),
+                Flatten("f"),
+                Dropout("drop", rate=0.3, seed=1),
+                DenseLayer("fc", 8 * 8 * 8, 5,
+                           rng=np.random.default_rng(1)),
+            ],
+        )
+        data = make_classification_data(n=150, num_classes=5, seed=9)
+        result = SGDTrainer(net, lr=0.03).fit(
+            data, epochs=8, batch_size=25
+        )
+        assert result.final_accuracy > 0.4  # above 0.2 chance
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_cnn, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        save_weights(small_cnn, path)
+        clone = build_small_cnn(seed=99)  # different weights
+        x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+        assert not np.allclose(clone.forward(x), small_cnn.forward(x))
+        load_weights(clone, path)
+        np.testing.assert_allclose(
+            clone.forward(x), small_cnn.forward(x), rtol=1e-6
+        )
+
+    def test_state_dict_keys(self, small_cnn):
+        keys = set(state_dict(small_cnn))
+        assert "conv1.weights" in keys and "fc2.bias" in keys
+
+    def test_missing_array_rejected(self, small_cnn):
+        state = state_dict(small_cnn)
+        state.pop("conv1.weights")
+        with pytest.raises(ShapeError, match="missing"):
+            load_state_dict(small_cnn, state)
+
+    def test_unknown_array_rejected(self, small_cnn):
+        state = dict(state_dict(small_cnn))
+        state["ghost.weights"] = np.zeros(3)
+        with pytest.raises(ShapeError, match="unknown"):
+            load_state_dict(small_cnn, state)
+
+    def test_shape_mismatch_rejected(self, small_cnn):
+        state = dict(state_dict(small_cnn))
+        state["conv1.weights"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ShapeError, match="shape"):
+            load_state_dict(small_cnn, state)
+
+    def test_pruned_model_roundtrip(self, small_cnn, tmp_path):
+        from repro.pruning import L1FilterPruner, PruneSpec
+
+        pruned = L1FilterPruner().apply(
+            small_cnn, PruneSpec({"conv1": 0.5})
+        )
+        path = tmp_path / "pruned.npz"
+        save_weights(pruned, path)
+        clone = build_small_cnn(seed=3)
+        load_weights(clone, path)
+        assert clone.layer("conv1").density() == pytest.approx(
+            pruned.layer("conv1").density()
+        )

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs and prints its key findings.
+
+Examples are the library's contract with new users; these tests execute
+them as ``__main__`` (runpy) and check their headline output lines.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "nonpruned" in out and "conv1-2" in out
+        assert "saves 33% time" in out
+
+    def test_social_media_filter(self, capsys):
+        out = _run("social_media_filter.py", capsys)
+        assert "strict" in out
+        assert "review bar" in out
+
+    def test_budget_planner(self, capsys):
+        out = _run("budget_planner.py", capsys)
+        assert "deadline" in out
+        assert "infeasible" in out or "%" in out
+
+    @pytest.mark.slow
+    def test_pruning_study(self, capsys):
+        out = _run("pruning_study.py", capsys)
+        assert "sweet spot" in out
+        assert "flat-then-drop" in out
+
+    def test_latency_slo(self, capsys):
+        out = _run("latency_slo.py", capsys)
+        assert "p99" in out
+        assert "saves" in out
+
+    def test_paper_figures(self, capsys):
+        out = _run("paper_figures.py", capsys)
+        assert "Fig 4" in out and "Fig 10" in out
+        assert "Pareto-optimal" in out
+
+    def test_calibrate_your_model(self, capsys):
+        out = _run("calibrate_your_model.py", capsys)
+        assert "fitted models" in out
+        assert "iso-accuracy frontier" in out

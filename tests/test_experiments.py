@@ -1,0 +1,261 @@
+"""Integration tests: every regenerated table/figure matches the paper's
+published shape (see EXPERIMENTS.md for the full paper-vs-measured log).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_time_distribution,
+    fig4_single_inference,
+    fig5_parallel_inference,
+    fig6_caffenet_sweeps,
+    fig7_googlenet_sweeps,
+    fig8_multilayer,
+    fig11_tar,
+    fig12_car,
+    tables,
+)
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = {r.layer: r for r in tables.table1_caffenet_layers()}
+        assert rows["conv1"].size == "55x55x96"
+        assert rows["conv1"].filter_size == "11x11x3"
+        assert rows["conv2"].size == "27x27x256"
+        assert rows["conv2"].filter_size == "5x5x48"
+        assert rows["conv3"].filter_size == "3x3x256"
+        assert rows["conv4"].filter_size == "3x3x192"
+        assert rows["conv5"].size == "13x13x256"
+        assert rows["fc1"].size == "4096"
+        assert rows["fc3"].size == "1000"
+
+    def test_render_contains_all_layers(self):
+        text = tables.render_table1()
+        for layer in ("input", "conv1", "conv5", "fc3"):
+            assert layer in text
+
+
+class TestTable3:
+    def test_six_rows(self):
+        assert len(tables.table3_catalog_rows()) == 6
+
+    def test_render(self):
+        text = tables.render_table3()
+        assert "p2.16xlarge" in text and "14.4" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_time_distribution.run()
+
+    def test_shares_match_paper(self, result):
+        # conv1 51%, conv2 16%, conv3 9%, conv4 10%, conv5 7%
+        assert result.shares["conv1"] == pytest.approx(0.51, abs=0.01)
+        assert result.shares["conv2"] == pytest.approx(0.16, abs=0.01)
+        assert result.shares["conv3"] == pytest.approx(0.09, abs=0.01)
+        assert result.shares["conv4"] == pytest.approx(0.10, abs=0.01)
+        assert result.shares["conv5"] == pytest.approx(0.07, abs=0.01)
+
+    def test_convs_dominate(self, result):
+        assert result.conv_share > 0.90
+
+    def test_fc_cheap_but_parameter_heavy(self, result):
+        assert result.fc_share < 0.10
+        assert result.fc_param_fraction > 0.90
+
+    def test_render(self, result):
+        assert "conv1" in fig3_time_distribution.render(result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_single_inference.run()
+
+    def test_caffenet_endpoints(self, result):
+        assert result.caffenet_s[0] == pytest.approx(0.09)
+        assert result.caffenet_s[-1] == pytest.approx(0.05, rel=0.02)
+
+    def test_googlenet_endpoints(self, result):
+        assert result.googlenet_s[0] == pytest.approx(0.16)
+        assert result.googlenet_s[-1] == pytest.approx(0.10, rel=0.02)
+
+    def test_monotone_nonincreasing(self, result):
+        for series in (result.caffenet_s, result.googlenet_s):
+            diffs = np.diff(series)
+            assert np.all(diffs <= 1e-12)
+
+    def test_reductions_match_paper_claims(self, result):
+        # "drops by about half" / "about one third"
+        assert result.caffenet_reduction == pytest.approx(0.44, abs=0.03)
+        assert result.googlenet_reduction == pytest.approx(0.375, abs=0.03)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_parallel_inference.run()
+
+    def test_monotone_decreasing(self, result):
+        assert np.all(np.diff(result.caffenet_s) <= 1e-9)
+
+    def test_saturation_around_300(self, result):
+        assert 200 <= result.caffenet_knee <= 400
+        # past the knee only marginal improvement remains
+        assert result.saturation_ratio("caffenet") < 0.12
+
+    def test_caffenet_floor_near_19_minutes(self, result):
+        # saturated total for 50k images approaches the Figure 6 baseline
+        assert result.caffenet_s[-1] == pytest.approx(19 * 60, rel=0.05)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_caffenet_sweeps.run()
+
+    def test_five_sweeps(self, result):
+        assert len(result.sweeps) == 5
+
+    def test_conv2_strongest_time_reduction(self, result):
+        ends = {s.layer: s.time_min[-1] for s in result.sweeps}
+        assert min(ends, key=ends.get) == "conv2"
+        assert ends["conv2"] == pytest.approx(14.0, rel=0.01)
+        assert ends["conv1"] == pytest.approx(16.6, rel=0.01)
+
+    def test_sweet_spots_match_paper(self, result):
+        assert result.sweep("conv1").sweet_spot.last_sweet_spot == 0.3
+        for layer in ("conv2", "conv3", "conv4", "conv5"):
+            assert result.sweep(layer).sweet_spot.last_sweet_spot == 0.5
+
+    def test_conv1_top5_collapses(self, result):
+        assert result.sweep("conv1").top5[-1] == 0.0
+
+    def test_others_bottom_near_25(self, result):
+        for layer in ("conv2", "conv3", "conv4", "conv5"):
+            assert result.sweep(layer).top5[-1] == pytest.approx(25.0)
+
+    def test_observation2_impact_not_by_params(self, result):
+        """conv4 has the most compute ops but conv1/conv2 dominate both
+        accuracy impact and time impact (the paper's Observation 2)."""
+        time_savings = {
+            s.layer: s.time_min[0] - s.time_min[-1] for s in result.sweeps
+        }
+        acc_drop = {s.layer: s.top5[0] - s.top5[-1] for s in result.sweeps}
+        assert time_savings["conv4"] < time_savings["conv2"]
+        assert acc_drop["conv4"] < acc_drop["conv1"]
+
+    def test_times_near_linear(self, result):
+        for sweep in result.sweeps:
+            ys = np.array(sweep.time_min)
+            xs = np.array(sweep.ratios)
+            fit = np.polyfit(xs, ys, 1)
+            resid = ys - np.polyval(fit, xs)
+            assert np.abs(resid).max() < 0.05  # minutes
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_googlenet_sweeps.run()
+
+    def test_six_selected_layers(self, result):
+        assert len(result.sweeps) == 6
+
+    def test_accuracy_flat_until_60(self, result):
+        for sweep in result.sweeps:
+            assert sweep.sweet_spot.last_sweet_spot >= 0.6 - 1e-9
+
+    def test_conv2_3x3_strongest(self, result):
+        ends = {s.layer: s.time_min[-1] for s in result.sweeps}
+        assert min(ends, key=ends.get) == "conv2-3x3"
+        assert ends["conv2-3x3"] == pytest.approx(9.0, rel=0.01)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_multilayer.run()
+
+    def test_three_rows_match_paper(self, result):
+        non = result.row("nonpruned")
+        c12 = result.row("conv1-2")
+        allc = result.row("all-conv")
+        assert non.time_min == pytest.approx(19.0, rel=1e-6)
+        assert non.top5 == pytest.approx(80.0)
+        assert c12.time_min == pytest.approx(13.0, rel=0.05)
+        assert c12.top5 == pytest.approx(70.0, abs=1.0)
+        assert allc.time_min == pytest.approx(11.0, rel=0.08)
+        assert allc.top5 == pytest.approx(62.0, abs=3.0)
+
+    def test_ordering(self, result):
+        times = [r.time_min for r in result.rows]
+        accs = [r.top5 for r in result.rows]
+        assert times == sorted(times, reverse=True)
+        assert accs == sorted(accs, reverse=True)
+
+    def test_headline_half_time_tenth_accuracy(self, result):
+        """Abstract: 'halve inference cost and time with one-tenth
+        reduction in accuracy' — conv1-2 costs ~1/8 accuracy for ~1/3
+        time; all-conv reaches ~45% time saving."""
+        assert result.time_reduction_all_conv > 0.40
+        assert result.top5_drop_conv1_2 == pytest.approx(10.0, abs=1.5)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_tar.run()
+
+    def test_grid_size(self, result):
+        assert len(result.points) == 5 * 6
+
+    def test_tar_identifies_fastest_at_given_accuracy(self, result):
+        # among equal-accuracy points, lowest TAR = lowest time
+        by_acc: dict[float, list] = {}
+        for p in result.points:
+            by_acc.setdefault(round(p.top5, 3), []).append(p)
+        for group in by_acc.values():
+            if len(group) < 2:
+                continue
+            best_tar = min(group, key=lambda p: p.tar_top5)
+            best_time = min(group, key=lambda p: p.time_min)
+            assert best_tar.label == best_time.label
+
+    def test_tar_range_matches_paper_scale(self, result):
+        # Figure 11 labels TAR values in the 0.29-0.52 decade
+        tars = [p.tar_top5 for p in result.points]
+        assert 0.25 < min(tars) < max(tars) < 0.60
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_car.run()
+
+    def test_car_flat_within_categories(self, result):
+        assert result.within_category_spread("p2") < 0.05
+        assert result.within_category_spread("g3") < 0.05
+
+    def test_category_ratio_matches_paper(self, result):
+        # paper: 0.57 (p2) vs 0.35 (g3) => ratio ~1.63
+        assert result.category_ratio("all") == pytest.approx(1.63, abs=0.07)
+
+    def test_g3_cheaper_per_accuracy(self, result):
+        assert result.category_mean("g3") < result.category_mean("p2")
+
+    def test_single_gpu_wastes_money_on_big_instances(self, result):
+        rows = {r.instance: r for r in result.rows}
+        assert (
+            rows["p2.16xlarge"].car_one_gpu_top1
+            > 10 * rows["p2.16xlarge"].car_all_gpus_top1
+        )
+        # on single-GPU instances both modes coincide
+        assert rows["p2.xlarge"].car_one_gpu_top1 == pytest.approx(
+            rows["p2.xlarge"].car_all_gpus_top1
+        )

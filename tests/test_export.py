@@ -1,0 +1,62 @@
+"""Tests for the machine-readable experiment export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_all, write_csv_series
+
+
+class TestCSVWriter:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_csv_series(path, ["x", "y"], [(1, 2.0), (3, 4.0)])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["x", "y"], ["1", "2.0"], ["3", "4.0"]]
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        target = tmp_path_factory.mktemp("results")
+        written = export_all(
+            target, only=("table3", "fig4", "fig8", "fig12")
+        )
+        return target, written
+
+    def test_writes_txt_and_json(self, exported):
+        target, written = exported
+        assert (target / "table3.txt").exists()
+        assert (target / "fig8.json").exists()
+        assert all(p.startswith(str(target)) for p in written)
+
+    def test_json_payload(self, exported):
+        target, _ = exported
+        payload = json.loads((target / "fig8.json").read_text())
+        assert payload["artefact"] == "fig8"
+        assert "nonpruned" in payload["text"]
+
+    def test_csv_series_written_for_selected_figures(self, exported):
+        target, _ = exported
+        with open(target / "fig4.csv") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["prune_ratio", "caffenet_s", "googlenet_s"]
+        assert len(rows) == 11  # header + 10 ratios
+        with open(target / "fig12.csv") as fh:
+            rows12 = list(csv.reader(fh))
+        assert len(rows12) == 7  # header + 6 instance types
+
+    def test_unselected_not_written(self, exported):
+        target, _ = exported
+        assert not (target / "fig5.csv").exists()
+        assert not (target / "fig9.txt").exists()
+
+    def test_index_manifest(self, exported):
+        target, _ = exported
+        manifest = json.loads((target / "index.json").read_text())
+        artefacts = {entry["artefact"] for entry in manifest}
+        assert artefacts == {"table3", "fig4", "fig8", "fig12"}

@@ -1,0 +1,78 @@
+"""Tests for the extension experiments (technique comparison, Googlenet
+Pareto study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_googlenet_pareto, ext_technique_comparison
+
+
+class TestTechniqueComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_technique_comparison.run(
+            train_n=300, test_n=150, epochs=8
+        )
+
+    def test_baseline_learned(self, result):
+        assert result.baseline.top1 > 60.0
+
+    def test_only_pruning_cuts_flops(self, result):
+        base_flops = result.baseline.effective_mflops
+        for r in result.rows:
+            if "prune" in r.technique:
+                assert r.effective_mflops < base_flops * 0.9
+            else:
+                assert r.effective_mflops == pytest.approx(base_flops)
+
+    def test_quantization_compresses_memory(self, result):
+        base_kb = result.baseline.model_kb
+        assert result.row("quant@8bit").model_kb < base_kb / 3
+        assert result.row("quant@4bit").model_kb < result.row(
+            "quant@8bit"
+        ).model_kb
+
+    def test_moderate_quantization_preserves_accuracy(self, result):
+        assert result.row("quant@8bit").top1 >= result.baseline.top1 - 5
+
+    def test_extreme_quantization_hurts(self, result):
+        assert (
+            result.row("quant@2bit").top1
+            <= result.row("quant@8bit").top1
+        )
+
+    def test_weight_sharing_compresses(self, result):
+        assert result.row("share@16").model_kb < result.baseline.model_kb / 3
+
+    def test_render(self, result):
+        text = ext_technique_comparison.render(result)
+        assert "quant@4bit" in text and "share@16" in text
+
+
+class TestGooglenetPareto:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_googlenet_pareto.run()
+
+    def test_space_evaluated(self, result):
+        assert result.total_points > 1000
+
+    def test_cost_frontier_is_g3_only(self, result):
+        # the Figure 12 prediction: M60 wins every cost-optimal pick
+        assert result.cost_front_categories() == {"g3"}
+
+    def test_fronts_nonempty(self, result):
+        assert len(result.time_front) >= 2
+        assert len(result.cost_front) >= 2
+
+    def test_best_accuracy_reachable(self, result):
+        best = max(r.accuracy.top5 for r in result.cost_front)
+        assert best == pytest.approx(89.0)
+
+    def test_deadline_prunes_space(self, result):
+        assert result.n_time_feasible < result.total_points
+
+    def test_render(self, result):
+        text = ext_googlenet_pareto.render(result)
+        assert "cost-accuracy frontier" in text

@@ -1,0 +1,133 @@
+"""Tests for prune-then-retrain (the full Li et al. recipe)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_small_cnn
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.training import SGDTrainer, evaluate_topk
+from repro.pruning import L1FilterPruner, PruneSpec
+from repro.pruning.finetune import prune_and_finetune, recovery_sweep
+
+
+@pytest.fixture(scope="module")
+def trained():
+    network = build_small_cnn(seed=13, width=10)
+    train = make_classification_data(n=300, num_classes=5, seed=13)
+    SGDTrainer(network, lr=0.03).fit(train, epochs=8, batch_size=30)
+    return network, train
+
+
+class TestPreserveZeros:
+    def test_pruned_weights_stay_zero_through_training(self, trained):
+        network, train = trained
+        pruned = L1FilterPruner(propagate=False).apply(
+            network, PruneSpec({"conv2": 0.5})
+        )
+        mask = pruned.layer("conv2").weights == 0
+        trainer = SGDTrainer(pruned, lr=0.02, preserve_zeros=True)
+        trainer.fit(train, epochs=2, batch_size=30)
+        assert (pruned.layer("conv2").weights[mask] == 0).all()
+
+    def test_surviving_weights_move(self, trained):
+        network, train = trained
+        pruned = L1FilterPruner(propagate=False).apply(
+            network, PruneSpec({"conv2": 0.5})
+        )
+        before = pruned.layer("conv2").weights.copy()
+        SGDTrainer(pruned, lr=0.02, preserve_zeros=True).fit(
+            train, epochs=2, batch_size=30
+        )
+        survivors = before != 0
+        assert not np.allclose(
+            pruned.layer("conv2").weights[survivors], before[survivors]
+        )
+
+    def test_without_flag_zeros_can_regrow(self, trained):
+        """Element-pruned dense weights receive gradient and regrow when
+        the zero pattern is not preserved.  (Whole *filters* would not:
+        their ReLU output is exactly zero, gating the gradient.)"""
+        from repro.pruning import MagnitudePruner
+
+        network, train = trained
+        pruned = MagnitudePruner().apply(
+            network, PruneSpec({"fc1": 0.5})
+        )
+        mask = pruned.layer("fc1").weights == 0
+        SGDTrainer(pruned, lr=0.02, preserve_zeros=False).fit(
+            train, epochs=2, batch_size=30
+        )
+        assert (pruned.layer("fc1").weights[mask] != 0).any()
+
+
+class TestPruneAndFinetune:
+    def test_original_untouched(self, trained):
+        network, train = trained
+        before = network.layer("conv2").weights.copy()
+        prune_and_finetune(
+            network, PruneSpec({"conv2": 0.5}), train, epochs=1
+        )
+        np.testing.assert_array_equal(
+            network.layer("conv2").weights, before
+        )
+
+    def test_returns_sparse_network(self, trained):
+        network, train = trained
+        tuned = prune_and_finetune(
+            network, PruneSpec({"conv2": 0.5}), train, epochs=1
+        )
+        assert tuned.layer("conv2").density() < 0.7
+
+    def test_finetuning_recovers_accuracy(self, trained):
+        """The Li et al. effect: retraining buys accuracy back at
+        aggressive prune ratios."""
+        network, train = trained
+        test = make_classification_data(n=200, num_classes=5, seed=14)
+        spec = PruneSpec({"conv2": 0.75})
+        pruner = L1FilterPruner(propagate=True)
+        pruned_only = pruner.apply(network, spec)
+        acc_pruned = evaluate_topk(pruned_only, test, k=1)
+        tuned = prune_and_finetune(
+            network, spec, train, pruner=pruner, epochs=4
+        )
+        acc_tuned = evaluate_topk(tuned, test, k=1)
+        assert acc_tuned >= acc_pruned
+
+    def test_zero_epochs_is_plain_pruning(self, trained):
+        network, train = trained
+        spec = PruneSpec({"conv2": 0.5})
+        tuned = prune_and_finetune(network, spec, train, epochs=0)
+        plain = L1FilterPruner(propagate=True).apply(network, spec)
+        np.testing.assert_array_equal(
+            tuned.layer("conv2").weights, plain.layer("conv2").weights
+        )
+
+
+class TestRecoverySweep:
+    def test_sweep_structure(self, trained):
+        network, train = trained
+        test = make_classification_data(n=100, num_classes=5, seed=15)
+        points = recovery_sweep(
+            network,
+            "conv2",
+            train,
+            test,
+            ratios=(0.0, 0.5),
+            epochs=1,
+        )
+        assert [p.ratio for p in points] == [0.0, 0.5]
+        for p in points:
+            assert 0.0 <= p.accuracy_pruned <= 100.0
+            assert 0.0 <= p.accuracy_finetuned <= 100.0
+
+    def test_recovery_nonnegative_at_zero_ratio(self, trained):
+        network, train = trained
+        test = make_classification_data(n=100, num_classes=5, seed=16)
+        (point,) = recovery_sweep(
+            network, "conv2", train, test, ratios=(0.0,), epochs=1
+        )
+        # unpruned "fine-tuning" is just extra training: cannot be
+        # catastrophically worse than the trained baseline
+        assert point.accuracy_finetuned >= point.accuracy_pruned - 10.0

@@ -1,0 +1,185 @@
+"""Tests for calibration fitting and the fully-real pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration.accuracy_model import AccuracyPair
+from repro.calibration.fitting import (
+    fit_accuracy_model,
+    fit_synergy_gamma,
+    fit_time_curves,
+    fit_time_model,
+)
+from repro.errors import CalibrationError
+from repro.perf.device import K80
+from repro.pruning import PruneSpec
+
+RATIOS = (0.0, 0.3, 0.6, 0.9)
+
+
+class TestFitTimeCurves:
+    def test_normalises_to_baseline(self):
+        curves = fit_time_curves(
+            {"conv1": (RATIOS, (20.0, 18.0, 16.0, 14.0))}
+        )
+        assert curves["conv1"](0.0) == 1.0
+        assert curves["conv1"](0.9) == pytest.approx(0.7)
+
+    def test_smooths_noise_monotone(self):
+        curves = fit_time_curves(
+            {"x": (RATIOS, (10.0, 9.0, 9.5, 8.0))}  # 9.5 is jitter
+        )
+        assert curves["x"](0.6) == pytest.approx(0.9)  # running min
+        assert curves["x"].is_nonincreasing()
+
+    def test_rejects_bad_sweeps(self):
+        with pytest.raises(CalibrationError):
+            fit_time_curves({"x": ((0.1, 0.5), (1.0, 2.0))})  # no 0
+        with pytest.raises(CalibrationError):
+            fit_time_curves({"x": ((0.0, 0.5), (0.0, 1.0))})  # zero base
+
+
+class TestFitSynergyGamma:
+    def test_recovers_known_gamma(self):
+        curves = fit_time_curves(
+            {
+                "a": ((0.0, 0.9), (10.0, 8.0)),
+                "b": ((0.0, 0.9), (10.0, 7.0)),
+            }
+        )
+        product = 0.8 * 0.7
+        for gamma in (1.0, 1.5, 2.0):
+            fitted = fit_synergy_gamma(
+                curves, {"a": 0.9, "b": 0.9}, product**gamma
+            )
+            assert fitted == pytest.approx(gamma, rel=1e-6)
+
+    def test_single_layer_combo_gives_one(self):
+        curves = fit_time_curves({"a": ((0.0, 0.9), (10.0, 8.0))})
+        assert fit_synergy_gamma(curves, {"a": 0.5}, 0.9) == 1.0
+
+    def test_never_below_one(self):
+        curves = fit_time_curves(
+            {
+                "a": ((0.0, 0.9), (10.0, 8.0)),
+                "b": ((0.0, 0.9), (10.0, 7.0)),
+            }
+        )
+        # measured fraction larger than the product -> sub-multiplicative,
+        # clamp to 1 (our model never predicts slowdowns from pruning)
+        assert fit_synergy_gamma(curves, {"a": 0.9, "b": 0.9}, 0.9) == 1.0
+
+    def test_validates_fraction(self):
+        with pytest.raises(CalibrationError):
+            fit_synergy_gamma({}, {}, 0.0)
+
+
+class TestFitAccuracyModel:
+    def _sweeps(self):
+        top5 = {
+            "conv1": (RATIOS, (80.0, 80.0, 60.0, 30.0)),
+            "conv2": (RATIOS, (80.0, 80.0, 80.0, 50.0)),
+        }
+        top1 = {
+            "conv1": (RATIOS, (55.0, 55.0, 40.0, 20.0)),
+            "conv2": (RATIOS, (55.0, 55.0, 55.0, 35.0)),
+        }
+        return top1, top5
+
+    def test_knees_detected(self):
+        top1, top5 = self._sweeps()
+        model = fit_accuracy_model(
+            "m", AccuracyPair(55.0, 80.0), top1, top5
+        )
+        assert model.sweet_spots["conv1"] == pytest.approx(0.3)
+        assert model.sweet_spots["conv2"] == pytest.approx(0.6)
+
+    def test_single_layer_prediction_matches_measurement(self):
+        top1, top5 = self._sweeps()
+        model = fit_accuracy_model(
+            "m", AccuracyPair(55.0, 80.0), top1, top5
+        )
+        acc = model.accuracy(PruneSpec({"conv1": 0.6}))
+        assert acc.top5 == pytest.approx(60.0)
+        assert acc.top1 == pytest.approx(40.0)
+
+    def test_eta_fitted_from_combo(self):
+        top1, top5 = self._sweeps()
+        # combo at the sweet spots measured 10 points below baseline
+        model = fit_accuracy_model(
+            "m",
+            AccuracyPair(55.0, 80.0),
+            top1,
+            top5,
+            combo_ratios={"conv1": 0.3, "conv2": 0.6},
+            combo_top5=70.0,
+        )
+        assert model.eta_top5 > 0
+        combo_acc = model.accuracy(
+            PruneSpec({"conv1": 0.3, "conv2": 0.6})
+        )
+        assert combo_acc.top5 == pytest.approx(70.0, abs=0.5)
+
+    def test_no_combo_means_no_interaction(self):
+        top1, top5 = self._sweeps()
+        model = fit_accuracy_model(
+            "m", AccuracyPair(55.0, 80.0), top1, top5
+        )
+        assert model.eta_top5 == 0.0
+
+    def test_mismatched_layers_rejected(self):
+        top1, top5 = self._sweeps()
+        del top1["conv2"]
+        with pytest.raises(CalibrationError):
+            fit_accuracy_model(
+                "m", AccuracyPair(55.0, 80.0), top1, top5
+            )
+
+
+class TestFitTimeModel:
+    def test_assembles_model(self):
+        model = fit_time_model(
+            "m",
+            t_saturated=0.01,
+            single_inference_s=0.04,
+            time_sweeps={"conv1": (RATIOS, (10.0, 9.0, 8.0, 7.0))},
+        )
+        assert model.time_fraction(PruneSpec({"conv1": 0.9})) == (
+            pytest.approx(0.7)
+        )
+        assert model.inference_time(PruneSpec.unpruned(), 1000, K80) > 0
+
+    def test_validates_anchors(self):
+        with pytest.raises(CalibrationError):
+            fit_time_model("m", 0.0, 0.04, {})
+
+
+class TestRealPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_real_pipeline
+
+        ext_real_pipeline.run.cache_clear()
+        return ext_real_pipeline.run()
+
+    def test_baseline_learned(self, result):
+        assert result.baseline.top1 > 60.0
+
+    def test_multi_point_frontier(self, result):
+        assert result.n_pareto >= 3
+
+    def test_cost_saving_exists(self, result):
+        # the paper's structural claim, on never-seen measurements
+        assert result.cost_saving_at_best > 0.2
+
+    def test_sweet_spots_fitted(self, result):
+        assert set(result.sweet_spots) == {"conv1", "conv2"}
+        assert all(0 < k <= 0.9 for k in result.sweet_spots.values())
+
+    def test_frontier_monotone(self, result):
+        accs = [row[2] for row in result.pareto_rows]
+        costs = [row[3] for row in result.pareto_rows]
+        assert accs == sorted(accs, reverse=True)
+        assert costs == sorted(costs, reverse=True)

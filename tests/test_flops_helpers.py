@@ -1,0 +1,61 @@
+"""Tests for the FLOP/traffic helper functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.flops import (
+    conv_flop_fraction,
+    flop_breakdown,
+    param_breakdown,
+    sparsity_summary,
+    traffic_breakdown,
+)
+from repro.pruning import L1FilterPruner, MagnitudePruner, PruneSpec
+
+
+class TestBreakdowns:
+    def test_known_caffenet_flops(self, caffenet_const):
+        flops = flop_breakdown(caffenet_const)
+        # exact analytic values for the canonical geometry
+        assert flops["conv1"] == 2 * 55 * 55 * 96 * 11 * 11 * 3
+        assert flops["fc3"] == 2 * 4096 * 1000
+        # conv2 out-flops conv1 (the roofline ablation's premise)
+        assert flops["conv2"] > flops["conv1"]
+
+    def test_effective_breakdown_tracks_pruning(self, small_cnn):
+        dense = flop_breakdown(small_cnn)
+        L1FilterPruner(propagate=False).apply(
+            small_cnn, PruneSpec({"conv2": 0.5}), inplace=True
+        )
+        effective = flop_breakdown(small_cnn, effective=True)
+        assert effective["conv2"] == pytest.approx(
+            dense["conv2"] / 2, rel=0.01
+        )
+        assert effective["conv1"] == dense["conv1"]
+
+    def test_traffic_includes_weights(self, caffenet_const):
+        traffic = traffic_breakdown(caffenet_const)
+        params = param_breakdown(caffenet_const)
+        # fc1's traffic is dominated by its 37.7M weights
+        assert traffic["fc1"] > params["fc1"] * 4 * 0.9
+
+    def test_conv_flop_fraction_caffenet(self, caffenet_const):
+        frac = conv_flop_fraction(caffenet_const)
+        assert 0.85 < frac < 1.0
+
+    def test_conv_flop_fraction_googlenet_higher(
+        self, caffenet_const, googlenet_const
+    ):
+        # Googlenet has a single tiny classifier: convs dominate more
+        assert conv_flop_fraction(googlenet_const) > conv_flop_fraction(
+            caffenet_const
+        )
+
+    def test_sparsity_summary(self, small_cnn):
+        MagnitudePruner().apply(
+            small_cnn, PruneSpec({"fc1": 0.75}), inplace=True
+        )
+        summary = sparsity_summary(small_cnn)
+        assert summary["fc1"] == pytest.approx(0.25, abs=0.01)
+        assert summary["conv1"] == 1.0

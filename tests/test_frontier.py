@@ -1,0 +1,120 @@
+"""Tests for frontier-comparison metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import additive_epsilon, coverage, hypervolume
+
+
+FRONT = [(0.9, 10.0), (0.7, 5.0), (0.5, 2.0)]
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([(0.5, 2.0)], 0.0, 10.0) == pytest.approx(
+            0.5 * 8.0
+        )
+
+    def test_staircase_area(self):
+        hv = hypervolume(FRONT, 0.0, 12.0)
+        # strips: 0.9*(12-10) + 0.7*(10-5) + 0.5*(5-2)
+        assert hv == pytest.approx(0.9 * 2 + 0.7 * 5 + 0.5 * 3)
+
+    def test_dominated_points_ignored(self):
+        with_dominated = FRONT + [(0.6, 9.0)]  # dominated by (0.7, 5)
+        assert hypervolume(with_dominated, 0.0, 12.0) == pytest.approx(
+            hypervolume(FRONT, 0.0, 12.0)
+        )
+
+    def test_better_front_bigger_volume(self):
+        better = [(0.9, 8.0), (0.7, 4.0), (0.5, 1.0)]
+        assert hypervolume(better, 0.0, 12.0) > hypervolume(
+            FRONT, 0.0, 12.0
+        )
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume(FRONT, 0.6, 12.0)
+        with pytest.raises(ValueError):
+            hypervolume(FRONT, 0.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume([], 0.0, 1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 1.0), st.floats(0.1, 10.0)
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_volume_bounded_by_rectangle(self, points):
+        hv = hypervolume(points, 0.0, 11.0)
+        assert 0.0 <= hv <= 1.0 * 11.0
+
+
+class TestCoverage:
+    def test_self_coverage_is_one(self):
+        assert coverage(FRONT, FRONT) == 1.0
+
+    def test_dominating_front_covers(self):
+        better = [(0.95, 9.0), (0.75, 4.0), (0.55, 1.0)]
+        assert coverage(FRONT, better) == 1.0
+        assert coverage(better, FRONT) == 0.0
+
+    def test_partial_coverage(self):
+        other = [(0.9, 10.0), (0.4, 1.0)]  # covers first, not middle
+        assert coverage(FRONT, other) == pytest.approx(1 / 3)
+
+
+class TestAdditiveEpsilon:
+    def test_zero_for_identical(self):
+        assert additive_epsilon(FRONT, FRONT) == 0.0
+
+    def test_zero_when_approx_dominates(self):
+        better = [(0.95, 9.0), (0.75, 4.0), (0.55, 1.0)]
+        assert additive_epsilon(better, FRONT) == 0.0
+
+    def test_gap_measured_in_objective_units(self):
+        worse = [(0.9, 11.0), (0.7, 6.0), (0.5, 3.0)]
+        assert additive_epsilon(worse, FRONT) == pytest.approx(1.0)
+
+    def test_accuracy_gap_counts_too(self):
+        approx = [(0.8, 10.0)]
+        reference = [(0.9, 10.0)]
+        assert additive_epsilon(approx, reference) == pytest.approx(0.1)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0.1, 10)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_epsilon_nonnegative_and_self_zero(self, points):
+        assert additive_epsilon(points, points) == 0.0
+
+
+class TestOnRealStudies:
+    def test_greedy_frontier_quality_vs_brute(self):
+        """The allocation quality gap, quantified: on the Fig-10 space
+        the (exhaustively computed) cost frontier covers itself and has
+        positive hypervolume."""
+        from repro.experiments.fig10_cost_pareto import run
+
+        study = run().top1
+        front = [
+            (r.accuracy.top1, r.cost) for r in study.front
+        ]
+        hv = hypervolume(front, 0.0, 300.0)
+        assert hv > 0
+        assert coverage(front, front) == 1.0

@@ -1,0 +1,155 @@
+"""Metamorphic properties of the full simulation stack.
+
+These tests assert *relations between runs* rather than absolute
+values — the invariances a correct cost/time model must satisfy no
+matter how its constants are calibrated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import (
+    CloudInstance,
+    CloudSimulator,
+    ResourceConfiguration,
+    instance_type,
+)
+from repro.pruning import PruneSpec
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return CloudSimulator(caffenet_time_model(), caffenet_accuracy_model())
+
+
+def _config(*names: str) -> ResourceConfiguration:
+    return ResourceConfiguration(
+        [CloudInstance(instance_type(n)) for n in names]
+    )
+
+
+class TestWorkloadScaling:
+    @given(st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_time_scales_linearly_at_saturation(self, sim, k):
+        """k x images ~ k x time while every shard stays saturated."""
+        base = sim.run(PruneSpec.unpruned(), _config("p2.xlarge"), 100_000)
+        scaled = sim.run(
+            PruneSpec.unpruned(), _config("p2.xlarge"), 100_000 * k
+        )
+        assert scaled.time_s == pytest.approx(base.time_s * k, rel=0.02)
+
+    def test_time_superlinear_below_saturation(self, sim):
+        """Small workloads pay proportionally more (batching overhead)."""
+        small = sim.run(PruneSpec.unpruned(), _config("p2.xlarge"), 100)
+        big = sim.run(PruneSpec.unpruned(), _config("p2.xlarge"), 100_000)
+        assert small.time_s / 100 > big.time_s / 100_000
+
+
+class TestConfigurationInvariances:
+    def test_accuracy_independent_of_configuration(self, sim):
+        """Where a model runs cannot change what it predicts."""
+        spec = PruneSpec({"conv1": 0.4, "conv2": 0.3})
+        a = sim.run(spec, _config("p2.xlarge"), 50_000)
+        b = sim.run(spec, _config("g3.16xlarge", "p2.8xlarge"), 50_000)
+        assert a.accuracy == b.accuracy
+
+    def test_homogeneous_duplication_halves_time_keeps_cost(self, sim):
+        one = sim.run(PruneSpec.unpruned(), _config("p2.xlarge"), 1_000_000)
+        two = sim.run(
+            PruneSpec.unpruned(),
+            _config("p2.xlarge", "p2.xlarge"),
+            1_000_000,
+        )
+        assert two.time_s == pytest.approx(one.time_s / 2, rel=0.02)
+        assert two.cost == pytest.approx(one.cost, rel=0.02)
+
+    def test_even_split_not_monotone_in_resources(self, sim):
+        """A real artefact of the paper's Eq. 4: adding a *slow*
+        resource to an even split can lengthen the makespan (the lone
+        M60 instance inherits half of a workload sized for 8 K80s).
+        The capacity-proportional split restores monotonicity."""
+        from repro.cloud import CloudSimulator
+        from repro.calibration import (
+            caffenet_accuracy_model,
+            caffenet_time_model,
+        )
+
+        spec = PruneSpec.unpruned()
+        base = sim.run(spec, _config("p2.8xlarge"), 2_000_000)
+        more_even = sim.run(
+            spec, _config("p2.8xlarge", "g3.4xlarge"), 2_000_000
+        )
+        assert more_even.time_s > base.time_s  # Eq. 4 anti-monotone!
+        proportional = CloudSimulator(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            proportional_split=True,
+        )
+        more_prop = proportional.run(
+            spec, _config("p2.8xlarge", "g3.4xlarge"), 2_000_000
+        )
+        assert more_prop.time_s <= base.time_s + 1e-6
+
+    def test_cost_monotone_in_price(self, sim):
+        """Same makespan structure, pricier fleet => pricier job."""
+        spec = PruneSpec.unpruned()
+        cheap = sim.run(spec, _config("p2.xlarge"), 500_000)
+        rich = sim.run(
+            spec, _config("p2.xlarge", "p2.16xlarge"), 500_000
+        )
+        # Eq. 1 bills everything for the makespan: the second instance
+        # raises the rate more than it cuts the (even-split) time here
+        assert rich.cost != cheap.cost
+
+
+class TestPruningMonotonicity:
+    @given(st.floats(0.0, 0.85), st.floats(0.0, 0.85))
+    @settings(max_examples=30, deadline=None)
+    def test_deeper_pruning_never_slower(self, sim, r1, r2):
+        lo, hi = sorted([r1, r2])
+        spec_lo = PruneSpec({"conv2": lo})
+        spec_hi = PruneSpec({"conv2": hi})
+        a = sim.run(spec_lo, _config("p2.xlarge"), 50_000)
+        b = sim.run(spec_hi, _config("p2.xlarge"), 50_000)
+        assert b.time_s <= a.time_s + 1e-6
+        assert b.accuracy.top5 <= a.accuracy.top5 + 1e-9
+
+    def test_pruning_never_helps_accuracy(self, sim):
+        base = sim.run(PruneSpec.unpruned(), _config("p2.xlarge"), 1000)
+        for layer in ("conv1", "conv2", "conv3"):
+            for ratio in (0.2, 0.6, 0.9):
+                res = sim.run(
+                    PruneSpec({layer: ratio}), _config("p2.xlarge"), 1000
+                )
+                assert res.accuracy.top5 <= base.accuracy.top5 + 1e-9
+
+
+class TestDeviceScaling:
+    def test_uniform_speedup_rescales_time_only(self, sim):
+        """Doubling a device's throughput halves time, leaves accuracy."""
+        spec = PruneSpec({"conv1": 0.2})
+        itype = instance_type("p2.xlarge")
+        fast_gpu = dataclasses.replace(
+            itype.gpu, inference_speedup=itype.gpu.inference_speedup * 2
+        )
+        fast_itype = dataclasses.replace(itype, gpu=fast_gpu)
+        slow = sim.run(
+            spec,
+            ResourceConfiguration([CloudInstance(itype)]),
+            200_000,
+        )
+        fast = sim.run(
+            spec,
+            ResourceConfiguration([CloudInstance(fast_itype)]),
+            200_000,
+        )
+        assert fast.time_s == pytest.approx(slow.time_s / 2, rel=0.02)
+        assert fast.accuracy == slow.accuracy

@@ -1,0 +1,130 @@
+"""Cross-cutting consistency checks of the CNN engine's accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn import build_caffenet, build_googlenet, build_small_cnn
+from repro.cnn.layers import DTYPE
+from repro.perf.device import K80
+from repro.perf.latency import RooflineLatencyModel, layer_latency_report
+from repro.pruning import L1FilterPruner, MagnitudePruner, PruneSpec
+
+
+class TestStatsConsistency:
+    def test_inception_stats_equal_branch_sums(self, googlenet_const):
+        module = googlenet_const.layer("inception-3a")
+        in_shape = googlenet_const.input_shape_of("inception-3a")
+        total = module.stats(in_shape)
+        manual = module.pool.stats(in_shape)
+        manual += module.b1.stats(in_shape)
+        manual += module.b2_reduce.stats(in_shape)
+        manual += module.b2.stats(module.b2_reduce.output_shape(in_shape))
+        manual += module.b3_reduce.stats(in_shape)
+        manual += module.b3.stats(module.b3_reduce.output_shape(in_shape))
+        manual += module.b4.stats(in_shape)
+        assert total == manual
+
+    def test_total_params_matches_breakdown(self, caffenet_const):
+        from repro.cnn.flops import param_breakdown
+
+        assert (
+            sum(param_breakdown(caffenet_const).values())
+            == caffenet_const.total_params()
+        )
+
+    def test_effective_stats_never_exceed_dense(self, small_cnn):
+        MagnitudePruner().apply(
+            small_cnn, PruneSpec({"conv1": 0.5, "fc1": 0.7}), inplace=True
+        )
+        dense = small_cnn.total_stats(effective=False)
+        effective = small_cnn.total_stats(effective=True)
+        assert effective.flops <= dense.flops
+        assert effective.weight_bytes <= dense.weight_bytes
+        assert effective.params == dense.params  # shape preserved
+
+    def test_unpruned_effective_equals_dense(self, caffenet_const):
+        assert caffenet_const.total_stats(
+            effective=True
+        ) == caffenet_const.total_stats(effective=False)
+
+    def test_googlenet_effective_tracks_inception_pruning(self):
+        net = build_googlenet(seed=1, init="random")
+        dense = net.total_stats().flops
+        L1FilterPruner(propagate=False).apply(
+            net, PruneSpec({"inception-4e-5x5": 0.5}), inplace=True
+        )
+        effective = net.total_stats(effective=True).flops
+        assert effective < dense
+
+
+class TestDtypePreservation:
+    def test_forward_stays_float32(self, small_cnn, rng):
+        x = rng.standard_normal((2, 1, 16, 16)).astype(DTYPE)
+        out = small_cnn.forward(x)
+        assert out.dtype == DTYPE
+
+    def test_caffenet_forward_stays_float32(self, caffenet_const):
+        x = np.zeros((1, 3, 227, 227), dtype=DTYPE)
+        assert caffenet_const.forward(x).dtype == DTYPE
+
+
+class TestActivationProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_shift_invariance(self, seed):
+        from repro.cnn.activations import Softmax
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, 7)).astype(np.float32)
+        s = Softmax("s")
+        shifted = s.forward(x + 100.0)
+        np.testing.assert_allclose(s.forward(x), shifted, atol=1e-5)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_maxpool_dominates_avgpool(self, seed):
+        from repro.cnn.pooling import AvgPool, MaxPool
+
+        rng = np.random.default_rng(seed)
+        x = rng.random((1, 2, 8, 8)).astype(np.float32)
+        mx = MaxPool("m", 2, 2).forward(x)
+        av = AvgPool("a", 2, 2).forward(x)
+        assert (mx >= av - 1e-7).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lrn_shrinks_magnitudes(self, seed):
+        from repro.cnn.normalization import LocalResponseNorm
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 8, 4, 4)).astype(np.float32)
+        out = LocalResponseNorm("n").forward(x)
+        # k=1 and a positive windowed term: |out| <= |x| everywhere
+        assert (np.abs(out) <= np.abs(x) + 1e-6).all()
+
+
+class TestLatencyReport:
+    def test_rows_cover_layers_and_shares_sum(self, caffenet_const):
+        model = RooflineLatencyModel(K80)
+        rows = layer_latency_report(caffenet_const, model)
+        assert len(rows) == len(caffenet_const.layers)
+        assert sum(share for _, _, share in rows) == pytest.approx(1.0)
+
+    def test_pruning_shifts_the_report(self):
+        net = build_caffenet(seed=2)
+        model = RooflineLatencyModel(K80)
+        before = dict(
+            (n, ms) for n, ms, _ in layer_latency_report(net, model)
+        )
+        L1FilterPruner(propagate=False).apply(
+            net, PruneSpec({"conv3": 0.8}), inplace=True
+        )
+        after = dict(
+            (n, ms) for n, ms, _ in layer_latency_report(net, model)
+        )
+        assert after["conv3"] < before["conv3"]
+        assert after["conv1"] == pytest.approx(before["conv1"])

@@ -1,0 +1,129 @@
+"""Integration tests for the Figure 9/10 configuration-space studies
+and the Algorithm 1 complexity/quality experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import algorithm1, fig9_time_pareto, fig10_cost_pareto
+from repro.experiments.configuration_study import (
+    STUDY_BUDGET,
+    STUDY_DEADLINE_S,
+    evaluate_space,
+)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return fig9_time_pareto.run()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_cost_pareto.run()
+
+
+class TestSpace:
+    def test_space_size(self):
+        # 60 degrees x 63 p2 configurations
+        assert len(evaluate_space()) == 3780
+
+    def test_space_is_cached(self):
+        assert evaluate_space() is evaluate_space()
+
+
+class TestFig9:
+    def test_many_feasible_configurations(self, fig9):
+        # Observation 4: a large feasible set under the deadline
+        assert 100 < fig9.top1.n_feasible < fig9.top1.total_points
+
+    def test_deadline_respected(self, fig9):
+        assert all(
+            r.time_s <= STUDY_DEADLINE_S for r in fig9.top1.feasible
+        )
+
+    def test_multiple_pareto_points(self, fig9):
+        # paper found five per metric; ours must be a small multi-point set
+        assert 3 <= fig9.top1.n_pareto <= 15
+        assert 3 <= fig9.top5.n_pareto <= 15
+
+    def test_pareto_spans_wide_accuracy_range(self, fig9):
+        lo, hi = fig9.top1.accuracy_range
+        assert hi - lo > 20.0  # paper: 27% - 53%
+
+    def test_best_accuracy_saving_at_least_half(self, fig9):
+        # paper: "reduces execution time by 50% compared to other
+        # configurations with the same accuracy"
+        assert fig9.top1.saving_at_best_accuracy() >= 0.50
+
+    def test_front_is_actually_pareto(self, fig9):
+        front = fig9.top5.front
+        for a in front:
+            for b in front:
+                dominates = (
+                    b.accuracy.top5 >= a.accuracy.top5
+                    and b.time_s <= a.time_s
+                    and (
+                        b.accuracy.top5 > a.accuracy.top5
+                        or b.time_s < a.time_s
+                    )
+                )
+                assert not dominates
+
+    def test_render(self, fig9):
+        text = fig9_time_pareto.render(fig9)
+        assert "Pareto-optimal" in text
+
+
+class TestFig10:
+    def test_feasible_count_scale(self, fig10):
+        # paper: 1042 feasible within the $300 budget
+        assert 500 < fig10.top1.n_feasible < 2500
+
+    def test_budget_respected(self, fig10):
+        assert all(r.cost <= STUDY_BUDGET for r in fig10.top1.feasible)
+
+    def test_pareto_cost_decade_matches_paper(self, fig10):
+        # paper: Pareto costs $69-$119
+        lo, hi = fig10.top1.objective_range
+        assert 40 < lo < hi < 160
+
+    def test_saving_at_best_accuracy(self, fig10):
+        # paper: "saves up to 55% cost"
+        assert fig10.top1.saving_at_best_accuracy() >= 0.50
+
+    def test_frontiers_overlap_on_degrees(self, fig10):
+        # Section 4.4: cost- and time-accuracy frontiers coincide
+        assert fig10.frontier_overlap() >= 0.75
+
+    def test_multiple_pareto_points(self, fig10):
+        assert 3 <= fig10.top1.n_pareto <= 15
+
+
+class TestAlgorithm1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return algorithm1.run(pool_sizes=(4, 6, 8))
+
+    def test_greedy_matches_brute_accuracy(self, result):
+        for row in result.rows:
+            assert row.accuracy_gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_brute_grows_exponentially(self, result):
+        evals = [r.brute_evals for r in result.rows]
+        # doubling |G| by +2 roughly quadruples subset count
+        assert evals[1] / evals[0] > 3.5
+        assert evals[2] / evals[1] > 3.5
+
+    def test_greedy_grows_linearly(self, result):
+        evals = [r.greedy_evals for r in result.rows]
+        diffs = [b - a for a, b in zip(evals, evals[1:])]
+        assert max(diffs) <= 4  # ~O(|G|) growth per +2 resources
+
+    def test_greedy_never_wins_on_cost(self, result):
+        # brute force is exhaustive: it can only be cheaper or equal
+        for row in result.rows:
+            assert row.brute_cost <= row.greedy_cost + 1e-9
+
+    def test_render(self, result):
+        assert "speedup" in algorithm1.render(result)

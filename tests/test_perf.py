@@ -1,0 +1,258 @@
+"""Tests for GPU devices, batching saturation, and latency models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration.curves import PiecewiseCurve
+from repro.errors import CalibrationError, MeasurementError
+from repro.perf import (
+    BatchingModel,
+    CalibratedTimeModel,
+    K80,
+    M60,
+    MeasurementRecord,
+    RooflineLatencyModel,
+    measure_min,
+)
+from repro.perf.latency import anchor_to_total_time, fit_layer_scales
+from repro.pruning import PruneSpec
+
+
+class TestDevices:
+    def test_paper_core_counts(self):
+        # Section 4.1.2: K80 has 2496 cores, M60 has 2048
+        assert K80.cuda_cores == 2496
+        assert M60.cuda_cores == 2048
+
+    def test_m60_inference_speedup_calibration(self):
+        # Figure 12 implies t_K80/t_M60 = (0.57/0.35) * (1.14/0.90)
+        implied = (0.57 / 0.35) * (1.14 / 0.90)
+        assert M60.inference_speedup == pytest.approx(implied, rel=0.01)
+
+    def test_max_batch_shrinks_with_image_size(self):
+        assert K80.max_batch(10.0) < K80.max_batch(5.0)
+
+    def test_max_batch_at_least_one(self):
+        assert K80.max_batch(1e9) == 1
+
+    def test_max_batch_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            K80.max_batch(0.0)
+
+
+class TestBatchingModel:
+    def test_monotone_decreasing_per_image(self):
+        m = BatchingModel(t_saturated=0.02)
+        batches = np.array([1, 2, 8, 64, 300, 2000])
+        times = m.per_image_time(batches)
+        assert np.all(np.diff(times) < 0)
+
+    def test_saturates_near_300(self):
+        # the paper's Figure 5: K80 saturates around 300 inferences
+        m = BatchingModel(t_saturated=0.0228, overhead_k=2.95)
+        knee = m.knee_batch(threshold=0.85)
+        assert 200 <= knee <= 400
+
+    def test_utilisation_limits(self):
+        m = BatchingModel(t_saturated=0.02)
+        assert m.utilisation(1) < 0.5
+        assert m.utilisation(100_000) > 0.99
+
+    def test_total_time_counts_partial_batches(self):
+        m = BatchingModel(t_saturated=1.0, overhead_k=0.0)
+        # 10 images at batch 4 -> 3 batches of 4 seconds
+        assert m.total_time(10, 4) == pytest.approx(12.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            BatchingModel(t_saturated=0.0)
+        m = BatchingModel(t_saturated=1.0)
+        with pytest.raises(ValueError):
+            m.per_image_time(0)
+        with pytest.raises(ValueError):
+            m.total_time(0, 4)
+        with pytest.raises(ValueError):
+            m.knee_batch(1.5)
+
+    @given(st.integers(1, 5000), st.integers(1, 512))
+    @settings(max_examples=40, deadline=None)
+    def test_total_time_at_least_saturated_lower_bound(self, images, batch):
+        m = BatchingModel(t_saturated=0.01)
+        assert m.total_time(images, batch) >= images * 0.01 * 0.999
+
+
+class TestRoofline:
+    def test_memory_bound_layer(self):
+        model = RooflineLatencyModel(
+            K80, compute_efficiency=1.0, memory_efficiency=1.0
+        )
+        from repro.cnn.layers import LayerStats
+
+        # tiny compute, huge traffic -> memory time dominates
+        stats = LayerStats(
+            flops=1000, input_bytes=10**9, output_bytes=0, weight_bytes=0, params=0
+        )
+        t = model.layer_time("x", stats)
+        assert t == pytest.approx(10**9 / (K80.bandwidth_gbs * 1e9))
+
+    def test_compute_bound_layer(self):
+        model = RooflineLatencyModel(
+            K80, compute_efficiency=1.0, memory_efficiency=1.0
+        )
+        from repro.cnn.layers import LayerStats
+
+        stats = LayerStats(
+            flops=10**12, input_bytes=8, output_bytes=8, weight_bytes=0, params=0
+        )
+        t = model.layer_time("x", stats)
+        assert t == pytest.approx(10**12 / (K80.peak_gflops * 1e9))
+
+    def test_distribution_sums_to_one(self, caffenet_const):
+        model = RooflineLatencyModel(K80)
+        dist = model.time_distribution(caffenet_const)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_fit_layer_scales_reproduces_targets(self, caffenet_const):
+        from repro.calibration.caffenet import CAFFENET_TIME_SHARES
+
+        model = RooflineLatencyModel(K80)
+        scales = fit_layer_scales(caffenet_const, model, CAFFENET_TIME_SHARES)
+        fitted = RooflineLatencyModel(K80, layer_scales=scales)
+        dist = fitted.time_distribution(caffenet_const)
+        for layer, share in CAFFENET_TIME_SHARES.items():
+            assert dist[layer] == pytest.approx(share, abs=0.005)
+
+    def test_fit_rejects_bad_shares(self, caffenet_const):
+        model = RooflineLatencyModel(K80)
+        with pytest.raises(CalibrationError):
+            fit_layer_scales(caffenet_const, model, {"conv1": 1.5})
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(CalibrationError):
+            RooflineLatencyModel(K80, compute_efficiency=0.0)
+
+
+def _toy_time_model(**overrides) -> CalibratedTimeModel:
+    defaults = dict(
+        name="toy",
+        t_saturated_k80=0.01,
+        single_inference_s=0.04,
+        time_curves={
+            "a": PiecewiseCurve.linear(0.0, 1.0, 0.9, 0.8),
+            "b": PiecewiseCurve.linear(0.0, 1.0, 0.9, 0.6),
+        },
+        synergy_gamma=2.0,
+        floor_fraction=0.5,
+    )
+    defaults.update(overrides)
+    return CalibratedTimeModel(**defaults)
+
+
+class TestCalibratedTimeModel:
+    def test_unpruned_fraction_is_one(self):
+        assert _toy_time_model().time_fraction(PruneSpec.unpruned()) == 1.0
+
+    def test_single_layer_follows_curve(self):
+        m = _toy_time_model()
+        assert m.time_fraction(PruneSpec({"a": 0.9})) == pytest.approx(0.8)
+        assert m.time_fraction(PruneSpec({"a": 0.45})) == pytest.approx(0.9)
+
+    def test_multi_layer_synergy(self):
+        m = _toy_time_model()
+        f = m.time_fraction(PruneSpec({"a": 0.9, "b": 0.9}))
+        assert f == pytest.approx(max(0.5, (0.8 * 0.6) ** 2.0))
+
+    def test_floor_clamps(self):
+        m = _toy_time_model(floor_fraction=0.9)
+        f = m.time_fraction(PruneSpec({"a": 0.9, "b": 0.9}))
+        assert f == 0.9
+
+    def test_unknown_layer_is_time_neutral(self):
+        m = _toy_time_model()
+        assert m.time_fraction(PruneSpec({"zzz": 0.9})) == 1.0
+
+    def test_device_speedup_scales_time(self):
+        m = _toy_time_model()
+        spec = PruneSpec.unpruned()
+        assert m.saturated_per_image(spec, M60) == pytest.approx(
+            m.saturated_per_image(spec, K80) / M60.inference_speedup
+        )
+
+    def test_inference_time_monotone_in_images(self):
+        m = _toy_time_model()
+        spec = PruneSpec.unpruned()
+        t1 = m.inference_time(spec, 1000, K80)
+        t2 = m.inference_time(spec, 2000, K80)
+        assert t2 > t1
+
+    def test_anchor_to_total_time_exact(self):
+        m = _toy_time_model()
+        anchored = anchor_to_total_time(m, 10_000, K80, 120.0)
+        t = anchored.inference_time(PruneSpec.unpruned(), 10_000, K80)
+        assert t == pytest.approx(120.0, rel=1e-9)
+
+    def test_anchor_rejects_nonpositive(self):
+        with pytest.raises(CalibrationError):
+            anchor_to_total_time(_toy_time_model(), 100, K80, 0.0)
+
+    @given(
+        st.floats(0.0, 0.89),
+        st.floats(0.0, 0.89),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fraction_bounded(self, ra, rb):
+        m = _toy_time_model()
+        f = m.time_fraction(PruneSpec({"a": ra, "b": rb}))
+        assert 0.5 <= f <= 1.0
+
+    def test_more_pruning_never_slower(self):
+        m = _toy_time_model()
+        fractions = [
+            m.time_fraction(PruneSpec.uniform(["a", "b"], r))
+            for r in (0.0, 0.2, 0.4, 0.6, 0.8)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestMeasurement:
+    def test_measure_min_returns_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        t, result = measure_min(fn, repeats=3)
+        assert len(calls) == 3
+        assert result == "ok"
+        assert t >= 0
+
+    def test_measure_min_rejects_zero_repeats(self):
+        with pytest.raises(MeasurementError):
+            measure_min(lambda: None, repeats=0)
+
+    def test_record_ratios(self):
+        rec = MeasurementRecord(
+            spec=PruneSpec.unpruned(),
+            time_s=3600.0,
+            cost=0.9,
+            top1=55.0,
+            top5=80.0,
+        )
+        assert rec.tar("top5") == pytest.approx(1.0 / 0.80)
+        assert rec.car("top1") == pytest.approx(0.9 / 0.55)
+        assert rec.label == "nonpruned"
+
+    def test_record_rejects_negative(self):
+        with pytest.raises(MeasurementError):
+            MeasurementRecord(
+                spec=PruneSpec.unpruned(),
+                time_s=-1.0,
+                cost=0.0,
+                top1=10.0,
+                top5=20.0,
+            )

@@ -1,0 +1,231 @@
+"""Tests for prune specs, L1 filter pruning and magnitude pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn import build_small_cnn
+from repro.cnn.conv import ConvLayer
+from repro.errors import PruningError
+from repro.pruning import (
+    L1FilterPruner,
+    MagnitudePruner,
+    PruneSpec,
+    multi_layer_grid,
+    single_layer_sweep,
+    uniform_sweep,
+)
+from repro.pruning.l1_filter import filters_to_prune
+from repro.pruning.magnitude import magnitude_mask
+from repro.pruning.schedule import caffenet_variant_set
+
+
+class TestPruneSpec:
+    def test_unpruned(self):
+        spec = PruneSpec.unpruned()
+        assert spec.is_unpruned()
+        assert spec.label() == "nonpruned"
+
+    def test_zero_ratios_dropped(self):
+        spec = PruneSpec({"conv1": 0.0, "conv2": 0.3})
+        assert spec.layers == ("conv2",)
+
+    def test_label_format(self):
+        spec = PruneSpec({"conv2": 0.5, "conv1": 0.3})
+        assert spec.label() == "conv1@30+conv2@50"
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(PruningError):
+            PruneSpec({"conv1": 1.0})
+        with pytest.raises(PruningError):
+            PruneSpec({"conv1": -0.1})
+
+    def test_merged_takes_max(self):
+        a = PruneSpec({"conv1": 0.3, "conv2": 0.1})
+        b = PruneSpec({"conv2": 0.5})
+        assert a.merged(b).as_dict() == {"conv1": 0.3, "conv2": 0.5}
+
+    def test_validate_against_unknown_layer(self, small_cnn):
+        spec = PruneSpec({"convX": 0.5})
+        with pytest.raises(PruningError, match="convX"):
+            spec.validate_against(small_cnn)
+
+    def test_hashable_and_equal(self):
+        assert PruneSpec({"a": 0.5}) == PruneSpec({"a": 0.5})
+        assert hash(PruneSpec({"a": 0.5})) == hash(PruneSpec({"a": 0.5}))
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_assigns_same_ratio(self, r1, r2):
+        spec = PruneSpec.uniform(["x", "y"], r1)
+        assert spec.ratio_for("x") == spec.ratio_for("y")
+
+
+class TestFilterRanking:
+    def test_smallest_norm_selected(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        w[2] *= 0.001  # filter 2 has the smallest L1 norm
+        dead = filters_to_prune(w, 0.25)
+        assert list(dead) == [2]
+
+    def test_zero_ratio_prunes_nothing(self, rng):
+        w = rng.standard_normal((4, 3)).astype(np.float32)
+        assert filters_to_prune(w, 0.0).size == 0
+
+    def test_count_rounds(self, rng):
+        w = rng.standard_normal((96, 3, 11, 11)).astype(np.float32)
+        assert filters_to_prune(w, 0.5).size == 48
+        assert filters_to_prune(w, 0.3).size == 29  # round(28.8)
+
+    @given(st.integers(2, 32), st.floats(0.0, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_ratio(self, n_filters, ratio):
+        w = np.random.default_rng(0).standard_normal((n_filters, 5))
+        dead = filters_to_prune(w.astype(np.float32), ratio)
+        assert dead.size == int(round(ratio * n_filters))
+        assert len(set(dead.tolist())) == dead.size  # no duplicates
+
+
+class TestL1FilterPruner:
+    def test_zeroes_whole_filters(self, small_cnn):
+        pruner = L1FilterPruner(propagate=False)
+        pruned = pruner.apply(small_cnn, PruneSpec({"conv1": 0.5}))
+        conv = pruned.layer("conv1")
+        dead_rows = np.abs(conv.weights).reshape(conv.weights.shape[0], -1).sum(
+            axis=1
+        )
+        assert (dead_rows == 0).sum() == conv.weights.shape[0] // 2
+
+    def test_original_untouched(self, small_cnn):
+        before = small_cnn.layer("conv1").weights.copy()
+        L1FilterPruner().apply(small_cnn, PruneSpec({"conv1": 0.5}))
+        np.testing.assert_array_equal(
+            small_cnn.layer("conv1").weights, before
+        )
+
+    def test_inplace(self, small_cnn):
+        L1FilterPruner(propagate=False).apply(
+            small_cnn, PruneSpec({"conv1": 0.5}), inplace=True
+        )
+        assert small_cnn.layer("conv1").density() < 0.6
+
+    def test_propagation_zeroes_successor_inputs(self, small_cnn):
+        pruner = L1FilterPruner(propagate=True)
+        pruned = pruner.apply(small_cnn, PruneSpec({"conv1": 0.5}))
+        conv1, conv2 = pruned.layer("conv1"), pruned.layer("conv2")
+        dead = np.flatnonzero(
+            np.abs(conv1.weights).reshape(conv1.weights.shape[0], -1).sum(1)
+            == 0
+        )
+        assert dead.size > 0
+        assert (conv2.weights[:, dead] == 0).all()
+
+    def test_propagation_into_dense_after_flatten(self, small_cnn):
+        pruner = L1FilterPruner(propagate=True)
+        pruned = pruner.apply(small_cnn, PruneSpec({"conv2": 0.5}))
+        conv2, fc1 = pruned.layer("conv2"), pruned.layer("fc1")
+        dead = np.flatnonzero(
+            np.abs(conv2.weights).reshape(conv2.weights.shape[0], -1).sum(1)
+            == 0
+        )
+        # flatten block size = 4x4 spatial positions per channel
+        block = 16
+        for ch in dead:
+            assert (fc1.weights[:, ch * block : (ch + 1) * block] == 0).all()
+
+    def test_propagation_preserves_forward_semantics(self, small_cnn, rng):
+        """Zeroing successor inputs of dead maps must not change outputs
+        (dead maps are bias-only constants only when bias is zeroed too,
+        so compare propagate=True vs propagate=False pruned networks)."""
+        x = rng.standard_normal((3, 1, 16, 16)).astype(np.float32)
+        spec = PruneSpec({"conv1": 0.5})
+        no_prop = L1FilterPruner(propagate=False).apply(small_cnn, spec)
+        with_prop = L1FilterPruner(propagate=True).apply(small_cnn, spec)
+        np.testing.assert_allclose(
+            no_prop.forward(x), with_prop.forward(x), rtol=1e-4, atol=1e-6
+        )
+
+    def test_grouped_propagation_on_caffenet(self, caffenet_random):
+        pruner = L1FilterPruner(propagate=True)
+        pruned = pruner.apply(caffenet_random, PruneSpec({"conv1": 0.3}))
+        conv1 = pruned.layer("conv1")
+        conv2 = pruned.layer("conv2")
+        dead = np.flatnonzero(
+            np.abs(conv1.weights).reshape(96, -1).sum(1) == 0
+        )
+        assert dead.size == 29
+        # group-aware: channel ch of conv1 output feeds group ch//48
+        for ch in dead:
+            group, local = divmod(int(ch), 48)
+            rows = slice(group * 128, (group + 1) * 128)
+            assert (conv2.weights[rows, local] == 0).all()
+
+    def test_unprunable_layer_rejected(self, small_cnn):
+        with pytest.raises(PruningError):
+            L1FilterPruner().apply(small_cnn, PruneSpec({"relu1": 0.5}))
+
+    def test_higher_ratio_lower_density(self, small_cnn):
+        pruner = L1FilterPruner(propagate=False)
+        d = []
+        for ratio in (0.0, 0.25, 0.5, 0.75):
+            pruned = pruner.apply(small_cnn, PruneSpec({"conv2": ratio}))
+            d.append(pruned.layer("conv2").density())
+        assert d == sorted(d, reverse=True)
+
+
+class TestMagnitudePruner:
+    def test_mask_keeps_largest(self):
+        w = np.array([[0.1, -5.0], [2.0, -0.01]], dtype=np.float32)
+        mask = magnitude_mask(w, 0.5)
+        np.testing.assert_array_equal(
+            mask, [[False, True], [True, False]]
+        )
+
+    def test_density_matches_ratio(self, small_cnn):
+        pruned = MagnitudePruner().apply(
+            small_cnn, PruneSpec({"fc1": 0.75})
+        )
+        assert pruned.layer("fc1").density() == pytest.approx(0.25, abs=0.01)
+
+    def test_rejects_weightless_layer(self, small_cnn):
+        with pytest.raises(PruningError):
+            MagnitudePruner().apply(small_cnn, PruneSpec({"pool1": 0.5}))
+
+    @given(st.floats(0.0, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_mask_density_property(self, ratio):
+        w = np.random.default_rng(5).standard_normal((20, 20)).astype(
+            np.float32
+        )
+        mask = magnitude_mask(w, ratio)
+        assert mask.sum() == w.size - int(round(ratio * w.size))
+
+
+class TestSchedules:
+    def test_single_layer_sweep(self):
+        degrees = single_layer_sweep("conv1")
+        assert len(degrees) == 10
+        assert degrees[0].spec.is_unpruned()
+        assert degrees[-1].spec.ratio_for("conv1") == pytest.approx(0.9)
+
+    def test_uniform_sweep(self):
+        degrees = uniform_sweep(["conv1", "conv2"], [0.0, 0.5])
+        assert len(degrees) == 2
+        assert degrees[1].spec.as_dict() == {"conv1": 0.5, "conv2": 0.5}
+
+    def test_multi_layer_grid_size(self):
+        grid = multi_layer_grid(
+            {"conv1": [0, 0.1, 0.2], "conv2": [0, 0.3]}
+        )
+        assert len(grid) == 6
+        labels = {d.label for d in grid}
+        assert "conv1@20+conv2@30" in labels
+
+    def test_caffenet_variant_set_is_60_unique(self):
+        variants = caffenet_variant_set()
+        assert len(variants) == 60
+        assert len({v.label for v in variants}) == 60
+        assert variants[0].spec.is_unpruned()

@@ -1,0 +1,56 @@
+"""Integration: the experiment registry regenerates every artefact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+FAST_ARTEFACTS = (
+    "table1",
+    "table3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig11",
+    "fig12",
+)
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        for artefact in (
+            ["table1", "table3"]
+            + [f"fig{i}" for i in range(3, 13)]
+            + ["algorithm1"]
+        ):
+            assert artefact in EXPERIMENTS, artefact
+
+    def test_twelve_extensions_registered(self):
+        extensions = [a for a in EXPERIMENTS if a.startswith("ext-")]
+        assert len(extensions) >= 12
+
+    def test_titles_unique_and_nonempty(self):
+        titles = [title for title, _ in EXPERIMENTS.values()]
+        assert all(titles)
+        assert len(set(titles)) == len(titles)
+
+
+class TestRunAll:
+    def test_fast_subset_renders(self):
+        outputs = run_all(FAST_ARTEFACTS)
+        assert {o.artefact for o in outputs} == set(FAST_ARTEFACTS)
+        for output in outputs:
+            assert output.text.strip()
+            assert output.title
+
+    def test_selection_order_follows_registry(self):
+        outputs = run_all(("fig5", "fig4"))
+        assert [o.artefact for o in outputs] == ["fig4", "fig5"]
+
+    @pytest.mark.slow
+    def test_every_artefact_renders(self):
+        outputs = run_all()
+        assert len(outputs) == len(EXPERIMENTS)
+        for output in outputs:
+            assert len(output.text) > 50, output.artefact

@@ -1,0 +1,72 @@
+"""Tests for the strong-scaling analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import instance_type
+from repro.core.scaling import strong_scaling
+from repro.errors import ConfigurationError
+from repro.experiments import ext_scaling
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return strong_scaling(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            instance_type("p2.xlarge"),
+            images=50_000,
+            instance_counts=(1, 2, 4, 16, 64, 256),
+        )
+
+    def test_baseline_point(self, study):
+        p1 = study.point(1)
+        assert p1.speedup == 1.0
+        assert p1.efficiency == 1.0
+        assert p1.cost_inflation == 0.0
+        assert p1.time_s == pytest.approx(19 * 60, rel=1e-6)
+
+    def test_speedup_monotone(self, study):
+        speedups = [p.speedup for p in study.points]
+        assert speedups == sorted(speedups)
+
+    def test_efficiency_never_exceeds_one(self, study):
+        for p in study.points:
+            assert p.efficiency <= 1.0 + 1e-9
+
+    def test_efficiency_decays_below_saturation(self, study):
+        # 50 k images over 256 GPUs = ~195 parallel inferences each,
+        # below the ~300 saturation knee: efficiency must suffer
+        assert study.point(256).efficiency < study.point(4).efficiency
+
+    def test_cost_inflation_tracks_inefficiency(self, study):
+        p = study.point(256)
+        assert p.cost_inflation > 0.0
+        # parallel inefficiency is a lower bound on the cost inflation;
+        # per-second ceil billing of many short-lived instances adds a
+        # further quantisation premium on top
+        assert p.cost_inflation >= (1.0 / p.efficiency - 1.0) - 1e-9
+        assert p.cost_inflation < 0.6
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ConfigurationError):
+            strong_scaling(
+                caffenet_time_model(),
+                caffenet_accuracy_model(),
+                instance_type("p2.xlarge"),
+                images=0,
+            )
+
+    def test_experiment_render(self):
+        text = ext_scaling.render(
+            ext_scaling.run(counts=(1, 2, 4, 128, 512))
+        )
+        assert "parallel efficiency" in text
+
+    def test_max_efficient_instances(self, study):
+        n = study.max_efficient_instances(0.9)
+        assert study.point(1).efficiency >= 0.9
+        assert n >= 1

@@ -1,0 +1,143 @@
+"""Property tests for schedules, spec algebra and calibration guards."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import caffenet_accuracy_model
+from repro.errors import CalibrationError
+from repro.pruning import PruneSpec
+from repro.pruning.schedule import (
+    DegreeOfPruning,
+    multi_layer_grid,
+    single_layer_sweep,
+    uniform_sweep,
+)
+
+ratio = st.floats(0.0, 0.99)
+layer_name = st.sampled_from(["conv1", "conv2", "conv3", "fc1"])
+
+
+class TestSpecAlgebra:
+    @given(st.dictionaries(layer_name, ratio, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_label_roundtrips_layers(self, ratios):
+        spec = PruneSpec(ratios)
+        nonzero = {k for k, v in ratios.items() if v > 0}
+        assert set(spec.layers) == nonzero
+        if nonzero:
+            for name in nonzero:
+                assert name in spec.label()
+        else:
+            assert spec.label() == "nonpruned"
+
+    @given(
+        st.dictionaries(layer_name, ratio, max_size=3),
+        st.dictionaries(layer_name, ratio, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutative_and_dominating(self, a, b):
+        sa, sb = PruneSpec(a), PruneSpec(b)
+        merged = sa.merged(sb)
+        assert merged == sb.merged(sa)
+        for name in merged.layers:
+            assert merged.ratio_for(name) >= sa.ratio_for(name)
+            assert merged.ratio_for(name) >= sb.ratio_for(name)
+
+    @given(st.dictionaries(layer_name, ratio, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_identity(self, ratios):
+        spec = PruneSpec(ratios)
+        assert spec.merged(PruneSpec.unpruned()) == spec
+
+    @given(st.dictionaries(layer_name, ratio, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_idempotent(self, ratios):
+        spec = PruneSpec(ratios)
+        assert spec.merged(spec) == spec
+
+
+class TestScheduleProperties:
+    @given(st.lists(ratio, min_size=1, max_size=12, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_single_layer_sweep_covers_ratios(self, ratios):
+        ratios = sorted(ratios)
+        degrees = single_layer_sweep("conv1", ratios)
+        assert len(degrees) == len(ratios)
+        for degree, r in zip(degrees, ratios):
+            assert degree.spec.ratio_for("conv1") == r
+
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "c"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+        st.lists(ratio, min_size=1, max_size=4, unique=True),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_grid_size_is_product(self, layers, ratios):
+        grid = multi_layer_grid({l: ratios for l in layers})
+        assert len(grid) == len(ratios) ** len(layers)
+
+    def test_uniform_sweep_labels_unique(self):
+        degrees = uniform_sweep(["conv1", "conv2"])
+        labels = [d.label for d in degrees]
+        assert len(set(labels)) == len(labels)
+
+    def test_degree_of_factory(self):
+        degree = DegreeOfPruning.of(PruneSpec({"conv1": 0.5}))
+        assert degree.label == "conv1@50"
+
+
+class TestAccuracyModelInteractionProperties:
+    @given(
+        st.floats(0.01, 0.89),
+        st.floats(0.01, 0.89),
+        st.floats(0.01, 0.89),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combined_never_better_than_worst_single(self, r1, r2, r3):
+        """Pruning more layers can only hurt: the combination's accuracy
+        is bounded by the worst of its single-layer components."""
+        am = caffenet_accuracy_model()
+        combo = PruneSpec({"conv1": r1, "conv2": r2, "conv3": r3})
+        singles = [
+            am.accuracy(PruneSpec({"conv1": r1})).top5,
+            am.accuracy(PruneSpec({"conv2": r2})).top5,
+            am.accuracy(PruneSpec({"conv3": r3})).top5,
+        ]
+        assert am.accuracy(combo).top5 <= min(singles) + 1e-9
+
+    @given(st.floats(0.0, 0.89))
+    @settings(max_examples=30, deadline=None)
+    def test_singleton_spec_has_no_interaction_penalty(self, r):
+        am = caffenet_accuracy_model()
+        single = am.accuracy(PruneSpec({"conv2": r})).top5
+        drop = am._drop("conv2", r, "top5")
+        assert single == pytest.approx(80.0 - drop, abs=1e-9)
+
+
+class TestCalibrationGuards:
+    def test_curve_requires_two_points(self):
+        from repro.calibration.curves import PiecewiseCurve
+
+        with pytest.raises(CalibrationError):
+            PiecewiseCurve([(0.0, 1.0)])
+
+    def test_flat_then_linear_validates_knee(self):
+        from repro.calibration.curves import PiecewiseCurve
+
+        with pytest.raises(CalibrationError):
+            PiecewiseCurve.flat_then_linear(0.9, 0.5, 0.0, 10.0)
+
+    def test_models_are_fresh_instances(self):
+        from repro.calibration import caffenet_time_model
+
+        a = caffenet_time_model()
+        b = caffenet_time_model()
+        assert a is not b
+        assert a.t_saturated_k80 == b.t_saturated_k80

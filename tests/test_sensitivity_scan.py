@@ -1,0 +1,104 @@
+"""Tests for the layer-sensitivity scanner and the noise-protocol study."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cnn import build_small_cnn
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.training import SGDTrainer
+from repro.pruning.sensitivity import (
+    LayerSensitivity,
+    rank_layers,
+    scan_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_with_data():
+    network = build_small_cnn(seed=19, width=12)
+    train = make_classification_data(n=300, num_classes=5, seed=19)
+    test = make_classification_data(n=150, num_classes=5, seed=20)
+    SGDTrainer(network, lr=0.03).fit(train, epochs=8, batch_size=30)
+    return network, test
+
+
+class TestScan:
+    def test_scans_all_conv_layers(self, trained_with_data):
+        network, test = trained_with_data
+        scan = scan_sensitivity(network, test, probe_ratio=0.5)
+        assert {s.layer for s in scan} == {"conv1", "conv2"}
+
+    def test_drops_nonnegative_and_savings_positive(self, trained_with_data):
+        network, test = trained_with_data
+        for s in scan_sensitivity(network, test):
+            assert s.accuracy_drop >= 0.0
+            assert 0.0 < s.flop_saving < 1.0
+
+    def test_network_untouched(self, trained_with_data):
+        network, test = trained_with_data
+        before = network.layer("conv1").weights.copy()
+        scan_sensitivity(network, test)
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            network.layer("conv1").weights, before
+        )
+
+    def test_custom_layer_list(self, trained_with_data):
+        network, test = trained_with_data
+        scan = scan_sensitivity(network, test, layers=["fc1"])
+        assert [s.layer for s in scan] == ["fc1"]
+
+
+class TestRanking:
+    def test_free_layers_rank_first(self):
+        free = LayerSensitivity("a", 0.5, 0.0, 0.2, 100)
+        costly = LayerSensitivity("b", 0.5, 10.0, 0.4, 100)
+        assert rank_layers([costly, free])[0].layer == "a"
+
+    def test_saving_per_point_ordering(self):
+        efficient = LayerSensitivity("a", 0.5, 2.0, 0.4, 100)  # 0.2/pt
+        wasteful = LayerSensitivity("b", 0.5, 10.0, 0.4, 100)  # 0.04/pt
+        ranked = rank_layers([wasteful, efficient])
+        assert [s.layer for s in ranked] == ["a", "b"]
+
+    def test_saving_per_point_infinite_for_free(self):
+        free = LayerSensitivity("a", 0.5, 0.0, 0.1, 1)
+        assert math.isinf(free.saving_per_point)
+
+    def test_observation2_params_do_not_predict_rank(
+        self, trained_with_data
+    ):
+        """The paper's Observation 2 on a real network: the ranking by
+        saving-per-point need not follow the parameter counts."""
+        network, test = trained_with_data
+        ranked = rank_layers(scan_sensitivity(network, test))
+        by_params = sorted(ranked, key=lambda s: -s.params)
+        # both orders exist; they are well-formed even if they disagree
+        assert {s.layer for s in ranked} == {s.layer for s in by_params}
+
+
+class TestNoiseProtocolStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments import ext_noise_protocol
+
+        ext_noise_protocol.run.cache_clear()
+        return ext_noise_protocol.run(
+            spreads=(0.05, 0.15), trials=150
+        )
+
+    def test_min_estimator_always_best(self, study):
+        assert study.protocol_always_best
+
+    def test_errors_grow_with_noise(self, study):
+        assert study.rows[1].err_single > study.rows[0].err_single
+
+    def test_render(self, study):
+        from repro.experiments import ext_noise_protocol
+
+        text = ext_noise_protocol.render(study)
+        assert "best estimator" in text

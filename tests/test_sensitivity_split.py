@@ -1,0 +1,71 @@
+"""Tests for the sensitivity and workload-split extension studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_sensitivity, ext_split_pareto
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ext_sensitivity.run()
+
+    def test_all_conclusions_robust(self, study):
+        assert study.all_robust
+
+    def test_bands_covered(self, study):
+        for parameter in (
+            "synergy_gamma",
+            "eta_top5",
+            "m60_speedup",
+            "floor_fraction",
+        ):
+            assert len(study.band(parameter)) >= 3
+
+    def test_eta_moves_accuracy_not_time(self, study):
+        band = study.band("eta_top5")
+        times = {r.all_conv_time_fraction for r in band}
+        accs = {r.all_conv_top5 for r in band}
+        assert len(times) == 1
+        assert len(accs) == len(band)
+
+    def test_speedup_moves_car_ratio_monotonically(self, study):
+        band = sorted(study.band("m60_speedup"), key=lambda r: r.value)
+        ratios = [r.car_ratio_p2_over_g3 for r in band]
+        assert ratios == sorted(ratios)
+
+    def test_floor_bounds_time_fraction(self, study):
+        for row in study.band("floor_fraction"):
+            assert row.all_conv_time_fraction >= row.value - 1e-9
+
+    def test_render(self, study):
+        text = ext_sensitivity.render(study)
+        assert "robust" in text
+
+
+class TestSplitStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ext_split_pareto.run()
+
+    def test_proportional_split_widens_feasible_set(self, study):
+        assert study.proportional_feasible > study.even_feasible
+
+    def test_proportional_frontier_dominates(self, study):
+        assert study.hypervolume_gain > 0.0
+        assert study.best_accuracy_speedup > 1.2
+
+    def test_even_front_has_positive_epsilon(self, study):
+        # the even-split frontier cannot cover the proportional one
+        assert study.even_epsilon_vs_proportional > 0.0
+
+    def test_same_best_accuracy_both_splits(self, study):
+        # the split changes time, not what accuracy is reachable
+        assert study.even_front[0].accuracy.top1 == pytest.approx(
+            study.proportional_front[0].accuracy.top1
+        )
+
+    def test_render(self, study):
+        assert "frontier gain" in ext_split_pareto.render(study)

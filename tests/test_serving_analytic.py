@@ -1,0 +1,117 @@
+"""Cross-validation: the discrete-event simulator vs closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import CloudInstance, ResourceConfiguration, instance_type
+from repro.perf.device import K80
+from repro.pruning import PruneSpec
+from repro.serving import BatchPolicy, ServingSimulator, poisson_arrivals
+from repro.serving.analytic import BatchServiceModel
+
+
+def _pieces(max_batch=32, max_wait=0.05, instance="p2.8xlarge"):
+    tm = caffenet_time_model()
+    itype = instance_type(instance)
+    policy = BatchPolicy(max_batch=max_batch, max_wait_s=max_wait)
+    batching = tm.batching_model(PruneSpec.unpruned(), itype.gpu)
+    analytic = BatchServiceModel(
+        batching=batching, workers=itype.gpus, policy=policy
+    )
+    simulator = ServingSimulator(
+        tm,
+        caffenet_accuracy_model(),
+        ResourceConfiguration([CloudInstance(itype)]),
+        PruneSpec.unpruned(),
+        policy,
+    )
+    return analytic, simulator
+
+
+class TestAnalyticModel:
+    def test_capacity_formula(self):
+        analytic, _ = _pieces()
+        b = 32
+        per_worker = b / analytic.batching.batch_time(b)
+        assert analytic.capacity() == pytest.approx(8 * per_worker)
+
+    def test_utilisation_linear_below_capacity(self):
+        analytic, _ = _pieces()
+        cap = analytic.capacity()
+        assert analytic.utilisation(cap / 2) == pytest.approx(0.5)
+        assert analytic.utilisation(2 * cap) == 1.0
+
+    def test_stability(self):
+        analytic, _ = _pieces()
+        assert analytic.is_stable(analytic.capacity() * 0.9)
+        assert not analytic.is_stable(analytic.capacity() * 1.1)
+
+    def test_validation(self):
+        analytic, _ = _pieces()
+        with pytest.raises(ValueError):
+            BatchServiceModel(analytic.batching, 0, analytic.policy)
+        with pytest.raises(ValueError):
+            analytic.utilisation(0.0)
+        with pytest.raises(ValueError):
+            analytic.effective_service_per_request(0.5)
+
+
+class TestDESAgreement:
+    def test_light_load_latency_matches(self):
+        """Sparse arrivals: every request waits max_wait then rides a
+        single-element batch."""
+        analytic, simulator = _pieces(max_batch=32, max_wait=0.05)
+        arrivals = np.arange(50) * 10.0  # one request every 10 s
+        report = simulator.run(arrivals)
+        assert report.mean_latency == pytest.approx(
+            analytic.light_load_latency(), rel=0.02
+        )
+        assert report.mean_batch == pytest.approx(1.0)
+
+    def test_zero_wait_light_load_is_pure_service(self):
+        analytic, simulator = _pieces(max_batch=32, max_wait=0.0)
+        arrivals = np.arange(30) * 10.0
+        report = simulator.run(arrivals)
+        assert report.mean_latency == pytest.approx(
+            analytic.batching.batch_time(1), rel=0.02
+        )
+
+    def test_utilisation_matches_at_moderate_load(self):
+        """At moderate load, busy fraction = rate x per-request service
+        at the *observed* mean batch width / workers."""
+        analytic, simulator = _pieces()
+        cap = analytic.capacity()
+        rate = 0.5 * cap
+        arrivals = poisson_arrivals(rate, 120.0, seed=17)
+        report = simulator.run(arrivals)
+        predicted = (
+            rate
+            * analytic.effective_service_per_request(report.mean_batch)
+            / analytic.workers
+        )
+        assert report.utilisation == pytest.approx(predicted, rel=0.15)
+        # partial batches are less efficient, so the DES runs hotter
+        # than the full-batch lower bound
+        assert report.utilisation >= analytic.utilisation(rate) - 0.02
+
+    def test_unstable_load_builds_queue(self):
+        analytic, simulator = _pieces()
+        rate = 1.3 * analytic.capacity()
+        arrivals = poisson_arrivals(rate, 60.0, seed=18)
+        report = simulator.run(arrivals)
+        # overloaded: served later than offered, latency grows with time
+        first_half = report.latencies_s[: report.requests // 2]
+        second_half = report.latencies_s[report.requests // 2 :]
+        assert second_half.mean() > first_half.mean()
+        assert report.utilisation > 0.95
+
+    def test_saturated_batches_run_full(self):
+        analytic, simulator = _pieces()
+        rate = 1.2 * analytic.capacity()
+        arrivals = poisson_arrivals(rate, 30.0, seed=19)
+        report = simulator.run(arrivals)
+        # once overloaded, almost every batch is at max width
+        assert report.mean_batch > 0.9 * 32

@@ -1,0 +1,125 @@
+"""Tests for serving post-hoc metrics and the fig2 pipeline artefact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import CloudInstance, ResourceConfiguration, instance_type
+from repro.pruning import PruneSpec
+from repro.serving import BatchPolicy, ServingSimulator, poisson_arrivals
+from repro.serving.metrics import (
+    latency_histogram,
+    render_histogram,
+    slo_headroom,
+    throughput_series,
+)
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    arrivals = poisson_arrivals(150.0, 30.0, seed=21)
+    simulator = ServingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        ResourceConfiguration([CloudInstance(instance_type("p2.8xlarge"))]),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=32, max_wait_s=0.05),
+    )
+    return arrivals, simulator.run(arrivals)
+
+
+class TestThroughputSeries:
+    def test_conservation(self, run_pair):
+        arrivals, report = run_pair
+        _, offered, completed = throughput_series(arrivals, report)
+        assert offered.sum() == pytest.approx(arrivals.size)
+        assert completed.sum() == pytest.approx(arrivals.size)
+
+    def test_completions_lag_offers(self, run_pair):
+        arrivals, report = run_pair
+        bins, offered, completed = throughput_series(
+            arrivals, report, bin_s=1.0
+        )
+        # cumulative completions can never exceed cumulative offers
+        assert np.all(
+            np.cumsum(completed) <= np.cumsum(offered) + 1e-9
+        )
+
+    def test_bin_validation(self, run_pair):
+        arrivals, report = run_pair
+        with pytest.raises(ValueError):
+            throughput_series(arrivals, report, bin_s=0.0)
+
+
+class TestHistogram:
+    def test_counts_cover_all_requests(self, run_pair):
+        _, report = run_pair
+        _, counts = latency_histogram(report, bins=10)
+        assert counts.sum() == report.requests
+
+    def test_render_contains_percentiles(self, run_pair):
+        _, report = run_pair
+        text = render_histogram(report)
+        assert "p50" in text and "p99" in text and "#" in text
+
+    def test_bins_validation(self, run_pair):
+        _, report = run_pair
+        with pytest.raises(ValueError):
+            latency_histogram(report, bins=0)
+
+
+class TestHeadroom:
+    def test_fields_consistent(self, run_pair):
+        _, report = run_pair
+        slo = report.p99 * 2
+        headroom = slo_headroom(report, slo)
+        assert headroom["p99_over_slo"] == pytest.approx(0.5)
+        assert headroom["margin_s"] > 0
+        assert headroom["miss_rate"] <= 0.01
+
+    def test_violation_detected(self, run_pair):
+        _, report = run_pair
+        headroom = slo_headroom(report, report.p50 / 2)
+        assert headroom["p99_over_slo"] > 1.0
+        assert headroom["margin_s"] < 0
+        assert headroom["miss_rate"] > 0.5
+
+    def test_validation(self, run_pair):
+        _, report = run_pair
+        with pytest.raises(ValueError):
+            slo_headroom(report, 0.0)
+
+
+class TestFig2Artefact:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import fig2_pipeline
+
+        return fig2_pipeline.run()
+
+    def test_characterization_anchors(self, result):
+        ch = result.characterization
+        assert ch.single_inference_s == pytest.approx(0.09)
+        assert 200 <= ch.saturation_batch <= 400
+
+    def test_measurements_cover_both_layers(self, result):
+        labels = {r.label for r in result.measurements}
+        assert "conv1@90" in labels and "conv2@90" in labels
+        assert "nonpruned" in labels
+
+    def test_five_pareto_points_like_the_paper(self, result):
+        # the paper reports five Pareto-optimal configurations per
+        # metric in its studies; this sweep reproduces that count
+        assert result.n_pareto_time == 5
+        assert result.n_pareto_cost == 5
+
+    def test_feasible_subset(self, result):
+        assert 0 < result.n_feasible < result.n_points
+
+    def test_render(self, result):
+        from repro.experiments import fig2_pipeline
+
+        text = fig2_pipeline.render(result)
+        assert "stage 1" in text and "stage 3" in text

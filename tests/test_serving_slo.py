@@ -1,0 +1,39 @@
+"""Tests for the latency-SLO serving extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_serving_slo
+
+
+@pytest.fixture(scope="module")
+def study():
+    # smaller workload than the default for test speed
+    return ext_serving_slo.run(
+        rate_per_s=600.0, duration_s=30.0, slo_s=2.0, max_instances=8
+    )
+
+
+class TestServingSLO:
+    def test_all_points_meet_slo(self, study):
+        for row in study.rows:
+            assert row.p99_s <= study.slo_s
+
+    def test_pruning_shrinks_fleet(self, study):
+        non = study.row("nonpruned")
+        allc = study.row("all-conv sweet spot")
+        assert allc.instances_needed < non.instances_needed
+        assert allc.hourly_cost < non.hourly_cost
+
+    def test_accuracy_ladder(self, study):
+        accs = [r.top5 for r in study.rows]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_utilisation_sane(self, study):
+        for row in study.rows:
+            assert 0.0 < row.utilisation <= 1.0
+
+    def test_render(self, study):
+        text = ext_serving_slo.render(study)
+        assert "p99 SLO" in text and "nonpruned" in text

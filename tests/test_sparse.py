@@ -1,0 +1,101 @@
+"""Tests for the CSR sparse execution path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_small_cnn
+from repro.pruning import L1FilterPruner, MagnitudePruner, PruneSpec
+from repro.pruning.sparse import (
+    SparseExecutor,
+    layer_density_profile,
+    sparse_vs_dense_time,
+)
+
+
+class TestSparseExecutor:
+    def test_matches_dense_unpruned(self, small_cnn, rng):
+        x = rng.standard_normal((3, 1, 16, 16)).astype(np.float32)
+        sparse_out = SparseExecutor(small_cnn).forward(x)
+        np.testing.assert_allclose(
+            sparse_out, small_cnn.forward(x), rtol=1e-4, atol=1e-5
+        )
+
+    def test_matches_dense_after_filter_pruning(self, small_cnn, rng):
+        pruned = L1FilterPruner().apply(
+            small_cnn, PruneSpec({"conv1": 0.5, "conv2": 0.25})
+        )
+        x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            SparseExecutor(pruned).forward(x),
+            pruned.forward(x),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_matches_dense_after_magnitude_pruning(self, small_cnn, rng):
+        pruned = MagnitudePruner().apply(
+            small_cnn, PruneSpec({"fc1": 0.8, "conv2": 0.6})
+        )
+        x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            SparseExecutor(pruned).forward(x),
+            pruned.forward(x),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_grouped_conv_sparse_path(self, rng):
+        from repro.cnn.conv import ConvLayer
+        from repro.cnn.network import Network
+
+        net = Network(
+            "g",
+            (4, 6, 6),
+            [ConvLayer("c", 4, 6, kernel=3, pad=1, groups=2, rng=rng)],
+        )
+        x = rng.standard_normal((2, 4, 6, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            SparseExecutor(net).forward(x),
+            net.forward(x),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_invalidate_after_repruning(self, small_cnn, rng):
+        x = rng.standard_normal((1, 1, 16, 16)).astype(np.float32)
+        executor = SparseExecutor(small_cnn)
+        executor.forward(x)  # populate cache
+        MagnitudePruner().apply(
+            small_cnn, PruneSpec({"conv1": 0.9}), inplace=True
+        )
+        executor.invalidate()
+        np.testing.assert_allclose(
+            executor.forward(x), small_cnn.forward(x), rtol=1e-4, atol=1e-5
+        )
+
+
+class TestSparseTiming:
+    def test_returns_positive_times(self):
+        dense_t, sparse_t = sparse_vs_dense_time(
+            64, 64, density=0.1, batch=8, repeats=1
+        )
+        assert dense_t > 0 and sparse_t > 0
+
+    def test_very_sparse_wins_at_scale(self):
+        # at 1% density on a large matrix, CSR should beat dense GEMM
+        dense_t, sparse_t = sparse_vs_dense_time(
+            2048, 2048, density=0.01, batch=32, repeats=3
+        )
+        assert sparse_t < dense_t
+
+
+class TestDensityProfile:
+    def test_profile_after_pruning(self, small_cnn):
+        L1FilterPruner(propagate=False).apply(
+            small_cnn, PruneSpec({"conv1": 0.5}), inplace=True
+        )
+        profile = layer_density_profile(small_cnn)
+        assert profile["conv1"] == pytest.approx(0.5, abs=0.05)
+        assert profile["fc2"] == 1.0

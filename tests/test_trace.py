@@ -1,0 +1,109 @@
+"""Tests for batch-job execution traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import caffenet_time_model
+from repro.cloud import CloudInstance, ResourceConfiguration, instance_type
+from repro.cloud.trace import render_gantt, trace_job
+from repro.errors import ConfigurationError
+from repro.pruning import PruneSpec
+
+
+@pytest.fixture(scope="module")
+def tm():
+    return caffenet_time_model()
+
+
+def _config(*names):
+    return ResourceConfiguration(
+        [CloudInstance(instance_type(n)) for n in names]
+    )
+
+
+class TestTraceJob:
+    def test_homogeneous_no_idle(self, tm):
+        trace = trace_job(
+            tm,
+            PruneSpec.unpruned(),
+            _config("p2.xlarge", "p2.xlarge"),
+            100_000,
+        )
+        for t in trace.instances:
+            assert t.idle_s == pytest.approx(0.0, abs=1.0)
+        assert trace.mean_utilisation > 0.99
+
+    def test_heterogeneous_straggler_identified(self, tm):
+        trace = trace_job(
+            tm,
+            PruneSpec.unpruned(),
+            _config("p2.xlarge", "g3.16xlarge"),
+            1_000_000,
+        )
+        # even split: the single-K80 instance takes far longer
+        assert trace.straggler == "p2.xlarge[1gpu]"
+        fast = next(
+            t for t in trace.instances if t.label.startswith("g3")
+        )
+        assert fast.idle_s > 0
+        assert trace.wasted_gpu_seconds > 0
+
+    def test_proportional_split_removes_idle(self, tm):
+        config = _config("p2.xlarge", "g3.16xlarge")
+        even = trace_job(
+            tm, PruneSpec.unpruned(), config, 1_000_000
+        )
+        prop = trace_job(
+            tm,
+            PruneSpec.unpruned(),
+            config,
+            1_000_000,
+            proportional_split=True,
+        )
+        assert prop.wasted_gpu_seconds < 0.1 * even.wasted_gpu_seconds
+        assert prop.makespan_s < even.makespan_s
+
+    def test_workload_conserved(self, tm):
+        trace = trace_job(
+            tm,
+            PruneSpec.unpruned(),
+            _config("p2.8xlarge", "g3.4xlarge", "p2.xlarge"),
+            123_457,
+        )
+        assert sum(t.images for t in trace.instances) == 123_457
+
+    def test_makespan_matches_configuration(self, tm):
+        config = _config("p2.xlarge", "g3.8xlarge")
+        trace = trace_job(tm, PruneSpec.unpruned(), config, 500_000)
+        assert trace.makespan_s == pytest.approx(
+            config.makespan(tm, PruneSpec.unpruned(), 500_000)
+        )
+
+    def test_rejects_empty_workload(self, tm):
+        with pytest.raises(ConfigurationError):
+            trace_job(tm, PruneSpec.unpruned(), _config("p2.xlarge"), 0)
+
+
+class TestGantt:
+    def test_render_contains_bars_and_summary(self, tm):
+        trace = trace_job(
+            tm,
+            PruneSpec.unpruned(),
+            _config("p2.xlarge", "g3.16xlarge"),
+            1_000_000,
+        )
+        text = render_gantt(trace)
+        assert "#" in text and "straggler" in text
+        assert "makespan" in text
+
+    def test_busy_bar_lengths_reflect_utilisation(self, tm):
+        trace = trace_job(
+            tm,
+            PruneSpec.unpruned(),
+            _config("p2.xlarge", "g3.16xlarge"),
+            1_000_000,
+        )
+        lines = render_gantt(trace, width=40).splitlines()
+        straggler_line = next(l for l in lines if "straggler" in l)
+        assert straggler_line.count("#") == 40

@@ -1,0 +1,127 @@
+"""Tests for the SGD trainer and accuracy evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_small_cnn
+from repro.cnn.datasets import make_classification_data
+from repro.cnn.training import (
+    SGDTrainer,
+    evaluate_topk,
+    softmax_cross_entropy,
+)
+from repro.errors import ReproError
+
+
+class TestLoss:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss < 1e-4
+        assert np.abs(grad).max() < 1e-4
+
+    def test_uniform_prediction_log_n_loss(self):
+        logits = np.zeros((1, 4), dtype=np.float32)
+        loss, _ = softmax_cross_entropy(logits, np.array([2]))
+        assert loss == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 5)).astype(np.float64)
+        labels = np.array([1, 4, 0])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-5
+        for i in range(3):
+            for j in range(5):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                lp, _ = softmax_cross_entropy(plus, labels)
+                lm, _ = softmax_cross_entropy(minus, labels)
+                fd = (lp - lm) / (2 * eps)
+                assert grad[i, j] == pytest.approx(fd, abs=1e-4)
+
+
+class TestTrainerGradients:
+    def test_loss_decreases(self, small_cnn):
+        data = make_classification_data(n=64, num_classes=5, size=16, seed=2)
+        trainer = SGDTrainer(small_cnn, lr=0.02)
+        result = trainer.fit(data, epochs=4, batch_size=16)
+        first = np.mean(result.losses[:4])
+        last = np.mean(result.losses[-4:])
+        assert last < first
+
+    def test_learns_above_chance(self):
+        net = build_small_cnn(seed=0)
+        data = make_classification_data(n=200, num_classes=5, size=16, seed=3)
+        trainer = SGDTrainer(net, lr=0.03)
+        result = trainer.fit(data, epochs=8, batch_size=25)
+        # 5 classes => chance = 0.20; the tiny CNN should beat it well
+        assert result.final_accuracy > 0.5
+
+    def test_conv_gradient_finite_difference(self):
+        """End-to-end gradient check through conv+pool+dense on a micro net."""
+        net = build_small_cnn(seed=1, input_size=8, width=2)
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((2, 1, 8, 8)).astype(np.float32)
+        y = np.array([0, 3])
+        trainer = SGDTrainer(net)
+        logits, cache = trainer._forward(x)
+        _, grad = softmax_cross_entropy(logits, y)
+        grads = trainer._backward(grad, cache)
+        conv = net.layer("conv1")
+        dw = grads["conv1"][0]
+        eps = 1e-3
+        for idx in [(0, 0, 0, 0), (1, 0, 2, 1), (0, 0, 1, 2)]:
+            orig = conv.weights[idx]
+            conv.weights[idx] = orig + eps
+            lp, _ = softmax_cross_entropy(net.forward(x), y)
+            conv.weights[idx] = orig - eps
+            lm, _ = softmax_cross_entropy(net.forward(x), y)
+            conv.weights[idx] = orig
+            fd = (lp - lm) / (2 * eps)
+            assert dw[idx] == pytest.approx(fd, rel=0.05, abs=1e-3)
+
+    def test_rejects_grouped_conv(self, rng):
+        from repro.cnn.conv import ConvLayer
+        from repro.cnn.network import Network
+
+        net = Network(
+            "g", (4, 6, 6), [ConvLayer("c", 4, 4, 3, pad=1, groups=2, rng=rng)]
+        )
+        with pytest.raises(ReproError, match="grouped"):
+            SGDTrainer(net)
+
+    def test_rejects_unsupported_layer(self, caffenet_const):
+        with pytest.raises(ReproError, match="does not support"):
+            SGDTrainer(caffenet_const)
+
+
+class TestEvaluate:
+    def test_topk_widens_accuracy(self, small_cnn, tiny_data):
+        top1 = evaluate_topk(small_cnn, tiny_data, k=1)
+        top5 = evaluate_topk(small_cnn, tiny_data, k=5)
+        assert 0.0 <= top1 <= top5 <= 1.0
+
+    def test_top_nclasses_is_one(self, small_cnn, tiny_data):
+        assert evaluate_topk(small_cnn, tiny_data, k=5) == 1.0
+
+    def test_dataset_batches_cover_everything(self, tiny_data):
+        batches = tiny_data.batches(17)
+        assert sum(len(by) for _, by in batches) == len(tiny_data)
+
+    def test_dataset_deterministic(self):
+        a = make_classification_data(10, seed=9)
+        b = make_classification_data(10, seed=9)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_dataset_classes_differ(self):
+        data = make_classification_data(10, num_classes=5, seed=1)
+        # class-0 and class-1 prototypes should be visibly different
+        x0 = data.x[data.y == 0].mean(axis=0)
+        x1 = data.x[data.y == 1].mean(axis=0)
+        assert np.abs(x0 - x1).mean() > 0.05
