@@ -155,6 +155,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--slo", type=float, help="report headroom against a p99 SLO (s)"
     )
+    p_serve.add_argument(
+        "--faults",
+        type=float,
+        metavar="MTBF_S",
+        help=(
+            "inject seeded worker preemptions with this mean time "
+            "between failures (seconds)"
+        ),
+    )
+    p_serve.add_argument(
+        "--fault-recovery",
+        type=float,
+        default=15.0,
+        help="seconds a preempted worker takes to return (default 15)",
+    )
+    p_serve.add_argument(
+        "--retry-budget",
+        type=int,
+        default=2,
+        help="requeues allowed per request before it is dropped",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        help="drop requests still queued this long after arrival (s)",
+    )
+    p_serve.add_argument(
+        "--spot",
+        action="store_true",
+        help="bill the fleet at the EC2 spot discount",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="per-instance execution trace of a batch job"
@@ -318,20 +349,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }[args.arrival]
     kwargs = {"seed": args.seed} if args.arrival != "uniform" else {}
     arrivals = generator(args.rate, args.duration, **kwargs)
+    plan = None
+    if args.faults is not None or args.request_timeout is not None:
+        from repro.cloud.faults import FaultPlan
+
+        if args.faults is not None:
+            plan = FaultPlan.sample(
+                duration_s=args.duration,
+                workers=config.total_gpus,
+                mtbf_s=args.faults,
+                recovery_s=args.fault_recovery,
+                retry_budget=args.retry_budget,
+                timeout_s=args.request_timeout,
+                seed=args.seed,
+            )
+        else:
+            plan = FaultPlan(
+                retry_budget=args.retry_budget,
+                timeout_s=args.request_timeout,
+            )
+    hourly_rate = None
+    if args.spot:
+        from repro.cloud.pricing import spot_rate
+
+        hourly_rate = spot_rate(config.total_price_per_hour)
     simulator = ServingSimulator(
         time_model,
         accuracy_model,
         config,
         args.spec,
         BatchPolicy(max_batch=args.max_batch, max_wait_s=args.max_wait),
+        hourly_rate=hourly_rate,
     )
-    report = simulator.run(arrivals)
-    print(f"served    : {report.requests} requests in {report.duration_s:.1f}s")
+    report = simulator.run(arrivals, plan)
+    if plan is None:
+        print(f"served    : {report.requests} requests in {report.duration_s:.1f}s")
+    else:
+        print(f"served    : {report.served}/{report.requests} requests in {report.duration_s:.1f}s")
     print(f"latency   : p50 {report.p50:.3f}s  p99 {report.p99:.3f}s  mean {report.mean_latency:.3f}s")
     print(f"batching  : mean width {report.mean_batch:.1f}")
     print(f"fleet     : {report.worker_count} GPUs at {report.utilisation:.0%} utilisation")
-    print(f"cost      : ${report.cost:.4f}")
+    print(f"cost      : ${report.cost:.4f}" + (" (spot)" if args.spot else ""))
     print(f"accuracy  : top5 {report.accuracy.top5:.1f}%")
+    if plan is not None:
+        print(
+            f"faults    : {report.preempted} preemptions, "
+            f"{report.retries} retries, {report.dropped} dropped "
+            f"(availability {report.availability:.1%}, "
+            f"goodput {report.goodput:.1f} req/s)"
+        )
     if args.histogram:
         from repro.serving.metrics import render_histogram
 

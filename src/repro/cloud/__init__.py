@@ -10,7 +10,9 @@ Everything the paper's Table 3 and Section 3.4 equations describe:
   multiset of instances) with workload distribution (Eq. 4), makespan
   (Eq. 2-3) and cost (Eq. 1);
 * :mod:`repro.cloud.simulator` — runs a (pruned CNN, W images) job on a
-  configuration, producing time/cost/accuracy records.
+  configuration, producing time/cost/accuracy records;
+* :mod:`repro.cloud.faults` — seeded preemption/slowdown schedules and
+  retry/timeout policy for unreliable (spot) capacity.
 """
 
 from repro.cloud.catalog import (
@@ -21,20 +23,33 @@ from repro.cloud.catalog import (
     instance_type,
 )
 from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.faults import FaultPlan, Preemption, Slowdown
 from repro.cloud.instance import CloudInstance
-from repro.cloud.pricing import billed_cost, billed_seconds
+from repro.cloud.pricing import (
+    DEFAULT_SPOT_DISCOUNT,
+    billed_cost,
+    billed_seconds,
+    spot_cost,
+    spot_rate,
+)
 from repro.cloud.simulator import CloudSimulator, SimulationResult
 
 __all__ = [
     "CloudInstance",
     "CloudSimulator",
+    "DEFAULT_SPOT_DISCOUNT",
     "EC2_CATALOG",
+    "FaultPlan",
     "G3_TYPES",
     "InstanceType",
     "P2_TYPES",
+    "Preemption",
     "ResourceConfiguration",
     "SimulationResult",
+    "Slowdown",
     "billed_cost",
     "billed_seconds",
     "instance_type",
+    "spot_cost",
+    "spot_rate",
 ]

@@ -1,0 +1,210 @@
+"""Fault model for cloud capacity: preemptions, slowdowns, retries.
+
+The paper's Eq. 1-4 assume a perfectly reliable fleet, but real EC2
+capacity is not: spot instances are reclaimed with two minutes' notice,
+replacements boot slowly, and contended hosts run slow (the tail
+behaviour Perseus and Scavenger build their cost models around).  This
+module is the single description of that unreliability — a
+:class:`FaultPlan` — consumed by both serving simulators:
+
+* :class:`Preemption` — a worker (or instance) is killed at ``at_s``
+  and, optionally, comes back ``recover_after_s`` later.  In-flight
+  batches on preempted capacity are cancelled and their requests
+  requeued, each burning one unit of its **retry budget**; a request
+  that exhausts the budget is dropped.
+* :class:`Slowdown` — a window during which batches dispatched on a
+  worker take ``factor``× their nominal service time (noisy-neighbour
+  contention).
+* ``timeout_s`` — a request still queued this long after arrival is
+  dropped (the client has given up; serving it would be wasted work).
+
+Plans are plain data: they can be written by hand for unit tests or
+sampled from exponential failure/recovery processes with
+:meth:`FaultPlan.sample`.  An all-zero plan (``FaultPlan.none()``) is
+the reliable-fleet special case and must leave simulator output
+byte-identical to running with no plan at all — the invariant the
+fault tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Preemption", "Slowdown", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class Preemption:
+    """One capacity loss event.
+
+    Attributes
+    ----------
+    target:
+        Which worker (static fleet) or live instance (elastic fleet)
+        is hit, taken modulo the pool size at the moment the event
+        fires — so hand-written plans stay valid for any fleet width.
+    at_s:
+        Simulation time of the preemption.
+    recover_after_s:
+        Seconds until the same worker returns to service, or ``None``
+        for a permanent loss (a spot reclaim; elastic fleets replace
+        it with a fresh launch instead).
+    """
+
+    target: int
+    at_s: float
+    recover_after_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ConfigurationError("preemption target must be >= 0")
+        if self.at_s < 0:
+            raise ConfigurationError("preemption time must be >= 0")
+        if self.recover_after_s is not None and self.recover_after_s <= 0:
+            raise ConfigurationError("recovery delay must be positive")
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """A contention window: batches started on ``target`` between
+    ``start_s`` and ``start_s + duration_s`` run ``factor``× slower."""
+
+    target: int
+    start_s: float
+    duration_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ConfigurationError("slowdown target must be >= 0")
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ConfigurationError("bad slowdown window")
+        if self.factor < 1.0:
+            raise ConfigurationError("slowdown factor must be >= 1")
+
+    def active(self, now: float) -> bool:
+        return self.start_s <= now < self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault schedule plus the resilience policy knobs.
+
+    Attributes
+    ----------
+    preemptions, slowdowns:
+        The scheduled fault events (may be empty).
+    retry_budget:
+        How many times a single request may be requeued after losing
+        its worker before it counts as dropped.  ``0`` means any
+        preempted in-flight request is lost.
+    timeout_s:
+        Queueing deadline: a request still undispatched this long
+        after arrival is dropped.  ``None`` disables the deadline.
+    """
+
+    preemptions: tuple[Preemption, ...] = ()
+    slowdowns: tuple[Slowdown, ...] = ()
+    retry_budget: int = 2
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 0:
+            raise ConfigurationError("retry budget must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout must be positive")
+        # normalise list inputs so hand-written plans hash/compare
+        object.__setattr__(self, "preemptions", tuple(self.preemptions))
+        object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> FaultPlan:
+        """The reliable fleet: no faults, no deadline."""
+        return cls()
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan cannot perturb a simulation."""
+        return (
+            not self.preemptions
+            and not self.slowdowns
+            and self.timeout_s is None
+        )
+
+    def slowdown_factor(self, target: int, now: float) -> float:
+        """Service-time multiplier for a batch started on ``target``
+        at ``now`` (product of all active windows; 1.0 when clear)."""
+        factor = 1.0
+        for s in self.slowdowns:
+            if s.target == target and s.active(now):
+                factor *= s.factor
+        return factor
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        *,
+        duration_s: float,
+        workers: int,
+        mtbf_s: float | None = None,
+        recovery_s: float | None = 15.0,
+        slow_every_s: float | None = None,
+        slow_duration_s: float = 10.0,
+        slow_factor: float = 2.0,
+        retry_budget: int = 2,
+        timeout_s: float | None = None,
+        seed: int = 0,
+    ) -> FaultPlan:
+        """Draw a plan from exponential failure/contention processes.
+
+        Each of ``workers`` fails as a Poisson process with mean time
+        between failures ``mtbf_s`` (``None`` disables preemptions) and
+        recovers after ``recovery_s`` seconds (``None`` = permanent).
+        Independently, each worker enters ``slow_factor``× contention
+        windows of ``slow_duration_s`` at mean interval ``slow_every_s``.
+        Deterministic for a fixed ``seed``.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if workers < 1:
+            raise ConfigurationError("need at least one worker")
+        if mtbf_s is not None and mtbf_s <= 0:
+            raise ConfigurationError("mtbf must be positive")
+        if slow_every_s is not None and slow_every_s <= 0:
+            raise ConfigurationError("slowdown interval must be positive")
+        rng = np.random.default_rng(seed)
+        preemptions: list[Preemption] = []
+        slowdowns: list[Slowdown] = []
+        for worker in range(workers):
+            if mtbf_s is not None:
+                t = float(rng.exponential(mtbf_s))
+                while t < duration_s:
+                    preemptions.append(
+                        Preemption(worker, t, recovery_s)
+                    )
+                    if recovery_s is None:
+                        break  # permanently gone: no further failures
+                    t += recovery_s + float(rng.exponential(mtbf_s))
+            if slow_every_s is not None:
+                t = float(rng.exponential(slow_every_s))
+                while t < duration_s:
+                    slowdowns.append(
+                        Slowdown(worker, t, slow_duration_s, slow_factor)
+                    )
+                    t += slow_duration_s + float(
+                        rng.exponential(slow_every_s)
+                    )
+        preemptions.sort(key=lambda p: (p.at_s, p.target))
+        slowdowns.sort(key=lambda s: (s.start_s, s.target))
+        return cls(
+            preemptions=tuple(preemptions),
+            slowdowns=tuple(slowdowns),
+            retry_budget=retry_budget,
+            timeout_s=timeout_s,
+        )

@@ -13,7 +13,18 @@ import math
 from repro.cloud.catalog import InstanceType
 from repro.errors import ConfigurationError
 
-__all__ = ["billed_seconds", "billed_cost", "hourly_rate_cost"]
+__all__ = [
+    "billed_seconds",
+    "billed_cost",
+    "hourly_rate_cost",
+    "DEFAULT_SPOT_DISCOUNT",
+    "spot_rate",
+    "spot_cost",
+]
+
+#: Historical EC2 spot discount for GPU instances in the paper's era
+#: (Oregon p2/g3 spot traded around 30% of on-demand — "up to 70% off").
+DEFAULT_SPOT_DISCOUNT = 0.70
 
 
 def billed_seconds(elapsed_s: float) -> int:
@@ -33,3 +44,30 @@ def hourly_rate_cost(rate_per_hour: float, elapsed_s: float) -> float:
     if rate_per_hour < 0:
         raise ConfigurationError("rate must be non-negative")
     return billed_seconds(elapsed_s) * rate_per_hour / 3600.0
+
+
+def spot_rate(
+    rate_per_hour: float, discount: float = DEFAULT_SPOT_DISCOUNT
+) -> float:
+    """Discounted hourly rate for interruptible (spot) capacity.
+
+    Spot capacity trades a discount for preemption risk; pair the
+    discounted rate with a :class:`repro.cloud.faults.FaultPlan` to
+    price that risk honestly.
+    """
+    if rate_per_hour < 0:
+        raise ConfigurationError("rate must be non-negative")
+    if not 0.0 <= discount < 1.0:
+        raise ConfigurationError("spot discount must be in [0, 1)")
+    return rate_per_hour * (1.0 - discount)
+
+
+def spot_cost(
+    itype: InstanceType,
+    elapsed_s: float,
+    discount: float = DEFAULT_SPOT_DISCOUNT,
+) -> float:
+    """Dollars billed for ``elapsed_s`` seconds of ``itype`` at spot."""
+    return billed_seconds(elapsed_s) * spot_rate(
+        itype.price_per_hour, discount
+    ) / 3600.0

@@ -93,6 +93,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
         "Extension: static vs autoscaled fleets under surge load",
         _fig("ext_autoscale"),
     ),
+    "ext-fault-tolerance": (
+        "Extension: spot preemptions — cost vs goodput under faults",
+        _fig("ext_fault_tolerance"),
+    ),
     "ext-real-pipeline": (
         "Extension: the whole methodology with zero paper constants",
         _fig("ext_real_pipeline"),

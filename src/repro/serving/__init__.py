@@ -7,14 +7,20 @@ subpackage extends the reproduction to the motivating scenario: requests
 arrive continuously, a batcher packs them, GPU workers serve them with
 batch-size-dependent latency from the calibrated models, and the report
 gives latency percentiles, deadline-miss rate, utilisation and
-per-second-billed cost.
+per-second-billed cost.  Both simulators optionally run under a
+:class:`repro.cloud.faults.FaultPlan` — preemptions, slowdowns, retry
+budgets and request timeouts — yielding goodput and availability on top
+of the cost-accuracy axes.
 
 * :mod:`repro.serving.events`   — the event queue;
 * :mod:`repro.serving.arrivals` — Poisson / uniform / bursty arrivals;
 * :mod:`repro.serving.batcher`  — batch-forming policy;
-* :mod:`repro.serving.simulator`— the event loop + report.
+* :mod:`repro.serving.simulator`— the event loop + report;
+* :mod:`repro.serving.autoscaler` — the elastic fleet;
+* :mod:`repro.serving.metrics`  — post-hoc views incl. availability.
 """
 
+from repro.cloud.faults import FaultPlan, Preemption, Slowdown
 from repro.serving.arrivals import (
     bursty_arrivals,
     poisson_arrivals,
@@ -25,8 +31,11 @@ from repro.serving.simulator import ServingReport, ServingSimulator
 
 __all__ = [
     "BatchPolicy",
+    "FaultPlan",
+    "Preemption",
     "ServingReport",
     "ServingSimulator",
+    "Slowdown",
     "bursty_arrivals",
     "poisson_arrivals",
     "uniform_arrivals",

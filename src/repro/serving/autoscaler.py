@@ -14,6 +14,14 @@ hot, or scales in (releasing the most recently launched instance once
 its GPUs drain) when cold.  Billing is per instance, per second, from
 launch to release — unlike the batch model's Eq. 1, an elastic fleet
 doesn't bill released capacity.
+
+Under a :class:`repro.cloud.faults.FaultPlan` the fleet also loses
+instances to preemption: billing stops at the preemption instant (the
+provider reclaimed the capacity), in-flight batches are requeued
+against the per-request retry budget, and replacement capacity — kept
+at or above ``min_instances`` — pays the boot delay before serving.
+Preempted elastic instances never "recover"; fresh launches replace
+them, which is how spot fleets actually behave.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import numpy as np
 
 from repro.calibration.accuracy_model import AccuracyModel
 from repro.cloud.catalog import InstanceType
+from repro.cloud.faults import FaultPlan
 from repro.cloud.pricing import hourly_rate_cost
 from repro.errors import ConfigurationError
 from repro.perf.latency import CalibratedTimeModel
@@ -32,6 +41,9 @@ from repro.serving.batcher import BatchPolicy, PendingQueue
 from repro.serving.events import EventQueue
 
 __all__ = ["AutoscalePolicy", "AutoscaleReport", "AutoscalingSimulator"]
+
+# request lifecycle states (shared convention with ServingSimulator)
+_PENDING, _SERVED, _DROPPED = 0, 1, 2
 
 
 @dataclass(frozen=True)
@@ -71,7 +83,12 @@ class AutoscalePolicy:
 
 @dataclass(frozen=True)
 class AutoscaleReport:
-    """Outcome of an autoscaled serving run."""
+    """Outcome of an autoscaled serving run.
+
+    ``latencies_s`` holds served requests only; under faults some
+    requests may be dropped (retry budget exhausted, timed out, or no
+    capacity left when the run ended).
+    """
 
     requests: int
     duration_s: float
@@ -80,15 +97,40 @@ class AutoscaleReport:
     fleet_timeline: tuple[tuple[float, int], ...]
     peak_instances: int
     mean_instances: float
+    retries: int = 0
+    dropped: int = 0
+    preempted: int = 0
 
     def latency_percentile(self, q: float) -> float:
+        if self.latencies_s.size == 0:
+            return float("nan")
         return float(np.percentile(self.latencies_s, q))
 
     @property
     def p99(self) -> float:
         return self.latency_percentile(99)
 
+    @property
+    def served(self) -> int:
+        return self.requests - self.dropped
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.requests
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.requests
+
+    @property
+    def goodput(self) -> float:
+        if self.duration_s == 0:
+            return 0.0
+        return self.served / self.duration_s
+
     def miss_rate(self, slo_s: float) -> float:
+        if self.latencies_s.size == 0:
+            return 0.0
         return float((self.latencies_s > slo_s).mean())
 
 
@@ -105,7 +147,12 @@ class _Instance:
 
 
 class AutoscalingSimulator:
-    """Serve arrivals with a reactive, elastically billed fleet."""
+    """Serve arrivals with a reactive, elastically billed fleet.
+
+    ``hourly_rate`` overrides the per-instance hourly price (e.g. a
+    spot rate from :func:`repro.cloud.pricing.spot_rate`); ``None``
+    bills the instance type's on-demand rate.
+    """
 
     def __init__(
         self,
@@ -115,22 +162,29 @@ class AutoscalingSimulator:
         spec: PruneSpec,
         batch_policy: BatchPolicy,
         autoscale: AutoscalePolicy,
+        hourly_rate: float | None = None,
     ) -> None:
         if time_model.name != accuracy_model.name:
             raise ConfigurationError("time/accuracy model mismatch")
+        if hourly_rate is not None and hourly_rate < 0:
+            raise ConfigurationError("hourly rate must be non-negative")
         self.time_model = time_model
         self.accuracy_model = accuracy_model
         self.itype = itype
         self.spec = spec
         self.batch_policy = batch_policy
         self.autoscale = autoscale
+        self.hourly_rate = hourly_rate
         self._batching = time_model.batching_model(spec, itype.gpu)
         self._cap = min(
             batch_policy.max_batch, time_model.max_batch(itype.gpu)
         )
 
     # ------------------------------------------------------------------
-    def run(self, arrivals: np.ndarray) -> AutoscaleReport:
+    def run(
+        self, arrivals: np.ndarray, faults: FaultPlan | None = None
+    ) -> AutoscaleReport:
+        plan = faults if faults is not None else FaultPlan.none()
         arrivals = np.asarray(arrivals, dtype=float)
         if arrivals.size == 0:
             raise ConfigurationError("no arrivals to serve")
@@ -141,9 +195,13 @@ class AutoscalingSimulator:
         for idx, t in enumerate(arrivals):
             events.push(float(t), "arrival", idx)
         events.push(self.autoscale.interval_s, "control", None)
+        for preemption in plan.preemptions:
+            events.push(preemption.at_s, "preempt", preemption)
 
         pending = PendingQueue()
-        latencies = np.empty(arrivals.size)
+        latencies = np.full(arrivals.size, np.nan)
+        status = np.zeros(arrivals.size, dtype=np.uint8)
+        retry_count = np.zeros(arrivals.size, dtype=np.int64)
         instances: list[_Instance] = []
         free: list[int] = []
         busy_window = 0.0  # worker-busy seconds in current control window
@@ -151,6 +209,11 @@ class AutoscalingSimulator:
         next_worker_id = 0
         timeline: list[tuple[float, int]] = []
         served = 0
+        dropped = 0
+        retries_total = 0
+        preempted_total = 0
+        worker_epoch: dict[int, int] = {}
+        inflight: dict[int, tuple[list, float]] = {}
         now = 0.0
 
         def live_instances() -> list[_Instance]:
@@ -169,6 +232,8 @@ class AutoscalingSimulator:
                 range(next_worker_id, next_worker_id + self.itype.gpus)
             )
             next_worker_id += self.itype.gpus
+            for wid in ids:
+                worker_epoch[wid] = 0
             instances.append(_Instance(at, ids))
             timeline.append((at, len(live_instances())))
             # GPUs come online after the boot delay
@@ -194,15 +259,49 @@ class AutoscalingSimulator:
                     free.remove(wid)
             events.push(at, "maybe-drained", victim)
 
+        def drop_request(request_id: int) -> None:
+            nonlocal dropped
+            if status[request_id] != _DROPPED:
+                status[request_id] = _DROPPED
+                dropped += 1
+
+        def purge(at: float) -> None:
+            if plan.timeout_s is None:
+                return
+            while (
+                pending
+                and at - pending.oldest_arrival() > plan.timeout_s + 1e-9
+            ):
+                request_id, _ = pending.take(1)[0]
+                drop_request(request_id)
+
+        def requeue(batch: list) -> None:
+            nonlocal retries_total
+            for request_id, arrival_s in batch:
+                retry_count[request_id] += 1
+                if retry_count[request_id] > plan.retry_budget:
+                    drop_request(request_id)
+                else:
+                    retries_total += 1
+                    pending.requeue(request_id, arrival_s)
+
         def dispatch(at: float) -> None:
             nonlocal busy_window
+            purge(at)
             while free and pending.should_dispatch(at, self.batch_policy):
                 wid = free.pop()
                 batch = pending.take(self._cap)
-                service = self._batching.batch_time(len(batch))
+                service = self._batching.batch_time(
+                    len(batch)
+                ) * plan.slowdown_factor(wid, at)
                 busy_window += service
                 worker_busy_until[wid] = at + service
-                events.push(at + service, "done", (wid, batch))
+                inflight[wid] = (batch, at + service)
+                events.push(
+                    at + service,
+                    "done",
+                    (wid, batch, worker_epoch[wid]),
+                )
             if pending and free:
                 due = (
                     pending.oldest_arrival()
@@ -227,9 +326,13 @@ class AutoscalingSimulator:
             if event.kind == "arrival":
                 pending.push(event.payload, now)
             elif event.kind == "done":
-                wid, batch = event.payload
+                wid, batch, batch_epoch = event.payload
+                if batch_epoch != worker_epoch[wid]:
+                    continue  # batch was cancelled by a preemption
+                inflight.pop(wid, None)
                 for request_id, arrival_s in batch:
                     latencies[request_id] = now - arrival_s
+                    status[request_id] = _SERVED
                 served += len(batch)
                 owner = next(
                     i
@@ -241,9 +344,18 @@ class AutoscalingSimulator:
                 else:
                     events.push(now, "maybe-drained", owner)
             elif event.kind == "online":
-                free.extend(
-                    wid for wid in event.payload if wid not in boot_skip
-                )
+                ids = [
+                    wid
+                    for wid in event.payload
+                    if wid not in boot_skip
+                ]
+                if ids:
+                    owner = next(
+                        i for i in instances if ids[0] in i.worker_ids
+                    )
+                    # a preempted instance can't come online after death
+                    if owner.released_at is None:
+                        free.extend(ids)
             elif event.kind == "maybe-drained":
                 instance = event.payload
                 if instance.released_at is None and all(
@@ -252,6 +364,35 @@ class AutoscalingSimulator:
                 ):
                     instance.released_at = now
                     timeline.append((now, len(live_instances())))
+            elif event.kind == "preempt":
+                preemption = event.payload
+                candidates = [
+                    i for i in live_instances() if not i.draining
+                ]
+                if not candidates:
+                    continue  # nothing left for the provider to reclaim
+                victim = candidates[
+                    preemption.target % len(candidates)
+                ]
+                preempted_total += 1
+                # billing stops at the preemption instant (Eq. 1 is
+                # billed only while the capacity actually exists)
+                victim.released_at = now
+                timeline.append((now, len(live_instances())))
+                for wid in victim.worker_ids:
+                    worker_epoch[wid] += 1
+                    if wid in free:
+                        free.remove(wid)
+                    if wid in inflight:
+                        batch, _done_at = inflight.pop(wid)
+                        requeue(batch)
+                    worker_busy_until[wid] = 0.0
+                # replacement capacity pays the boot delay
+                if (
+                    len(live_instances())
+                    < self.autoscale.min_instances
+                ):
+                    launch(now)
             elif event.kind == "control":
                 window_capacity = (
                     live_worker_count() * self.autoscale.interval_s
@@ -270,19 +411,29 @@ class AutoscalingSimulator:
                     launch(now)
                 elif utilisation < self.autoscale.scale_in_below:
                     try_release(now)
-                if served < arrivals.size:
+                if served + dropped < arrivals.size:
                     events.push(
                         now + self.autoscale.interval_s, "control", None
                     )
             dispatch(now)
 
+        # requests still queued at the event horizon are undeliverable
+        while pending:
+            request_id, _ = pending.take(1)[0]
+            drop_request(request_id)
+
         # release whatever is still running at the end
         for instance in instances:
             if instance.released_at is None:
                 instance.released_at = now
+        rate = (
+            self.hourly_rate
+            if self.hourly_rate is not None
+            else self.itype.price_per_hour
+        )
         cost = sum(
             hourly_rate_cost(
-                self.itype.price_per_hour,
+                rate,
                 instance.released_at - instance.launched_at,
             )
             for instance in instances
@@ -294,12 +445,16 @@ class AutoscalingSimulator:
             ]
         )
         mean_instances = float(seconds.sum() / max(now, 1e-9))
+        served_mask = status == _SERVED
         return AutoscaleReport(
             requests=arrivals.size,
             duration_s=now,
-            latencies_s=latencies,
+            latencies_s=latencies[served_mask],
             cost=cost,
             fleet_timeline=tuple(timeline),
             peak_instances=max(n for _, n in timeline),
             mean_instances=mean_instances,
+            retries=retries_total,
+            dropped=dropped,
+            preempted=preempted_total,
         )

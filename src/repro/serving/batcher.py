@@ -78,3 +78,16 @@ class PendingQueue:
         while self._queue and len(out) < n:
             out.append(self._queue.popleft())
         return out
+
+    def requeue(self, request_id: int, arrival_s: float) -> None:
+        """Re-admit a preempted request at its arrival-order position.
+
+        The queue stays sorted by arrival time, so the max-wait timer
+        and timeout purges keep seeing the genuinely oldest request at
+        the head.  Requeued requests are older than almost everything
+        queued, so the scan from the head is short.
+        """
+        i = 0
+        while i < len(self._queue) and self._queue[i][1] <= arrival_s:
+            i += 1
+        self._queue.insert(i, (request_id, arrival_s))

@@ -17,6 +17,7 @@ __all__ = [
     "latency_histogram",
     "render_histogram",
     "slo_headroom",
+    "availability_summary",
 ]
 
 
@@ -31,6 +32,11 @@ def throughput_series(
     """
     if bin_s <= 0:
         raise ValueError("bin_s must be positive")
+    if report.latencies_s.size != np.asarray(arrivals).size:
+        raise ValueError(
+            "throughput_series needs one latency per arrival; runs with "
+            "dropped requests don't have that — use availability_summary"
+        )
     completions = arrivals + report.latencies_s
     horizon = float(completions.max())
     edges = np.arange(0.0, horizon + bin_s, bin_s)
@@ -83,3 +89,29 @@ def slo_headroom(report: ServingReport, slo_s: float) -> dict[str, float]:
         "p99_over_slo": report.p99 / slo_s,
         "margin_s": slo_s - report.p99,
     }
+
+
+def availability_summary(
+    report: ServingReport, slo_s: float | None = None
+) -> dict[str, float]:
+    """Reliability view of a (possibly faulted) serving run.
+
+    Returns availability (served fraction), goodput (served req/s),
+    drop and retry rates; with an SLO it adds ``slo_attainment`` — the
+    fraction of *all offered* requests that were served within the SLO,
+    so a dropped request counts as a miss (the client-side view, per
+    the SLO-under-faults framing of Perseus-style tail studies).
+    """
+    if slo_s is not None and slo_s <= 0:
+        raise ValueError("slo_s must be positive")
+    summary = {
+        "availability": report.availability,
+        "goodput": report.goodput,
+        "drop_rate": report.drop_rate,
+        "retry_rate": report.retries / report.requests,
+        "preemptions": float(report.preempted),
+    }
+    if slo_s is not None:
+        within = float((report.latencies_s <= slo_s).sum())
+        summary["slo_attainment"] = within / report.requests
+    return summary

@@ -6,6 +6,13 @@ model (``batch_time(b)``), so all the paper's machinery — pruning's time
 fraction, device speedups, batch-size saturation — shapes the latency
 distribution.  Billing is per-second pro-rated from simulation start to
 the last completion, on every instance (the paper's Eq. 1 discipline).
+
+The loop optionally runs under a :class:`repro.cloud.faults.FaultPlan`:
+workers are preempted (in-flight batches cancelled and their requests
+requeued against a per-request retry budget) and recover; batches run
+through contention slowdown windows; queued requests past the plan's
+timeout are dropped.  With a zero plan the event sequence — and hence
+every float in the report — is identical to running with no plan.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import numpy as np
 
 from repro.calibration.accuracy_model import AccuracyModel, AccuracyPair
 from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.faults import FaultPlan
 from repro.cloud.pricing import hourly_rate_cost
 from repro.errors import ConfigurationError
 from repro.perf.batching import BatchingModel
@@ -26,10 +34,19 @@ from repro.serving.events import EventQueue
 
 __all__ = ["ServingSimulator", "ServingReport"]
 
+# request lifecycle states
+_PENDING, _SERVED, _DROPPED = 0, 1, 2
+
 
 @dataclass(frozen=True)
 class ServingReport:
-    """Outcome of one serving simulation."""
+    """Outcome of one serving simulation.
+
+    ``latencies_s`` holds served requests only (request-id order); under
+    a fault plan some requests may instead be dropped — by preemption
+    beyond their retry budget, by the queueing timeout, or because the
+    run ended with no capacity left to serve them.
+    """
 
     requests: int
     duration_s: float
@@ -39,10 +56,15 @@ class ServingReport:
     worker_count: int
     cost: float
     accuracy: AccuracyPair
+    retries: int = 0
+    dropped: int = 0
+    preempted: int = 0
 
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:
         """Latency percentile in seconds (q in [0, 100])."""
+        if self.latencies_s.size == 0:
+            return float("nan")
         return float(np.percentile(self.latencies_s, q))
 
     @property
@@ -55,24 +77,57 @@ class ServingReport:
 
     @property
     def mean_latency(self) -> float:
+        if self.latencies_s.size == 0:
+            return float("nan")
         return float(self.latencies_s.mean())
 
     @property
     def mean_batch(self) -> float:
+        if self.batch_sizes.size == 0:
+            return 0.0
         return float(self.batch_sizes.mean())
 
     @property
+    def served(self) -> int:
+        """Requests that completed (arrived minus dropped)."""
+        return self.requests - self.dropped
+
+    @property
     def throughput(self) -> float:
-        """Served requests per second of simulated time."""
+        """Offered requests per second of simulated time (includes
+        requests that were ultimately dropped)."""
+        if self.duration_s == 0:
+            return 0.0
         return self.requests / self.duration_s
+
+    @property
+    def goodput(self) -> float:
+        """Successfully served requests per second of simulated time."""
+        if self.duration_s == 0:
+            return 0.0
+        return self.served / self.duration_s
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that were served."""
+        return self.served / self.requests
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered requests that were dropped."""
+        return self.dropped / self.requests
 
     @property
     def utilisation(self) -> float:
         """Busy fraction across all workers over the run."""
+        if self.duration_s == 0:
+            return 0.0
         return self.busy_s / (self.worker_count * self.duration_s)
 
     def miss_rate(self, slo_s: float) -> float:
-        """Fraction of requests exceeding a latency SLO."""
+        """Fraction of *served* requests exceeding a latency SLO."""
+        if self.latencies_s.size == 0:
+            return 0.0
         return float((self.latencies_s > slo_s).mean())
 
 
@@ -90,6 +145,10 @@ class ServingSimulator:
     policy:
         Batch-forming policy; ``max_batch`` is clamped to each device's
         memory-limited batch size.
+    hourly_rate:
+        Override for the fleet's hourly price (e.g. a spot rate from
+        :func:`repro.cloud.pricing.spot_rate`); ``None`` bills the
+        configuration's on-demand total.
     """
 
     def __init__(
@@ -99,14 +158,18 @@ class ServingSimulator:
         configuration: ResourceConfiguration,
         spec: PruneSpec,
         policy: BatchPolicy,
+        hourly_rate: float | None = None,
     ) -> None:
         if time_model.name != accuracy_model.name:
             raise ConfigurationError("time/accuracy model mismatch")
+        if hourly_rate is not None and hourly_rate < 0:
+            raise ConfigurationError("hourly rate must be non-negative")
         self.time_model = time_model
         self.accuracy_model = accuracy_model
         self.configuration = configuration
         self.spec = spec
         self.policy = policy
+        self.hourly_rate = hourly_rate
         # one worker per GPU in use; each carries its batching model
         self._workers: list[tuple[BatchingModel, int]] = []
         for instance in configuration.instances:
@@ -118,8 +181,15 @@ class ServingSimulator:
             )
 
     # ------------------------------------------------------------------
-    def run(self, arrivals: np.ndarray) -> ServingReport:
-        """Serve all ``arrivals`` (sorted seconds); returns the report."""
+    def run(
+        self, arrivals: np.ndarray, faults: FaultPlan | None = None
+    ) -> ServingReport:
+        """Serve all ``arrivals`` (sorted seconds); returns the report.
+
+        ``faults`` schedules preemptions/slowdowns and sets the retry
+        budget and queueing timeout; ``None`` is the reliable fleet.
+        """
+        plan = faults if faults is not None else FaultPlan.none()
         arrivals = np.asarray(arrivals, dtype=float)
         if arrivals.size == 0:
             raise ConfigurationError("no arrivals to serve")
@@ -129,28 +199,69 @@ class ServingSimulator:
         events = EventQueue()
         for idx, t in enumerate(arrivals):
             events.push(float(t), "arrival", idx)
+        for preemption in plan.preemptions:
+            events.push(preemption.at_s, "preempt", preemption)
 
+        pool = len(self._workers)
         pending = PendingQueue()
-        free_workers = list(range(len(self._workers)))
-        latencies = np.empty(arrivals.size)
+        free_workers = list(range(pool))
+        latencies = np.full(arrivals.size, np.nan)
+        status = np.zeros(arrivals.size, dtype=np.uint8)
+        retry_count = np.zeros(arrivals.size, dtype=np.int64)
         batch_sizes: list[int] = []
         busy_s = 0.0
         timer_at: float | None = None
         now = 0.0
+        down: set[int] = set()
+        # incarnation counter per worker: a "done" event carrying a
+        # stale epoch belongs to a batch cancelled by preemption
+        epoch = [0] * pool
+        inflight: dict[int, tuple[list, float]] = {}
+        retries_total = 0
+        preempted_total = 0
+
+        def purge(now: float) -> None:
+            """Drop queued requests past the plan's timeout (the queue
+            is arrival-sorted, so expired entries sit at the head)."""
+            if plan.timeout_s is None:
+                return
+            while (
+                pending
+                and now - pending.oldest_arrival()
+                > plan.timeout_s + 1e-9
+            ):
+                request_id, _ = pending.take(1)[0]
+                status[request_id] = _DROPPED
+
+        def requeue(batch: list) -> None:
+            nonlocal retries_total
+            for request_id, arrival_s in batch:
+                retry_count[request_id] += 1
+                if retry_count[request_id] > plan.retry_budget:
+                    status[request_id] = _DROPPED
+                else:
+                    retries_total += 1
+                    pending.requeue(request_id, arrival_s)
 
         def dispatch(now: float) -> None:
             nonlocal busy_s, timer_at
+            purge(now)
             while free_workers and pending.should_dispatch(
                 now, self.policy
             ):
                 worker_id = free_workers.pop()
                 batching, cap = self._workers[worker_id]
                 batch = pending.take(cap)
-                service = batching.batch_time(len(batch))
+                service = batching.batch_time(
+                    len(batch)
+                ) * plan.slowdown_factor(worker_id, now)
                 busy_s += service
                 batch_sizes.append(len(batch))
+                inflight[worker_id] = (batch, now + service)
                 events.push(
-                    now + service, "done", (worker_id, batch)
+                    now + service,
+                    "done",
+                    (worker_id, batch, epoch[worker_id]),
                 )
             if pending and free_workers:
                 # waiting on max_wait: arm a timer for the oldest request
@@ -165,25 +276,67 @@ class ServingSimulator:
             if event.kind == "arrival":
                 pending.push(event.payload, now)
             elif event.kind == "done":
-                worker_id, batch = event.payload
+                worker_id, batch, batch_epoch = event.payload
+                if batch_epoch != epoch[worker_id]:
+                    continue  # batch was cancelled by a preemption
+                inflight.pop(worker_id, None)
                 free_workers.append(worker_id)
                 for request_id, arrival_s in batch:
                     latencies[request_id] = now - arrival_s
+                    status[request_id] = _SERVED
             elif event.kind == "timer":
                 timer_at = None
+            elif event.kind == "preempt":
+                preemption = event.payload
+                worker_id = preemption.target % pool
+                if worker_id in down:
+                    continue  # already out; nothing more to take
+                preempted_total += 1
+                down.add(worker_id)
+                epoch[worker_id] += 1
+                if worker_id in free_workers:
+                    free_workers.remove(worker_id)
+                if worker_id in inflight:
+                    batch, done_at = inflight.pop(worker_id)
+                    busy_s -= done_at - now  # the cancelled tail never ran
+                    requeue(batch)
+                if preemption.recover_after_s is not None:
+                    events.push(
+                        now + preemption.recover_after_s,
+                        "recover",
+                        worker_id,
+                    )
+            elif event.kind == "recover":
+                worker_id = event.payload
+                if worker_id in down:
+                    down.remove(worker_id)
+                    free_workers.append(worker_id)
             dispatch(now)
 
-        duration = now  # last completion time
-        cost = hourly_rate_cost(
-            self.configuration.total_price_per_hour, duration
+        # requests still queued when the event horizon ends had no
+        # surviving capacity (or timed out unseen): they are dropped
+        while pending:
+            request_id, _ = pending.take(1)[0]
+            status[request_id] = _DROPPED
+
+        duration = now  # last event time
+        served_mask = status == _SERVED
+        rate = (
+            self.hourly_rate
+            if self.hourly_rate is not None
+            else self.configuration.total_price_per_hour
         )
+        cost = hourly_rate_cost(rate, duration)
         return ServingReport(
             requests=arrivals.size,
             duration_s=duration,
-            latencies_s=latencies,
+            latencies_s=latencies[served_mask],
             batch_sizes=np.asarray(batch_sizes),
             busy_s=busy_s,
-            worker_count=len(self._workers),
+            worker_count=pool,
             cost=cost,
             accuracy=self.accuracy_model.accuracy(self.spec),
+            retries=retries_total,
+            dropped=int((status == _DROPPED).sum()),
+            preempted=preempted_total,
         )

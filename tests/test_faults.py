@@ -1,0 +1,487 @@
+"""Fault-injection layer: plan semantics, simulator invariants,
+zero-fault bit-for-bit equivalence, and the spot-pricing experiment."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud import (
+    CloudInstance,
+    DEFAULT_SPOT_DISCOUNT,
+    FaultPlan,
+    Preemption,
+    ResourceConfiguration,
+    Slowdown,
+    instance_type,
+    spot_cost,
+    spot_rate,
+)
+from repro.errors import ConfigurationError
+from repro.pruning import PruneSpec
+from repro.serving import BatchPolicy, ServingSimulator, poisson_arrivals
+from repro.serving.autoscaler import AutoscalePolicy, AutoscalingSimulator
+from repro.serving.metrics import availability_summary, throughput_series
+
+
+def _simulator(
+    instance: str = "p2.8xlarge",
+    max_batch: int = 32,
+    max_wait_s: float = 0.05,
+    hourly_rate: float | None = None,
+) -> ServingSimulator:
+    return ServingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        ResourceConfiguration([CloudInstance(instance_type(instance))]),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=max_batch, max_wait_s=max_wait_s),
+        hourly_rate=hourly_rate,
+    )
+
+
+def _autoscaler(**overrides) -> AutoscalingSimulator:
+    policy = dict(
+        interval_s=10.0,
+        min_instances=1,
+        max_instances=4,
+        boot_delay_s=10.0,
+    )
+    hourly_rate = overrides.pop("hourly_rate", None)
+    policy.update(overrides)
+    return AutoscalingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        instance_type("p2.8xlarge"),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=32, max_wait_s=0.05),
+        AutoscalePolicy(**policy),
+        hourly_rate=hourly_rate,
+    )
+
+
+class TestFaultPlan:
+    def test_none_is_zero(self):
+        assert FaultPlan.none().is_zero
+
+    def test_any_fault_is_not_zero(self):
+        assert not FaultPlan(preemptions=(Preemption(0, 1.0),)).is_zero
+        assert not FaultPlan(
+            slowdowns=(Slowdown(0, 1.0, 2.0, 2.0),)
+        ).is_zero
+        assert not FaultPlan(timeout_s=5.0).is_zero
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Preemption(-1, 1.0)
+        with pytest.raises(ConfigurationError):
+            Preemption(0, -1.0)
+        with pytest.raises(ConfigurationError):
+            Preemption(0, 1.0, recover_after_s=0.0)
+        with pytest.raises(ConfigurationError):
+            Slowdown(0, 0.0, 1.0, factor=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(retry_budget=-1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(timeout_s=0.0)
+
+    def test_slowdown_factor_windows(self):
+        plan = FaultPlan(
+            slowdowns=(
+                Slowdown(0, 10.0, 5.0, 2.0),
+                Slowdown(0, 12.0, 5.0, 3.0),
+                Slowdown(1, 10.0, 5.0, 7.0),
+            )
+        )
+        assert plan.slowdown_factor(0, 9.0) == 1.0
+        assert plan.slowdown_factor(0, 10.0) == 2.0
+        assert plan.slowdown_factor(0, 13.0) == 6.0  # windows overlap
+        assert plan.slowdown_factor(0, 15.0) == 3.0
+        assert plan.slowdown_factor(2, 10.0) == 1.0
+
+    def test_sample_deterministic(self):
+        kwargs = dict(duration_s=100.0, workers=4, mtbf_s=30.0, seed=3)
+        assert FaultPlan.sample(**kwargs) == FaultPlan.sample(**kwargs)
+
+    def test_sample_rate_scales_with_mtbf(self):
+        rare = FaultPlan.sample(
+            duration_s=500.0, workers=8, mtbf_s=200.0, seed=1
+        )
+        frequent = FaultPlan.sample(
+            duration_s=500.0, workers=8, mtbf_s=20.0, seed=1
+        )
+        assert len(frequent.preemptions) > len(rare.preemptions)
+
+    def test_sample_permanent_preemption_fails_once(self):
+        plan = FaultPlan.sample(
+            duration_s=1000.0,
+            workers=3,
+            mtbf_s=10.0,
+            recovery_s=None,
+            seed=0,
+        )
+        targets = [p.target for p in plan.preemptions]
+        assert len(targets) == len(set(targets))
+        assert all(p.recover_after_s is None for p in plan.preemptions)
+
+    def test_sample_slowdowns(self):
+        plan = FaultPlan.sample(
+            duration_s=300.0,
+            workers=2,
+            slow_every_s=30.0,
+            slow_factor=4.0,
+            seed=2,
+        )
+        assert plan.slowdowns and not plan.preemptions
+        assert all(s.factor == 4.0 for s in plan.slowdowns)
+
+    def test_sample_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.sample(duration_s=0.0, workers=1, mtbf_s=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.sample(duration_s=1.0, workers=0, mtbf_s=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.sample(duration_s=1.0, workers=1, mtbf_s=-1.0)
+
+
+class TestSpotPricing:
+    def test_discount_applied(self):
+        assert spot_rate(10.0) == pytest.approx(
+            10.0 * (1 - DEFAULT_SPOT_DISCOUNT)
+        )
+        assert spot_rate(10.0, discount=0.5) == pytest.approx(5.0)
+
+    def test_spot_cost_below_on_demand(self):
+        itype = instance_type("p2.8xlarge")
+        from repro.cloud import billed_cost
+
+        assert spot_cost(itype, 3600.0) < billed_cost(itype, 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spot_rate(-1.0)
+        with pytest.raises(ConfigurationError):
+            spot_rate(1.0, discount=1.0)
+
+
+class TestZeroFaultEquivalence:
+    """An all-zero plan must reproduce the reliable fleet bit-for-bit."""
+
+    def test_serving_report_identical(self):
+        arr = poisson_arrivals(150.0, 20.0, seed=13)
+        sim = _simulator()
+        base = sim.run(arr)
+        zero = sim.run(arr, FaultPlan.none())
+        np.testing.assert_array_equal(base.latencies_s, zero.latencies_s)
+        np.testing.assert_array_equal(base.batch_sizes, zero.batch_sizes)
+        for field in dataclasses.fields(base):
+            a = getattr(base, field.name)
+            b = getattr(zero, field.name)
+            if isinstance(a, np.ndarray):
+                np.testing.assert_array_equal(a, b)
+            else:
+                assert a == b, field.name
+
+    def test_zero_fault_report_has_no_fault_counts(self):
+        arr = poisson_arrivals(100.0, 10.0, seed=14)
+        report = _simulator().run(arr, FaultPlan.none())
+        assert report.retries == 0
+        assert report.dropped == 0
+        assert report.preempted == 0
+        assert report.served == report.requests
+        assert report.availability == 1.0
+        assert report.goodput == report.throughput
+
+    def test_autoscaler_identical(self):
+        arr = poisson_arrivals(200.0, 40.0, seed=15)
+        sim = _autoscaler()
+        base = sim.run(arr)
+        zero = sim.run(arr, FaultPlan.none())
+        np.testing.assert_array_equal(base.latencies_s, zero.latencies_s)
+        assert base.cost == zero.cost
+        assert base.fleet_timeline == zero.fleet_timeline
+        assert base.mean_instances == zero.mean_instances
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_serving_identical_any_seed(self, seed):
+        arr = poisson_arrivals(120.0, 5.0, seed=seed)
+        sim = _simulator()
+        a = sim.run(arr)
+        b = sim.run(arr, FaultPlan.none())
+        np.testing.assert_array_equal(a.latencies_s, b.latencies_s)
+        assert a.cost == b.cost and a.busy_s == b.busy_s
+
+
+class TestServingUnderFaults:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_conservation_invariant(self, seed):
+        """Every request is exactly served or dropped; latencies of
+        served requests are non-negative."""
+        arr = poisson_arrivals(120.0, 10.0, seed=seed)
+        plan = FaultPlan.sample(
+            duration_s=10.0,
+            workers=8,
+            mtbf_s=8.0,
+            recovery_s=3.0,
+            retry_budget=1,
+            timeout_s=2.0,
+            seed=seed,
+        )
+        report = _simulator().run(arr, plan)
+        assert report.served + report.dropped == report.requests
+        assert report.latencies_s.size == report.served
+        assert np.all(report.latencies_s >= 0)
+        assert report.retries >= 0 and report.dropped >= 0
+        assert 0.0 <= report.availability <= 1.0
+
+    def test_deterministic_under_faults(self):
+        arr = poisson_arrivals(120.0, 15.0, seed=31)
+        plan = FaultPlan.sample(
+            duration_s=15.0, workers=8, mtbf_s=10.0, seed=31
+        )
+        a = _simulator().run(arr, plan)
+        b = _simulator().run(arr, plan)
+        np.testing.assert_array_equal(a.latencies_s, b.latencies_s)
+        assert a.cost == b.cost and a.retries == b.retries
+
+    def test_preempted_inflight_batch_is_requeued(self):
+        # one slow worker, preempted mid-batch, recovers, serves again
+        plan = FaultPlan(
+            preemptions=(Preemption(0, 0.05, recover_after_s=1.0),),
+            retry_budget=2,
+        )
+        sim = _simulator("p2.xlarge", max_batch=4, max_wait_s=0.0)
+        report = sim.run(np.array([0.0, 0.01]), plan)
+        assert report.preempted == 1
+        assert report.retries >= 1
+        assert report.dropped == 0
+        assert report.served == 2
+        # the retried requests waited for the recovery
+        assert report.latencies_s.max() > 1.0
+
+    def test_zero_retry_budget_drops_preempted_requests(self):
+        # request 0 is in flight when the preemption hits and has no
+        # budget left: dropped.  Request 1 was still queued (the single
+        # GPU was busy), so it survives and meets the recovered worker.
+        plan = FaultPlan(
+            preemptions=(Preemption(0, 0.05, recover_after_s=1.0),),
+            retry_budget=0,
+        )
+        sim = _simulator("p2.xlarge", max_batch=1, max_wait_s=0.0)
+        report = sim.run(np.array([0.0, 0.01]), plan)
+        assert report.dropped == 1
+        assert report.served == 1
+        assert report.retries == 0
+        assert report.latencies_s[0] > 1.0  # waited out the recovery
+
+    def test_permanent_preemption_without_timeout_drops_backlog(self):
+        # the only worker dies before serving anything and never
+        # recovers: the run terminates and the backlog is dropped
+        plan = FaultPlan(
+            preemptions=(Preemption(0, 0.0),), retry_budget=0
+        )
+        sim = _simulator("p2.xlarge", max_batch=4, max_wait_s=0.5)
+        report = sim.run(np.array([0.1, 0.2, 0.3]), plan)
+        assert report.served == 0
+        assert report.dropped == 3
+        assert report.latencies_s.size == 0
+        assert np.isnan(report.p99)
+        assert report.miss_rate(1.0) == 0.0
+
+    def test_timeout_drops_stale_requests(self):
+        # worker down for 10s; with a 1s timeout the queue drains as drops
+        plan = FaultPlan(
+            preemptions=(Preemption(0, 0.0, recover_after_s=10.0),),
+            retry_budget=2,
+            timeout_s=1.0,
+        )
+        sim = _simulator("p2.xlarge", max_batch=4, max_wait_s=0.0)
+        report = sim.run(np.array([0.1, 0.2, 11.0]), plan)
+        assert report.dropped == 2  # the two early arrivals expire
+        assert report.served == 1  # the late one meets the recovered GPU
+
+    def test_slowdown_stretches_service(self):
+        arr = poisson_arrivals(100.0, 10.0, seed=17)
+        slow = FaultPlan(
+            slowdowns=(
+                Slowdown(w, 0.0, 20.0, 4.0) for w in range(8)
+            ),
+        )
+        base = _simulator().run(arr)
+        slowed = _simulator().run(arr, slow)
+        assert slowed.p99 > base.p99
+        assert slowed.busy_s > base.busy_s
+
+    def test_faults_reduce_goodput(self):
+        arr = poisson_arrivals(150.0, 20.0, seed=18)
+        plan = FaultPlan.sample(
+            duration_s=20.0,
+            workers=8,
+            mtbf_s=5.0,
+            recovery_s=10.0,
+            retry_budget=1,
+            timeout_s=2.0,
+            seed=18,
+        )
+        base = _simulator().run(arr)
+        faulted = _simulator().run(arr, plan)
+        assert faulted.goodput < base.goodput
+        assert faulted.preempted > 0
+
+    def test_spot_rate_cuts_reported_cost(self):
+        arr = poisson_arrivals(100.0, 10.0, seed=19)
+        config_rate = ResourceConfiguration(
+            [CloudInstance(instance_type("p2.8xlarge"))]
+        ).total_price_per_hour
+        base = _simulator().run(arr)
+        spot = _simulator(hourly_rate=spot_rate(config_rate)).run(arr)
+        assert spot.cost < base.cost
+        assert spot.cost == pytest.approx(
+            base.cost * (1 - DEFAULT_SPOT_DISCOUNT)
+        )
+
+
+class TestAutoscalerUnderFaults:
+    def test_conservation_and_replacement(self):
+        arr = poisson_arrivals(150.0, 60.0, seed=23)
+        plan = FaultPlan(
+            preemptions=(
+                Preemption(0, 10.0),
+                Preemption(0, 30.0),
+            ),
+            retry_budget=2,
+        )
+        report = _autoscaler().run(arr, plan)
+        assert report.served + report.dropped == report.requests
+        assert report.preempted == 2
+        assert np.all(report.latencies_s >= 0)
+        # the fleet never stays below the minimum: replacements launch
+        assert report.fleet_timeline[-1][1] >= 1
+
+    def test_billing_stops_at_preemption(self):
+        """A preempted fleet is cheaper than the same fleet running
+        fault-free: the provider stops the meter at reclaim time."""
+        arr = poisson_arrivals(100.0, 30.0, seed=24)
+        base = _autoscaler(max_instances=1).run(arr)
+        preempted = _autoscaler(max_instances=1).run(
+            arr,
+            FaultPlan(
+                preemptions=(Preemption(0, 5.0),), retry_budget=2
+            ),
+        )
+        # base bills one instance for the whole run; the faulted run
+        # bills instance 1 for 5s plus a replacement from 5s on, but
+        # pays the boot delay in extra duration, not extra billing
+        assert preempted.cost <= base.cost + 1e-9 or (
+            preempted.duration_s > base.duration_s
+        )
+        assert preempted.preempted == 1
+
+    def test_deterministic_under_faults(self):
+        arr = poisson_arrivals(150.0, 30.0, seed=25)
+        plan = FaultPlan.sample(
+            duration_s=30.0, workers=8, mtbf_s=15.0, seed=25
+        )
+        a = _autoscaler().run(arr, plan)
+        b = _autoscaler().run(arr, plan)
+        np.testing.assert_array_equal(a.latencies_s, b.latencies_s)
+        assert a.cost == b.cost
+
+    def test_preemption_of_whole_fleet_recovers_service(self):
+        arr = poisson_arrivals(100.0, 40.0, seed=26)
+        plan = FaultPlan(
+            preemptions=(Preemption(0, 5.0), Preemption(0, 6.0)),
+            retry_budget=3,
+        )
+        report = _autoscaler().run(arr, plan)
+        # service resumed after replacement boot: most requests served
+        assert report.availability > 0.9
+
+
+class TestAvailabilityMetrics:
+    def test_summary_fields(self):
+        arr = poisson_arrivals(120.0, 15.0, seed=27)
+        plan = FaultPlan.sample(
+            duration_s=15.0,
+            workers=8,
+            mtbf_s=6.0,
+            recovery_s=5.0,
+            retry_budget=1,
+            timeout_s=2.0,
+            seed=27,
+        )
+        report = _simulator().run(arr, plan)
+        summary = availability_summary(report, slo_s=1.0)
+        assert summary["availability"] == pytest.approx(
+            report.served / report.requests
+        )
+        assert summary["goodput"] == pytest.approx(report.goodput)
+        assert summary["drop_rate"] + summary["availability"] == (
+            pytest.approx(1.0)
+        )
+        assert summary["preemptions"] == report.preempted
+        # SLO attainment counts drops as misses: never above availability
+        assert summary["slo_attainment"] <= summary["availability"]
+
+    def test_summary_without_slo(self):
+        report = _simulator().run(poisson_arrivals(50.0, 5.0, seed=28))
+        summary = availability_summary(report)
+        assert "slo_attainment" not in summary
+        assert summary["availability"] == 1.0
+
+    def test_slo_validation(self):
+        report = _simulator().run(poisson_arrivals(50.0, 5.0, seed=28))
+        with pytest.raises(ValueError):
+            availability_summary(report, slo_s=0.0)
+
+    def test_throughput_series_rejects_dropped_runs(self):
+        arr = np.array([0.1, 0.2, 0.3])
+        plan = FaultPlan(
+            preemptions=(Preemption(0, 0.0),), retry_budget=0
+        )
+        report = _simulator("p2.xlarge").run(arr, plan)
+        assert report.dropped > 0
+        with pytest.raises(ValueError):
+            throughput_series(arr, report)
+
+
+class TestFaultToleranceStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments import ext_fault_tolerance
+
+        ext_fault_tolerance.run.cache_clear()
+        return ext_fault_tolerance.run()
+
+    def test_on_demand_is_fully_available(self, study):
+        ondemand = study.row("on-demand, reliable")
+        assert ondemand.availability == 1.0
+        assert ondemand.dropped == 0 and ondemand.preempted == 0
+
+    def test_spot_is_cheaper_per_served_request(self, study):
+        ondemand = study.row("on-demand, reliable")
+        for row in study.rows[1:]:
+            assert row.cost_per_1k < ondemand.cost_per_1k
+
+    def test_severity_degrades_goodput(self, study):
+        goodputs = [r.goodput for r in study.rows[1:]]
+        assert goodputs == sorted(goodputs, reverse=True)
+
+    def test_worst_case_shows_drops(self, study):
+        assert study.rows[-1].dropped > 0
+        assert study.rows[-1].availability < 1.0
+
+    def test_renders_via_run_all(self):
+        from repro.experiments.runner import run_all
+
+        [output] = run_all(("ext-fault-tolerance",))
+        assert "on-demand, reliable" in output.text
+        assert "spot, mtbf" in output.text
+        assert "Goodput" in output.text

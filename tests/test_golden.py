@@ -1,0 +1,63 @@
+"""Golden-artefact regression tests.
+
+The rendered text of the paper's headline artefacts is snapshotted in
+``tests/golden/``; any refactor that silently changes a paper number
+(or even its formatting) fails here with a diff.  If a change is
+*intentional*, regenerate the snapshots and review the diff in the PR:
+
+    PYTHONPATH=src python tests/test_golden.py --regen
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_all
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: artefacts pinned byte-for-byte (the paper's headline numbers)
+GOLDEN_ARTEFACTS = ("table1", "fig9", "fig10", "algorithm1")
+
+
+def _render(artefact: str) -> str:
+    [output] = run_all((artefact,))
+    return output.text
+
+
+class TestGoldenArtefacts:
+    @pytest.mark.parametrize("artefact", GOLDEN_ARTEFACTS)
+    def test_matches_snapshot(self, artefact):
+        path = GOLDEN_DIR / f"{artefact}.txt"
+        assert path.exists(), (
+            f"missing snapshot {path}; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden.py --regen`"
+        )
+        assert _render(artefact) == path.read_text(), (
+            f"{artefact} drifted from its golden snapshot — if the "
+            "change is intentional, regenerate and review the diff"
+        )
+
+    def test_snapshots_are_nontrivial(self):
+        for artefact in GOLDEN_ARTEFACTS:
+            text = (GOLDEN_DIR / f"{artefact}.txt").read_text()
+            assert len(text) > 100, artefact
+
+
+def _regen() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for artefact in GOLDEN_ARTEFACTS:
+        path = GOLDEN_DIR / f"{artefact}.txt"
+        path.write_text(_render(artefact))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
