@@ -1,0 +1,51 @@
+"""Benchmark: serial vs parallel experiment-engine wall time.
+
+Times the same artefact selection through ``run_experiments`` with
+``jobs=1`` and ``jobs=4`` (cache off, so both runs do real work) and
+asserts the parallel run is no slower than serial beyond scheduling
+noise — the speedup itself depends on host core count, so only the
+regression direction is asserted, and both wall times are recorded by
+pytest-benchmark for comparison across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.engine import run_experiments
+
+#: artefacts heavy enough to amortise process start-up, light enough
+#: for a benchmark suite.
+SELECTION = ("table1", "fig4", "fig5", "fig8", "fig11", "fig12")
+
+
+def _run(jobs: int):
+    return run_experiments(
+        SELECTION,
+        jobs=jobs,
+        use_cache=False,
+        cache_dir=None,
+        write_manifest=False,
+    )
+
+
+def test_engine_serial(benchmark):
+    run = benchmark.pedantic(_run, args=(1,), rounds=1, iterations=1)
+    assert all(r.ok for r in run.results)
+
+
+def test_engine_parallel_no_slower_than_serial(benchmark):
+    t0 = time.perf_counter()
+    serial = _run(1)
+    serial_s = time.perf_counter() - t0
+
+    parallel = benchmark.pedantic(
+        _run, args=(4,), rounds=1, iterations=1
+    )
+    parallel_s = parallel.manifest.wall_s
+
+    assert [r.text for r in parallel.results] == [
+        r.text for r in serial.results
+    ]
+    # allow generous head-room for fork + import overhead on small hosts
+    assert parallel_s < serial_s * 1.5 + 2.0

@@ -4,8 +4,12 @@ Commands
 --------
 ``catalog``
     Print the EC2 instance catalog (Table 3).
-``experiments [id ...]``
-    Regenerate all (or selected) paper artefacts.
+``experiments [id ...] [--jobs N] [--format text|json] [--no-cache]``
+    Regenerate all (or selected) paper artefacts, optionally in
+    parallel; ``--format json`` emits structured results plus the run
+    manifest.
+``report [id ...] [--output PATH]``
+    Build the Markdown experiment report from structured results.
 ``sweep --model M --layer L``
     Single-layer pruning sweep: time / Top-1 / Top-5 per ratio.
 ``allocate --images N --deadline H --budget D``
@@ -79,6 +83,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument(
         "ids", nargs="*", help="artefact ids (default: all)"
+    )
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1: serial)",
+    )
+    p_exp.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="text renders tables; json emits structured data + manifest",
+    )
+    p_exp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even when a cached result matches",
+    )
+    p_exp.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="where to write the run manifest "
+        "(default results/run_manifest.json)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="Markdown report from structured results"
+    )
+    p_report.add_argument(
+        "ids", nargs="*", help="artefact ids (default: all)"
+    )
+    p_report.add_argument(
+        "--output", metavar="PATH", help="write to PATH instead of stdout"
+    )
+    p_report.add_argument(
+        "--jobs", type=int, default=1, metavar="N"
     )
 
     p_sweep = sub.add_parser("sweep", help="single-layer pruning sweep")
@@ -217,21 +259,73 @@ def _cmd_catalog() -> int:
     return 0
 
 
-def _cmd_experiments(ids: Sequence[str]) -> int:
-    from repro.experiments.runner import EXPERIMENTS, run_all
+def _run_selection(ids: Sequence[str], jobs: int, use_cache: bool, manifest_path=None):
+    """Run the selection through the engine; exit code 2 on unknown ids."""
+    from repro.errors import UnknownArtefactError
+    from repro.experiments.engine import run_experiments
 
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        print(
-            f"unknown artefacts {unknown}; available: "
-            f"{sorted(EXPERIMENTS)}",
-            file=sys.stderr,
+    try:
+        return run_experiments(
+            tuple(ids) or None,
+            jobs=jobs,
+            use_cache=use_cache,
+            manifest_path=manifest_path,
         )
+    except UnknownArtefactError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import json
+
+    run = _run_selection(
+        args.ids, args.jobs, not args.no_cache, args.manifest
+    )
+    if run is None:
         return 2
-    for output in run_all(tuple(ids) or None):
-        print(f"\n=== {output.artefact}: {output.title} ===")
-        print(output.text)
-    return 0
+    if args.fmt == "json":
+        payload = {
+            "manifest": run.manifest.to_dict(),
+            "results": [
+                {
+                    "artefact": r.artefact,
+                    "title": r.title,
+                    "category": r.category,
+                    "status": r.status,
+                    "data": r.data,
+                    "text": r.text,
+                    "error": r.error,
+                }
+                for r in run.results
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for output in run.results:
+            print(f"\n=== {output.artefact}: {output.title} ===")
+            if output.status == "error":
+                print(f"ERROR:\n{output.error}", file=sys.stderr)
+            else:
+                print(output.text)
+    return 1 if run.manifest.errors else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import build_markdown_report
+
+    run = _run_selection(args.ids, args.jobs, use_cache=True)
+    if run is None:
+        return 2
+    text = build_markdown_report(run.results, run.manifest)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(args.output)
+    else:
+        print(text)
+    return 1 if run.manifest.errors else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -435,13 +529,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.engine import REGISTRY
     from repro.experiments.export import export_all
-    from repro.experiments.runner import EXPERIMENTS
 
-    bad = [i for i in args.ids if i not in EXPERIMENTS]
+    bad = [i for i in args.ids if i not in REGISTRY]
     if bad:
         print(
-            f"unknown artefacts {bad}; available: {sorted(EXPERIMENTS)}",
+            f"unknown artefacts {bad}; available: {sorted(REGISTRY)}",
             file=sys.stderr,
         )
         return 2
@@ -457,7 +551,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "catalog":
             return _cmd_catalog()
         if args.command == "experiments":
-            return _cmd_experiments(args.ids)
+            return _cmd_experiments(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "allocate":

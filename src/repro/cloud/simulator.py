@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.calibration.accuracy_model import AccuracyModel, AccuracyPair
 from repro.cloud.configuration import ResourceConfiguration
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics
 from repro.perf.latency import CalibratedTimeModel
 from repro.pruning.base import PruneSpec
 
@@ -96,6 +97,7 @@ class CloudSimulator:
         """Simulate inferring ``images`` with ``spec`` on ``configuration``."""
         if images < 1:
             raise ConfigurationError("images must be >= 1")
+        get_metrics().counter("cloud.simulations").inc()
         time_s, cost = configuration.evaluate(
             self.time_model,
             spec,

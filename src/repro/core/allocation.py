@@ -27,6 +27,7 @@ from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
 from repro.cloud.simulator import CloudSimulator, SimulationResult
 from repro.errors import InfeasibleError
+from repro.obs import get_metrics, get_tracer
 from repro.pruning.schedule import DegreeOfPruning
 
 __all__ = ["AllocationResult", "greedy_allocate", "brute_force_allocate"]
@@ -106,30 +107,47 @@ def greedy_allocate(
     if not degrees or not resources:
         raise InfeasibleError("empty degrees or resource set")
     reference = reference or resources[0]
-    evaluations = 0
-    ordered = _sorted_degrees(degrees, simulator, reference, images, metric)
-    evaluations += len(ordered)
-    for degree, _acc, _tar in ordered:
-        ranked = sorted(
-            resources,
-            key=lambda inst: _instance_car(
-                simulator, inst, degree, images, metric
-            ),
+    with get_tracer().span(
+        "allocation.greedy",
+        degrees=len(degrees),
+        resources=len(resources),
+    ) as span:
+        evaluations = 0
+        ordered = _sorted_degrees(
+            degrees, simulator, reference, images, metric
         )
-        evaluations += len(ranked)
-        chosen: list[CloudInstance] = []
-        for instance in ranked:
-            chosen.append(instance)  # add resource with lowest CAR
-            sim = simulator.run(
-                degree.spec, ResourceConfiguration(chosen), images
+        evaluations += len(ordered)
+        try:
+            for degree, _acc, _tar in ordered:
+                ranked = sorted(
+                    resources,
+                    key=lambda inst: _instance_car(
+                        simulator, inst, degree, images, metric
+                    ),
+                )
+                evaluations += len(ranked)
+                chosen: list[CloudInstance] = []
+                for instance in ranked:
+                    chosen.append(instance)  # add resource with lowest CAR
+                    sim = simulator.run(
+                        degree.spec, ResourceConfiguration(chosen), images
+                    )
+                    evaluations += 1
+                    if sim.within(deadline_s, budget):
+                        return AllocationResult(
+                            result=sim, evaluations=evaluations
+                        )
+            raise InfeasibleError(
+                f"no feasible allocation within T'={deadline_s}s, "
+                f"C'=${budget} (searched {len(ordered)} degrees x "
+                f"{len(resources)} resources)"
             )
-            evaluations += 1
-            if sim.within(deadline_s, budget):
-                return AllocationResult(result=sim, evaluations=evaluations)
-    raise InfeasibleError(
-        f"no feasible allocation within T'={deadline_s}s, C'=${budget} "
-        f"(searched {len(ordered)} degrees x {len(resources)} resources)"
-    )
+        finally:
+            get_metrics().counter("allocation.greedy_evaluations").inc(
+                evaluations
+            )
+            if span is not None:
+                span.tags["evaluations"] = evaluations
 
 
 def brute_force_allocate(
@@ -151,17 +169,27 @@ def brute_force_allocate(
         raise InfeasibleError("empty degrees or resource set")
     best: SimulationResult | None = None
     evaluations = 0
-    for degree in degrees:
-        for r in range(1, len(resources) + 1):
-            for subset in itertools.combinations(resources, r):
-                sim = simulator.run(
-                    degree.spec, ResourceConfiguration(subset), images
-                )
-                evaluations += 1
-                if not sim.within(deadline_s, budget):
-                    continue
-                if best is None or _better(sim, best, metric):
-                    best = sim
+    with get_tracer().span(
+        "allocation.brute_force",
+        degrees=len(degrees),
+        resources=len(resources),
+    ) as span:
+        for degree in degrees:
+            for r in range(1, len(resources) + 1):
+                for subset in itertools.combinations(resources, r):
+                    sim = simulator.run(
+                        degree.spec, ResourceConfiguration(subset), images
+                    )
+                    evaluations += 1
+                    if not sim.within(deadline_s, budget):
+                        continue
+                    if best is None or _better(sim, best, metric):
+                        best = sim
+        get_metrics().counter("allocation.brute_evaluations").inc(
+            evaluations
+        )
+        if span is not None:
+            span.tags["evaluations"] = evaluations
     if best is None:
         raise InfeasibleError(
             f"no feasible allocation within T'={deadline_s}s, C'=${budget}"

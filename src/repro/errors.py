@@ -15,6 +15,7 @@ __all__ = [
     "CalibrationError",
     "InfeasibleError",
     "MeasurementError",
+    "UnknownArtefactError",
 ]
 
 
@@ -44,3 +45,18 @@ class InfeasibleError(ReproError, RuntimeError):
 
 class MeasurementError(ReproError, RuntimeError):
     """A measurement run failed or produced no samples."""
+
+
+class UnknownArtefactError(ReproError, KeyError):
+    """An experiment selection named artefact ids that are not registered."""
+
+    def __init__(self, unknown, available) -> None:
+        self.unknown = tuple(unknown)
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown artefact ids {sorted(self.unknown)}; "
+            f"available: {sorted(self.available)}"
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]

@@ -23,6 +23,30 @@ evaluation and is what ``EXPERIMENTS.md`` is generated from.
 | Algorithm 1 complexity/quality     | :mod:`repro.experiments.algorithm1` |
 """
 
-from repro.experiments.runner import ExperimentOutput, run_all
+from repro.experiments.engine import (
+    REGISTRY,
+    EngineRun,
+    Experiment,
+    ExperimentResult,
+    run_experiments,
+)
+from repro.experiments.runner import run_all
 
-__all__ = ["ExperimentOutput", "run_all"]
+__all__ = [
+    "EngineRun",
+    "Experiment",
+    "ExperimentResult",
+    "REGISTRY",
+    "run_all",
+    "run_experiments",
+]
+
+
+def __getattr__(name: str):
+    if name == "ExperimentOutput":  # deprecated alias; warns in runner
+        from repro.experiments import runner
+
+        return runner.ExperimentOutput
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

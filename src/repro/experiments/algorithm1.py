@@ -27,7 +27,7 @@ from repro.experiments.report import format_table
 from repro.pruning.base import PruneSpec
 from repro.pruning.schedule import DegreeOfPruning
 
-__all__ = ["Algorithm1Row", "Algorithm1Result", "run", "render"]
+__all__ = ["Algorithm1Row", "Algorithm1Result", "run", "compute", "render"]
 
 
 def _default_degrees() -> list[DegreeOfPruning]:
@@ -138,8 +138,55 @@ def run(
     )
 
 
-def render(result: Algorithm1Result | None = None) -> str:
-    result = result or run()
+def compute(
+    pool_sizes: tuple[int, ...] = (4, 6, 8, 10, 12),
+    images: int = 200_000,
+    deadline_s: float = 2 * 3600.0,
+    budget: float = 15.0,
+) -> dict:
+    """Structured data for the Algorithm 1 complexity/quality study."""
+    result = run(pool_sizes, images, deadline_s, budget)
+    return {
+        "images": result.images,
+        "deadline_s": result.deadline_s,
+        "budget": result.budget,
+        "rows": [
+            {
+                "pool_size": r.pool_size,
+                "greedy_evals": r.greedy_evals,
+                "brute_evals": r.brute_evals,
+                "greedy_seconds": r.greedy_seconds,
+                "brute_seconds": r.brute_seconds,
+                "greedy_accuracy": r.greedy_accuracy,
+                "brute_accuracy": r.brute_accuracy,
+                "greedy_cost": r.greedy_cost,
+                "brute_cost": r.brute_cost,
+                "eval_speedup": r.eval_speedup,
+            }
+            for r in result.rows
+        ],
+    }
+
+
+def render(data: dict | Algorithm1Result | None = None) -> str:
+    if data is None:
+        data = compute()
+    elif isinstance(data, Algorithm1Result):
+        data = {
+            "rows": [
+                {
+                    "pool_size": r.pool_size,
+                    "greedy_evals": r.greedy_evals,
+                    "brute_evals": r.brute_evals,
+                    "greedy_accuracy": r.greedy_accuracy,
+                    "brute_accuracy": r.brute_accuracy,
+                    "greedy_cost": r.greedy_cost,
+                    "brute_cost": r.brute_cost,
+                    "eval_speedup": r.eval_speedup,
+                }
+                for r in data.rows
+            ]
+        }
     table = format_table(
         [
             "|G|",
@@ -153,16 +200,16 @@ def render(result: Algorithm1Result | None = None) -> str:
         ],
         [
             (
-                r.pool_size,
-                r.greedy_evals,
-                r.brute_evals,
-                f"{r.greedy_accuracy:.1f}",
-                f"{r.brute_accuracy:.1f}",
-                f"{r.greedy_cost:.2f}",
-                f"{r.brute_cost:.2f}",
-                f"{r.eval_speedup:.1f}x",
+                r["pool_size"],
+                r["greedy_evals"],
+                r["brute_evals"],
+                f"{r['greedy_accuracy']:.1f}",
+                f"{r['brute_accuracy']:.1f}",
+                f"{r['greedy_cost']:.2f}",
+                f"{r['brute_cost']:.2f}",
+                f"{r['eval_speedup']:.1f}x",
             )
-            for r in result.rows
+            for r in data["rows"]
         ],
     )
     return table

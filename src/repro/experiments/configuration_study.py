@@ -34,6 +34,7 @@ from repro.cloud.catalog import P2_TYPES
 from repro.cloud.simulator import CloudSimulator, SimulationResult
 from repro.core.config_space import enumerate_configurations
 from repro.core.pareto import pareto_front
+from repro.obs import get_tracer
 from repro.pruning.schedule import caffenet_variant_set
 
 __all__ = [
@@ -62,11 +63,16 @@ def evaluate_space() -> tuple[SimulationResult, ...]:
     )
     degrees = caffenet_variant_set()
     configurations = enumerate_configurations(P2_TYPES, max_per_type=3)
-    return tuple(
-        simulator.run(degree.spec, config, STUDY_IMAGES)
-        for degree in degrees
-        for config in configurations
-    )
+    with get_tracer().span(
+        "pareto.evaluate_space",
+        degrees=len(degrees),
+        configurations=len(configurations),
+    ):
+        return tuple(
+            simulator.run(degree.spec, config, STUDY_IMAGES)
+            for degree in degrees
+            for config in configurations
+        )
 
 
 @dataclass(frozen=True)

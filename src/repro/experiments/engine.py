@@ -1,0 +1,540 @@
+"""The structured experiment engine.
+
+Replaces the old ``EXPERIMENTS: dict[id, (title, renderer)]`` registry
+with first-class :class:`Experiment` descriptors and a parallel,
+cached, observable executor:
+
+* every artefact runs inside its own observability scope (a fresh
+  :class:`~repro.obs.Tracer` + :class:`~repro.obs.MetricsRegistry`), so
+  each :class:`ExperimentResult` carries a queryable trace and metric
+  snapshot alongside the rendered text;
+* ``jobs > 1`` fans independent artefacts out over a
+  ``ProcessPoolExecutor`` — collected outputs are always reported in
+  registry order, so parallel output equals serial output exactly;
+* results are cached on disk keyed by *content* (a hash of the whole
+  ``repro`` package source, the artefact's module source, and the
+  engine schema), so an unchanged artefact is a cache hit and any
+  source edit invalidates it;
+* a failing artefact is isolated into ``status == "error"`` (with its
+  traceback) instead of aborting the batch;
+* every run writes a :class:`~repro.obs.RunManifest` JSON under
+  ``results/`` recording per-artefact wall time, status, cache-hit
+  flag and environment provenance.
+
+Modules migrated to the structured API expose ``compute() -> data``
+(JSON-serializable rows/series) and ``render(data) -> str``; legacy
+modules exposing only ``render()`` still work, with ``data=None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.errors import UnknownArtefactError
+from repro.obs import MetricsRegistry, RunManifest, Tracer, scoped_observability
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "EngineRun",
+    "REGISTRY",
+    "run_experiments",
+    "experiment_config_hash",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_MANIFEST_PATH",
+]
+
+#: Bump to invalidate every cache entry when the result schema changes.
+SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = Path("results") / ".expcache"
+DEFAULT_MANIFEST_PATH = Path("results") / "run_manifest.json"
+
+
+# ----------------------------------------------------------------------
+# data model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One executed artefact: structured data *and* rendered text.
+
+    ``data`` is the module's ``compute()`` output (``None`` for legacy
+    render-only modules), already normalised to JSON-safe types.
+    ``text`` is the exact table/series the paper comparison uses — the
+    field the old ``ExperimentOutput`` carried.
+    """
+
+    artefact: str
+    title: str
+    category: str
+    text: str
+    data: Any = None
+    status: str = "ok"  # "ok" | "error"
+    error: str | None = None
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    cache_hit: bool = False
+    config_hash: str = ""
+    trace: tuple[dict, ...] = ()
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered artefact: identity plus how to produce it.
+
+    ``module`` is a fully qualified module name.  When the module has
+    ``compute_attr`` the structured path runs (``compute()`` then
+    ``render(data)``); otherwise the legacy ``render()`` is called and
+    ``data`` stays ``None``.
+    """
+
+    artefact: str
+    title: str
+    category: str
+    module: str
+    compute_attr: str | None = "compute"
+    render_attr: str = "render"
+
+    def load(self):
+        return importlib.import_module(self.module)
+
+    def source_hash(self) -> str:
+        """Hash of the artefact module's own source file."""
+        module = self.load()
+        digest = hashlib.sha256()
+        path = getattr(module, "__file__", None)
+        if path and os.path.exists(path):
+            digest.update(Path(path).read_bytes())
+        return digest.hexdigest()
+
+    def execute(self) -> tuple[Any, str]:
+        """Produce ``(data, text)`` for this artefact."""
+        module = self.load()
+        compute = (
+            getattr(module, self.compute_attr, None)
+            if self.compute_attr
+            else None
+        )
+        if compute is not None:
+            data = compute()
+            text = getattr(module, self.render_attr)(data)
+            return _jsonable(data), text
+        return None, getattr(module, self.render_attr)()
+
+    def render_text(self) -> str:
+        """Just the rendered text (legacy-registry compatibility)."""
+        return self.execute()[1]
+
+    def run(self) -> ExperimentResult:
+        """Execute this artefact alone, uncached, in-process."""
+        return _execute_experiment(
+            self, experiment_config_hash(self), None, False
+        )
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """Everything one engine invocation produced."""
+
+    results: tuple[ExperimentResult, ...]
+    manifest: RunManifest
+    manifest_path: Path | None
+
+    def result(self, artefact: str) -> ExperimentResult:
+        for r in self.results:
+            if r.artefact == artefact:
+                return r
+        raise KeyError(artefact)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def _exp(
+    artefact: str,
+    title: str,
+    category: str,
+    module: str,
+    **kwargs,
+) -> Experiment:
+    return Experiment(
+        artefact, title, category, f"repro.experiments.{module}", **kwargs
+    )
+
+
+#: artefact id -> Experiment, in canonical (paper) order.
+REGISTRY: dict[str, Experiment] = {
+    e.artefact: e
+    for e in (
+        _exp(
+            "table1",
+            "Caffenet layers",
+            "table",
+            "tables",
+            compute_attr=None,
+            render_attr="render_table1",
+        ),
+        _exp(
+            "table3",
+            "EC2 cloud resource types",
+            "table",
+            "tables",
+            compute_attr=None,
+            render_attr="render_table3",
+        ),
+        _exp("fig2", "The three-stage approach, executed", "figure", "fig2_pipeline"),
+        _exp("fig3", "Execution time distribution", "figure", "fig3_time_distribution"),
+        _exp("fig4", "Time for a single inference", "figure", "fig4_single_inference"),
+        _exp("fig5", "Parallel inference on a GPU", "figure", "fig5_parallel_inference"),
+        _exp("fig6", "Caffenet individual-layer pruning", "figure", "fig6_caffenet_sweeps"),
+        _exp("fig7", "Googlenet individual-layer pruning", "figure", "fig7_googlenet_sweeps"),
+        _exp("fig8", "Caffenet multi-layer pruning", "figure", "fig8_multilayer"),
+        _exp("fig9", "Impact of accuracy on execution time", "figure", "fig9_time_pareto"),
+        _exp("fig10", "Impact of accuracy on cloud cost", "figure", "fig10_cost_pareto"),
+        _exp("fig11", "Time-accuracy with TAR", "figure", "fig11_tar"),
+        _exp("fig12", "CAR across resource types", "figure", "fig12_car"),
+        _exp("algorithm1", "Greedy vs brute-force allocation", "algorithm", "algorithm1"),
+        _exp(
+            "ext-techniques",
+            "Extension: pruning vs quantization vs weight sharing (real)",
+            "extension",
+            "ext_technique_comparison",
+        ),
+        _exp(
+            "ext-googlenet-pareto",
+            "Extension: Googlenet Pareto study over mixed p2+g3 space",
+            "extension",
+            "ext_googlenet_pareto",
+        ),
+        _exp(
+            "ext-finetune",
+            "Extension: fine-tuning recovery widens sweet spots (real)",
+            "extension",
+            "ext_finetune_recovery",
+        ),
+        _exp(
+            "ext-serving-slo",
+            "Extension: latency-SLO serving under bursty traffic",
+            "extension",
+            "ext_serving_slo",
+        ),
+        _exp(
+            "ext-sensitivity",
+            "Extension: sensitivity of conclusions to fitted constants",
+            "extension",
+            "ext_sensitivity",
+        ),
+        _exp(
+            "ext-split",
+            "Extension: even (Eq. 4) vs proportional workload split at scale",
+            "extension",
+            "ext_split_pareto",
+        ),
+        _exp(
+            "ext-scaling",
+            "Extension: strong scaling of the inference workload",
+            "extension",
+            "ext_scaling",
+        ),
+        _exp(
+            "ext-autoscale",
+            "Extension: static vs autoscaled fleets under surge load",
+            "extension",
+            "ext_autoscale",
+        ),
+        _exp(
+            "ext-fault-tolerance",
+            "Extension: spot preemptions — cost vs goodput under faults",
+            "extension",
+            "ext_fault_tolerance",
+        ),
+        _exp(
+            "ext-real-pipeline",
+            "Extension: the whole methodology with zero paper constants",
+            "extension",
+            "ext_real_pipeline",
+        ),
+        _exp(
+            "ext-criteria",
+            "Extension: L1 vs L2 vs random pruning criteria (real)",
+            "extension",
+            "ext_criterion_comparison",
+        ),
+        _exp(
+            "ext-batch-policy",
+            "Extension: batch-width vs tail latency in online serving",
+            "extension",
+            "ext_batch_policy",
+        ),
+        _exp(
+            "ext-noise",
+            "Extension: the min-of-3 measurement protocol, justified",
+            "extension",
+            "ext_noise_protocol",
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# content-keyed cache
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def package_hash() -> str:
+    """Hash of every ``.py`` file under the installed repro package.
+
+    Conservative by design: *any* library change invalidates every
+    cached artefact, so a cache hit is always as trustworthy as a
+    fresh run.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def experiment_config_hash(experiment: Experiment) -> str:
+    """Content key for one artefact's cache entry and manifest record."""
+    digest = hashlib.sha256()
+    digest.update(
+        "|".join(
+            (
+                str(SCHEMA_VERSION),
+                package_hash(),
+                experiment.artefact,
+                experiment.module,
+                str(experiment.compute_attr),
+                experiment.render_attr,
+                experiment.source_hash(),
+            )
+        ).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+def _cache_path(cache_dir: Path, experiment: Experiment, key: str) -> Path:
+    return Path(cache_dir) / f"{experiment.artefact}-{key}.json"
+
+
+def _cache_load(path: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("schema") != SCHEMA_VERSION:
+        return None
+    return payload
+
+
+def _cache_store(path: Path, result: ExperimentResult) -> None:
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "artefact": result.artefact,
+        "config_hash": result.config_hash,
+        "data": result.data,
+        "text": result.text,
+    }
+    try:
+        encoded = json.dumps(payload)
+    except (TypeError, ValueError):
+        return  # non-serializable data: simply don't cache
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(encoded)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # caching is best-effort; never fail the run over it
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalise compute() output to plain JSON types.
+
+    Serial and parallel runs, and cache round-trips, then all yield the
+    *same* Python structures (tuples become lists, numpy scalars become
+    Python numbers).
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _execute_experiment(
+    experiment: Experiment,
+    config_hash: str,
+    cache_dir: str | os.PathLike | None,
+    use_cache: bool,
+) -> ExperimentResult:
+    """Run (or cache-load) one artefact.  Top-level so worker processes
+    can execute it; never raises — failures become ``status='error'``."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    if use_cache and cache_dir is not None:
+        cached = _cache_load(
+            _cache_path(Path(cache_dir), experiment, config_hash)
+        )
+        if cached is not None:
+            return ExperimentResult(
+                artefact=experiment.artefact,
+                title=experiment.title,
+                category=experiment.category,
+                text=cached["text"],
+                data=cached["data"],
+                cache_hit=True,
+                config_hash=config_hash,
+                wall_s=time.perf_counter() - wall0,
+                cpu_s=time.process_time() - cpu0,
+            )
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    status, error, data, text = "ok", None, None, ""
+    with scoped_observability(tracer, metrics):
+        with tracer.span("experiment", artefact=experiment.artefact):
+            try:
+                data, text = experiment.execute()
+            except Exception:
+                status = "error"
+                error = traceback.format_exc()
+    wall = time.perf_counter() - wall0
+    metrics.timer("engine.artefact_s").observe(wall)
+    result = ExperimentResult(
+        artefact=experiment.artefact,
+        title=experiment.title,
+        category=experiment.category,
+        text=text,
+        data=data,
+        status=status,
+        error=error,
+        wall_s=wall,
+        cpu_s=time.process_time() - cpu0,
+        cache_hit=False,
+        config_hash=config_hash,
+        trace=tracer.as_dicts(),
+        metrics=metrics.snapshot(),
+    )
+    if status == "ok" and use_cache and cache_dir is not None:
+        _cache_store(
+            _cache_path(Path(cache_dir), experiment, config_hash), result
+        )
+    return result
+
+
+def _resolve(
+    only: tuple[str, ...] | None,
+    registry: dict[str, Experiment],
+) -> list[Experiment]:
+    """Selected experiments in registry (canonical) order."""
+    if only is None:
+        return list(registry.values())
+    unknown = [i for i in only if i not in registry]
+    if unknown:
+        raise UnknownArtefactError(unknown, registry)
+    wanted = set(only)
+    return [e for a, e in registry.items() if a in wanted]
+
+
+def run_experiments(
+    only: tuple[str, ...] | None = None,
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | os.PathLike | None = DEFAULT_CACHE_DIR,
+    registry: dict[str, Experiment] | None = None,
+    write_manifest: bool = True,
+    manifest_path: str | os.PathLike | None = None,
+) -> EngineRun:
+    """Execute all (or selected) artefacts; returns results + manifest.
+
+    Parameters
+    ----------
+    only:
+        Artefact ids to run (``None`` = every registered experiment).
+        Unknown ids raise :class:`~repro.errors.UnknownArtefactError`.
+    jobs:
+        Worker processes.  ``1`` runs in-process; results are returned
+        in registry order either way, so output is identical.
+    use_cache, cache_dir:
+        Content-keyed on-disk result cache.  ``cache_dir=None``
+        disables storage even with ``use_cache=True``.
+    registry:
+        Override the default :data:`REGISTRY` (tests, custom suites).
+    write_manifest, manifest_path:
+        Write the :class:`~repro.obs.RunManifest` JSON (default
+        ``results/run_manifest.json``).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    registry = REGISTRY if registry is None else registry
+    selected = _resolve(only, registry)
+    keys = {e.artefact: experiment_config_hash(e) for e in selected}
+    wall0 = time.perf_counter()
+    if jobs == 1 or len(selected) <= 1:
+        results = [
+            _execute_experiment(e, keys[e.artefact], cache_dir, use_cache)
+            for e in selected
+        ]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(selected))
+        ) as pool:
+            futures = {
+                e.artefact: pool.submit(
+                    _execute_experiment,
+                    e,
+                    keys[e.artefact],
+                    None if cache_dir is None else str(cache_dir),
+                    use_cache,
+                )
+                for e in selected
+            }
+            # deterministic collection: registry order, not completion order
+            results = [futures[e.artefact].result() for e in selected]
+    manifest = RunManifest.collect(
+        results,
+        jobs=jobs,
+        use_cache=use_cache,
+        wall_s=time.perf_counter() - wall0,
+    )
+    path = None
+    if write_manifest:
+        path = manifest.write(
+            DEFAULT_MANIFEST_PATH if manifest_path is None else manifest_path
+        )
+    return EngineRun(
+        results=tuple(results), manifest=manifest, manifest_path=path
+    )

@@ -14,7 +14,7 @@ import json
 import os
 from pathlib import Path
 
-from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.experiments.engine import REGISTRY, run_experiments
 
 __all__ = ["export_all", "write_csv_series", "main"]
 
@@ -93,14 +93,16 @@ def _figure_csv_rows() -> dict[str, tuple[list[str], list[tuple]]]:
 def export_all(
     directory: str | os.PathLike,
     only: tuple[str, ...] | None = None,
+    *,
+    jobs: int = 1,
 ) -> list[str]:
     """Regenerate artefacts into ``directory``; returns written paths."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
-    outputs = run_all(only)
+    run = run_experiments(only, jobs=jobs, write_manifest=False)
     manifest = []
-    for output in outputs:
+    for output in run.results:
         txt_path = directory / f"{output.artefact}.txt"
         txt_path.write_text(output.text + "\n")
         written.append(str(txt_path))
@@ -110,7 +112,10 @@ def export_all(
                 {
                     "artefact": output.artefact,
                     "title": output.title,
+                    "category": output.category,
+                    "status": output.status,
                     "text": output.text,
+                    "data": output.data,
                 },
                 indent=2,
             )
@@ -118,7 +123,11 @@ def export_all(
         )
         written.append(str(json_path))
         manifest.append(
-            {"artefact": output.artefact, "title": output.title}
+            {
+                "artefact": output.artefact,
+                "title": output.title,
+                "status": output.status,
+            }
         )
     wanted = set(only) if only is not None else None
     for name, (headers, rows) in _figure_csv_rows().items():
@@ -138,7 +147,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
     target = sys.argv[1] if len(sys.argv) > 1 else "results"
     only = tuple(sys.argv[2:]) or None
-    bad = [i for i in only or () if i not in EXPERIMENTS]
+    bad = [i for i in only or () if i not in REGISTRY]
     if bad:
         raise SystemExit(f"unknown artefacts: {bad}")
     for path in export_all(target, only):

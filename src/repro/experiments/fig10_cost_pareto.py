@@ -19,7 +19,7 @@ from repro.experiments.configuration_study import (
 )
 from repro.experiments.report import format_kv, format_table
 
-__all__ = ["Fig10Result", "run", "render"]
+__all__ = ["Fig10Result", "run", "compute", "render"]
 
 
 @dataclass(frozen=True)
@@ -55,44 +55,88 @@ def run(budget: float = STUDY_BUDGET) -> Fig10Result:
     )
 
 
-def _render_study(study: ParetoStudy) -> str:
+def _study_data(study: ParetoStudy) -> dict:
+    """One study as plain rows/series (the ExperimentResult.data shape)."""
     acc_lo, acc_hi = study.accuracy_range
     c_lo, c_hi = study.objective_range
+    return {
+        "metric": study.metric,
+        "objective": study.objective,
+        "total_points": study.total_points,
+        "n_feasible": study.n_feasible,
+        "n_pareto": study.n_pareto,
+        "accuracy_range": [acc_lo, acc_hi],
+        "objective_range": [c_lo, c_hi],
+        "saving_at_best_accuracy": study.saving_at_best_accuracy(),
+        "front": [
+            {
+                "degree": r.spec.label(),
+                "configuration": r.configuration.label(),
+                "accuracy": r.accuracy.get(study.metric),
+                "objective": r.cost,
+            }
+            for r in study.front
+        ],
+    }
+
+
+def compute(budget: float = STUDY_BUDGET) -> dict:
+    """Structured data for Figure 10 (cost-accuracy Pareto studies)."""
+    result = run(budget)
+    return {
+        "budget": budget,
+        "top1": _study_data(result.top1),
+        "top5": _study_data(result.top5),
+        "frontier_overlap": result.frontier_overlap(),
+    }
+
+
+def _render_study(study: dict) -> str:
+    acc_lo, acc_hi = study["accuracy_range"]
+    c_lo, c_hi = study["objective_range"]
+    metric = study["metric"]
     summary = format_kv(
         [
-            ("points evaluated", study.total_points),
-            ("feasible within budget", study.n_feasible),
-            ("Pareto-optimal", study.n_pareto),
-            (f"{study.metric} range (%)", f"{acc_lo:.1f} - {acc_hi:.1f}"),
+            ("points evaluated", study["total_points"]),
+            ("feasible within budget", study["n_feasible"]),
+            ("Pareto-optimal", study["n_pareto"]),
+            (f"{metric} range (%)", f"{acc_lo:.1f} - {acc_hi:.1f}"),
             ("cost range ($)", f"{c_lo:.0f} - {c_hi:.0f}"),
             (
                 "cost saving at best accuracy",
-                f"{study.saving_at_best_accuracy() * 100:.0f}%",
+                f"{study['saving_at_best_accuracy'] * 100:.0f}%",
             ),
         ]
     )
     rows = [
         (
-            r.spec.label(),
-            r.configuration.label(),
-            f"{r.accuracy.get(study.metric):.1f}",
-            f"{r.cost:.0f}",
+            front["degree"],
+            front["configuration"],
+            f"{front['accuracy']:.1f}",
+            f"{front['objective']:.0f}",
         )
-        for r in study.front
+        for front in study["front"]
     ]
     return summary + "\n" + format_table(
-        ["Degree of pruning", "Configuration", f"{study.metric} (%)", "Cost ($)"],
+        ["Degree of pruning", "Configuration", f"{metric} (%)", "Cost ($)"],
         rows,
     )
 
 
-def render(result: Fig10Result | None = None) -> str:
-    result = result or run()
+def render(data: dict | Fig10Result | None = None) -> str:
+    if data is None:
+        data = compute()
+    elif isinstance(data, Fig10Result):
+        data = {
+            "top1": _study_data(data.top1),
+            "top5": _study_data(data.top5),
+            "frontier_overlap": data.frontier_overlap(),
+        }
     return (
         "== (a) Top-1 ==\n"
-        + _render_study(result.top1)
+        + _render_study(data["top1"])
         + "\n\n== (b) Top-5 ==\n"
-        + _render_study(result.top5)
+        + _render_study(data["top5"])
         + f"\n\nfrontier overlap with time-accuracy front: "
-        f"{result.frontier_overlap() * 100:.0f}%"
+        f"{data['frontier_overlap'] * 100:.0f}%"
     )

@@ -22,7 +22,7 @@ from repro.cloud.simulator import CloudSimulator
 from repro.experiments.report import format_table
 from repro.pruning.schedule import multi_layer_grid
 
-__all__ = ["Fig11Point", "Fig11Result", "run", "render"]
+__all__ = ["Fig11Point", "Fig11Result", "run", "compute", "render"]
 
 #: The grid of Figure 11: conv1 0-40%, conv2 0-50%, 10% increments.
 CONV1_RATIOS = (0.0, 0.1, 0.2, 0.3, 0.4)
@@ -78,22 +78,60 @@ def run(images: int = 50_000) -> Fig11Result:
     return Fig11Result(points=tuple(points))
 
 
-def render(result: Fig11Result | None = None) -> str:
-    result = result or run()
+def compute(images: int = 50_000) -> dict:
+    """Structured data for Figure 11 (the TAR-labelled 5x6 grid)."""
+    result = run(images)
+    return {
+        "images": images,
+        "points": [
+            {
+                "label": p.label,
+                "time_min": p.time_min,
+                "top1": p.top1,
+                "top5": p.top5,
+                "tar_top1": p.tar_top1,
+                "tar_top5": p.tar_top5,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def render(data: dict | Fig11Result | None = None) -> str:
+    if data is None:
+        data = compute()
+    elif isinstance(data, Fig11Result):
+        data = {
+            "points": [
+                {
+                    "label": p.label,
+                    "time_min": p.time_min,
+                    "top1": p.top1,
+                    "top5": p.top5,
+                    "tar_top1": p.tar_top1,
+                    "tar_top5": p.tar_top5,
+                }
+                for p in data.points
+            ]
+        }
+    points = data["points"]
     rows = [
         (
-            p.label,
-            f"{p.time_min:.2f}",
-            f"{p.top1:.1f}",
-            f"{p.top5:.1f}",
-            f"{p.tar_top1:.3f}",
-            f"{p.tar_top5:.3f}",
+            p["label"],
+            f"{p['time_min']:.2f}",
+            f"{p['top1']:.1f}",
+            f"{p['top5']:.1f}",
+            f"{p['tar_top1']:.3f}",
+            f"{p['tar_top5']:.3f}",
         )
-        for p in sorted(result.points, key=lambda p: -p.top5)
+        for p in sorted(points, key=lambda p: -p["top5"])
     ]
     table = format_table(
         ["Degree", "Time (min)", "Top-1", "Top-5", "TAR(top1)", "TAR(top5)"],
         rows,
     )
-    best = result.best_by_tar("top5")
-    return table + f"\nlowest TAR(top5): {best.label} ({best.tar_top5:.3f})"
+    best = min(points, key=lambda p: p["tar_top5"])
+    return (
+        table
+        + f"\nlowest TAR(top5): {best['label']} ({best['tar_top5']:.3f})"
+    )

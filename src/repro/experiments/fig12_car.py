@@ -29,7 +29,7 @@ from repro.cloud.simulator import CloudSimulator
 from repro.experiments.report import format_table
 from repro.pruning.base import PruneSpec
 
-__all__ = ["Fig12Row", "Fig12Result", "run", "render", "FIG12_SPEC"]
+__all__ = ["Fig12Row", "Fig12Result", "run", "compute", "render", "FIG12_SPEC"]
 
 #: Section 4.5.2: first two convolution layers pruned by 20%.
 FIG12_SPEC = PruneSpec({"conv1": 0.2, "conv2": 0.2})
@@ -103,8 +103,58 @@ def run(images: int = 50_000) -> Fig12Result:
     return Fig12Result(rows=tuple(rows))
 
 
-def render(result: Fig12Result | None = None) -> str:
-    result = result or run()
+def compute(images: int = 50_000) -> dict:
+    """Structured data for Figure 12 (CAR per resource type)."""
+    result = run(images)
+    return {
+        "images": images,
+        "spec": FIG12_SPEC.label(),
+        "rows": [
+            {
+                "instance": r.instance,
+                "category": r.category,
+                "car_all_gpus_top1": r.car_all_gpus_top1,
+                "car_all_gpus_top5": r.car_all_gpus_top5,
+                "car_one_gpu_top1": r.car_one_gpu_top1,
+                "car_one_gpu_top5": r.car_one_gpu_top5,
+            }
+            for r in result.rows
+        ],
+    }
+
+
+def _category_ratio(rows: list[dict]) -> float:
+    """p2 CAR / g3 CAR from row dicts (same arithmetic as the dataclass)."""
+
+    def mean(category: str) -> float:
+        cars = [
+            r["car_all_gpus_top1"]
+            for r in rows
+            if r["category"] == category
+        ]
+        return sum(cars) / len(cars)
+
+    return mean("p2") / mean("g3")
+
+
+def render(data: dict | Fig12Result | None = None) -> str:
+    if data is None:
+        data = compute()
+    elif isinstance(data, Fig12Result):
+        data = {
+            "rows": [
+                {
+                    "instance": r.instance,
+                    "category": r.category,
+                    "car_all_gpus_top1": r.car_all_gpus_top1,
+                    "car_all_gpus_top5": r.car_all_gpus_top5,
+                    "car_one_gpu_top1": r.car_one_gpu_top1,
+                    "car_one_gpu_top5": r.car_one_gpu_top5,
+                }
+                for r in data.rows
+            ]
+        }
+    rows = data["rows"]
     table = format_table(
         [
             "Resource type",
@@ -115,17 +165,17 @@ def render(result: Fig12Result | None = None) -> str:
         ],
         [
             (
-                r.instance,
-                f"{r.car_all_gpus_top1:.3f}",
-                f"{r.car_all_gpus_top5:.3f}",
-                f"{r.car_one_gpu_top1:.3f}",
-                f"{r.car_one_gpu_top5:.3f}",
+                r["instance"],
+                f"{r['car_all_gpus_top1']:.3f}",
+                f"{r['car_all_gpus_top5']:.3f}",
+                f"{r['car_one_gpu_top1']:.3f}",
+                f"{r['car_one_gpu_top5']:.3f}",
             )
-            for r in result.rows
+            for r in rows
         ],
     )
     return (
         table
         + f"\np2/g3 CAR ratio (all GPUs): "
-        f"{result.category_ratio('all'):.2f} (paper: 0.57/0.35 = 1.63)"
+        f"{_category_ratio(rows):.2f} (paper: 0.57/0.35 = 1.63)"
     )

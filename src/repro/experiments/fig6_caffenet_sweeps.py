@@ -26,6 +26,7 @@ from repro.cloud.simulator import CloudSimulator
 from repro.cnn.models import CAFFENET_CONV_LAYERS
 from repro.core.sweet_spot import SweetSpotRegion, find_sweet_spot
 from repro.experiments.report import format_table
+from repro.obs import get_metrics, get_tracer
 from repro.pruning.base import PruneSpec
 from repro.pruning.schedule import DEFAULT_RATIOS
 
@@ -53,12 +54,16 @@ def sweep_layer(
 ) -> LayerSweep:
     """Single-layer sweep on one reference instance."""
     config = ResourceConfiguration([CloudInstance(instance_type(instance))])
+    get_metrics().counter("pruning.sweep_points").inc(len(ratios))
     times, top1s, top5s = [], [], []
-    for r in ratios:
-        res = simulator.run(PruneSpec({layer: r}), config, images)
-        times.append(res.time_s / 60.0)
-        top1s.append(res.accuracy.top1)
-        top5s.append(res.accuracy.top5)
+    with get_tracer().span(
+        "pruning.sweep", layer=layer, points=len(ratios)
+    ):
+        for r in ratios:
+            res = simulator.run(PruneSpec({layer: r}), config, images)
+            times.append(res.time_s / 60.0)
+            top1s.append(res.accuracy.top1)
+            top5s.append(res.accuracy.top5)
     region = find_sweet_spot(layer, ratios, top5s, times)
     return LayerSweep(
         layer=layer,

@@ -24,7 +24,7 @@ from repro.experiments.configuration_study import (
 )
 from repro.experiments.report import format_kv, format_table
 
-__all__ = ["Fig9Result", "run", "render"]
+__all__ = ["Fig9Result", "run", "compute", "render"]
 
 
 @dataclass(frozen=True)
@@ -40,42 +40,84 @@ def run(deadline_s: float = STUDY_DEADLINE_S) -> Fig9Result:
     )
 
 
-def _render_study(study: ParetoStudy) -> str:
+def _study_data(study: ParetoStudy) -> dict:
+    """One study as plain rows/series (the ExperimentResult.data shape)."""
     acc_lo, acc_hi = study.accuracy_range
-    t_lo, t_hi = study.objective_range
+    obj_lo, obj_hi = study.objective_range
+    return {
+        "metric": study.metric,
+        "objective": study.objective,
+        "total_points": study.total_points,
+        "n_feasible": study.n_feasible,
+        "n_pareto": study.n_pareto,
+        "accuracy_range": [acc_lo, acc_hi],
+        "objective_range": [obj_lo, obj_hi],
+        "saving_at_best_accuracy": study.saving_at_best_accuracy(),
+        "front": [
+            {
+                "degree": r.spec.label(),
+                "configuration": r.configuration.label(),
+                "accuracy": r.accuracy.get(study.metric),
+                "objective": r.time_hours,
+            }
+            for r in study.front
+        ],
+    }
+
+
+def compute(deadline_s: float = STUDY_DEADLINE_S) -> dict:
+    """Structured data for Figure 9 (time-accuracy Pareto studies)."""
+    result = run(deadline_s)
+    return {
+        "deadline_s": deadline_s,
+        "top1": _study_data(result.top1),
+        "top5": _study_data(result.top5),
+    }
+
+
+def _render_study(study: dict) -> str:
+    acc_lo, acc_hi = study["accuracy_range"]
+    t_lo, t_hi = study["objective_range"]
+    metric = study["metric"]
     summary = format_kv(
         [
-            ("points evaluated", study.total_points),
-            ("feasible within deadline", study.n_feasible),
-            ("Pareto-optimal", study.n_pareto),
-            (f"{study.metric} range (%)", f"{acc_lo:.1f} - {acc_hi:.1f}"),
+            ("points evaluated", study["total_points"]),
+            ("feasible within deadline", study["n_feasible"]),
+            ("Pareto-optimal", study["n_pareto"]),
+            (f"{metric} range (%)", f"{acc_lo:.1f} - {acc_hi:.1f}"),
             ("time range (h)", f"{t_lo:.2f} - {t_hi:.2f}"),
             (
                 "time saving at best accuracy",
-                f"{study.saving_at_best_accuracy() * 100:.0f}%",
+                f"{study['saving_at_best_accuracy'] * 100:.0f}%",
             ),
         ]
     )
     rows = [
         (
-            r.spec.label(),
-            r.configuration.label(),
-            f"{r.accuracy.get(study.metric):.1f}",
-            f"{r.time_hours:.2f}",
+            front["degree"],
+            front["configuration"],
+            f"{front['accuracy']:.1f}",
+            f"{front['objective']:.2f}",
         )
-        for r in study.front
+        for front in study["front"]
     ]
     return summary + "\n" + format_table(
-        ["Degree of pruning", "Configuration", f"{study.metric} (%)", "Time (h)"],
+        ["Degree of pruning", "Configuration", f"{metric} (%)", "Time (h)"],
         rows,
     )
 
 
-def render(result: Fig9Result | None = None) -> str:
-    result = result or run()
+def render(data: dict | Fig9Result | None = None) -> str:
+    if data is None:
+        data = compute()
+    elif isinstance(data, Fig9Result):
+        data = {
+            "top1": _study_data(data.top1),
+            "top5": _study_data(data.top5),
+        }
     return (
         "== (a) Top-1 ==\n"
-        + _render_study(result.top1)
+        + _render_study(data["top1"])
         + "\n\n== (b) Top-5 ==\n"
-        + _render_study(result.top5)
+        + _render_study(data["top5"])
     )

@@ -3,13 +3,23 @@
 Benchmarks and EXPERIMENTS.md need aligned, diff-friendly text — no
 plotting dependencies are available offline, and the paper's "rows and
 series" are what we compare against anyway.
+
+:func:`build_markdown_report` assembles the Markdown experiment report
+directly from structured :class:`~repro.experiments.engine.ExperimentResult`
+objects (and optionally the run manifest) instead of re-parsing rendered
+text.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["format_table", "format_kv", "format_series"]
+__all__ = [
+    "format_table",
+    "format_kv",
+    "format_series",
+    "build_markdown_report",
+]
 
 
 def format_table(
@@ -48,3 +58,50 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def build_markdown_report(results, manifest=None) -> str:
+    """Markdown report from structured experiment results.
+
+    ``results`` is a sequence of
+    :class:`~repro.experiments.engine.ExperimentResult`; ``manifest``
+    (a :class:`~repro.obs.RunManifest`) adds the run-summary table with
+    per-artefact timing and cache provenance.
+    """
+    lines = ["# Experiment report", ""]
+    if manifest is not None:
+        lines += [
+            f"Run: jobs={manifest.jobs}, cache="
+            f"{'on' if manifest.use_cache else 'off'}, "
+            f"wall {manifest.wall_s:.2f}s, "
+            f"{len(manifest.errors)} error(s).",
+            "",
+            "| Artefact | Status | Wall (s) | Cache |",
+            "| --- | --- | --- | --- |",
+        ]
+        for rec in manifest.records:
+            lines.append(
+                f"| {rec.artefact} | {rec.status} | "
+                f"{rec.wall_s:.3f} | "
+                f"{'hit' if rec.cache_hit else 'miss'} |"
+            )
+        lines.append("")
+    by_category: dict[str, list] = {}
+    for result in results:
+        by_category.setdefault(result.category, []).append(result)
+    for category, members in by_category.items():
+        lines += [f"## {category}", ""]
+        for result in members:
+            lines += [f"### {result.artefact}: {result.title}", ""]
+            if result.status == "error":
+                lines += [
+                    "Status: **error**",
+                    "",
+                    "```",
+                    (result.error or "").rstrip(),
+                    "```",
+                    "",
+                ]
+            else:
+                lines += ["```", result.text.rstrip(), "```", ""]
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,135 +1,103 @@
-"""Experiment registry: run the whole evaluation in one call.
+"""Experiment registry front-end: run the whole evaluation in one call.
 
-``run_all()`` regenerates every table and figure and returns rendered
-outputs keyed by artefact id — the data EXPERIMENTS.md is built from.
+``run_all()`` regenerates every table and figure and returns structured
+:class:`~repro.experiments.engine.ExperimentResult` objects keyed by
+artefact id — each carries ``artefact``/``title``/``text`` (the old
+``ExperimentOutput`` shape) plus structured ``data``, status, timing
+and a per-artefact trace.  The heavy lifting lives in
+:mod:`repro.experiments.engine`; this module keeps the historical entry
+point and the deprecation shims for the pre-engine API:
+
+* ``EXPERIMENTS`` — the old ``{id: (title, renderer)}`` dict, rebuilt
+  on access from the engine registry (emits ``DeprecationWarning``);
+* ``ExperimentOutput`` — alias of ``ExperimentResult`` (emits
+  ``DeprecationWarning``).
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from collections.abc import Callable
-from dataclasses import dataclass
 
-__all__ = ["ExperimentOutput", "EXPERIMENTS", "run_all"]
+from repro.experiments.engine import (
+    DEFAULT_CACHE_DIR,
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    run_experiments,
+)
 
-
-@dataclass(frozen=True)
-class ExperimentOutput:
-    """One regenerated artefact."""
-
-    artefact: str
-    title: str
-    text: str
-
-
-def _tables1() -> str:
-    from repro.experiments.tables import render_table1
-
-    return render_table1()
-
-
-def _tables3() -> str:
-    from repro.experiments.tables import render_table3
-
-    return render_table3()
-
-
-def _fig(module_name: str) -> Callable[[], str]:
-    def runner() -> str:
-        import importlib
-
-        module = importlib.import_module(
-            f"repro.experiments.{module_name}"
-        )
-        return module.render()
-
-    return runner
-
-
-#: artefact id -> (title, renderer)
-EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
-    "table1": ("Caffenet layers", _tables1),
-    "table3": ("EC2 cloud resource types", _tables3),
-    "fig2": ("The three-stage approach, executed", _fig("fig2_pipeline")),
-    "fig3": ("Execution time distribution", _fig("fig3_time_distribution")),
-    "fig4": ("Time for a single inference", _fig("fig4_single_inference")),
-    "fig5": ("Parallel inference on a GPU", _fig("fig5_parallel_inference")),
-    "fig6": ("Caffenet individual-layer pruning", _fig("fig6_caffenet_sweeps")),
-    "fig7": ("Googlenet individual-layer pruning", _fig("fig7_googlenet_sweeps")),
-    "fig8": ("Caffenet multi-layer pruning", _fig("fig8_multilayer")),
-    "fig9": ("Impact of accuracy on execution time", _fig("fig9_time_pareto")),
-    "fig10": ("Impact of accuracy on cloud cost", _fig("fig10_cost_pareto")),
-    "fig11": ("Time-accuracy with TAR", _fig("fig11_tar")),
-    "fig12": ("CAR across resource types", _fig("fig12_car")),
-    "algorithm1": ("Greedy vs brute-force allocation", _fig("algorithm1")),
-    "ext-techniques": (
-        "Extension: pruning vs quantization vs weight sharing (real)",
-        _fig("ext_technique_comparison"),
-    ),
-    "ext-googlenet-pareto": (
-        "Extension: Googlenet Pareto study over mixed p2+g3 space",
-        _fig("ext_googlenet_pareto"),
-    ),
-    "ext-finetune": (
-        "Extension: fine-tuning recovery widens sweet spots (real)",
-        _fig("ext_finetune_recovery"),
-    ),
-    "ext-serving-slo": (
-        "Extension: latency-SLO serving under bursty traffic",
-        _fig("ext_serving_slo"),
-    ),
-    "ext-sensitivity": (
-        "Extension: sensitivity of conclusions to fitted constants",
-        _fig("ext_sensitivity"),
-    ),
-    "ext-split": (
-        "Extension: even (Eq. 4) vs proportional workload split at scale",
-        _fig("ext_split_pareto"),
-    ),
-    "ext-scaling": (
-        "Extension: strong scaling of the inference workload",
-        _fig("ext_scaling"),
-    ),
-    "ext-autoscale": (
-        "Extension: static vs autoscaled fleets under surge load",
-        _fig("ext_autoscale"),
-    ),
-    "ext-fault-tolerance": (
-        "Extension: spot preemptions — cost vs goodput under faults",
-        _fig("ext_fault_tolerance"),
-    ),
-    "ext-real-pipeline": (
-        "Extension: the whole methodology with zero paper constants",
-        _fig("ext_real_pipeline"),
-    ),
-    "ext-criteria": (
-        "Extension: L1 vs L2 vs random pruning criteria (real)",
-        _fig("ext_criterion_comparison"),
-    ),
-    "ext-batch-policy": (
-        "Extension: batch-width vs tail latency in online serving",
-        _fig("ext_batch_policy"),
-    ),
-    "ext-noise": (
-        "Extension: the min-of-3 measurement protocol, justified",
-        _fig("ext_noise_protocol"),
-    ),
-}
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "run_all",
+    "run_experiments",
+]
 
 
 def run_all(
     only: tuple[str, ...] | None = None,
-) -> list[ExperimentOutput]:
-    """Regenerate all (or selected) artefacts."""
-    outputs = []
-    for artefact, (title, renderer) in EXPERIMENTS.items():
-        if only is not None and artefact not in only:
-            continue
-        outputs.append(
-            ExperimentOutput(
-                artefact=artefact, title=title, text=renderer()
-            )
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | os.PathLike | None = DEFAULT_CACHE_DIR,
+    write_manifest: bool = True,
+    manifest_path: str | os.PathLike | None = None,
+) -> list[ExperimentResult]:
+    """Regenerate all (or selected) artefacts.
+
+    The historical signature ``run_all(only)`` still works and the
+    returned objects still expose ``.artefact``/``.title``/``.text``;
+    new keyword arguments expose the engine: ``jobs=N`` runs artefacts
+    in parallel worker processes, the content-keyed cache skips
+    unchanged artefacts, and a run manifest is written under
+    ``results/``.  Unknown ids in ``only`` raise
+    :class:`~repro.errors.UnknownArtefactError`.
+    """
+    run = run_experiments(
+        only,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        write_manifest=write_manifest,
+        manifest_path=manifest_path,
+    )
+    return list(run.results)
+
+
+def _legacy_renderer(experiment: Experiment) -> Callable[[], str]:
+    def renderer() -> str:
+        return experiment.render_text()
+
+    return renderer
+
+
+def __getattr__(name: str):
+    if name == "EXPERIMENTS":
+        warnings.warn(
+            "repro.experiments.runner.EXPERIMENTS is deprecated; use "
+            "repro.experiments.engine.REGISTRY (Experiment objects) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return outputs
+        return {
+            artefact: (e.title, _legacy_renderer(e))
+            for artefact, e in REGISTRY.items()
+        }
+    if name == "ExperimentOutput":
+        warnings.warn(
+            "ExperimentOutput is deprecated; use "
+            "repro.experiments.engine.ExperimentResult instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ExperimentResult
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -1,0 +1,84 @@
+"""repro.obs — lightweight, dependency-free observability.
+
+Three building blocks (see ``docs/observability.md`` for schemas):
+
+* :class:`Tracer` — nestable spans with wall/CPU time, tags and parent
+  links; the queryable record of *where* a run spent its time.
+* :class:`MetricsRegistry` — process-local counters, gauges and timers
+  (with percentile summaries); the record of *how much* work happened
+  (events dispatched, batches formed, model evaluations, ...).
+* :class:`RunManifest` — per-artefact timing/status/cache provenance of
+  an experiment-engine run, written as JSON under ``results/``.
+
+Library code never takes a tracer or registry as a parameter; it calls
+:func:`get_tracer` / :func:`get_metrics`, which resolve to the current
+*scope*.  The default scope is a disabled tracer (spans are no-ops, so
+instrumented hot paths cost almost nothing) plus a live registry.  The
+experiment engine swaps in a fresh, enabled pair around each artefact
+via :func:`scoped_observability`, so every artefact's trace and metric
+snapshot is isolated — and picklable back from worker processes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.manifest import ArtefactRecord, RunManifest, environment_info
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, percentile
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "ArtefactRecord",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Timer",
+    "Tracer",
+    "environment_info",
+    "get_metrics",
+    "get_tracer",
+    "percentile",
+    "scoped_observability",
+]
+
+#: Default scope: tracing off (no-op spans, no unbounded growth in long
+#: sessions), metrics on (counters are O(1) memory).
+_DEFAULT_TRACER = Tracer(enabled=False)
+_DEFAULT_METRICS = MetricsRegistry()
+
+_current_tracer: Tracer = _DEFAULT_TRACER
+_current_metrics: MetricsRegistry = _DEFAULT_METRICS
+
+
+def get_tracer() -> Tracer:
+    """The tracer of the current observability scope."""
+    return _current_tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The metrics registry of the current observability scope."""
+    return _current_metrics
+
+
+@contextmanager
+def scoped_observability(
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+):
+    """Route :func:`get_tracer`/:func:`get_metrics` to the given pair.
+
+    Scopes nest; on exit the previous pair is restored.  Passing
+    ``None`` for either keeps the current one.
+    """
+    global _current_tracer, _current_metrics
+    previous = (_current_tracer, _current_metrics)
+    if tracer is not None:
+        _current_tracer = tracer
+    if metrics is not None:
+        _current_metrics = metrics
+    try:
+        yield _current_tracer, _current_metrics
+    finally:
+        _current_tracer, _current_metrics = previous

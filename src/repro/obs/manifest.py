@@ -1,0 +1,177 @@
+"""Run manifests: per-artefact provenance of one experiment-engine run.
+
+A manifest answers, after the fact, "what exactly ran, how long did
+each artefact take, which came from cache, and did anything fail?" —
+the structured telemetry the paper's own characterization methodology
+(measure everything, then optimise) demands of our harness too.
+
+Schema (``repro.run-manifest/v1``)::
+
+    {
+      "schema": "repro.run-manifest/v1",
+      "created_unix": 1754000000.0,
+      "jobs": 4, "use_cache": true, "wall_s": 12.3,
+      "environment": {"python": "...", "platform": "...", ...},
+      "artefacts": [
+        {"artefact": "fig9", "title": "...", "category": "figure",
+         "status": "ok", "wall_s": 3.2, "cpu_s": 3.1,
+         "cache_hit": false, "config_hash": "ab12...", "error": null},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["ArtefactRecord", "RunManifest", "environment_info"]
+
+SCHEMA = "repro.run-manifest/v1"
+
+
+def environment_info() -> dict[str, object]:
+    """Provenance of the host this run executed on."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+@dataclass(frozen=True)
+class ArtefactRecord:
+    """One artefact's slice of a run."""
+
+    artefact: str
+    title: str
+    category: str
+    status: str  # "ok" | "error"
+    wall_s: float
+    cpu_s: float
+    cache_hit: bool
+    config_hash: str
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The whole run: environment + engine settings + artefact records."""
+
+    records: tuple[ArtefactRecord, ...]
+    environment: dict[str, object]
+    jobs: int
+    use_cache: bool
+    wall_s: float
+    created_unix: float
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def collect(
+        cls,
+        results,
+        *,
+        jobs: int,
+        use_cache: bool,
+        wall_s: float,
+    ) -> RunManifest:
+        """Build a manifest from engine ``ExperimentResult`` objects."""
+        records = tuple(
+            ArtefactRecord(
+                artefact=r.artefact,
+                title=r.title,
+                category=r.category,
+                status=r.status,
+                wall_s=r.wall_s,
+                cpu_s=r.cpu_s,
+                cache_hit=r.cache_hit,
+                config_hash=r.config_hash,
+                error=r.error,
+            )
+            for r in results
+        )
+        return cls(
+            records=records,
+            environment=environment_info(),
+            jobs=jobs,
+            use_cache=use_cache,
+            wall_s=wall_s,
+            created_unix=time.time(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> tuple[str, ...]:
+        """Artefact ids that finished with status ``error``."""
+        return tuple(
+            r.artefact for r in self.records if r.status == "error"
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    def record(self, artefact: str) -> ArtefactRecord:
+        for r in self.records:
+            if r.artefact == artefact:
+                return r
+        raise KeyError(artefact)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "created_unix": self.created_unix,
+            "jobs": self.jobs,
+            "use_cache": self.use_cache,
+            "wall_s": self.wall_s,
+            "environment": dict(self.environment),
+            "artefacts": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> RunManifest:
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} document: {payload.get('schema')!r}"
+            )
+        return cls(
+            records=tuple(
+                ArtefactRecord(**entry) for entry in payload["artefacts"]
+            ),
+            environment=dict(payload["environment"]),
+            jobs=payload["jobs"],
+            use_cache=payload["use_cache"],
+            wall_s=payload["wall_s"],
+            created_unix=payload["created_unix"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> RunManifest:
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def write(self, path: str | os.PathLike) -> Path:
+        """Write the manifest JSON (atomically) to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(self.to_json())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> RunManifest:
+        return cls.from_json(Path(path).read_text())

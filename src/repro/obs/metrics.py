@@ -1,0 +1,169 @@
+"""Counters, gauges and timers: the *how much work* half of repro.obs.
+
+Everything is process-local and dependency-free.  Timers keep raw
+samples (capped — see :attr:`Timer.max_samples`) so percentile
+summaries are exact for the runs we instrument, and the whole registry
+snapshots to a plain JSON-ready dict.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default method).
+
+    ``q`` is in [0, 100]; returns ``nan`` for an empty sequence.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class Counter:
+    """Monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins numeric value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+
+class Timer:
+    """Sample distribution with percentile summaries.
+
+    Despite the name, any non-negative quantity can be observed (batch
+    widths, queue depths); durations in seconds are the common case.
+    Raw samples are kept up to ``max_samples``; beyond that, new samples
+    still update count/total/max but are not retained for percentiles
+    (``summary()['truncated']`` reports how many were shed).
+    """
+
+    __slots__ = ("name", "max_samples", "count", "total", "_max", "_samples")
+
+    def __init__(self, name: str, max_samples: int = 100_000) -> None:
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self._max = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "truncated": self.count - len(self._samples),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named counters, gauges and timers."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            self._counters[name] = c = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            self._gauges[name] = g = Gauge(name)
+            return g
+
+    def timer(self, name: str) -> Timer:
+        try:
+            return self._timers[name]
+        except KeyError:
+            self._timers[name] = t = Timer(name)
+            return t
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-ready view of every metric's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: t.summary() for name, t in sorted(self._timers.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()

@@ -1,0 +1,124 @@
+"""Nestable spans: the *where did the time go* half of repro.obs.
+
+A span records a name, wall and CPU duration, free-form tags, and its
+parent span — enough to reconstruct the call tree of one run.  The
+tracer is process-local and append-only; spans are kept in *start*
+order, so a depth-first walk of ``spans`` replays the run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed region of a run.
+
+    ``start_s`` is the offset from the tracer's epoch (its creation
+    instant), not an absolute timestamp — traces from different
+    processes stay comparable and runs stay reproducible.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    tags: dict[str, object] = field(default_factory=dict)
+    start_s: float = 0.0
+    wall_s: float | None = None
+    cpu_s: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.wall_s is not None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tags": dict(self.tags),
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+
+
+class Tracer:
+    """Collects spans; ``enabled=False`` makes every span a no-op."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **tags: object):
+        """Open a nested span; closes (and times it) on exit.
+
+        Yields the :class:`Span` so callers can attach tags discovered
+        mid-flight (``span.tags["batches"] = n``); yields ``None`` when
+        the tracer is disabled.
+        """
+        if not self.enabled:
+            yield None
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            tags=dict(tags),
+            start_s=time.perf_counter() - self._epoch,
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield span
+        finally:
+            span.wall_s = time.perf_counter() - wall0
+            span.cpu_s = time.process_time() - cpu0
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All spans recorded so far, in start order."""
+        return tuple(self._spans)
+
+    def find(self, name: str) -> tuple[Span, ...]:
+        """Spans with the given name, in start order."""
+        return tuple(s for s in self._spans if s.name == name)
+
+    def children(self, span: Span) -> tuple[Span, ...]:
+        """Direct children of ``span``."""
+        return tuple(
+            s for s in self._spans if s.parent_id == span.span_id
+        )
+
+    def depth(self, span: Span) -> int:
+        """Nesting depth (root spans are depth 0)."""
+        by_id = {s.span_id: s for s in self._spans}
+        depth = 0
+        while span.parent_id is not None:
+            span = by_id[span.parent_id]
+            depth += 1
+        return depth
+
+    def as_dicts(self) -> tuple[dict[str, object], ...]:
+        """JSON-ready representation of the whole trace."""
+        return tuple(s.as_dict() for s in self._spans)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep closing correctly)."""
+        self._spans.clear()

@@ -35,6 +35,7 @@ from repro.cloud.catalog import InstanceType
 from repro.cloud.faults import FaultPlan
 from repro.cloud.pricing import hourly_rate_cost
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics, get_tracer
 from repro.perf.latency import CalibratedTimeModel
 from repro.pruning.base import PruneSpec
 from repro.serving.batcher import BatchPolicy, PendingQueue
@@ -190,6 +191,22 @@ class AutoscalingSimulator:
             raise ConfigurationError("no arrivals to serve")
         if np.any(np.diff(arrivals) < 0):
             raise ConfigurationError("arrivals must be sorted")
+        with get_tracer().span(
+            "fleet.run", requests=int(arrivals.size)
+        ) as span:
+            report = self._run(arrivals, plan)
+        metrics = get_metrics()
+        metrics.counter("fleet.runs").inc()
+        metrics.counter("fleet.preemptions").inc(report.preempted)
+        metrics.gauge("fleet.peak_instances").set(report.peak_instances)
+        if span is not None:
+            span.tags["peak_instances"] = report.peak_instances
+            span.tags["dropped"] = report.dropped
+        return report
+
+    def _run(
+        self, arrivals: np.ndarray, plan: FaultPlan
+    ) -> AutoscaleReport:
 
         events = EventQueue()
         for idx, t in enumerate(arrivals):
@@ -403,13 +420,16 @@ class AutoscalingSimulator:
                     else 1.0
                 )
                 busy_window = 0.0
+                get_metrics().counter("fleet.control_ticks").inc()
                 if (
                     utilisation > self.autoscale.scale_out_above
                     and len(live_instances())
                     < self.autoscale.max_instances
                 ):
+                    get_metrics().counter("fleet.scale_out").inc()
                     launch(now)
                 elif utilisation < self.autoscale.scale_in_below:
+                    get_metrics().counter("fleet.scale_in").inc()
                     try_release(now)
                 if served + dropped < arrivals.size:
                     events.push(

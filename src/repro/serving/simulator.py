@@ -26,6 +26,7 @@ from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.faults import FaultPlan
 from repro.cloud.pricing import hourly_rate_cost
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics, get_tracer
 from repro.perf.batching import BatchingModel
 from repro.perf.latency import CalibratedTimeModel
 from repro.pruning.base import PruneSpec
@@ -195,6 +196,27 @@ class ServingSimulator:
             raise ConfigurationError("no arrivals to serve")
         if np.any(np.diff(arrivals) < 0):
             raise ConfigurationError("arrivals must be sorted")
+        with get_tracer().span(
+            "serving.run",
+            workers=len(self._workers),
+            requests=int(arrivals.size),
+        ) as span:
+            report = self._run(arrivals, plan)
+        metrics = get_metrics()
+        metrics.counter("serving.runs").inc()
+        metrics.counter("serving.requests").inc(report.requests)
+        metrics.counter("serving.batches").inc(report.batch_sizes.size)
+        metrics.counter("serving.requeues").inc(report.retries)
+        metrics.counter("serving.drops").inc(report.dropped)
+        metrics.counter("serving.preemptions").inc(report.preempted)
+        if span is not None:
+            span.tags["batches"] = int(report.batch_sizes.size)
+            span.tags["dropped"] = report.dropped
+        return report
+
+    def _run(
+        self, arrivals: np.ndarray, plan: FaultPlan
+    ) -> ServingReport:
 
         events = EventQueue()
         for idx, t in enumerate(arrivals):
@@ -270,8 +292,10 @@ class ServingSimulator:
                     timer_at = due
                     events.push(max(due, now), "timer", None)
 
+        events_dispatched = 0
         while events:
             event = events.pop()
+            events_dispatched += 1
             now = event.time
             if event.kind == "arrival":
                 pending.push(event.payload, now)
@@ -312,6 +336,8 @@ class ServingSimulator:
                     down.remove(worker_id)
                     free_workers.append(worker_id)
             dispatch(now)
+
+        get_metrics().counter("serving.events").inc(events_dispatched)
 
         # requests still queued when the event horizon ends had no
         # surviving capacity (or timed out unseen): they are dropped

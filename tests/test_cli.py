@@ -126,3 +126,76 @@ class TestMain:
     def test_experiments_single(self, capsys):
         assert main(["experiments", "table3"]) == 0
         assert "g3.16xlarge" in capsys.readouterr().out
+
+
+class TestExperimentsEngineFlags:
+    def test_json_format_emits_manifest_and_results(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        code = main(
+            [
+                "experiments",
+                "table3",
+                "fig11",
+                "--format",
+                "json",
+                "--no-cache",
+                "--manifest",
+                str(tmp_path / "manifest.json"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"]["schema"] == "repro.run-manifest/v1"
+        artefacts = [r["artefact"] for r in payload["results"]]
+        assert artefacts == ["table3", "fig11"]
+        fig11 = payload["results"][1]
+        assert fig11["status"] == "ok"
+        assert fig11["data"]["images"] == 50_000
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_jobs_flag_matches_serial_text(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "experiments",
+                    "table3",
+                    "fig4",
+                    "--jobs",
+                    "2",
+                    "--no-cache",
+                    "--manifest",
+                    str(tmp_path / "m.json"),
+                ]
+            )
+            == 0
+        )
+        parallel_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "experiments",
+                    "table3",
+                    "fig4",
+                    "--no-cache",
+                    "--manifest",
+                    str(tmp_path / "m.json"),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == parallel_out
+
+    def test_report_unknown_id(self, capsys):
+        assert main(["report", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(["report", "table3", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# Experiment report")
+        assert "| table3 | ok |" in text
+        assert "p2.xlarge" in text

@@ -1,0 +1,252 @@
+"""The experiment engine: parallelism, caching, failure isolation."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import ReproError, UnknownArtefactError
+from repro.experiments.engine import (
+    REGISTRY,
+    Experiment,
+    experiment_config_hash,
+    run_experiments,
+)
+
+#: cheap artefacts — the parallel/serial comparison stays fast.
+FAST = ("table3", "fig4", "fig5", "fig11", "fig12")
+
+
+def _run(only=FAST, **kwargs):
+    kwargs.setdefault("use_cache", False)
+    kwargs.setdefault("cache_dir", None)
+    kwargs.setdefault("write_manifest", False)
+    return run_experiments(only, **kwargs)
+
+
+def _write_synthetic(path, marker="one", fail=False):
+    body = "raise RuntimeError('synthetic failure')" if fail else (
+        "return {'marker': MARKER}"
+    )
+    path.write_text(
+        textwrap.dedent(
+            f"""
+            MARKER = {marker!r}
+
+            def compute():
+                {body}
+
+            def render(data):
+                return "marker=" + data["marker"]
+            """
+        )
+    )
+
+
+@pytest.fixture
+def synthetic_module(tmp_path):
+    """A throwaway experiment module importable by name."""
+    path = tmp_path / "synthmod_engine_test.py"
+    _write_synthetic(path)
+    sys.path.insert(0, str(tmp_path))
+    try:
+        yield "synthmod_engine_test", path
+    finally:
+        sys.path.remove(str(tmp_path))
+        sys.modules.pop("synthmod_engine_test", None)
+
+
+class TestParallelEqualsSerial:
+    def test_texts_and_data_identical(self):
+        serial = _run(jobs=1)
+        parallel = _run(jobs=3)
+        assert [r.artefact for r in serial.results] == [
+            r.artefact for r in parallel.results
+        ]
+        for s, p in zip(serial.results, parallel.results):
+            assert s.text == p.text, s.artefact
+            assert s.data == p.data, s.artefact
+            assert p.ok
+
+    def test_collection_order_is_registry_order(self):
+        run = _run(("fig12", "fig4", "table3"), jobs=2)
+        assert [r.artefact for r in run.results] == [
+            "table3",
+            "fig4",
+            "fig12",
+        ]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _run(jobs=0)
+
+
+class TestCache:
+    def test_second_run_hits_and_matches(self, tmp_path):
+        first = run_experiments(
+            ("fig11",),
+            cache_dir=tmp_path,
+            write_manifest=False,
+        )
+        second = run_experiments(
+            ("fig11",),
+            cache_dir=tmp_path,
+            write_manifest=False,
+        )
+        assert not first.result("fig11").cache_hit
+        assert second.result("fig11").cache_hit
+        assert second.result("fig11").text == first.result("fig11").text
+        assert second.result("fig11").data == first.result("fig11").data
+
+    def test_no_cache_flag_recomputes(self, tmp_path):
+        run_experiments(
+            ("fig11",), cache_dir=tmp_path, write_manifest=False
+        )
+        fresh = run_experiments(
+            ("fig11",),
+            cache_dir=tmp_path,
+            use_cache=False,
+            write_manifest=False,
+        )
+        assert not fresh.result("fig11").cache_hit
+
+    def test_source_change_invalidates(
+        self, tmp_path, synthetic_module
+    ):
+        name, path = synthetic_module
+        experiment = Experiment(
+            artefact="synth", title="Synthetic", category="test",
+            module=name,
+        )
+        registry = {"synth": experiment}
+        cache = tmp_path / "cache"
+
+        first = run_experiments(
+            ("synth",),
+            registry=registry,
+            cache_dir=cache,
+            write_manifest=False,
+        )
+        assert first.result("synth").text == "marker=one"
+        key_one = experiment_config_hash(experiment)
+
+        _write_synthetic(path, marker="two")
+        importlib.reload(sys.modules[name])
+        assert experiment_config_hash(experiment) != key_one
+
+        second = run_experiments(
+            ("synth",),
+            registry=registry,
+            cache_dir=cache,
+            write_manifest=False,
+        )
+        assert not second.result("synth").cache_hit
+        assert second.result("synth").text == "marker=two"
+
+
+class TestFailureIsolation:
+    def test_error_status_does_not_abort_batch(
+        self, tmp_path, synthetic_module
+    ):
+        name, path = synthetic_module
+        _write_synthetic(path, fail=True)
+        registry = {
+            "boom": Experiment(
+                artefact="boom", title="Failing", category="test",
+                module=name,
+            ),
+            "table3": REGISTRY["table3"],
+        }
+        run = run_experiments(
+            ("boom", "table3"),
+            registry=registry,
+            use_cache=False,
+            cache_dir=None,
+            write_manifest=False,
+        )
+        boom = run.result("boom")
+        assert boom.status == "error"
+        assert not boom.ok
+        assert "synthetic failure" in boom.error
+        assert "Traceback" in boom.error
+        assert run.result("table3").ok
+        assert run.manifest.errors == ("boom",)
+
+    def test_errors_are_never_cached(self, tmp_path, synthetic_module):
+        name, path = synthetic_module
+        _write_synthetic(path, fail=True)
+        registry = {
+            "boom": Experiment(
+                artefact="boom", title="Failing", category="test",
+                module=name,
+            )
+        }
+        run_experiments(
+            ("boom",),
+            registry=registry,
+            cache_dir=tmp_path / "cache",
+            write_manifest=False,
+        )
+        assert not list((tmp_path / "cache").glob("boom-*.json"))
+
+
+class TestSelection:
+    def test_unknown_ids_raise_listing_both_sides(self):
+        with pytest.raises(UnknownArtefactError) as excinfo:
+            _run(("fig99", "nope"))
+        message = str(excinfo.value)
+        assert "fig99" in message and "nope" in message
+        assert "table1" in message  # the available set is listed
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_single_experiment_run(self):
+        result = REGISTRY["table3"].run()
+        assert result.ok
+        assert "p2.xlarge" in result.text
+        # each artefact runs in its own enabled observability scope
+        assert any(s["name"] == "experiment" for s in result.trace)
+        assert result.metrics["timers"]["engine.artefact_s"]["count"] == 1
+
+
+class TestManifestOutput:
+    def test_manifest_written_with_per_artefact_records(self, tmp_path):
+        from repro.obs import RunManifest
+
+        path = tmp_path / "manifest.json"
+        run = run_experiments(
+            ("table3", "fig4"),
+            jobs=2,
+            use_cache=False,
+            cache_dir=None,
+            manifest_path=path,
+        )
+        assert run.manifest_path == path
+        restored = RunManifest.read(path)
+        assert [r.artefact for r in restored.records] == [
+            "table3",
+            "fig4",
+        ]
+        for record in restored.records:
+            assert record.status == "ok"
+            assert record.wall_s >= 0.0
+            assert record.cache_hit is False
+            assert record.config_hash
+        assert restored.jobs == 2
+
+
+class TestStructuredData:
+    def test_migrated_modules_expose_data_and_text(self):
+        run = _run(("fig11", "fig12"))
+        fig11 = run.result("fig11").data
+        assert fig11["images"] == 50_000
+        assert {p["label"] for p in fig11["points"]}
+        fig12 = run.result("fig12").data
+        assert len(fig12["rows"]) == 6
+
+    def test_legacy_render_only_modules_have_none_data(self):
+        run = _run(("table3",))
+        assert run.result("table3").data is None
+        assert run.result("table3").text

@@ -1,0 +1,236 @@
+"""Units for repro.obs: spans, metrics, run manifests, scoping."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    percentile,
+    scoped_observability,
+)
+
+
+class TestTracer:
+    def test_span_records_timing_and_tags(self):
+        tracer = Tracer()
+        with tracer.span("work", items=3) as span:
+            pass
+        assert span.finished
+        assert span.wall_s >= 0.0
+        assert span.cpu_s >= 0.0
+        assert span.tags == {"items": 3}
+        assert tracer.find("work") == (span,)
+
+    def test_nesting_builds_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert sibling.parent_id == outer.span_id
+        assert tracer.children(outer) == (inner, sibling)
+        assert tracer.depth(outer) == 0
+        assert tracer.depth(leaf) == 2
+
+    def test_spans_kept_in_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.spans] == ["a", "b", "c"]
+
+    def test_parent_restored_after_exception(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with pytest.raises(RuntimeError):
+                with tracer.span("failing") as failing:
+                    raise RuntimeError("boom")
+            with tracer.span("after") as after:
+                pass
+        assert failing.finished  # timed even on the error path
+        assert after.parent_id == failing.parent_id
+
+    def test_disabled_tracer_yields_none_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as span:
+            assert span is None
+        assert tracer.spans == ()
+
+    def test_as_dicts_round_trips_through_json(self):
+        tracer = Tracer()
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        restored = json.loads(json.dumps(tracer.as_dicts()))
+        assert [d["name"] for d in restored] == ["outer", "inner"]
+        assert restored[1]["parent_id"] == restored[0]["span_id"]
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_single_value(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("events")
+        c.inc()
+        c.inc(9)
+        assert registry.counter("events").value == 10  # get-or-create
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("peak").set(3)
+        registry.gauge("peak").set(7.5)
+        assert registry.gauge("peak").value == 7.5
+
+    def test_timer_summary(self):
+        registry = MetricsRegistry()
+        t = registry.timer("lat")
+        t.observe_many([1.0, 2.0, 3.0, 4.0])
+        s = t.summary()
+        assert s["count"] == 4
+        assert s["total"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["max"] == 4.0
+        assert s["p50"] == 2.5
+        assert s["truncated"] == 0
+
+    def test_timer_truncation_keeps_count_and_max(self):
+        from repro.obs import Timer
+
+        t = Timer("lat", max_samples=3)
+        t.observe_many([1.0, 2.0, 3.0, 100.0])
+        s = t.summary()
+        assert s["count"] == 4
+        assert s["max"] == 100.0
+        assert s["truncated"] == 1
+        # percentiles come from the retained prefix only
+        assert t.percentile(100) == 3.0
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.25)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+
+
+class TestScoping:
+    def test_default_tracer_disabled_metrics_live(self):
+        assert get_tracer().enabled is False
+        assert get_metrics() is not None
+
+    def test_scoped_pair_swapped_and_restored(self):
+        before = (get_tracer(), get_metrics())
+        tracer, metrics = Tracer(), MetricsRegistry()
+        with scoped_observability(tracer, metrics):
+            assert get_tracer() is tracer
+            assert get_metrics() is metrics
+            with get_tracer().span("visible"):
+                pass
+        assert (get_tracer(), get_metrics()) == before
+        assert [s.name for s in tracer.spans] == ["visible"]
+
+    def test_scopes_nest(self):
+        outer_t, inner_t = Tracer(), Tracer()
+        with scoped_observability(outer_t, MetricsRegistry()):
+            with scoped_observability(inner_t, None):
+                assert get_tracer() is inner_t
+            assert get_tracer() is outer_t
+
+
+class TestRunManifest:
+    def _manifest(self):
+        from repro.experiments.engine import ExperimentResult
+
+        results = [
+            ExperimentResult(
+                artefact="fig4",
+                title="t4",
+                category="figure",
+                text="x",
+                wall_s=1.25,
+                cpu_s=1.0,
+                cache_hit=True,
+                config_hash="abc",
+            ),
+            ExperimentResult(
+                artefact="fig5",
+                title="t5",
+                category="figure",
+                text="",
+                status="error",
+                error="Traceback ...",
+                wall_s=0.5,
+                cpu_s=0.5,
+                config_hash="def",
+            ),
+        ]
+        return RunManifest.collect(
+            results, jobs=2, use_cache=True, wall_s=2.0
+        )
+
+    def test_collect_and_queries(self):
+        manifest = self._manifest()
+        assert manifest.errors == ("fig5",)
+        assert manifest.cache_hits == 1
+        assert manifest.record("fig4").wall_s == 1.25
+        with pytest.raises(KeyError):
+            manifest.record("fig99")
+
+    def test_json_round_trip(self):
+        manifest = self._manifest()
+        restored = RunManifest.from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_write_and_read(self, tmp_path):
+        manifest = self._manifest()
+        path = manifest.write(tmp_path / "nested" / "manifest.json")
+        assert path.exists()
+        assert RunManifest.read(path) == manifest
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.run-manifest/v1"
+        assert payload["environment"]["python"]
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            RunManifest.from_dict({"schema": "something/else"})
