@@ -8,11 +8,11 @@ cost frontier coincides with the time frontier.
 from __future__ import annotations
 
 from repro.experiments import fig10_cost_pareto
-from repro.experiments.configuration_study import evaluate_space
+from repro.experiments.configuration_study import study_space
 
 
 def test_fig10_cost_pareto(benchmark):
-    evaluate_space()  # reuse the shared cached space; time the filtering
+    study_space()  # reuse the shared cached space; time the filtering
     result = benchmark(fig10_cost_pareto.run)
     assert 500 < result.top1.n_feasible < 2500
     lo, hi = result.top1.objective_range

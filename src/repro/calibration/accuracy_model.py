@@ -98,6 +98,33 @@ class AccuracyModel:
     default_drop_scale: float = 0.3
 
     # ------------------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """Content-based identity for cross-instance cache keying.
+
+        Mirrors :meth:`CalibratedTimeModel.fingerprint`: the model holds
+        unhashable curve mappings and constructors return fresh instances
+        per call, so value-equal models must key caches by their content
+        (scalars plus every curve's anchor points).
+        """
+
+        def _curves(mapping) -> tuple:
+            return tuple(
+                (layer, tuple(map(tuple, curve.points)))
+                for layer, curve in sorted(mapping.items())
+            )
+
+        return (
+            self.name,
+            (self.baseline.top1, self.baseline.top5),
+            _curves(self.drop_curves_top1),
+            _curves(self.drop_curves_top5),
+            tuple(sorted(self.sweet_spots.items())),
+            self.eta_top1,
+            self.eta_top5,
+            self.default_knee,
+            self.default_drop_scale,
+        )
+
     def knee(self, layer: str) -> float:
         """Last sweet-spot ratio for ``layer``."""
         return self.sweet_spots.get(layer, self.default_knee)

@@ -16,6 +16,10 @@ Commands
     Run Algorithm 1 over the degrees ladder and the full catalog.
 ``simulate --spec conv1=0.3,conv2=0.5 --instances p2.xlarge ...``
     Evaluate one (degree of pruning, configuration) pair.
+``plan --target 78 [--deadline H] [--budget D]``
+    Inverse planning over the evaluation space: cheapest budget for a
+    deadline, fastest deadline for a budget, or the full iso-accuracy
+    (time, cost) frontier when neither constraint is given.
 """
 
 from __future__ import annotations
@@ -166,6 +170,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="instance type names, repeated for multiples",
     )
     p_sim.add_argument("--images", type=int, default=50_000)
+
+    p_plan = sub.add_parser(
+        "plan", help="inverse planning: budget/deadline for a target accuracy"
+    )
+    p_plan.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_plan.add_argument(
+        "--target",
+        type=float,
+        required=True,
+        help="target accuracy in percent",
+    )
+    p_plan.add_argument(
+        "--metric", default="top5", choices=["top1", "top5"]
+    )
+    p_plan.add_argument(
+        "--deadline", type=float, help="deadline in hours (-> min budget)"
+    )
+    p_plan.add_argument(
+        "--budget", type=float, help="budget in dollars (-> min deadline)"
+    )
+    p_plan.add_argument("--images", type=int, default=20_000_000)
+    p_plan.add_argument("--instances-per-type", type=int, default=2)
 
     p_serve = sub.add_parser(
         "serve", help="online-serving simulation (latency percentiles)"
@@ -403,20 +431,106 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.cloud.catalog import instance_type
     from repro.cloud.configuration import ResourceConfiguration
     from repro.cloud.instance import CloudInstance
-    from repro.cloud.simulator import CloudSimulator
+    from repro.core.evalspace import SpaceSpec, evaluate
 
     time_model, accuracy_model = _models(args.model)
-    simulator = CloudSimulator(time_model, accuracy_model)
     config = ResourceConfiguration(
         [CloudInstance(instance_type(n)) for n in args.instances]
     )
-    r = simulator.run(args.spec, config, args.images)
+    # a 1x1 grid: repeated invocations hit the evaluation-space cache
+    space = evaluate(
+        SpaceSpec.build(
+            time_model, accuracy_model, [args.spec], [config], args.images
+        )
+    )
+    r = space.results[0]
     print(f"spec      : {r.spec.label()}")
     print(f"config    : {r.configuration.label()}")
     print(f"time      : {r.time_s:.1f} s ({r.time_s / 60.0:.2f} min)")
     print(f"cost      : ${r.cost:.4f}")
     print(f"accuracy  : top1 {r.accuracy.top1:.1f}% / top5 {r.accuracy.top5:.1f}%")
     print(f"TAR (top5): {r.tar():.4f} h | CAR (top5): ${r.car():.4f}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.cloud.catalog import EC2_CATALOG
+    from repro.cloud.simulator import CloudSimulator
+    from repro.core.config_space import enumerate_configurations
+    from repro.core.planner import (
+        PlanningSpace,
+        iso_accuracy_frontier,
+        min_budget_for,
+        min_deadline_for,
+    )
+    from repro.errors import InfeasibleError
+
+    time_model, accuracy_model = _models(args.model)
+    simulator = CloudSimulator(time_model, accuracy_model)
+    if args.model == "caffenet":
+        from repro.pruning.schedule import caffenet_variant_set
+
+        degrees = caffenet_variant_set()
+    else:
+        from repro.experiments.ext_googlenet_pareto import (
+            googlenet_variant_set,
+        )
+
+        degrees = googlenet_variant_set()
+    space = PlanningSpace.evaluate(
+        simulator,
+        degrees,
+        enumerate_configurations(
+            EC2_CATALOG, max_per_type=args.instances_per_type
+        ),
+        images=args.images,
+        metric=args.metric,
+    )
+
+    def _show(r) -> None:
+        print(f"degree of pruning : {r.spec.label()}")
+        print(f"configuration     : {r.configuration.label()}")
+        print(f"time              : {r.time_s / 3600.0:.2f} h")
+        print(f"cost              : ${r.cost:.2f}")
+        print(
+            f"accuracy          : top1 {r.accuracy.top1:.1f}% / "
+            f"top5 {r.accuracy.top5:.1f}%"
+        )
+
+    try:
+        if args.deadline is not None:
+            r = min_budget_for(space, args.target, args.deadline * 3600.0)
+            if args.budget is not None and r.cost > args.budget:
+                raise InfeasibleError(
+                    f"cheapest plan inside {args.deadline:g}h costs "
+                    f"${r.cost:.2f} > budget ${args.budget:.2f}"
+                )
+            print(
+                f"minimum budget for {args.target:g}% {args.metric} "
+                f"within {args.deadline:g}h:"
+            )
+            _show(r)
+        elif args.budget is not None:
+            r = min_deadline_for(space, args.target, args.budget)
+            print(
+                f"minimum deadline for {args.target:g}% {args.metric} "
+                f"within ${args.budget:.2f}:"
+            )
+            _show(r)
+        else:
+            front = iso_accuracy_frontier(space, args.target)
+            print(
+                f"iso-accuracy frontier at {args.target:g}% {args.metric} "
+                f"({len(front)} points, fastest first):"
+            )
+            for r in front:
+                print(
+                    f"  {r.time_s / 3600.0:7.2f} h  ${r.cost:8.2f}  "
+                    f"{r.spec.label()}  on  {r.configuration.label()}"
+                )
+    except InfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -560,6 +674,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_allocate(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "trace":

@@ -5,14 +5,21 @@ calibrated time model and the accuracy model, producing the full record
 the paper's measurement phase emits: time, cost, Top-1/Top-5 accuracy,
 TAR and CAR.  This is the substrate for the Pareto studies (Figures 9,
 10), the TAR/CAR figures (11, 12), and Algorithm 1's T/C estimation.
+
+Grid evaluation (every degree of pruning crossed with every resource
+configuration) lives in :mod:`repro.core.evalspace`; the simulator only
+evaluates single points and memoizes the accuracy model per degree so
+repeated grid rows cost one model evaluation each.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.calibration.accuracy_model import AccuracyModel, AccuracyPair
 from repro.cloud.configuration import ResourceConfiguration
+from repro.core.metrics import car as _car, tar as _tar
 from repro.errors import ConfigurationError
 from repro.obs import get_metrics
 from repro.perf.latency import CalibratedTimeModel
@@ -38,16 +45,11 @@ class SimulationResult:
 
     def tar(self, metric: str = "top5") -> float:
         """Time Accuracy Ratio in hours per unit accuracy."""
-        # deferred import: repro.core re-exports the cloud simulator
-        from repro.core.metrics import tar
-
-        return tar(self.time_hours, self.accuracy.get(metric) / 100.0)
+        return _tar(self.time_hours, self.accuracy.get(metric) / 100.0)
 
     def car(self, metric: str = "top5") -> float:
         """Cost Accuracy Ratio in dollars per unit accuracy."""
-        from repro.core.metrics import car
-
-        return car(self.cost, self.accuracy.get(metric) / 100.0)
+        return _car(self.cost, self.accuracy.get(metric) / 100.0)
 
     def within(self, deadline_s: float | None, budget: float | None) -> bool:
         """Feasibility against a time deadline T' and cost budget C'."""
@@ -86,8 +88,21 @@ class CloudSimulator:
         self.time_model = time_model
         self.accuracy_model = accuracy_model
         self.proportional_split = proportional_split
+        # accuracy depends only on the degree of pruning, not the
+        # configuration, so one evaluation serves a whole grid row
+        self._accuracy_cache: dict[
+            tuple[tuple[str, float], ...], AccuracyPair
+        ] = {}
 
     # ------------------------------------------------------------------
+    def accuracy(self, spec: PruneSpec) -> AccuracyPair:
+        """Memoized accuracy-model evaluation for ``spec``."""
+        cached = self._accuracy_cache.get(spec.ratios)
+        if cached is None:
+            cached = self.accuracy_model.accuracy(spec)
+            self._accuracy_cache[spec.ratios] = cached
+        return cached
+
     def run(
         self,
         spec: PruneSpec,
@@ -110,7 +125,7 @@ class CloudSimulator:
             images=images,
             time_s=time_s,
             cost=cost,
-            accuracy=self.accuracy_model.accuracy(spec),
+            accuracy=self.accuracy(spec),
         )
 
     def sweep(
@@ -119,9 +134,21 @@ class CloudSimulator:
         configurations,
         images: int,
     ) -> list[SimulationResult]:
-        """Cross product of degrees of pruning x configurations."""
-        return [
-            self.run(spec, config, images)
-            for spec in specs
-            for config in configurations
-        ]
+        """Deprecated: cross product of degrees of pruning x configurations.
+
+        Superseded by :func:`repro.core.evalspace.evaluate`, which
+        memoizes and caches whole-grid evaluations.  This shim delegates
+        there and keeps the historical return shape.
+        """
+        warnings.warn(
+            "CloudSimulator.sweep is deprecated; build a "
+            "repro.core.evalspace.SpaceSpec and call evaluate() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.evalspace import SpaceSpec, evaluate
+
+        space = evaluate(
+            SpaceSpec.from_simulator(self, specs, configurations, images)
+        )
+        return list(space.results)

@@ -4,35 +4,76 @@
 * :mod:`repro.core.pareto` — Pareto-frontier filtering (Section 3.4);
 * :mod:`repro.core.config_space` — resource-configuration enumeration;
 * :mod:`repro.core.sweet_spot` — sweet-spot region detection (Obs. 1);
+* :mod:`repro.core.evalspace` — the unified, memoized (degree x
+  configuration) evaluation space behind every figure and planner query;
 * :mod:`repro.core.allocation` — Algorithm 1 (TAR/CAR greedy) and the
   exponential brute-force baseline it replaces;
 * :mod:`repro.core.pipeline` — the end-to-end three-stage approach of
   the paper's Figure 2.
+
+Re-exports resolve lazily (PEP 562): leaf modules such as
+:mod:`repro.core.metrics` stay importable from the cloud layer without
+dragging in :mod:`repro.core.allocation` (which itself imports the cloud
+simulator) — that is what keeps the core <-> cloud import graph acyclic.
 """
 
-from repro.core.allocation import (
-    AllocationResult,
-    brute_force_allocate,
-    greedy_allocate,
-)
-from repro.core.config_space import enumerate_configurations
-from repro.core.metrics import car, tar
-from repro.core.pareto import ParetoPoint, pareto_front, pareto_indices
-from repro.core.pipeline import CostAccuracyPipeline, ConfigurationPoint
-from repro.core.sweet_spot import SweetSpotRegion, find_sweet_spot
+from __future__ import annotations
 
 __all__ = [
     "AllocationResult",
     "ConfigurationPoint",
     "CostAccuracyPipeline",
+    "EvaluatedSpace",
     "ParetoPoint",
+    "SpaceSpec",
     "SweetSpotRegion",
     "brute_force_allocate",
     "car",
+    "clear_space_cache",
     "enumerate_configurations",
+    "evaluate",
     "find_sweet_spot",
     "greedy_allocate",
     "pareto_front",
     "pareto_indices",
     "tar",
 ]
+
+#: name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "AllocationResult": "repro.core.allocation",
+    "brute_force_allocate": "repro.core.allocation",
+    "greedy_allocate": "repro.core.allocation",
+    "enumerate_configurations": "repro.core.config_space",
+    "EvaluatedSpace": "repro.core.evalspace",
+    "SpaceSpec": "repro.core.evalspace",
+    "clear_space_cache": "repro.core.evalspace",
+    "evaluate": "repro.core.evalspace",
+    "car": "repro.core.metrics",
+    "tar": "repro.core.metrics",
+    "ParetoPoint": "repro.core.pareto",
+    "pareto_front": "repro.core.pareto",
+    "pareto_indices": "repro.core.pareto",
+    "ConfigurationPoint": "repro.core.pipeline",
+    "CostAccuracyPipeline": "repro.core.pipeline",
+    "SweetSpotRegion": "repro.core.sweet_spot",
+    "find_sweet_spot": "repro.core.sweet_spot",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -23,9 +23,12 @@ import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
 from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.errors import InfeasibleError
 from repro.obs import get_metrics, get_tracer
 from repro.pruning.schedule import DegreeOfPruning
@@ -60,33 +63,55 @@ def _sorted_degrees(
     images: int,
     metric: str,
 ) -> list[tuple[DegreeOfPruning, float, float]]:
-    """Degrees with (accuracy, reference TAR), sorted per Algorithm 1."""
-    rows = []
-    ref_config = ResourceConfiguration([reference])
-    for degree in degrees:
-        sim = simulator.run(degree.spec, ref_config, images)
-        acc = sim.accuracy.get(metric)
-        # a zero-accuracy degree has infinite TAR and can never win
-        ratio = sim.tar(metric) if acc > 0 else float("inf")
-        rows.append((degree, acc, ratio))
+    """Degrees with (accuracy, reference TAR), sorted per Algorithm 1.
+
+    The (|P| x 1 reference configuration) grid is one
+    :class:`~repro.core.evalspace.EvaluatedSpace`; its vectorised TAR
+    column already maps zero-accuracy degrees to ``inf`` (such a degree
+    can never win the sort).
+    """
+    space = evaluate(
+        SpaceSpec.from_simulator(
+            simulator,
+            degrees,
+            [ResourceConfiguration([reference])],
+            images,
+        )
+    )
+    rows = list(
+        zip(
+            degrees,
+            space.accuracy(metric).tolist(),
+            space.tar(metric).tolist(),
+        )
+    )
     rows.sort(key=lambda row: (-row[1], row[2]))
     return rows
 
 
-def _instance_car(
+def _ranked_by_car(
     simulator: CloudSimulator,
-    instance: CloudInstance,
+    resources: Sequence[CloudInstance],
     degree: DegreeOfPruning,
     images: int,
     metric: str,
-) -> float:
-    """CAR of running the reference workload on one instance alone."""
-    sim = simulator.run(
-        degree.spec, ResourceConfiguration([instance]), images
+) -> list[CloudInstance]:
+    """Resources sorted by solo-instance CAR ascending (Algorithm 1 line 6).
+
+    One (1 degree x |G| single-instance configurations) grid through the
+    evaluation core; the stable argsort preserves the original order on
+    CAR ties, matching the historical ``sorted``-by-key behaviour.
+    """
+    space = evaluate(
+        SpaceSpec.from_simulator(
+            simulator,
+            [degree],
+            [ResourceConfiguration([inst]) for inst in resources],
+            images,
+        )
     )
-    if sim.accuracy.get(metric) <= 0:
-        return float("inf")
-    return sim.car(metric)
+    order = np.argsort(space.car(metric), kind="stable")
+    return [resources[i] for i in order]
 
 
 def greedy_allocate(
@@ -119,11 +144,8 @@ def greedy_allocate(
         evaluations += len(ordered)
         try:
             for degree, _acc, _tar in ordered:
-                ranked = sorted(
-                    resources,
-                    key=lambda inst: _instance_car(
-                        simulator, inst, degree, images, metric
-                    ),
+                ranked = _ranked_by_car(
+                    simulator, resources, degree, images, metric
                 )
                 evaluations += len(ranked)
                 chosen: list[CloudInstance] = []

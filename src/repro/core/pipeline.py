@@ -24,6 +24,7 @@ from repro.cloud.catalog import InstanceType, instance_type
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
 from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.core.pareto import ParetoPoint, pareto_front
 from repro.perf.latency import CalibratedTimeModel
 from repro.perf.measurement import MeasurementRecord
@@ -111,20 +112,24 @@ class CostAccuracyPipeline:
         self, degrees: Sequence[DegreeOfPruning], images: int
     ) -> list[MeasurementRecord]:
         """Stage 2: per-degree time/cost/accuracy on the reference instance."""
-        records = []
-        ref_config = ResourceConfiguration([self.reference])
-        for degree in degrees:
-            sim = self.simulator.run(degree.spec, ref_config, images)
-            records.append(
-                MeasurementRecord(
-                    spec=degree.spec,
-                    time_s=sim.time_s,
-                    cost=sim.cost,
-                    top1=sim.accuracy.top1,
-                    top5=sim.accuracy.top5,
-                )
+        space = evaluate(
+            SpaceSpec.from_simulator(
+                self.simulator,
+                degrees,
+                [ResourceConfiguration([self.reference])],
+                images,
             )
-        return records
+        )
+        return [
+            MeasurementRecord(
+                spec=sim.spec,
+                time_s=sim.time_s,
+                cost=sim.cost,
+                top1=sim.accuracy.top1,
+                top5=sim.accuracy.top5,
+            )
+            for sim in space.results
+        ]
 
     # ------------------------------------------------------------------
     # stage 3
@@ -138,17 +143,16 @@ class CostAccuracyPipeline:
         budget: float | None = None,
     ) -> list[ConfigurationPoint]:
         """Stage 3a: evaluate the full (degree x configuration) space."""
-        points = []
-        for degree in degrees:
-            for config in configurations:
-                sim = self.simulator.run(degree.spec, config, images)
-                points.append(
-                    ConfigurationPoint(
-                        result=sim,
-                        feasible=sim.within(deadline_s, budget),
-                    )
-                )
-        return points
+        space = evaluate(
+            SpaceSpec.from_simulator(
+                self.simulator, degrees, configurations, images
+            )
+        )
+        feasible = space.feasible_mask(deadline_s, budget)
+        return [
+            ConfigurationPoint(result=sim, feasible=bool(ok))
+            for sim, ok in zip(space.results, feasible)
+        ]
 
     @staticmethod
     def feasible(

@@ -11,8 +11,10 @@ project asks the inverse questions:
   for one accuracy target: every point is a different Pareto-optimal
   configuration for the same result quality.
 
-All three scan a (degrees x configurations) space evaluated through the
-same simulator as everything else.
+All three are vectorised selections over one
+:class:`~repro.core.evalspace.EvaluatedSpace`;
+:class:`PlanningSpace` is a thin (space, metric) view whose queries run
+on the space's numpy columns.
 """
 
 from __future__ import annotations
@@ -20,9 +22,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.simulator import CloudSimulator, SimulationResult
-from repro.core.pareto import pareto_front
+from repro.core.evalspace import EvaluatedSpace, SpaceSpec, evaluate
+from repro.core.pareto import pareto_indices
 from repro.errors import InfeasibleError
 from repro.pruning.schedule import DegreeOfPruning
 
@@ -34,11 +39,11 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PlanningSpace:
     """An evaluated (degree x configuration) space to plan over."""
 
-    results: tuple[SimulationResult, ...]
+    space: EvaluatedSpace
     metric: str = "top5"
 
     @classmethod
@@ -50,24 +55,25 @@ class PlanningSpace:
         images: int,
         metric: str = "top5",
     ) -> "PlanningSpace":
-        results = tuple(
-            simulator.run(d.spec, c, images)
-            for d in degrees
-            for c in configurations
+        evaluated = evaluate(
+            SpaceSpec.from_simulator(
+                simulator, degrees, configurations, images
+            )
         )
-        return cls(results=results, metric=metric)
+        return cls(space=evaluated, metric=metric)
 
     # ------------------------------------------------------------------
-    def _accurate_enough(self, target: float):
-        return [
-            r
-            for r in self.results
-            if r.accuracy.get(self.metric) >= target
-        ]
+    @property
+    def results(self) -> tuple[SimulationResult, ...]:
+        return self.space.results
+
+    def _accurate_enough(self, target: float) -> np.ndarray:
+        """Indices of rows at or above the target accuracy."""
+        return np.flatnonzero(self.space.accuracy(self.metric) >= target)
 
     def reachable_accuracy(self) -> float:
         """Best accuracy anywhere in the space (no constraints)."""
-        return max(r.accuracy.get(self.metric) for r in self.results)
+        return float(self.space.accuracy(self.metric).max())
 
 
 def min_budget_for(
@@ -76,17 +82,16 @@ def min_budget_for(
     deadline_s: float,
 ) -> SimulationResult:
     """Cheapest configuration reaching ``target_accuracy`` in time."""
-    candidates = [
-        r
-        for r in space._accurate_enough(target_accuracy)
-        if r.time_s <= deadline_s
-    ]
-    if not candidates:
+    idx = space._accurate_enough(target_accuracy)
+    idx = idx[space.space.time_s[idx] <= deadline_s]
+    if idx.size == 0:
         raise InfeasibleError(
             f"no configuration reaches {target_accuracy}% "
             f"{space.metric} within {deadline_s:.0f}s"
         )
-    return min(candidates, key=lambda r: (r.cost, r.time_s))
+    # lexsort is stable: min by (cost, time), first occurrence on ties
+    order = np.lexsort((space.space.time_s[idx], space.space.cost[idx]))
+    return space.results[idx[order[0]]]
 
 
 def min_deadline_for(
@@ -95,17 +100,15 @@ def min_deadline_for(
     budget: float,
 ) -> SimulationResult:
     """Fastest configuration reaching ``target_accuracy`` on budget."""
-    candidates = [
-        r
-        for r in space._accurate_enough(target_accuracy)
-        if r.cost <= budget
-    ]
-    if not candidates:
+    idx = space._accurate_enough(target_accuracy)
+    idx = idx[space.space.cost[idx] <= budget]
+    if idx.size == 0:
         raise InfeasibleError(
             f"no configuration reaches {target_accuracy}% "
             f"{space.metric} within ${budget:.2f}"
         )
-    return min(candidates, key=lambda r: (r.time_s, r.cost))
+    order = np.lexsort((space.space.cost[idx], space.space.time_s[idx]))
+    return space.results[idx[order[0]]]
 
 
 def iso_accuracy_frontier(
@@ -117,13 +120,13 @@ def iso_accuracy_frontier(
     configurations meeting the accuracy bar; walking the curve trades
     money for completion time at constant result quality.
     """
-    candidates = space._accurate_enough(target_accuracy)
-    if not candidates:
+    idx = space._accurate_enough(target_accuracy)
+    if idx.size == 0:
         raise InfeasibleError(
             f"no configuration reaches {target_accuracy}% {space.metric}"
         )
     # reuse the 2-D filter with accuracy := -time (maximise -time)
-    front = pareto_front(
-        [(-r.time_s, r.cost, r) for r in candidates]
+    local = pareto_indices(
+        -space.space.time_s[idx], space.space.cost[idx]
     )
-    return [p.payload for p in front]
+    return [space.results[i] for i in idx[local]]

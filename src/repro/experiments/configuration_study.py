@@ -31,9 +31,9 @@ from repro.calibration.caffenet import (
     caffenet_time_model,
 )
 from repro.cloud.catalog import P2_TYPES
-from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.cloud.simulator import SimulationResult
 from repro.core.config_space import enumerate_configurations
-from repro.core.pareto import pareto_front
+from repro.core.evalspace import EvaluatedSpace, SpaceSpec, evaluate
 from repro.obs import get_tracer
 from repro.pruning.schedule import caffenet_variant_set
 
@@ -42,6 +42,7 @@ __all__ = [
     "STUDY_DEADLINE_S",
     "STUDY_BUDGET",
     "ParetoStudy",
+    "study_space",
     "evaluate_space",
     "pareto_study",
 ]
@@ -56,11 +57,14 @@ STUDY_BUDGET = 300.0
 
 
 @lru_cache(maxsize=1)
-def evaluate_space() -> tuple[SimulationResult, ...]:
-    """Evaluate all (60 degrees x 63 p2 configurations) points once."""
-    simulator = CloudSimulator(
-        caffenet_time_model(), caffenet_accuracy_model()
-    )
+def study_space() -> EvaluatedSpace:
+    """The evaluated (60 degrees x 63 p2 configurations) study grid.
+
+    Delegates to :mod:`repro.core.evalspace`: the content-keyed cache
+    there shares the evaluation with any other consumer asking for the
+    same grid (planner workloads, benchmarks), while this ``lru_cache``
+    pins the study's own view for cheap repeated access.
+    """
     degrees = caffenet_variant_set()
     configurations = enumerate_configurations(P2_TYPES, max_per_type=3)
     with get_tracer().span(
@@ -68,11 +72,20 @@ def evaluate_space() -> tuple[SimulationResult, ...]:
         degrees=len(degrees),
         configurations=len(configurations),
     ):
-        return tuple(
-            simulator.run(degree.spec, config, STUDY_IMAGES)
-            for degree in degrees
-            for config in configurations
+        return evaluate(
+            SpaceSpec.build(
+                caffenet_time_model(),
+                caffenet_accuracy_model(),
+                degrees,
+                configurations,
+                STUDY_IMAGES,
+            )
         )
+
+
+def evaluate_space() -> tuple[SimulationResult, ...]:
+    """All (60 x 63) rows in degree-major order (stable identity)."""
+    return study_space().results
 
 
 @dataclass(frozen=True)
@@ -132,24 +145,16 @@ def pareto_study(
     deadline_s: float | None = None,
     budget: float | None = None,
 ) -> ParetoStudy:
-    """Filter the cached space by constraints and Pareto-optimise."""
-    points = evaluate_space()
-    feasible = tuple(
-        r for r in points if r.within(deadline_s, budget)
-    )
-    triples = [
-        (
-            r.accuracy.get(metric),
-            r.time_hours if objective == "time" else r.cost,
-            r,
-        )
-        for r in feasible
-    ]
-    front = tuple(p.payload for p in pareto_front(triples))
+    """Filter the cached space by constraints and Pareto-optimise.
+
+    A thin view: feasibility and the Pareto filter are the vectorised
+    :class:`EvaluatedSpace` queries; only the selected rows materialise.
+    """
+    space = study_space()
     return ParetoStudy(
         objective=objective,
         metric=metric,
-        total_points=len(points),
-        feasible=feasible,
-        front=front,
+        total_points=len(space),
+        feasible=space.feasible(deadline_s, budget),
+        front=space.front(metric, objective, deadline_s, budget),
     )

@@ -19,9 +19,9 @@ from repro.calibration.googlenet import (
     googlenet_time_model,
 )
 from repro.cloud.catalog import instance_type
-from repro.cloud.simulator import CloudSimulator, SimulationResult
+from repro.cloud.simulator import SimulationResult
 from repro.core.config_space import enumerate_configurations
-from repro.core.pareto import pareto_front
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.experiments.report import format_kv, format_table
 from repro.pruning.base import PruneSpec
 from repro.pruning.schedule import DegreeOfPruning
@@ -74,41 +74,26 @@ class GooglenetPareto:
 
 @lru_cache(maxsize=1)
 def run() -> GooglenetPareto:
-    simulator = CloudSimulator(
-        googlenet_time_model(), googlenet_accuracy_model()
-    )
     # mixed space: the two workhorse types of each category, <= 2 each
     types = [
         instance_type(n)
         for n in ("p2.8xlarge", "p2.16xlarge", "g3.8xlarge", "g3.16xlarge")
     ]
-    configurations = enumerate_configurations(types, max_per_type=2)
-    degrees = googlenet_variant_set()
-    points = [
-        simulator.run(d.spec, c, IMAGES)
-        for d in degrees
-        for c in configurations
-    ]
-    time_feasible = [r for r in points if r.time_s <= DEADLINE_S]
-    cost_feasible = [r for r in points if r.cost <= BUDGET]
-    time_front = tuple(
-        p.payload
-        for p in pareto_front(
-            [(r.accuracy.top5, r.time_hours, r) for r in time_feasible]
-        )
-    )
-    cost_front = tuple(
-        p.payload
-        for p in pareto_front(
-            [(r.accuracy.top5, r.cost, r) for r in cost_feasible]
+    space = evaluate(
+        SpaceSpec.build(
+            googlenet_time_model(),
+            googlenet_accuracy_model(),
+            googlenet_variant_set(),
+            enumerate_configurations(types, max_per_type=2),
+            IMAGES,
         )
     )
     return GooglenetPareto(
-        total_points=len(points),
-        n_time_feasible=len(time_feasible),
-        n_cost_feasible=len(cost_feasible),
-        time_front=time_front,
-        cost_front=cost_front,
+        total_points=len(space),
+        n_time_feasible=int(space.feasible_mask(deadline_s=DEADLINE_S).sum()),
+        n_cost_feasible=int(space.feasible_mask(budget=BUDGET).sum()),
+        time_front=space.front("top5", "time", deadline_s=DEADLINE_S),
+        cost_front=space.front("top5", "cost", budget=BUDGET),
     )
 
 

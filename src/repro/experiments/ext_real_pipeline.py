@@ -28,12 +28,11 @@ from functools import lru_cache
 from repro.calibration.accuracy_model import AccuracyPair
 from repro.calibration.fitting import fit_accuracy_model, fit_time_model
 from repro.cloud.catalog import P2_TYPES
-from repro.cloud.simulator import CloudSimulator
 from repro.cnn.datasets import make_classification_data
 from repro.cnn.models import build_small_cnn
 from repro.cnn.training import SGDTrainer, evaluate_topk
 from repro.core.config_space import enumerate_configurations
-from repro.core.pareto import pareto_front
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.experiments.report import format_kv, format_table
 from repro.pruning.base import PruneSpec
 from repro.pruning.l1_filter import L1FilterPruner
@@ -120,7 +119,6 @@ def run(seed: int = 31) -> RealPipelineResult:
     )
 
     # stage 3: the paper's cloud analysis on the fitted models
-    simulator = CloudSimulator(time_model, accuracy_model)
     degrees = [DegreeOfPruning.of(PruneSpec.unpruned())] + [
         DegreeOfPruning.of(PruneSpec({layer: ratio}))
         for layer in _LAYERS
@@ -128,19 +126,14 @@ def run(seed: int = 31) -> RealPipelineResult:
     ] + [DegreeOfPruning.of(PruneSpec(combo))]
     configurations = enumerate_configurations(P2_TYPES, max_per_type=2)
     # workload sized so costs land in whole dollars and the budget binds
-    results = [
-        simulator.run(d.spec, c, 2_000_000_000)
-        for d in degrees
-        for c in configurations
-    ]
-    budget = 40.0
-    feasible = [r for r in results if r.cost <= budget]
-    front = [
-        p.payload
-        for p in pareto_front(
-            [(r.accuracy.top1, r.cost, r) for r in feasible]
+    space = evaluate(
+        SpaceSpec.build(
+            time_model, accuracy_model, degrees, configurations, 2_000_000_000
         )
-    ]
+    )
+    budget = 40.0
+    feasible = space.feasible(budget=budget)
+    front = list(space.front("top1", "cost", budget=budget))
     best = front[0]
     peers = [
         r.cost

@@ -29,7 +29,7 @@ from repro.calibration.caffenet import (
 from repro.cloud.catalog import instance_type
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
-from repro.cloud.simulator import CloudSimulator
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.experiments.report import format_table
 from repro.perf.device import K80
 from repro.perf.latency import CalibratedTimeModel
@@ -81,23 +81,28 @@ def _outcomes(
     """(all-conv time fraction, all-conv Top-5, p2/g3 CAR ratio)."""
     fraction = time_model.time_fraction(_ALL_CONV)
     top5 = accuracy_model.accuracy(_ALL_CONV).top5
-    simulator = CloudSimulator(time_model, accuracy_model)
-    p2 = simulator.run(
-        _FIG12_SPEC,
-        ResourceConfiguration([CloudInstance(instance_type("p2.8xlarge"))]),
-        50_000,
-    )
     g3_instance = CloudInstance(instance_type("g3.8xlarge"))
     g3_device = dataclasses.replace(
         g3_instance.itype.gpu, inference_speedup=m60_speedup
     )
     g3_itype = dataclasses.replace(g3_instance.itype, gpu=g3_device)
-    g3 = simulator.run(
-        _FIG12_SPEC,
-        ResourceConfiguration([CloudInstance(g3_itype)]),
-        50_000,
+    # one degree x (p2, modified g3) as a two-point evaluation grid
+    space = evaluate(
+        SpaceSpec.build(
+            time_model,
+            accuracy_model,
+            [_FIG12_SPEC],
+            [
+                ResourceConfiguration(
+                    [CloudInstance(instance_type("p2.8xlarge"))]
+                ),
+                ResourceConfiguration([CloudInstance(g3_itype)]),
+            ],
+            50_000,
+        )
     )
-    return fraction, top5, p2.car("top1") / g3.car("top1")
+    car = space.car("top1")
+    return fraction, top5, float(car[0] / car[1])
 
 
 def run() -> SensitivityStudy:

@@ -24,10 +24,9 @@ from repro.calibration.caffenet import (
     caffenet_time_model,
 )
 from repro.cloud.catalog import instance_type
-from repro.cloud.simulator import CloudSimulator
 from repro.core.config_space import enumerate_configurations
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.core.frontier import additive_epsilon, hypervolume
-from repro.core.pareto import pareto_front
 from repro.experiments.report import format_kv, format_table
 from repro.pruning.schedule import caffenet_variant_set
 
@@ -65,30 +64,22 @@ class SplitStudy:
 
 
 def _front(proportional: bool):
-    simulator = CloudSimulator(
-        caffenet_time_model(),
-        caffenet_accuracy_model(),
-        proportional_split=proportional,
-    )
     types = [
         instance_type(n)
         for n in ("p2.xlarge", "p2.8xlarge", "g3.8xlarge", "g3.16xlarge")
     ]
-    configurations = enumerate_configurations(types, max_per_type=2)
-    degrees = caffenet_variant_set(count=30)
-    results = [
-        simulator.run(d.spec, c, IMAGES)
-        for d in degrees
-        for c in configurations
-    ]
-    feasible = [r for r in results if r.cost <= BUDGET]
-    front = tuple(
-        p.payload
-        for p in pareto_front(
-            [(r.accuracy.top1, r.time_hours, r) for r in feasible]
+    space = evaluate(
+        SpaceSpec.build(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            caffenet_variant_set(count=30),
+            enumerate_configurations(types, max_per_type=2),
+            IMAGES,
+            proportional_split=proportional,
         )
     )
-    return front, len(feasible)
+    front = space.front("top1", "time", budget=BUDGET)
+    return front, int(space.feasible_mask(budget=BUDGET).sum())
 
 
 @lru_cache(maxsize=1)

@@ -18,7 +18,7 @@ from repro.calibration.caffenet import (
 from repro.cloud.catalog import instance_type
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
-from repro.cloud.simulator import CloudSimulator
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.experiments.report import format_table
 from repro.pruning.schedule import multi_layer_grid
 
@@ -53,29 +53,33 @@ class Fig11Result:
 
 
 def run(images: int = 50_000) -> Fig11Result:
-    simulator = CloudSimulator(
-        caffenet_time_model(), caffenet_accuracy_model()
-    )
-    config = ResourceConfiguration(
-        [CloudInstance(instance_type("p2.xlarge"))]
-    )
     degrees = multi_layer_grid(
         {"conv1": CONV1_RATIOS, "conv2": CONV2_RATIOS}
     )
-    points = []
-    for degree in degrees:
-        res = simulator.run(degree.spec, config, images)
-        points.append(
+    space = evaluate(
+        SpaceSpec.build(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            degrees,
+            [ResourceConfiguration([CloudInstance(instance_type("p2.xlarge"))])],
+            images,
+        )
+    )
+    tar1 = space.tar("top1")
+    tar5 = space.tar("top5")
+    return Fig11Result(
+        points=tuple(
             Fig11Point(
                 label=degree.label,
                 time_min=res.time_s / 60.0,
                 top1=res.accuracy.top1,
                 top5=res.accuracy.top5,
-                tar_top1=res.tar("top1"),
-                tar_top5=res.tar("top5"),
+                tar_top1=float(tar1[i]),
+                tar_top5=float(tar5[i]),
             )
+            for i, (degree, res) in enumerate(zip(degrees, space.results))
         )
-    return Fig11Result(points=tuple(points))
+    )
 
 
 def compute(images: int = 50_000) -> dict:

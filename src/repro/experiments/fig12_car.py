@@ -25,7 +25,7 @@ from repro.calibration.caffenet import (
 from repro.cloud.catalog import EC2_CATALOG
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
-from repro.cloud.simulator import CloudSimulator
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.experiments.report import format_table
 from repro.pruning.base import PruneSpec
 
@@ -75,32 +75,40 @@ class Fig12Result:
 
 
 def run(images: int = 50_000) -> Fig12Result:
-    simulator = CloudSimulator(
-        caffenet_time_model(), caffenet_accuracy_model()
-    )
-    rows = []
+    # one degree x (all-GPU, one-GPU) configurations per instance type,
+    # interleaved so row 2i is all-GPU and row 2i+1 is single-GPU
+    configurations = []
     for itype in EC2_CATALOG:
-        res_all = simulator.run(
-            FIG12_SPEC,
-            ResourceConfiguration([CloudInstance(itype)]),
+        configurations.append(
+            ResourceConfiguration([CloudInstance(itype)])
+        )
+        configurations.append(
+            ResourceConfiguration([CloudInstance(itype, gpus_used=1)])
+        )
+    space = evaluate(
+        SpaceSpec.build(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            [FIG12_SPEC],
+            configurations,
             images,
         )
-        res_one = simulator.run(
-            FIG12_SPEC,
-            ResourceConfiguration([CloudInstance(itype, gpus_used=1)]),
-            images,
-        )
-        rows.append(
+    )
+    car1 = space.car("top1")
+    car5 = space.car("top5")
+    return Fig12Result(
+        rows=tuple(
             Fig12Row(
                 instance=itype.name,
                 category=itype.category,
-                car_all_gpus_top1=res_all.car("top1"),
-                car_all_gpus_top5=res_all.car("top5"),
-                car_one_gpu_top1=res_one.car("top1"),
-                car_one_gpu_top5=res_one.car("top5"),
+                car_all_gpus_top1=float(car1[2 * i]),
+                car_all_gpus_top5=float(car5[2 * i]),
+                car_one_gpu_top1=float(car1[2 * i + 1]),
+                car_one_gpu_top5=float(car5[2 * i + 1]),
             )
+            for i, itype in enumerate(EC2_CATALOG)
         )
-    return Fig12Result(rows=tuple(rows))
+    )
 
 
 def compute(images: int = 50_000) -> dict:

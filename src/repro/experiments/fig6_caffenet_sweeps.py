@@ -24,6 +24,7 @@ from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
 from repro.cloud.simulator import CloudSimulator
 from repro.cnn.models import CAFFENET_CONV_LAYERS
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.core.sweet_spot import SweetSpotRegion, find_sweet_spot
 from repro.experiments.report import format_table
 from repro.obs import get_metrics, get_tracer
@@ -52,18 +53,28 @@ def sweep_layer(
     ratios: tuple[float, ...] = DEFAULT_RATIOS,
     instance: str = "p2.xlarge",
 ) -> LayerSweep:
-    """Single-layer sweep on one reference instance."""
+    """Single-layer sweep on one reference instance.
+
+    The sweep is a (|ratios| x 1 instance) grid through the evaluation
+    core, so repeated sweeps (Figure 7 reuses this, as do the examples)
+    share one evaluation via the content-keyed space cache.
+    """
     config = ResourceConfiguration([CloudInstance(instance_type(instance))])
     get_metrics().counter("pruning.sweep_points").inc(len(ratios))
-    times, top1s, top5s = [], [], []
     with get_tracer().span(
         "pruning.sweep", layer=layer, points=len(ratios)
     ):
-        for r in ratios:
-            res = simulator.run(PruneSpec({layer: r}), config, images)
-            times.append(res.time_s / 60.0)
-            top1s.append(res.accuracy.top1)
-            top5s.append(res.accuracy.top5)
+        space = evaluate(
+            SpaceSpec.from_simulator(
+                simulator,
+                [PruneSpec({layer: r}) for r in ratios],
+                [config],
+                images,
+            )
+        )
+    times = (space.time_s / 60.0).tolist()
+    top1s = space.top1.tolist()
+    top5s = space.top5.tolist()
     region = find_sweet_spot(layer, ratios, top5s, times)
     return LayerSweep(
         layer=layer,

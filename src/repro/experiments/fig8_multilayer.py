@@ -25,7 +25,7 @@ from repro.calibration.caffenet import (
 from repro.cloud.catalog import instance_type
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
-from repro.cloud.simulator import CloudSimulator
+from repro.core.evalspace import SpaceSpec, evaluate
 from repro.experiments.report import format_table
 from repro.pruning.base import PruneSpec
 
@@ -74,24 +74,26 @@ class Fig8Result:
 
 
 def run(images: int = 50_000) -> Fig8Result:
-    simulator = CloudSimulator(
-        caffenet_time_model(), caffenet_accuracy_model()
+    space = evaluate(
+        SpaceSpec.build(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            FIG8_CONFIGS.values(),
+            [ResourceConfiguration([CloudInstance(instance_type("p2.xlarge"))])],
+            images,
+        )
     )
-    config = ResourceConfiguration(
-        [CloudInstance(instance_type("p2.xlarge"))]
-    )
-    rows = []
-    for name, spec in FIG8_CONFIGS.items():
-        res = simulator.run(spec, config, images)
-        rows.append(
+    return Fig8Result(
+        rows=tuple(
             Fig8Row(
                 name=name,
                 time_min=res.time_s / 60.0,
                 top1=res.accuracy.top1,
                 top5=res.accuracy.top5,
             )
+            for name, res in zip(FIG8_CONFIGS, space.results)
         )
-    return Fig8Result(rows=tuple(rows))
+    )
 
 
 def render(result: Fig8Result | None = None) -> str:

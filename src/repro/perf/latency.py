@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # avoid perf <-> calibration import cycle
 from repro.cnn.layers import LayerStats
 from repro.cnn.network import Network
 from repro.errors import CalibrationError
+from repro.obs import get_metrics
 from repro.perf.batching import BatchingModel
 from repro.perf.device import GPUDevice
 from repro.pruning.base import PruneSpec
@@ -190,13 +191,57 @@ class CalibratedTimeModel:
     batch_overhead_k: float = 2.95
 
     # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        # Per-instance memo of time_fraction keyed by the spec's exact
+        # ratio tuple.  Installed here (not as a field) so it never
+        # participates in equality/repr and ``dataclasses.replace``
+        # always produces an instance with a fresh, empty cache.
+        object.__setattr__(self, "_fraction_cache", {})
+
+    def fingerprint(self) -> tuple:
+        """Content-based identity for cross-instance cache keying.
+
+        The model holds :class:`PiecewiseCurve` mappings (unhashable, and
+        constructors hand out fresh instances per call), so value-equal
+        models need a value-derived key: every scalar parameter plus each
+        curve's anchor points.
+        """
+        curves = tuple(
+            (layer, tuple(map(tuple, curve.points)))
+            for layer, curve in sorted(self.time_curves.items())
+        )
+        return (
+            self.name,
+            self.t_saturated_k80,
+            self.single_inference_s,
+            self.synergy_gamma,
+            self.floor_fraction,
+            self.per_image_mb,
+            self.model_mb,
+            self.saturation_batch,
+            self.batch_overhead_k,
+            curves,
+        )
+
     def time_fraction(self, spec: PruneSpec) -> float:
         """Remaining fraction of inference time under ``spec``.
 
         Single-layer specs follow their calibrated curve exactly;
         multi-layer specs combine multiplicatively raised to the synergy
-        exponent, clamped at the memory floor.
+        exponent, clamped at the memory floor.  Results are memoized per
+        spec: grid evaluations call this once per (model, degree) instead
+        of once per (degree, instance, split) — the counter
+        ``perf.time_model_evals`` counts true (uncached) evaluations.
         """
+        cached = self._fraction_cache.get(spec.ratios)
+        if cached is not None:
+            return cached
+        fraction = self._time_fraction_uncached(spec)
+        self._fraction_cache[spec.ratios] = fraction
+        return fraction
+
+    def _time_fraction_uncached(self, spec: PruneSpec) -> float:
+        get_metrics().counter("perf.time_model_evals").inc()
         if spec.is_unpruned():
             return 1.0
         product = 1.0

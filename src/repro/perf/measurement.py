@@ -14,6 +14,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.core.metrics import car, tar
 from repro.errors import MeasurementError
 from repro.pruning.base import PruneSpec
 
@@ -62,15 +63,11 @@ class MeasurementRecord:
 
     def tar(self, metric: str = "top5") -> float:
         """Time Accuracy Ratio (hours per unit accuracy)."""
-        from repro.core.metrics import tar
-
         acc = self.top1 if metric == "top1" else self.top5
         return tar(self.time_hours, acc / 100.0)
 
     def car(self, metric: str = "top5") -> float:
         """Cost Accuracy Ratio (dollars per unit accuracy)."""
-        from repro.core.metrics import car
-
         acc = self.top1 if metric == "top1" else self.top5
         return car(self.cost, acc / 100.0)
 

@@ -86,6 +86,50 @@ class TestPlanner:
         assert space.reachable_accuracy() == pytest.approx(80.0)
 
 
+class TestPlannerInfeasibleEdges:
+    """Infeasible-target edge cases: messages, boundaries, empty sets."""
+
+    def test_unreachable_target_message_names_constraint(self, space):
+        with pytest.raises(
+            InfeasibleError, match=r"99\.0% top5 within 3600s"
+        ):
+            min_budget_for(space, 99.0, 3600.0)
+        with pytest.raises(
+            InfeasibleError, match=r"99\.0% top5 within \$5\.00"
+        ):
+            min_deadline_for(space, 99.0, budget=5.0)
+
+    def test_target_exactly_at_reachable_accuracy_is_feasible(self, space):
+        target = space.reachable_accuracy()
+        result = min_budget_for(space, target, deadline_s=100 * 3600.0)
+        assert result.accuracy.top5 >= target
+
+    def test_target_just_above_reachable_is_infeasible(self, space):
+        target = space.reachable_accuracy() + 1e-6
+        with pytest.raises(InfeasibleError):
+            min_budget_for(space, target, deadline_s=100 * 3600.0)
+        with pytest.raises(InfeasibleError):
+            iso_accuracy_frontier(space, target)
+
+    def test_reachable_accuracy_but_impossible_deadline(self, space):
+        # the accuracy filter alone is non-empty; the deadline empties it
+        with pytest.raises(InfeasibleError):
+            min_budget_for(space, 80.0, deadline_s=1.0)
+
+    def test_reachable_accuracy_but_zero_budget(self, space):
+        with pytest.raises(InfeasibleError):
+            min_deadline_for(space, 80.0, budget=0.0)
+
+    def test_iso_frontier_unconstrained_by_time_or_money(self, space):
+        # the frontier query has no (T', C') box: any reachable target
+        # yields at least one point even when budgets would be absurd
+        front = iso_accuracy_frontier(space, space.reachable_accuracy())
+        assert len(front) >= 1
+        assert all(
+            r.accuracy.top5 >= space.reachable_accuracy() for r in front
+        )
+
+
 class TestWorkloads:
     def test_phase_rates_average_preserved(self):
         rates = phase_rates(100.0, 24, 0.7)
