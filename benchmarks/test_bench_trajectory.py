@@ -1,0 +1,46 @@
+"""Benchmark: the bench-suite scenarios under pytest-benchmark.
+
+The ``repro bench`` trajectory recorder and this file exercise the same
+hot paths; running them here puts the scenarios under pytest-benchmark's
+statistics (and its ``--benchmark-compare`` tooling) while the
+``BENCH_<n>.json`` gate covers day-to-day CI.  The claims:
+
+* every registered scenario runs clean under a fresh scope;
+* the per-scenario work counters match the committed baseline exactly
+  (the same tolerance-free contract ``repro bench --check`` enforces).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import SCENARIOS, latest_record, run_suite
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario(benchmark, name):
+    from repro.core.evalspace import clear_space_cache
+    from repro.obs import MetricsRegistry, Tracer, scoped_observability
+
+    def run():
+        clear_space_cache()
+        registry = MetricsRegistry()
+        with scoped_observability(Tracer(enabled=False), registry):
+            SCENARIOS[name]()
+        return registry.snapshot()["counters"]
+
+    counters = benchmark(run)
+    baseline = latest_record(REPO_ROOT)
+    if baseline is not None and name in {
+        e.name for e in baseline.entries
+    }:
+        assert counters == baseline.entry(name).counters
+
+
+def test_suite_is_deterministic_across_repeats():
+    entries = run_suite(repeats=2)
+    assert {e.name for e in entries} == set(SCENARIOS)

@@ -20,6 +20,18 @@ Commands
     Inverse planning over the evaluation space: cheapest budget for a
     deadline, fastest deadline for a budget, or the full iso-accuracy
     (time, cost) frontier when neither constraint is given.
+``metrics [id ...] [--format openmetrics|json] [--output PATH]``
+    Run artefacts (uncached) and export their metric snapshots as
+    Prometheus/OpenMetrics text or flat JSON.
+``bench [--record | --check] [--tolerance F] [--repeats N]``
+    Performance-trajectory recorder: run the bench suite, append a
+    ``BENCH_<n>.json`` snapshot (``--record``), or gate against the
+    latest snapshot (``--check``, non-zero exit on regression).
+
+``experiments``, ``serve`` and ``trace`` take telemetry flags:
+``--trace-out`` (Chrome trace-event JSON, loads at ui.perfetto.dev),
+``--metrics-out`` (OpenMetrics text, or flat JSON for ``.json`` paths)
+and ``--log-json`` (JSONL structured-event log).
 """
 
 from __future__ import annotations
@@ -70,6 +82,31 @@ def _models(name: str):
     raise argparse.ArgumentTypeError(f"unknown model {name!r}")
 
 
+def _add_telemetry_flags(
+    parser: argparse.ArgumentParser, *, trace: bool = True
+) -> None:
+    """The shared ``--trace-out/--metrics-out/--log-json`` trio."""
+    if trace:
+        parser.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help="write a Chrome trace-event JSON (ui.perfetto.dev)",
+        )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help=(
+            "write the metric snapshot as OpenMetrics text "
+            "(flat JSON when PATH ends in .json)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="append structured events (JSONL, repro.events/v1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the run manifest "
         "(default results/run_manifest.json)",
     )
+    _add_telemetry_flags(p_exp)
 
     p_report = sub.add_parser(
         "report", help="Markdown report from structured results"
@@ -256,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bill the fleet at the EC2 spot discount",
     )
+    _add_telemetry_flags(p_serve)
 
     p_trace = sub.add_parser(
         "trace", help="per-instance execution trace of a batch job"
@@ -271,12 +310,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="capacity-proportional split instead of the paper's Eq. 4",
     )
+    p_trace.add_argument(
+        "--chrome-out",
+        metavar="PATH",
+        help="also write the gantt as Chrome trace-event JSON",
+    )
 
     p_export = sub.add_parser(
         "export", help="write all artefacts as txt/json/csv"
     )
     p_export.add_argument("directory")
     p_export.add_argument("ids", nargs="*", help="artefact subset")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="export artefact metric snapshots"
+    )
+    p_metrics.add_argument(
+        "ids", nargs="*", help="artefact ids (default: all)"
+    )
+    p_metrics.add_argument(
+        "--format",
+        dest="fmt",
+        default="openmetrics",
+        choices=["openmetrics", "json"],
+        help="OpenMetrics text exposition or flat JSON",
+    )
+    p_metrics.add_argument(
+        "--output", metavar="PATH", help="write to PATH instead of stdout"
+    )
+    p_metrics.add_argument("--jobs", type=int, default=1, metavar="N")
+
+    p_bench = sub.add_parser(
+        "bench", help="performance-trajectory recorder / regression gate"
+    )
+    mode = p_bench.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--record",
+        action="store_true",
+        help="append the next BENCH_<n>.json snapshot",
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the latest snapshot (non-zero exit on "
+        "regression)",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="allowed fractional wall-time slowdown for --check "
+        "(default 0.5 = +50%%; counters must match exactly)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="wall time is the min over N runs (default 3, the "
+        "paper's min-of-3 protocol)",
+    )
+    p_bench.add_argument(
+        "--only",
+        nargs="+",
+        metavar="SCENARIO",
+        help="scenario subset (default: the full suite)",
+    )
+    p_bench.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="directory holding BENCH_<n>.json files (default: cwd)",
+    )
     return parser
 
 
@@ -304,14 +410,76 @@ def _run_selection(ids: Sequence[str], jobs: int, use_cache: bool, manifest_path
         return None
 
 
+def _maybe_event_log(path):
+    """A :class:`JsonlEventLog` for ``path``, or a no-op context."""
+    from contextlib import nullcontext
+
+    if path is None:
+        return nullcontext()
+    from repro.obs import JsonlEventLog
+
+    return JsonlEventLog(path)
+
+
+def _write_metrics(path, snapshots, *, label: str = "artefact") -> None:
+    """Write metric snapshots to ``path``.
+
+    ``.json`` paths get the flat-JSON schema; anything else gets
+    OpenMetrics text (one labelled series per snapshot when there are
+    several).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs.export import (
+        metrics_json,
+        prometheus_text,
+        prometheus_text_multi,
+    )
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".json":
+        payload = {name: metrics_json(s) for name, s in snapshots.items()}
+        if len(payload) == 1:
+            payload = next(iter(payload.values()))
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    elif len(snapshots) == 1:
+        path.write_text(prometheus_text(next(iter(snapshots.values()))))
+    else:
+        path.write_text(prometheus_text_multi(snapshots, label=label))
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     import json
 
-    run = _run_selection(
-        args.ids, args.jobs, not args.no_cache, args.manifest
-    )
+    # cached results carry no trace or metrics, so exporting implies
+    # recomputation
+    use_cache = not args.no_cache
+    if args.trace_out or args.metrics_out:
+        use_cache = False
+    with _maybe_event_log(args.log_json):
+        run = _run_selection(
+            args.ids, args.jobs, use_cache, args.manifest
+        )
     if run is None:
         return 2
+    if args.trace_out:
+        from repro.obs.export import merge_chrome_traces, write_chrome_trace
+
+        write_chrome_trace(
+            args.trace_out,
+            merge_chrome_traces(
+                {r.artefact: r.trace for r in run.results}
+            ),
+        )
+        print(f"trace   -> {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(
+            args.metrics_out,
+            {r.artefact: r.metrics for r in run.results},
+        )
+        print(f"metrics -> {args.metrics_out}", file=sys.stderr)
     if args.fmt == "json":
         payload = {
             "manifest": run.manifest.to_dict(),
@@ -589,7 +757,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         BatchPolicy(max_batch=args.max_batch, max_wait_s=args.max_wait),
         hourly_rate=hourly_rate,
     )
-    report = simulator.run(arrivals, plan)
+    from repro.obs import MetricsRegistry, Tracer, scoped_observability
+    from repro.obs.telemetry import ServingTelemetry, SloPolicy
+
+    telemetry = ServingTelemetry(
+        SloPolicy(latency_slo_s=args.slo) if args.slo is not None else None
+    )
+    tracer = Tracer(enabled=bool(args.trace_out))
+    registry = MetricsRegistry()
+    with scoped_observability(tracer, registry):
+        with _maybe_event_log(args.log_json):
+            report = simulator.run(arrivals, plan, telemetry=telemetry)
     if plan is None:
         print(f"served    : {report.requests} requests in {report.duration_s:.1f}s")
     else:
@@ -618,6 +796,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"SLO {args.slo:.2f}s: miss rate {headroom['miss_rate']:.1%}, "
             f"margin {headroom['margin_s']:+.2f}s"
         )
+    hist = telemetry.latency
+    print(
+        f"telemetry : p50 {hist.p50:.3f}s  p95 {hist.p95:.3f}s  "
+        f"p99 {hist.p99:.3f}s  (streaming histogram, "
+        f"{hist.count} samples)"
+    )
+    print(
+        f"            queue depth peak {telemetry.queue_depth.max:.0f}, "
+        f"batch occupancy mean {telemetry.batch_occupancy.mean:.0%}"
+    )
+    for alert in telemetry.alerts:
+        state = "FIRING" if alert["kind"] == "slo.alert" else "resolved"
+        print(
+            f"SLO alert : [{state}] {alert['slo']} "
+            f"burn {alert['burn_rate']:.1f}x at t={alert['at_s']:.1f}s"
+        )
+    if args.trace_out:
+        from repro.obs.export import chrome_trace, write_chrome_trace
+
+        write_chrome_trace(args.trace_out, chrome_trace(tracer))
+        print(f"trace   -> {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, {"serve": registry.snapshot()})
+        print(f"metrics -> {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -639,6 +841,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         proportional_split=args.proportional,
     )
     print(render_gantt(trace))
+    if args.chrome_out:
+        from repro.obs.export import (
+            chrome_trace_from_job,
+            write_chrome_trace,
+        )
+
+        write_chrome_trace(args.chrome_out, chrome_trace_from_job(trace))
+        print(f"trace   -> {args.chrome_out}", file=sys.stderr)
     return 0
 
 
@@ -655,6 +865,85 @@ def _cmd_export(args: argparse.Namespace) -> int:
         return 2
     for path in export_all(args.directory, tuple(args.ids) or None):
         print(path)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        metrics_json,
+        prometheus_text_multi,
+    )
+
+    # cached results carry empty snapshots, so always recompute
+    run = _run_selection(args.ids, args.jobs, use_cache=False)
+    if run is None:
+        return 2
+    snapshots = {r.artefact: r.metrics for r in run.results}
+    if args.fmt == "json":
+        text = json.dumps(
+            {name: metrics_json(s) for name, s in snapshots.items()},
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        text = prometheus_text_multi(snapshots)
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(args.output)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 1 if run.manifest.errors else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    only = tuple(args.only) if args.only else None
+    if args.check:
+        try:
+            report = bench.check(
+                args.root,
+                tolerance=args.tolerance,
+                repeats=args.repeats,
+                only=only,
+            )
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"baseline: BENCH_{report.baseline_index}.json "
+            f"(tolerance +{report.tolerance:.0%} wall, counters exact)"
+        )
+        for line in report.lines:
+            print(line)
+        if not report.ok:
+            print(
+                f"FAIL: {len(report.failures)} regression(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print("ok: no regressions")
+        return 0
+    if args.record:
+        path = bench.record(args.root, repeats=args.repeats, only=only)
+        for entry in bench.BenchRecord.read(path).entries:
+            print(
+                f"{entry.name:<20s} {entry.wall_s * 1e3:8.1f} ms  "
+                f"{sum(entry.counters.values()):>8d} ops"
+            )
+        print(path)
+        return 0
+    for entry in bench.run_suite(repeats=args.repeats, only=only):
+        print(
+            f"{entry.name:<20s} {entry.wall_s * 1e3:8.1f} ms  "
+            f"{sum(entry.counters.values()):>8d} ops"
+        )
     return 0
 
 
@@ -682,6 +971,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -41,7 +41,13 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import UnknownArtefactError
-from repro.obs import MetricsRegistry, RunManifest, Tracer, scoped_observability
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    get_event_bus,
+    scoped_observability,
+)
 
 __all__ = [
     "Experiment",
@@ -401,14 +407,21 @@ def _execute_experiment(
 ) -> ExperimentResult:
     """Run (or cache-load) one artefact.  Top-level so worker processes
     can execute it; never raises — failures become ``status='error'``."""
+    bus = get_event_bus()
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
+    if bus.active:
+        bus.emit(
+            "experiment.start",
+            artefact=experiment.artefact,
+            config_hash=config_hash,
+        )
     if use_cache and cache_dir is not None:
         cached = _cache_load(
             _cache_path(Path(cache_dir), experiment, config_hash)
         )
         if cached is not None:
-            return ExperimentResult(
+            result = ExperimentResult(
                 artefact=experiment.artefact,
                 title=experiment.title,
                 category=experiment.category,
@@ -419,6 +432,15 @@ def _execute_experiment(
                 wall_s=time.perf_counter() - wall0,
                 cpu_s=time.process_time() - cpu0,
             )
+            if bus.active:
+                bus.emit(
+                    "experiment.end",
+                    artefact=experiment.artefact,
+                    status=result.status,
+                    cache_hit=True,
+                    wall_s=result.wall_s,
+                )
+            return result
 
     tracer = Tracer()
     metrics = MetricsRegistry()
@@ -450,6 +472,14 @@ def _execute_experiment(
     if status == "ok" and use_cache and cache_dir is not None:
         _cache_store(
             _cache_path(Path(cache_dir), experiment, config_hash), result
+        )
+    if bus.active:
+        bus.emit(
+            "experiment.end",
+            artefact=experiment.artefact,
+            status=status,
+            cache_hit=False,
+            wall_s=wall,
         )
     return result
 
@@ -502,7 +532,18 @@ def run_experiments(
     registry = REGISTRY if registry is None else registry
     selected = _resolve(only, registry)
     keys = {e.artefact: experiment_config_hash(e) for e in selected}
+    bus = get_event_bus()
     wall0 = time.perf_counter()
+    if bus.active:
+        # per-artefact start/end events fire from _execute_experiment —
+        # in this process for jobs=1; worker processes have their own
+        # (subscriber-less) bus, so with jobs>1 only run.* events land.
+        bus.emit(
+            "run.start",
+            artefacts=[e.artefact for e in selected],
+            jobs=jobs,
+            use_cache=use_cache,
+        )
     if jobs == 1 or len(selected) <= 1:
         results = [
             _execute_experiment(e, keys[e.artefact], cache_dir, use_cache)
@@ -534,6 +575,15 @@ def run_experiments(
     if write_manifest:
         path = manifest.write(
             DEFAULT_MANIFEST_PATH if manifest_path is None else manifest_path
+        )
+    if bus.active:
+        bus.emit(
+            "run.end",
+            artefacts=len(results),
+            ok=sum(r.status == "ok" for r in results),
+            errors=sum(r.status == "error" for r in results),
+            cache_hits=sum(r.cache_hit for r in results),
+            wall_s=manifest.wall_s,
         )
     return EngineRun(
         results=tuple(results), manifest=manifest, manifest_path=path

@@ -1,6 +1,6 @@
 """repro.obs — lightweight, dependency-free observability.
 
-Three building blocks (see ``docs/observability.md`` for schemas):
+Building blocks (see ``docs/observability.md`` for schemas):
 
 * :class:`Tracer` — nestable spans with wall/CPU time, tags and parent
   links; the queryable record of *where* a run spent its time.
@@ -9,6 +9,15 @@ Three building blocks (see ``docs/observability.md`` for schemas):
   (events dispatched, batches formed, model evaluations, ...).
 * :class:`RunManifest` — per-artefact timing/status/cache provenance of
   an experiment-engine run, written as JSON under ``results/``.
+* :class:`EventBus` (:func:`get_event_bus`) — process-wide structured
+  events (span open/close, counter deltas, experiment lifecycle, SLO
+  alerts), with :class:`JsonlEventLog` as the file subscriber.
+* :mod:`repro.obs.export` — Chrome-trace, OpenMetrics and flat-JSON
+  exporters over the snapshot forms.
+* :mod:`repro.obs.telemetry` — per-request serving telemetry (bucketed
+  latency histograms, queue gauges, sliding-window SLO monitors).
+* :mod:`repro.obs.bench` — the ``BENCH_<n>.json`` performance
+  trajectory recorder and its regression gate.
 
 Library code never takes a tracer or registry as a parameter; it calls
 :func:`get_tracer` / :func:`get_metrics`, which resolve to the current
@@ -23,6 +32,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.events import EventBus, JsonlEventLog, get_event_bus
 from repro.obs.manifest import ArtefactRecord, RunManifest, environment_info
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, percentile
 from repro.obs.tracer import Span, Tracer
@@ -30,13 +40,16 @@ from repro.obs.tracer import Span, Tracer
 __all__ = [
     "ArtefactRecord",
     "Counter",
+    "EventBus",
     "Gauge",
+    "JsonlEventLog",
     "MetricsRegistry",
     "RunManifest",
     "Span",
     "Timer",
     "Tracer",
     "environment_info",
+    "get_event_bus",
     "get_metrics",
     "get_tracer",
     "percentile",

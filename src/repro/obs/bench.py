@@ -1,0 +1,463 @@
+"""Bench trajectory recorder: ``BENCH_<n>.json`` and the regression gate.
+
+The ROADMAP's "fast as the hardware allows" goal is only enforceable
+against a recorded trajectory.  This module defines a small suite of
+hot-path scenarios (the same paths ``benchmarks/`` exercises under
+pytest-benchmark), runs each under a fresh observability scope, and
+captures two things per scenario:
+
+* **wall seconds** — min over ``repeats`` runs, the paper's own
+  min-of-N measurement protocol (Section 4) applied to ourselves;
+* **work counters** — the full counter snapshot (``perf.time_model_evals``,
+  ``evalspace.cache_hits``, ``serving.events``, ...), which is
+  deterministic for fixed seeds and therefore catches *algorithmic*
+  regressions (lost memoization, extra simulations) exactly, with no
+  tolerance band.
+
+``record(root)`` writes the next ``BENCH_<n>.json`` at the repo root
+(schema ``repro.bench/v1``); ``check(root)`` reruns the suite and
+compares against the most recent record — wall time may drift within a
+tolerance, counters must match exactly.  ``repro bench --record`` /
+``--check`` are the CLI front ends; CI runs both on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchEntry",
+    "BenchRecord",
+    "CheckReport",
+    "SCENARIOS",
+    "check",
+    "latest_record",
+    "next_index",
+    "record",
+    "run_suite",
+]
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _scenario_evalspace_grid() -> None:
+    """The Figure 9/10 grid through the unified evaluation core."""
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import P2_TYPES
+    from repro.core.config_space import enumerate_configurations
+    from repro.core.evalspace import (
+        SpaceSpec,
+        clear_space_cache,
+        evaluate,
+    )
+    from repro.pruning.schedule import caffenet_variant_set
+
+    clear_space_cache()
+    space = evaluate(
+        SpaceSpec.build(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            caffenet_variant_set(),
+            enumerate_configurations(P2_TYPES, max_per_type=3),
+            20_000_000,
+        )
+    )
+    assert len(space) == 3780
+    # a content-equal re-request must be a pure cache hit
+    evaluate(
+        SpaceSpec.build(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            caffenet_variant_set(),
+            enumerate_configurations(P2_TYPES, max_per_type=3),
+            20_000_000,
+        )
+    )
+
+
+def _scenario_serving_faulty() -> None:
+    """A faulty serving run with full per-request telemetry attached."""
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.faults import FaultPlan
+    from repro.cloud.instance import CloudInstance
+    from repro.obs.telemetry import ServingTelemetry, SloPolicy
+    from repro.pruning.base import PruneSpec
+    from repro.serving.arrivals import poisson_arrivals
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.simulator import ServingSimulator
+
+    arrivals = poisson_arrivals(120.0, 30.0, seed=7)
+    plan = FaultPlan.sample(
+        duration_s=30.0,
+        workers=8,
+        mtbf_s=20.0,
+        recovery_s=5.0,
+        retry_budget=2,
+        timeout_s=3.0,
+        seed=7,
+    )
+    simulator = ServingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        ResourceConfiguration([CloudInstance(instance_type("p2.8xlarge"))]),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=32, max_wait_s=0.05),
+    )
+    simulator.run(
+        arrivals,
+        plan,
+        telemetry=ServingTelemetry(SloPolicy(latency_slo_s=1.0)),
+    )
+
+
+def _scenario_allocation_greedy() -> None:
+    """Algorithm 1 (greedy) over the degree ladder and full catalog."""
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import EC2_CATALOG
+    from repro.cloud.instance import CloudInstance
+    from repro.cloud.simulator import CloudSimulator
+    from repro.core.allocation import greedy_allocate
+    from repro.experiments.algorithm1 import _default_degrees
+
+    simulator = CloudSimulator(
+        caffenet_time_model(), caffenet_accuracy_model()
+    )
+    pool = [
+        CloudInstance(itype)
+        for itype in EC2_CATALOG
+        for _ in range(2)
+    ]
+    greedy_allocate(
+        _default_degrees(),
+        pool,
+        simulator,
+        images=20_000_000,
+        deadline_s=12 * 3600.0,
+        budget=150.0,
+    )
+
+
+def _scenario_autoscale_surge() -> None:
+    """The elastic fleet riding a bursty surge."""
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.pruning.base import PruneSpec
+    from repro.serving.arrivals import bursty_arrivals
+    from repro.serving.autoscaler import (
+        AutoscalePolicy,
+        AutoscalingSimulator,
+    )
+    from repro.serving.batcher import BatchPolicy
+
+    arrivals = bursty_arrivals(60.0, 60.0, seed=3)
+    AutoscalingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        instance_type("p2.xlarge"),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=16, max_wait_s=0.05),
+        AutoscalePolicy(interval_s=5.0, max_instances=8),
+    ).run(arrivals)
+
+
+#: name -> callable; each runs one hot path end to end.
+SCENARIOS: dict[str, Callable[[], None]] = {
+    "evalspace.grid": _scenario_evalspace_grid,
+    "serving.faulty": _scenario_serving_faulty,
+    "allocation.greedy": _scenario_allocation_greedy,
+    "autoscale.surge": _scenario_autoscale_surge,
+}
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchEntry:
+    """One scenario's slice of a bench record."""
+
+    name: str
+    wall_s: float
+    counters: dict[str, int]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One point on the repo's performance trajectory."""
+
+    index: int
+    created_unix: float
+    repeats: int
+    environment: dict[str, object]
+    entries: tuple[BenchEntry, ...]
+
+    def entry(self, name: str) -> BenchEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise KeyError(name)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "index": self.index,
+            "created_unix": self.created_unix,
+            "repeats": self.repeats,
+            "environment": dict(self.environment),
+            "entries": [e.as_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> BenchRecord:
+        if payload.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"not a {BENCH_SCHEMA} document: {payload.get('schema')!r}"
+            )
+        return cls(
+            index=int(payload["index"]),
+            created_unix=float(payload["created_unix"]),
+            repeats=int(payload["repeats"]),
+            environment=dict(payload["environment"]),
+            entries=tuple(
+                BenchEntry(
+                    name=e["name"],
+                    wall_s=float(e["wall_s"]),
+                    counters={
+                        k: int(v) for k, v in e["counters"].items()
+                    },
+                )
+                for e in payload["entries"]
+            ),
+        )
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> BenchRecord:
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def write(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def run_suite(
+    scenarios: Mapping[str, Callable[[], None]] | None = None,
+    *,
+    repeats: int = 3,
+    only: tuple[str, ...] | None = None,
+) -> list[BenchEntry]:
+    """Run each scenario ``repeats`` times; keep min wall + counters.
+
+    Every repeat runs under a fresh scope (new tracer + registry) and
+    with the process-wide evaluation-space cache cleared, so counters
+    reflect exactly one cold run and repeats do not accumulate.
+    Counter snapshots must agree across repeats — a scenario whose work
+    depends on run order is a bug this assertion catches early.
+    """
+    from repro.core.evalspace import clear_space_cache
+    from repro.obs import scoped_observability
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    scenarios = SCENARIOS if scenarios is None else scenarios
+    if only is not None:
+        unknown = [n for n in only if n not in scenarios]
+        if unknown:
+            raise KeyError(
+                f"unknown scenarios {unknown}; "
+                f"available: {sorted(scenarios)}"
+            )
+        scenarios = {n: scenarios[n] for n in only}
+    entries = []
+    for name, fn in scenarios.items():
+        best = float("inf")
+        counters: dict[str, int] | None = None
+        for _ in range(repeats):
+            clear_space_cache()
+            registry = MetricsRegistry()
+            with scoped_observability(Tracer(enabled=False), registry):
+                wall0 = time.perf_counter()
+                fn()
+                wall = time.perf_counter() - wall0
+            best = min(best, wall)
+            snapshot = registry.snapshot()["counters"]
+            if counters is not None and snapshot != counters:
+                raise AssertionError(
+                    f"scenario {name!r} is nondeterministic: counters "
+                    f"changed between repeats"
+                )
+            counters = snapshot
+        entries.append(
+            BenchEntry(name=name, wall_s=best, counters=counters or {})
+        )
+    return entries
+
+
+def bench_paths(root: str | os.PathLike) -> list[Path]:
+    """Existing ``BENCH_<n>.json`` files under ``root``, by index."""
+    out = []
+    for path in Path(root).iterdir():
+        match = _BENCH_NAME.match(path.name)
+        if match:
+            out.append((int(match.group(1)), path))
+    return [p for _, p in sorted(out)]
+
+
+def next_index(root: str | os.PathLike) -> int:
+    paths = bench_paths(root)
+    if not paths:
+        return 1
+    return int(_BENCH_NAME.match(paths[-1].name).group(1)) + 1
+
+
+def latest_record(root: str | os.PathLike) -> BenchRecord | None:
+    paths = bench_paths(root)
+    return BenchRecord.read(paths[-1]) if paths else None
+
+
+def record(
+    root: str | os.PathLike,
+    *,
+    repeats: int = 3,
+    scenarios: Mapping[str, Callable[[], None]] | None = None,
+    only: tuple[str, ...] | None = None,
+) -> Path:
+    """Run the suite and write the next ``BENCH_<n>.json`` under root."""
+    from repro.obs.manifest import environment_info
+
+    entries = run_suite(scenarios, repeats=repeats, only=only)
+    bench = BenchRecord(
+        index=next_index(root),
+        created_unix=time.time(),
+        repeats=repeats,
+        environment=environment_info(),
+        entries=tuple(entries),
+    )
+    return bench.write(Path(root) / f"BENCH_{bench.index}.json")
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of one ``check`` run against the latest record."""
+
+    baseline_index: int
+    tolerance: float
+    lines: tuple[str, ...]
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def check(
+    root: str | os.PathLike,
+    *,
+    tolerance: float = 0.5,
+    repeats: int = 3,
+    scenarios: Mapping[str, Callable[[], None]] | None = None,
+    only: tuple[str, ...] | None = None,
+) -> CheckReport:
+    """Rerun the suite and gate against the most recent record.
+
+    Wall time may regress up to ``tolerance`` (fractional: 0.5 allows
+    +50%, absorbing shared-runner noise); counters must match exactly —
+    any drift means the amount of *work* changed, which a tolerance
+    band must never absorb.  Scenarios present in only one of the two
+    suites are reported but not failed (the suite itself may grow).
+    """
+    baseline = latest_record(root)
+    if baseline is None:
+        raise FileNotFoundError(
+            f"no BENCH_*.json under {root}; run `repro bench --record`"
+        )
+    fresh = run_suite(scenarios, repeats=repeats, only=only)
+    lines: list[str] = []
+    failures: list[str] = []
+    base_names = {e.name for e in baseline.entries}
+    for entry in fresh:
+        if entry.name not in base_names:
+            lines.append(f"{entry.name}: new scenario (no baseline)")
+            continue
+        prior = baseline.entry(entry.name)
+        ratio = (
+            entry.wall_s / prior.wall_s
+            if prior.wall_s > 0
+            else float("inf")
+        )
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "SLOW"
+            failures.append(
+                f"{entry.name}: wall {entry.wall_s:.3f}s vs "
+                f"{prior.wall_s:.3f}s baseline "
+                f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)"
+            )
+        drifted = {
+            k: (prior.counters.get(k), entry.counters.get(k))
+            for k in set(prior.counters) | set(entry.counters)
+            if prior.counters.get(k) != entry.counters.get(k)
+        }
+        if drifted:
+            verdict = "DRIFT"
+            detail = ", ".join(
+                f"{k}: {was} -> {now}"
+                for k, (was, now) in sorted(drifted.items())
+            )
+            failures.append(
+                f"{entry.name}: work counters drifted ({detail})"
+            )
+        lines.append(
+            f"{entry.name}: {entry.wall_s:.3f}s "
+            f"(baseline {prior.wall_s:.3f}s, {ratio:.2f}x) {verdict}"
+        )
+    return CheckReport(
+        baseline_index=baseline.index,
+        tolerance=tolerance,
+        lines=tuple(lines),
+        failures=tuple(failures),
+    )

@@ -1,0 +1,160 @@
+"""The event bus: structured telemetry events, fanned out process-wide.
+
+Spans, counters and the experiment engine describe *state*; the bus
+carries *events* — span open/close, counter deltas, experiment
+lifecycle, SLO alerts — to whoever subscribed.  With no subscribers
+(the default) :meth:`EventBus.emit` is a single truthiness check, so
+instrumented hot paths pay nothing until someone actually listens.
+
+The canonical subscriber is :class:`JsonlEventLog`, which appends one
+JSON object per event (schema ``repro.events/v1``)::
+
+    {"seq": 17, "ts_unix": 1754000000.0, "kind": "span.close",
+     "name": "serving.run", "span_id": 3, "wall_s": 0.21, ...}
+
+``seq`` is the bus's per-process monotonic sequence number; ``ts_unix``
+is stamped by the log at write time (the bus itself never reads the
+clock, so event payloads stay deterministic for tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Callable
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "EVENT_LOG_SCHEMA",
+    "EventBus",
+    "JsonlEventLog",
+    "get_event_bus",
+]
+
+EVENT_LOG_SCHEMA = "repro.events/v1"
+
+Subscriber = Callable[[dict], None]
+
+
+class EventBus:
+    """Synchronous fan-out of structured events to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscriber] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is listening.
+
+        Hot paths check this before building an event payload, so the
+        idle bus costs one attribute access per instrumentation site.
+        """
+        return bool(self._subscribers)
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Register ``fn`` to receive every subsequent event."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Remove a subscriber (no-op if it was never registered)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def subscribed(self, fn: Subscriber):
+        """Subscribe ``fn`` for the duration of a ``with`` block."""
+        self.subscribe(fn)
+        try:
+            yield fn
+        finally:
+            self.unsubscribe(fn)
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, /, **fields: object) -> None:
+        """Deliver ``{"seq": n, "kind": kind, **fields}`` to subscribers.
+
+        A subscriber that raises does not stop delivery to the others;
+        telemetry must never take down the run it observes.
+        """
+        if not self._subscribers:
+            return
+        self._seq += 1
+        event = {"seq": self._seq, "kind": kind, **fields}
+        for fn in tuple(self._subscribers):
+            try:
+                fn(event)
+            except Exception:
+                pass
+
+    @property
+    def events_emitted(self) -> int:
+        """How many events have been delivered since process start."""
+        return self._seq
+
+
+#: The process-wide bus every instrumentation site emits to.  Unlike
+#: tracers and registries it is not scoped: an event log subscribed for
+#: a CLI invocation sees events from every scope inside it.
+_GLOBAL_BUS = EventBus()
+
+
+def get_event_bus() -> EventBus:
+    """The process-wide :class:`EventBus`."""
+    return _GLOBAL_BUS
+
+
+class JsonlEventLog:
+    """Bus subscriber appending one JSON line per event to a file.
+
+    Usable as a context manager::
+
+        with JsonlEventLog("run.jsonl") as log:
+            ...   # everything emitted in here lands in the file
+        log.count   # events written
+
+    The first line written is a header record carrying the schema
+    version, so a reader can validate what it is parsing.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        bus: EventBus | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.bus = bus if bus is not None else get_event_bus()
+        self.count = 0
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> JsonlEventLog:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        header = {"schema": EVENT_LOG_SCHEMA, "kind": "log.open"}
+        self._handle.write(json.dumps(header) + "\n")
+        self.bus.subscribe(self._write)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.bus.unsubscribe(self._write)
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps({"kind": "log.close", "events": self.count})
+                + "\n"
+            )
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    def _write(self, event: dict) -> None:
+        import time
+
+        record = {"ts_unix": time.time(), **event}
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self.count += 1

@@ -1,0 +1,357 @@
+"""Exporters: get traces and metrics out of the process.
+
+Spans and metric snapshots are only useful if they can leave the
+process in formats other tools read:
+
+* :func:`chrome_trace` — Chrome trace-event JSON from a trace (load it
+  at ``ui.perfetto.dev`` or ``chrome://tracing``).  Spans become ``X``
+  (complete) events with microsecond timestamps; nesting is conveyed by
+  event containment on a shared thread id, which is how both viewers
+  reconstruct the flame graph.
+* :func:`prometheus_text` / :func:`prometheus_text_multi` — Prometheus /
+  OpenMetrics text exposition of a :class:`MetricsRegistry` snapshot.
+  Counters expose ``_total`` samples, gauges expose their last value,
+  timers expose a ``summary`` family (quantiles + ``_count``/``_sum``).
+* :func:`metrics_json` — the flat JSON dump (schema
+  ``repro.metrics/v1``) for anything that just wants the numbers.
+
+All exporters consume the *snapshot* forms (``Tracer.as_dicts()``,
+``MetricsRegistry.snapshot()``), so they work equally on live objects
+and on snapshots pickled back from worker processes or loaded from an
+:class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "chrome_trace",
+    "chrome_trace_events",
+    "chrome_trace_from_job",
+    "merge_chrome_traces",
+    "metric_name",
+    "metrics_json",
+    "prometheus_text",
+    "prometheus_text_multi",
+    "write_chrome_trace",
+]
+
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: timer quantiles exposed in the summary family
+_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _span_dicts(trace) -> list[dict]:
+    """Normalise a Tracer / Span iterable / dict iterable to dicts."""
+    if hasattr(trace, "as_dicts"):
+        return [dict(s) for s in trace.as_dicts()]
+    out = []
+    for span in trace:
+        out.append(
+            dict(span) if isinstance(span, Mapping) else span.as_dict()
+        )
+    return out
+
+
+def chrome_trace_events(
+    trace,
+    *,
+    pid: int = 1,
+    tid: int = 1,
+) -> list[dict]:
+    """Spans as Chrome ``X`` (complete) events, in start order.
+
+    ``ts``/``dur`` are microseconds from the tracer's epoch.  Spans
+    still open when the trace was captured are skipped — a complete
+    event needs a duration.  Tags ride along in ``args``.
+    """
+    events = []
+    for span in _span_dicts(trace):
+        if span.get("wall_s") is None:
+            continue
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": round(span["start_s"] * 1e6, 3),
+                "dur": round(span["wall_s"] * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    **{str(k): v for k, v in span.get("tags", {}).items()},
+                    "cpu_s": span.get("cpu_s"),
+                    "span_id": span.get("span_id"),
+                },
+            }
+        )
+    return events
+
+
+def _thread_name_event(pid: int, tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def chrome_trace(
+    trace,
+    *,
+    pid: int = 1,
+    tid: int = 1,
+    process_name: str = "repro",
+    thread_name: str | None = None,
+) -> dict:
+    """A complete, Perfetto-loadable trace document from one trace."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        }
+    ]
+    if thread_name is not None:
+        events.append(_thread_name_event(pid, tid, thread_name))
+    events.extend(chrome_trace_events(trace, pid=pid, tid=tid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merge_chrome_traces(
+    named: Mapping[str, Iterable],
+    *,
+    process_name: str = "repro",
+) -> dict:
+    """Merge several traces into one document, one thread per name.
+
+    Used by ``repro experiments --trace-out``: each artefact's trace
+    becomes its own named thread, so the run reads as a swimlane chart.
+    Names are sorted for a stable document.
+    """
+    pid = 1
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid, name in enumerate(sorted(named), start=1):
+        events.append(_thread_name_event(pid, tid, name))
+        events.extend(
+            chrome_trace_events(named[name], pid=pid, tid=tid)
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_from_job(job, *, process_name: str = "batch job") -> dict:
+    """Chrome trace of a batch :class:`~repro.cloud.trace.JobTrace`.
+
+    One thread per instance, a ``compute`` span for its busy time and an
+    ``idle (straggler wait)`` span for the tail it spends waiting on the
+    makespan — the Eq. 4 artefact, as a Perfetto swimlane.
+    """
+    pid = 1
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid, inst in enumerate(job.instances, start=1):
+        events.append(_thread_name_event(pid, tid, inst.label))
+        events.append(
+            {
+                "name": "compute",
+                "ph": "X",
+                "ts": 0.0,
+                "dur": round(inst.busy_s * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "images": inst.images,
+                    "batch_width": inst.batch_width,
+                    "batches_per_gpu": inst.batches_per_gpu,
+                    "gpus_used": inst.gpus_used,
+                },
+            }
+        )
+        if inst.idle_s > 0:
+            events.append(
+                {
+                    "name": "idle (straggler wait)",
+                    "ph": "X",
+                    "ts": round(inst.busy_s * 1e6, 3),
+                    "dur": round(inst.idle_s * 1e6, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"straggler": job.straggler},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | os.PathLike, document: dict
+) -> Path:
+    """Write a trace document (atomically) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document, default=str) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus / OpenMetrics text exposition
+# ----------------------------------------------------------------------
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitise a dotted metric name to the Prometheus charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return f"{prefix}{cleaned}"
+
+
+def _escape_label(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _snapshot_families(
+    snapshot: Mapping, labels: Mapping[str, str] | None
+) -> dict[str, tuple[str, list[str]]]:
+    """``{family_name: (type, sample_lines)}`` for one snapshot.
+
+    Quantile samples are emitted only for timers with at least one
+    retained sample — a 0-sample timer still exposes ``_count`` and
+    ``_sum`` but no ``NaN`` quantiles, so the exposition always parses.
+    """
+    out: dict[str, tuple[str, list[str]]] = {}
+    lt = _labels_text(labels)
+    for name, value in snapshot.get("counters", {}).items():
+        fam = metric_name(name)
+        out[fam] = (
+            "counter",
+            [f"{fam}_total{lt} {_format_value(value)}"],
+        )
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None or not math.isfinite(float(value)):
+            continue  # unset gauge: no sample
+        fam = metric_name(name)
+        out[fam] = ("gauge", [f"{fam}{lt} {_format_value(value)}"])
+    for name, summary in snapshot.get("timers", {}).items():
+        fam = metric_name(name)
+        lines = []
+        count = int(summary.get("count", 0))
+        retained = count - int(summary.get("truncated", 0))
+        if retained > 0:
+            for q, key in _QUANTILES:
+                value = summary.get(key)
+                if value is None or not math.isfinite(float(value)):
+                    continue
+                ql = dict(labels or {})
+                ql["quantile"] = str(q)
+                lines.append(
+                    f"{fam}{_labels_text(ql)} {_format_value(value)}"
+                )
+        lines.append(f"{fam}_count{lt} {count}")
+        lines.append(
+            f"{fam}_sum{lt} {_format_value(summary.get('total', 0.0))}"
+        )
+        out[fam] = ("summary", lines)
+    return out
+
+
+def _render_families(
+    families: dict[str, tuple[str, list[str]]]
+) -> str:
+    lines = []
+    for fam in sorted(families):
+        kind, samples = families[fam]
+        lines.append(f"# TYPE {fam} {kind}")
+        lines.extend(samples)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def prometheus_text(
+    snapshot: Mapping,
+    *,
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """OpenMetrics text for one ``MetricsRegistry.snapshot()``."""
+    return _render_families(_snapshot_families(snapshot, labels))
+
+
+def prometheus_text_multi(
+    snapshots: Mapping[str, Mapping],
+    *,
+    label: str = "artefact",
+) -> str:
+    """One exposition for many labelled snapshots.
+
+    Each snapshot's series carry ``{label="<key>"}``; a family observed
+    in several snapshots is declared once and lists every labelled
+    series (the multi-artefact export of ``repro experiments``).
+    """
+    merged: dict[str, tuple[str, list[str]]] = {}
+    for key in sorted(snapshots):
+        families = _snapshot_families(snapshots[key], {label: key})
+        for fam, (kind, samples) in families.items():
+            if fam in merged:
+                merged[fam][1].extend(samples)
+            else:
+                merged[fam] = (kind, list(samples))
+    return _render_families(merged)
+
+
+# ----------------------------------------------------------------------
+# flat JSON
+# ----------------------------------------------------------------------
+def metrics_json(snapshot: Mapping) -> dict:
+    """Schema-versioned flat-JSON payload of one metrics snapshot.
+
+    Returns the ``dict`` (not a string) so callers can nest several
+    snapshots into one document before serialising.
+    """
+    return {"schema": METRICS_SCHEMA, **snapshot}

@@ -11,13 +11,17 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sequence
 
+from repro.obs.events import get_event_bus
+
 __all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "percentile"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (numpy's default method).
 
-    ``q`` is in [0, 100]; returns ``nan`` for an empty sequence.
+    ``q`` is in [0, 100]; returns ``nan`` for an empty sequence and
+    the value itself for a single sample (every quantile of one
+    observation is that observation).
     """
     if not 0 <= q <= 100:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
@@ -34,7 +38,12 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 class Counter:
-    """Monotonically increasing integer count."""
+    """Monotonically increasing integer count.
+
+    Each increment is also offered to the process-wide event bus as a
+    ``counter`` event (name, delta, new value) — a single truthiness
+    check when nothing is subscribed, so hot loops stay hot.
+    """
 
     __slots__ = ("name", "value")
 
@@ -44,6 +53,11 @@ class Counter:
 
     def inc(self, n: int = 1) -> int:
         self.value += n
+        bus = get_event_bus()
+        if bus.active:
+            bus.emit(
+                "counter", name=self.name, delta=n, value=self.value
+            )
         return self.value
 
 
@@ -58,6 +72,9 @@ class Gauge:
 
     def set(self, value: float) -> float:
         self.value = float(value)
+        bus = get_event_bus()
+        if bus.active:
+            bus.emit("gauge", name=self.name, value=self.value)
         return self.value
 
 
@@ -69,6 +86,12 @@ class Timer:
     Raw samples are kept up to ``max_samples``; beyond that, new samples
     still update count/total/max but are not retained for percentiles
     (``summary()['truncated']`` reports how many were shed).
+
+    Edge cases the exporters rely on: with **zero** samples every
+    statistic (mean/max/p50/p90/p99) is ``nan`` — never an exception —
+    and the text exposition omits the quantile samples while keeping
+    ``_count``/``_sum``; with **one** sample every percentile equals
+    that sample.
     """
 
     __slots__ = ("name", "max_samples", "count", "total", "_max", "_samples")

@@ -12,6 +12,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.events import get_event_bus
+
 __all__ = ["Span", "Tracer"]
 
 
@@ -81,6 +83,16 @@ class Tracer:
         self._next_id += 1
         self._spans.append(span)
         self._stack.append(span)
+        bus = get_event_bus()
+        if bus.active:
+            bus.emit(
+                "span.open",
+                name=name,
+                span_id=span.span_id,
+                parent_id=parent,
+                start_s=span.start_s,
+                tags=dict(tags),
+            )
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
@@ -89,6 +101,15 @@ class Tracer:
             span.wall_s = time.perf_counter() - wall0
             span.cpu_s = time.process_time() - cpu0
             self._stack.pop()
+            if bus.active:
+                bus.emit(
+                    "span.close",
+                    name=name,
+                    span_id=span.span_id,
+                    wall_s=span.wall_s,
+                    cpu_s=span.cpu_s,
+                    tags=dict(span.tags),
+                )
 
     # ------------------------------------------------------------------
     @property

@@ -21,6 +21,7 @@ of the cost-accuracy axes.
 """
 
 from repro.cloud.faults import FaultPlan, Preemption, Slowdown
+from repro.obs.telemetry import ServingTelemetry, SloPolicy
 from repro.serving.arrivals import (
     bursty_arrivals,
     poisson_arrivals,
@@ -35,6 +36,8 @@ __all__ = [
     "Preemption",
     "ServingReport",
     "ServingSimulator",
+    "ServingTelemetry",
+    "SloPolicy",
     "Slowdown",
     "bursty_arrivals",
     "poisson_arrivals",

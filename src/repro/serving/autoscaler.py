@@ -62,6 +62,12 @@ class AutoscalePolicy:
     boot_delay_s:
         Seconds between launching an instance and its GPUs serving
         (billing starts at launch, as on EC2).
+    scale_out_on_slo_burn:
+        When True and the attached telemetry's SLO monitor is in the
+        alert state at a control tick, scale out even below the
+        utilisation threshold (burn-rate-driven scaling, Scavenger
+        style).  Off by default — it only acts when a run passes a
+        telemetry bundle with an SLO policy.
     """
 
     interval_s: float = 10.0
@@ -70,6 +76,7 @@ class AutoscalePolicy:
     min_instances: int = 1
     max_instances: int = 16
     boot_delay_s: float = 15.0
+    scale_out_on_slo_burn: bool = False
 
     def __post_init__(self) -> None:
         if not 0 < self.scale_in_below < self.scale_out_above <= 1.0:
@@ -183,8 +190,18 @@ class AutoscalingSimulator:
 
     # ------------------------------------------------------------------
     def run(
-        self, arrivals: np.ndarray, faults: FaultPlan | None = None
+        self,
+        arrivals: np.ndarray,
+        faults: FaultPlan | None = None,
+        telemetry=None,
     ) -> AutoscaleReport:
+        """Serve ``arrivals`` elastically; see
+        :meth:`repro.serving.simulator.ServingSimulator.run` for the
+        ``telemetry`` contract.  Unlike the static simulator, an
+        attached SLO monitor can also *drive* scaling when the policy
+        sets ``scale_out_on_slo_burn``."""
+        from repro.obs.telemetry import record_report_gauges
+
         plan = faults if faults is not None else FaultPlan.none()
         arrivals = np.asarray(arrivals, dtype=float)
         if arrivals.size == 0:
@@ -194,18 +211,21 @@ class AutoscalingSimulator:
         with get_tracer().span(
             "fleet.run", requests=int(arrivals.size)
         ) as span:
-            report = self._run(arrivals, plan)
+            report = self._run(arrivals, plan, telemetry)
         metrics = get_metrics()
         metrics.counter("fleet.runs").inc()
         metrics.counter("fleet.preemptions").inc(report.preempted)
         metrics.gauge("fleet.peak_instances").set(report.peak_instances)
+        record_report_gauges(report, prefix="fleet", registry=metrics)
+        if telemetry is not None:
+            telemetry.finalize(metrics, prefix="fleet")
         if span is not None:
             span.tags["peak_instances"] = report.peak_instances
             span.tags["dropped"] = report.dropped
         return report
 
     def _run(
-        self, arrivals: np.ndarray, plan: FaultPlan
+        self, arrivals: np.ndarray, plan: FaultPlan, telemetry=None
     ) -> AutoscaleReport:
 
         events = EventQueue()
@@ -276,11 +296,13 @@ class AutoscalingSimulator:
                     free.remove(wid)
             events.push(at, "maybe-drained", victim)
 
-        def drop_request(request_id: int) -> None:
+        def drop_request(request_id: int, at: float) -> None:
             nonlocal dropped
             if status[request_id] != _DROPPED:
                 status[request_id] = _DROPPED
                 dropped += 1
+                if telemetry is not None:
+                    telemetry.record_dropped(at)
 
         def purge(at: float) -> None:
             if plan.timeout_s is None:
@@ -290,14 +312,14 @@ class AutoscalingSimulator:
                 and at - pending.oldest_arrival() > plan.timeout_s + 1e-9
             ):
                 request_id, _ = pending.take(1)[0]
-                drop_request(request_id)
+                drop_request(request_id, at)
 
-        def requeue(batch: list) -> None:
+        def requeue(batch: list, at: float) -> None:
             nonlocal retries_total
             for request_id, arrival_s in batch:
                 retry_count[request_id] += 1
                 if retry_count[request_id] > plan.retry_budget:
-                    drop_request(request_id)
+                    drop_request(request_id, at)
                 else:
                     retries_total += 1
                     pending.requeue(request_id, arrival_s)
@@ -312,6 +334,10 @@ class AutoscalingSimulator:
                     len(batch)
                 ) * plan.slowdown_factor(wid, at)
                 busy_window += service
+                if telemetry is not None:
+                    telemetry.record_batch(
+                        at, len(batch), self._cap, len(pending)
+                    )
                 worker_busy_until[wid] = at + service
                 inflight[wid] = (batch, at + service)
                 events.push(
@@ -350,6 +376,8 @@ class AutoscalingSimulator:
                 for request_id, arrival_s in batch:
                     latencies[request_id] = now - arrival_s
                     status[request_id] = _SERVED
+                    if telemetry is not None:
+                        telemetry.record_served(now, now - arrival_s)
                 served += len(batch)
                 owner = next(
                     i
@@ -402,7 +430,7 @@ class AutoscalingSimulator:
                         free.remove(wid)
                     if wid in inflight:
                         batch, _done_at = inflight.pop(wid)
-                        requeue(batch)
+                        requeue(batch, now)
                     worker_busy_until[wid] = 0.0
                 # replacement capacity pays the boot delay
                 if (
@@ -421,14 +449,29 @@ class AutoscalingSimulator:
                 )
                 busy_window = 0.0
                 get_metrics().counter("fleet.control_ticks").inc()
+                slo_burning = (
+                    self.autoscale.scale_out_on_slo_burn
+                    and telemetry is not None
+                    and telemetry.slo is not None
+                    and telemetry.slo.burning
+                )
                 if (
                     utilisation > self.autoscale.scale_out_above
-                    and len(live_instances())
+                    or slo_burning
+                ) and (
+                    len(live_instances())
                     < self.autoscale.max_instances
                 ):
                     get_metrics().counter("fleet.scale_out").inc()
+                    if slo_burning:
+                        get_metrics().counter(
+                            "fleet.slo_scale_out"
+                        ).inc()
                     launch(now)
-                elif utilisation < self.autoscale.scale_in_below:
+                elif (
+                    utilisation < self.autoscale.scale_in_below
+                    and not slo_burning
+                ):
                     get_metrics().counter("fleet.scale_in").inc()
                     try_release(now)
                 if served + dropped < arrivals.size:
@@ -440,7 +483,7 @@ class AutoscalingSimulator:
         # requests still queued at the event horizon are undeliverable
         while pending:
             request_id, _ = pending.take(1)[0]
-            drop_request(request_id)
+            drop_request(request_id, now)
 
         # release whatever is still running at the end
         for instance in instances:

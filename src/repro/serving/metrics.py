@@ -101,9 +101,17 @@ def availability_summary(
     fraction of *all offered* requests that were served within the SLO,
     so a dropped request counts as a miss (the client-side view, per
     the SLO-under-faults framing of Perseus-style tail studies).
+
+    The same aggregates are registered as ``serving.*`` gauges in the
+    current metrics registry (via
+    :func:`repro.obs.telemetry.record_report_gauges`), so exports and
+    the rendered summary always agree — one source of truth.
     """
+    from repro.obs.telemetry import record_report_gauges
+
     if slo_s is not None and slo_s <= 0:
         raise ValueError("slo_s must be positive")
+    record_report_gauges(report, prefix="serving")
     summary = {
         "availability": report.availability,
         "goodput": report.goodput,

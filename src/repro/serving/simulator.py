@@ -183,13 +183,25 @@ class ServingSimulator:
 
     # ------------------------------------------------------------------
     def run(
-        self, arrivals: np.ndarray, faults: FaultPlan | None = None
+        self,
+        arrivals: np.ndarray,
+        faults: FaultPlan | None = None,
+        telemetry=None,
     ) -> ServingReport:
         """Serve all ``arrivals`` (sorted seconds); returns the report.
 
         ``faults`` schedules preemptions/slowdowns and sets the retry
         budget and queueing timeout; ``None`` is the reliable fleet.
+        ``telemetry`` is an optional
+        :class:`~repro.obs.telemetry.ServingTelemetry`: the event loop
+        feeds it per-request latencies, drop events and queue/batch
+        gauges (O(1) each, no retention), and its SLO monitor raises
+        alert events; ``None`` skips every hook.  Telemetry never
+        perturbs the simulation — the report is byte-identical with or
+        without it.
         """
+        from repro.obs.telemetry import record_report_gauges
+
         plan = faults if faults is not None else FaultPlan.none()
         arrivals = np.asarray(arrivals, dtype=float)
         if arrivals.size == 0:
@@ -201,7 +213,7 @@ class ServingSimulator:
             workers=len(self._workers),
             requests=int(arrivals.size),
         ) as span:
-            report = self._run(arrivals, plan)
+            report = self._run(arrivals, plan, telemetry)
         metrics = get_metrics()
         metrics.counter("serving.runs").inc()
         metrics.counter("serving.requests").inc(report.requests)
@@ -209,13 +221,16 @@ class ServingSimulator:
         metrics.counter("serving.requeues").inc(report.retries)
         metrics.counter("serving.drops").inc(report.dropped)
         metrics.counter("serving.preemptions").inc(report.preempted)
+        record_report_gauges(report, prefix="serving", registry=metrics)
+        if telemetry is not None:
+            telemetry.finalize(metrics, prefix="serving")
         if span is not None:
             span.tags["batches"] = int(report.batch_sizes.size)
             span.tags["dropped"] = report.dropped
         return report
 
     def _run(
-        self, arrivals: np.ndarray, plan: FaultPlan
+        self, arrivals: np.ndarray, plan: FaultPlan, telemetry=None
     ) -> ServingReport:
 
         events = EventQueue()
@@ -254,13 +269,17 @@ class ServingSimulator:
             ):
                 request_id, _ = pending.take(1)[0]
                 status[request_id] = _DROPPED
+                if telemetry is not None:
+                    telemetry.record_dropped(now)
 
-        def requeue(batch: list) -> None:
+        def requeue(batch: list, now: float) -> None:
             nonlocal retries_total
             for request_id, arrival_s in batch:
                 retry_count[request_id] += 1
                 if retry_count[request_id] > plan.retry_budget:
                     status[request_id] = _DROPPED
+                    if telemetry is not None:
+                        telemetry.record_dropped(now)
                 else:
                     retries_total += 1
                     pending.requeue(request_id, arrival_s)
@@ -279,6 +298,10 @@ class ServingSimulator:
                 ) * plan.slowdown_factor(worker_id, now)
                 busy_s += service
                 batch_sizes.append(len(batch))
+                if telemetry is not None:
+                    telemetry.record_batch(
+                        now, len(batch), cap, len(pending)
+                    )
                 inflight[worker_id] = (batch, now + service)
                 events.push(
                     now + service,
@@ -308,6 +331,8 @@ class ServingSimulator:
                 for request_id, arrival_s in batch:
                     latencies[request_id] = now - arrival_s
                     status[request_id] = _SERVED
+                    if telemetry is not None:
+                        telemetry.record_served(now, now - arrival_s)
             elif event.kind == "timer":
                 timer_at = None
             elif event.kind == "preempt":
@@ -323,7 +348,7 @@ class ServingSimulator:
                 if worker_id in inflight:
                     batch, done_at = inflight.pop(worker_id)
                     busy_s -= done_at - now  # the cancelled tail never ran
-                    requeue(batch)
+                    requeue(batch, now)
                 if preemption.recover_after_s is not None:
                     events.push(
                         now + preemption.recover_after_s,
@@ -344,6 +369,8 @@ class ServingSimulator:
         while pending:
             request_id, _ = pending.take(1)[0]
             status[request_id] = _DROPPED
+            if telemetry is not None:
+                telemetry.record_dropped(now)
 
         duration = now  # last event time
         served_mask = status == _SERVED

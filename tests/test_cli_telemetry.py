@@ -1,0 +1,259 @@
+"""CLI telemetry surface: export flags, ``metrics`` and ``bench``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def _read_jsonl(path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestExperimentsTelemetryFlags:
+    def test_trace_metrics_and_event_log(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.prom"
+        log = tmp_path / "ev.jsonl"
+        code = main(
+            [
+                "experiments",
+                "table1",
+                "--manifest",
+                str(tmp_path / "manifest.json"),
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+                "--log-json",
+                str(log),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert any(
+            e["ph"] == "X" and e["name"] == "experiment"
+            for e in doc["traceEvents"]
+        )
+        text = metrics.read_text()
+        assert "repro_engine_artefact_s_count" in text
+        assert text.endswith("# EOF\n")
+        events = _read_jsonl(log)
+        assert events[0]["schema"] == "repro.events/v1"
+        kinds = [e.get("kind") for e in events]
+        for expected in (
+            "run.start",
+            "experiment.start",
+            "experiment.end",
+            "run.end",
+            "log.close",
+        ):
+            assert expected in kinds, expected
+
+    def test_metrics_out_json_flavour(self, tmp_path):
+        out = tmp_path / "m.json"
+        code = main(
+            [
+                "experiments",
+                "table1",
+                "--manifest",
+                str(tmp_path / "manifest.json"),
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.metrics/v1"
+
+
+class TestServeTelemetryFlags:
+    def test_faulty_serve_emits_alerts_and_exports(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "serve.prom"
+        log = tmp_path / "serve.jsonl"
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.xlarge",
+                "--rate",
+                "120",
+                "--duration",
+                "30",
+                "--faults",
+                "10",
+                "--fault-recovery",
+                "5",
+                "--request-timeout",
+                "2",
+                "--slo",
+                "0.5",
+                "--metrics-out",
+                str(metrics),
+                "--log-json",
+                str(log),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry :" in out
+        assert "SLO alert" in out  # faults at this load must page
+        text = metrics.read_text()
+        assert "repro_serving_latency_p99_s" in text
+        assert "repro_serving_availability" in text
+        kinds = {e.get("kind") for e in _read_jsonl(log)}
+        assert "slo.alert" in kinds
+
+    def test_clean_serve_has_histogram_no_alerts(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--instances",
+                "p2.8xlarge",
+                "--rate",
+                "50",
+                "--duration",
+                "10",
+                "--slo",
+                "5.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry :" in out
+        assert "SLO alert" not in out
+
+
+class TestTraceChromeOut:
+    def test_gantt_also_exports(self, tmp_path, capsys):
+        out = tmp_path / "gantt.json"
+        code = main(
+            [
+                "trace",
+                "--instances",
+                "p2.xlarge",
+                "p2.8xlarge",
+                "--images",
+                "200000",
+                "--chrome-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert any(
+            e["name"] == "compute" for e in doc["traceEvents"]
+        )
+
+
+class TestMetricsCommand:
+    def test_openmetrics_to_stdout(self, capsys):
+        code = main(["metrics", "table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'artefact="table1"' in out
+        assert out.endswith("# EOF\n")
+
+    def test_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["metrics", "table1", "--format", "json", "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["table1"]["schema"] == "repro.metrics/v1"
+
+    def test_unknown_artefact_exit_2(self, capsys):
+        assert main(["metrics", "nope"]) == 2
+
+
+class TestBenchCommand:
+    def test_record_then_check(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--record",
+                "--repeats",
+                "1",
+                "--only",
+                "allocation.greedy",
+                "--root",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        code = main(
+            [
+                "bench",
+                "--check",
+                "--repeats",
+                "1",
+                "--only",
+                "allocation.greedy",
+                "--root",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_check_without_baseline_exit_2(self, tmp_path, capsys):
+        code = main(["bench", "--check", "--root", str(tmp_path)])
+        assert code == 2
+
+    def test_plain_run_prints_suite(self, capsys):
+        code = main(
+            ["bench", "--repeats", "1", "--only", "allocation.greedy"]
+        )
+        assert code == 0
+        assert "allocation.greedy" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_slowdown(self, tmp_path, capsys):
+        """End-to-end: a slower suite must turn the gate red."""
+        import repro.obs.bench as bench_mod
+
+        main(
+            [
+                "bench",
+                "--record",
+                "--repeats",
+                "1",
+                "--only",
+                "allocation.greedy",
+                "--root",
+                str(tmp_path),
+            ]
+        )
+        original = bench_mod.SCENARIOS["allocation.greedy"]
+
+        def slowed() -> None:
+            import time
+
+            original()
+            time.sleep(0.2)
+
+        bench_mod.SCENARIOS["allocation.greedy"] = slowed
+        try:
+            code = main(
+                [
+                    "bench",
+                    "--check",
+                    "--repeats",
+                    "1",
+                    "--tolerance",
+                    "0.5",
+                    "--only",
+                    "allocation.greedy",
+                    "--root",
+                    str(tmp_path),
+                ]
+            )
+        finally:
+            bench_mod.SCENARIOS["allocation.greedy"] = original
+        assert code == 1
+        assert "SLOW" in capsys.readouterr().out

@@ -56,3 +56,13 @@ class TestExamples:
         out = _run("calibrate_your_model.py", capsys)
         assert "fitted models" in out
         assert "iso-accuracy frontier" in out
+
+    def test_telemetry_tour(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = _run("telemetry_tour.py", capsys)
+        assert "SLO alert(s) fired" in out
+        assert "FIRING" in out
+        assert "ui.perfetto.dev" in out
+        assert (tmp_path / "telemetry_out" / "trace.json").exists()
+        assert (tmp_path / "telemetry_out" / "metrics.prom").exists()
+        assert (tmp_path / "telemetry_out" / "events.jsonl").exists()

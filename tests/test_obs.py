@@ -234,3 +234,140 @@ class TestRunManifest:
     def test_from_dict_rejects_wrong_schema(self):
         with pytest.raises(ValueError):
             RunManifest.from_dict({"schema": "something/else"})
+
+
+class TestTimerEdgeCases:
+    """Degenerate sample counts must degrade to nan, never raise."""
+
+    def test_zero_samples_all_stats_nan(self):
+        from repro.obs import Timer
+
+        t = Timer("never_observed")
+        s = t.summary()
+        assert s["count"] == 0
+        for key in ("mean", "max", "p50", "p90", "p99"):
+            assert math.isnan(s[key]), key
+        assert s["total"] == 0.0
+        assert math.isnan(t.percentile(50))
+
+    def test_one_sample_every_percentile_is_it(self):
+        from repro.obs import Timer
+
+        t = Timer("once")
+        t.observe(0.75)
+        for q in (0, 1, 50, 99, 100):
+            assert t.percentile(q) == 0.75
+        s = t.summary()
+        assert s["count"] == 1
+        assert s["p50"] == s["p99"] == s["mean"] == s["max"] == 0.75
+
+    def test_zero_samples_exposition_has_no_nan(self):
+        from repro.obs.export import prometheus_text
+
+        registry = MetricsRegistry()
+        registry.timer("empty_s")
+        text = prometheus_text(registry.snapshot())
+        assert "quantile" not in text
+        assert "repro_empty_s_count 0" in text
+        assert "repro_empty_s_sum 0" in text
+        assert "nan" not in text.lower()
+
+    def test_fully_truncated_timer_exposes_no_quantiles(self):
+        # count > 0 but every retained sample truncated away is the
+        # nastiest corner: retained == 0 must also suppress quantiles
+        from repro.obs import Timer
+        from repro.obs.export import prometheus_text
+
+        t = Timer("lat", max_samples=2)
+        t.observe_many([1.0, 2.0, 3.0])
+        snapshot = {
+            "counters": {},
+            "gauges": {},
+            "timers": {
+                "lat": {**t.summary(), "truncated": t.summary()["count"]}
+            },
+        }
+        text = prometheus_text(snapshot)
+        assert "quantile" not in text
+        assert "repro_lat_count 3" in text
+
+
+class TestEventBus:
+    def test_counter_and_gauge_emit_when_subscribed(self):
+        from repro.obs import get_event_bus
+
+        events = []
+        registry = MetricsRegistry()
+        with get_event_bus().subscribed(events.append):
+            registry.counter("work").inc(2)
+            registry.gauge("depth").set(5)
+        registry.counter("work").inc(100)  # after unsubscribe: silent
+        assert [(e["kind"], e["name"]) for e in events] == [
+            ("counter", "work"),
+            ("gauge", "depth"),
+        ]
+        assert events[0]["delta"] == 2 and events[0]["value"] == 2
+
+    def test_span_open_close_events(self):
+        from repro.obs import get_event_bus
+
+        events = []
+        tracer = Tracer()
+        with get_event_bus().subscribed(events.append):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        kinds = [(e["kind"], e["name"]) for e in events]
+        assert kinds == [
+            ("span.open", "outer"),
+            ("span.open", "inner"),
+            ("span.close", "inner"),
+            ("span.close", "outer"),
+        ]
+        close = events[-1]
+        assert close["wall_s"] >= 0.0 and "span_id" in close
+
+    def test_seq_monotonic_and_idle_bus_free(self):
+        from repro.obs import get_event_bus
+
+        bus = get_event_bus()
+        assert bus.active is False  # nothing subscribed at rest
+        events = []
+        with bus.subscribed(events.append):
+            assert bus.active is True
+            bus.emit("a")
+            bus.emit("b")
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 2
+
+    def test_raising_subscriber_does_not_stop_delivery(self):
+        from repro.obs.events import EventBus
+
+        bus = EventBus()
+        received = []
+
+        def bad(event):
+            raise RuntimeError("observer crash")
+
+        bus.subscribe(bad)
+        bus.subscribe(received.append)
+        bus.emit("survives")
+        assert [e["kind"] for e in received] == ["survives"]
+
+    def test_jsonl_log_schema_and_trailer(self, tmp_path):
+        from repro.obs import JsonlEventLog, get_event_bus
+
+        path = tmp_path / "events.jsonl"
+        with JsonlEventLog(path) as log:
+            get_event_bus().emit("one", value=1)
+            get_event_bus().emit("two")
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert lines[0] == {
+            "schema": "repro.events/v1",
+            "kind": "log.open",
+        }
+        assert lines[1]["kind"] == "one" and lines[1]["ts_unix"] > 0
+        assert lines[-1] == {"kind": "log.close", "events": 2}
+        assert log.count == 2

@@ -1,0 +1,244 @@
+"""Exporters: Chrome trace-event JSON, OpenMetrics text, flat JSON."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_from_job,
+    merge_chrome_traces,
+    metric_name,
+    metrics_json,
+    prometheus_text,
+    prometheus_text_multi,
+    write_chrome_trace,
+)
+
+
+def _nested_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", artefact="fig9"):
+        with tracer.span("inner"):
+            time.sleep(0.001)
+        with tracer.span("sibling"):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_is_valid_json_with_metadata(self):
+        doc = chrome_trace(_nested_tracer(), thread_name="main")
+        restored = json.loads(json.dumps(doc))
+        assert restored["displayTimeUnit"] == "ms"
+        meta = [e for e in restored["traceEvents"] if e["ph"] == "M"]
+        assert {m["name"] for m in meta} == {
+            "process_name",
+            "thread_name",
+        }
+
+    def test_spans_become_complete_events_in_start_order(self):
+        events = chrome_trace_events(_nested_tracer())
+        assert [e["name"] for e in events] == [
+            "outer",
+            "inner",
+            "sibling",
+        ]
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["args"]["artefact"] == "fig9"
+
+    def test_timestamps_monotonic_and_nesting_by_containment(self):
+        events = chrome_trace_events(_nested_tracer())
+        starts = [e["ts"] for e in events]
+        assert starts == sorted(starts)
+        outer, inner, sibling = events
+        # viewers rebuild the flame graph from containment on one tid
+        assert outer["tid"] == inner["tid"] == sibling["tid"]
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+        assert sibling["ts"] >= inner["ts"] + inner["dur"]
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        ctx = tracer.span("unfinished")
+        ctx.__enter__()
+        with tracer.span("done"):
+            pass
+        # "unfinished" has no duration; only closed spans export
+        names = {e["name"] for e in chrome_trace_events(tracer)}
+        assert names == {"done"}
+        ctx.__exit__(None, None, None)
+
+    def test_accepts_span_dicts_from_results(self):
+        # ExperimentResult carries tracer.as_dicts(); both forms export
+        tracer = _nested_tracer()
+        assert chrome_trace_events(tracer.as_dicts()) == (
+            chrome_trace_events(tracer)
+        )
+
+    def test_merge_gives_one_thread_per_name(self):
+        doc = merge_chrome_traces(
+            {"fig9": _nested_tracer(), "fig10": _nested_tracer()}
+        )
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert set(names) == {"fig9", "fig10"}
+        assert len(set(names.values())) == 2
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["tid"] in names.values()
+
+    def test_write_creates_parents_and_loads_back(self, tmp_path):
+        target = tmp_path / "deep" / "trace.json"
+        path = write_chrome_trace(target, chrome_trace(_nested_tracer()))
+        assert path == target
+        assert json.loads(target.read_text())["traceEvents"]
+
+    def test_job_trace_swimlanes(self):
+        from repro.calibration import caffenet_time_model
+        from repro.cloud.catalog import instance_type
+        from repro.cloud.configuration import ResourceConfiguration
+        from repro.cloud.instance import CloudInstance
+        from repro.cloud.trace import trace_job
+        from repro.pruning.base import PruneSpec
+
+        job = trace_job(
+            caffenet_time_model(),
+            PruneSpec.unpruned(),
+            ResourceConfiguration(
+                [
+                    CloudInstance(instance_type("p2.xlarge")),
+                    CloudInstance(instance_type("p2.8xlarge")),
+                ]
+            ),
+            200_000,
+        )
+        doc = chrome_trace_from_job(job)
+        lanes = [
+            e for e in doc["traceEvents"] if e["name"] == "thread_name"
+        ]
+        assert len(lanes) == 2
+        compute = [
+            e for e in doc["traceEvents"] if e["name"] == "compute"
+        ]
+        assert len(compute) == 2
+        # the straggler has no idle span; the other instance does
+        idle = [
+            e
+            for e in doc["traceEvents"]
+            if e["name"].startswith("idle")
+        ]
+        assert len(idle) == 1
+        assert idle[0]["args"]["straggler"] == job.straggler
+
+
+class TestPrometheusText:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("serving.events").inc(42)
+        registry.gauge("serving.availability").set(0.993)
+        registry.timer("engine.artefact_s").observe_many([0.1, 0.2, 0.4])
+        return registry
+
+    def test_families_and_terminator(self):
+        text = prometheus_text(self._registry().snapshot())
+        # OpenMetrics: TYPE names the family, counter samples add _total
+        assert "# TYPE repro_serving_events counter" in text
+        assert "repro_serving_events_total 42" in text
+        assert "repro_serving_availability 0.993" in text
+        assert "# TYPE repro_engine_artefact_s summary" in text
+        assert 'repro_engine_artefact_s{quantile="0.5"}' in text
+        assert "repro_engine_artefact_s_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_empty_timer_has_count_but_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.timer("idle_s")  # created, never observed
+        text = prometheus_text(registry.snapshot())
+        assert "repro_idle_s_count 0" in text
+        assert "quantile" not in text
+        assert "nan" not in text.lower()
+
+    def test_labels_escaped(self):
+        text = prometheus_text(
+            self._registry().snapshot(),
+            labels={"run": 'quo"te\\slash\nline'},
+        )
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # one label set on every sample line
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert 'run="' in line
+
+    def test_multi_declares_each_family_once(self):
+        snapshots = {
+            "fig9": self._registry().snapshot(),
+            "fig10": self._registry().snapshot(),
+        }
+        text = prometheus_text_multi(snapshots, label="artefact")
+        assert text.count("# TYPE repro_serving_events counter") == 1
+        assert 'artefact="fig9"' in text and 'artefact="fig10"' in text
+        assert text.endswith("# EOF\n")
+
+    def test_metric_name_sanitised(self):
+        assert metric_name("serving.p99-latency") == (
+            "repro_serving_p99_latency"
+        )
+
+
+class TestMetricsJson:
+    def test_schema_and_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        payload = json.loads(
+            json.dumps(metrics_json(registry.snapshot()))
+        )
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["counters"]["c"] == 3
+        assert payload["gauges"]["g"] == 1.5
+
+
+class TestExperimentResultExport:
+    """The engine's snapshots export without post-processing."""
+
+    def test_fresh_result_exports_both_ways(self):
+        from repro.experiments.engine import run_experiments
+
+        run = run_experiments(
+            only=("table1",), use_cache=False, write_manifest=False
+        )
+        (result,) = run.results
+        doc = merge_chrome_traces({result.artefact: result.trace})
+        span_events = [
+            e for e in doc["traceEvents"] if e["ph"] == "X"
+        ]
+        assert any(e["name"] == "experiment" for e in span_events)
+        text = prometheus_text(result.metrics)
+        assert "repro_engine_artefact_s_count 1" in text
+
+    def test_manifest_round_trip_keeps_schema(self, tmp_path):
+        from repro.obs import RunManifest
+        from repro.obs.manifest import SCHEMA
+
+        from repro.experiments.engine import run_experiments
+
+        run = run_experiments(
+            only=("table1",),
+            use_cache=False,
+            manifest_path=tmp_path / "m.json",
+        )
+        payload = json.loads((tmp_path / "m.json").read_text())
+        assert payload["schema"] == SCHEMA == "repro.run-manifest/v1"
+        assert RunManifest.read(tmp_path / "m.json") == run.manifest
+        with pytest.raises(ValueError):
+            RunManifest.from_dict({**payload, "schema": "bogus/v9"})

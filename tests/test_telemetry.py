@@ -1,0 +1,382 @@
+"""Per-request serving telemetry: histograms, SLO monitors, wiring."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, get_event_bus
+from repro.obs.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    GaugeStat,
+    LatencyHistogram,
+    ServingTelemetry,
+    SloMonitor,
+    SloPolicy,
+    record_report_gauges,
+)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_track_numpy_within_bucket_growth(self):
+        rng = np.random.default_rng(11)
+        samples = rng.lognormal(mean=-2.0, sigma=0.8, size=5000)
+        hist = LatencyHistogram()
+        hist.observe_many(samples)
+        for q in (50, 90, 95, 99):
+            exact = float(np.percentile(samples, q))
+            estimate = hist.percentile(q)
+            # bucket bounds grow 19% per step; the estimate can be off
+            # by at most one bucket
+            assert estimate == pytest.approx(exact, rel=0.19)
+
+    def test_empty_histogram_is_all_nan(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        for value in (hist.p50, hist.p99, hist.mean, hist.min, hist.max):
+            assert math.isnan(value)
+
+    def test_single_sample(self):
+        hist = LatencyHistogram()
+        hist.observe(0.25)
+        assert hist.min == hist.max == 0.25
+        for q in (0, 50, 100):
+            assert hist.percentile(q) == pytest.approx(0.25, rel=0.19)
+
+    def test_overflow_bucket_bounded_by_observed_max(self):
+        hist = LatencyHistogram(bounds=(1.0, 2.0))
+        hist.observe_many([5.0, 9.0])
+        # the overflow bucket interpolates up to the observed max —
+        # never the unbounded "last bucket edge" a naive histogram gives
+        assert 2.0 < hist.percentile(99) <= 9.0
+        assert hist.percentile(100) == 9.0
+
+    def test_memory_is_fixed(self):
+        hist = LatencyHistogram()
+        hist.observe_many(float(i % 7) / 10 for i in range(10_000))
+        assert len(hist.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+        assert hist.count == 10_000
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=())
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_as_dict_json_ready(self):
+        import json
+
+        hist = LatencyHistogram(bounds=(0.5, 1.0))
+        hist.observe_many([0.1, 0.7, 3.0])
+        payload = json.loads(json.dumps(hist.as_dict()))
+        assert payload["counts"] == [1, 1, 1]
+        assert payload["count"] == 3
+
+
+class TestGaugeStat:
+    def test_streaming_stats(self):
+        stat = GaugeStat("queue")
+        for v in (3.0, 9.0, 1.0):
+            stat.observe(v)
+        assert stat.last == 1.0
+        assert stat.max == 9.0
+        assert stat.min == 1.0
+        assert stat.mean == pytest.approx(13.0 / 3.0)
+
+    def test_empty_is_nan(self):
+        stat = GaugeStat("idle")
+        assert math.isnan(stat.mean)
+        assert math.isnan(stat.max)
+        assert stat.last is None
+
+
+class TestSloPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SloPolicy(latency_slo_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SloPolicy(latency_slo_s=1.0, latency_quantile=1.0)
+        with pytest.raises(ConfigurationError):
+            SloPolicy(latency_slo_s=1.0, availability_target=0.0)
+        with pytest.raises(ConfigurationError):
+            SloPolicy(latency_slo_s=1.0, window_s=0.5, bucket_s=1.0)
+        with pytest.raises(ConfigurationError):
+            SloPolicy(latency_slo_s=1.0, burn_alert=0.0)
+
+
+def _policy(**overrides) -> SloPolicy:
+    base = dict(
+        latency_slo_s=1.0,
+        availability_target=0.9,
+        window_s=4.0,
+        bucket_s=1.0,
+        burn_alert=2.0,
+        min_requests=10,
+    )
+    base.update(overrides)
+    return SloPolicy(**base)
+
+
+class TestSloMonitor:
+    def test_quiet_window_never_alerts(self):
+        monitor = SloMonitor(_policy())
+        for i in range(200):
+            monitor.record_served(i * 0.05, 0.1)
+        assert monitor.alerts == []
+        assert not monitor.burning
+
+    def test_availability_alert_fires_and_resolves(self):
+        monitor = SloMonitor(_policy())
+        # a burst of drops blows the 10% availability budget ...
+        for i in range(30):
+            monitor.record_served(i * 0.1, 0.1)
+            monitor.record_dropped(i * 0.1)
+        fired = [a for a in monitor.alerts if a["kind"] == "slo.alert"]
+        assert any(a["slo"] == "availability" for a in fired)
+        assert monitor.burning
+        # ... then a healthy stretch ages the bad buckets out
+        for i in range(100):
+            monitor.record_served(10.0 + i * 0.1, 0.1)
+        resolved = [
+            a for a in monitor.alerts if a["kind"] == "slo.resolve"
+        ]
+        assert any(a["slo"] == "availability" for a in resolved)
+        assert not monitor.burning
+
+    def test_latency_alert_on_slow_requests(self):
+        monitor = SloMonitor(_policy(latency_quantile=0.9))
+        for i in range(40):
+            monitor.record_served(i * 0.1, 5.0)  # all above the SLO
+        fired = [a for a in monitor.alerts if a["kind"] == "slo.alert"]
+        assert any(a["slo"] == "latency" for a in fired)
+
+    def test_min_requests_suppresses_idle_pages(self):
+        monitor = SloMonitor(_policy(min_requests=50))
+        for i in range(20):
+            monitor.record_dropped(float(i) * 0.01)
+        assert monitor.alerts == []
+
+    def test_alerts_are_edge_triggered_not_repeated(self):
+        monitor = SloMonitor(_policy())
+        for i in range(200):
+            monitor.record_dropped(i * 0.01)
+        fired = [
+            a
+            for a in monitor.alerts
+            if a["kind"] == "slo.alert" and a["slo"] == "availability"
+        ]
+        assert len(fired) == 1
+
+    def test_alerts_land_on_the_event_bus(self):
+        events = []
+        with get_event_bus().subscribed(events.append):
+            monitor = SloMonitor(_policy())
+            for i in range(30):
+                monitor.record_dropped(i * 0.1)
+        kinds = [e["kind"] for e in events]
+        assert "slo.alert" in kinds
+
+    def test_burn_rates_zero_without_traffic(self):
+        monitor = SloMonitor(_policy())
+        assert monitor.burn_rates() == {
+            "availability": 0.0,
+            "latency": 0.0,
+        }
+
+
+def _simulator():
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.pruning.base import PruneSpec
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.simulator import ServingSimulator
+
+    return ServingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        ResourceConfiguration(
+            [CloudInstance(instance_type("p2.xlarge"))]
+        ),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=16, max_wait_s=0.05),
+    )
+
+
+def _fault_plan(duration_s: float):
+    from repro.cloud.faults import FaultPlan
+
+    return FaultPlan.sample(
+        duration_s=duration_s,
+        workers=1,
+        mtbf_s=8.0,
+        recovery_s=4.0,
+        retry_budget=1,
+        timeout_s=2.0,
+        seed=5,
+    )
+
+
+class TestServingTelemetryWiring:
+    def test_report_identical_with_and_without_telemetry(self):
+        from repro.serving.arrivals import poisson_arrivals
+
+        arrivals = poisson_arrivals(80.0, 20.0, seed=7)
+        plan = _fault_plan(20.0)
+        plain = _simulator().run(arrivals, plan)
+        telemetry = ServingTelemetry(SloPolicy(latency_slo_s=0.5))
+        observed = _simulator().run(arrivals, plan, telemetry=telemetry)
+        assert observed.requests == plain.requests
+        assert observed.served == plain.served
+        assert observed.dropped == plain.dropped
+        assert np.array_equal(observed.latencies_s, plain.latencies_s)
+        assert observed.cost == plain.cost
+
+    def test_faulty_run_produces_percentiles_and_alerts(self):
+        from repro.serving.arrivals import poisson_arrivals
+
+        telemetry = ServingTelemetry(SloPolicy(latency_slo_s=0.5))
+        report = _simulator().run(
+            poisson_arrivals(80.0, 20.0, seed=7),
+            _fault_plan(20.0),
+            telemetry=telemetry,
+        )
+        assert telemetry.latency.count == report.served
+        assert 0 < telemetry.latency.p50 <= telemetry.latency.p95
+        assert telemetry.latency.p95 <= telemetry.latency.p99
+        assert telemetry.alerts_fired >= 1
+        assert telemetry.queue_depth.max >= 1
+        assert 0 < telemetry.batch_occupancy.mean <= 1.0
+
+    def test_finalize_publishes_headline_gauges(self):
+        from repro.serving.arrivals import poisson_arrivals
+
+        telemetry = ServingTelemetry(SloPolicy(latency_slo_s=0.5))
+        registry = MetricsRegistry()
+        from repro.obs import Tracer, scoped_observability
+
+        with scoped_observability(Tracer(enabled=False), registry):
+            _simulator().run(
+                poisson_arrivals(50.0, 10.0, seed=1),
+                telemetry=telemetry,
+            )
+        gauges = registry.snapshot()["gauges"]
+        for name in (
+            "serving.latency_p50_s",
+            "serving.latency_p99_s",
+            "serving.queue_depth_peak",
+            "serving.batch_occupancy_mean",
+            "serving.availability",
+            "serving.goodput",
+        ):
+            assert name in gauges, name
+
+    def test_autoscaler_accepts_telemetry(self):
+        from repro.calibration import (
+            caffenet_accuracy_model,
+            caffenet_time_model,
+        )
+        from repro.cloud.catalog import instance_type
+        from repro.pruning.base import PruneSpec
+        from repro.serving.arrivals import bursty_arrivals
+        from repro.serving.autoscaler import (
+            AutoscalePolicy,
+            AutoscalingSimulator,
+        )
+        from repro.serving.batcher import BatchPolicy
+
+        telemetry = ServingTelemetry(SloPolicy(latency_slo_s=1.0))
+        simulator = AutoscalingSimulator(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            instance_type("p2.xlarge"),
+            PruneSpec.unpruned(),
+            BatchPolicy(max_batch=16, max_wait_s=0.05),
+            AutoscalePolicy(interval_s=5.0, max_instances=4),
+        )
+        report = simulator.run(
+            bursty_arrivals(40.0, 30.0, seed=3), telemetry=telemetry
+        )
+        assert telemetry.latency.count == report.served
+
+    def test_availability_summary_registers_gauges(self):
+        from repro.obs import Tracer, scoped_observability
+        from repro.serving.arrivals import poisson_arrivals
+        from repro.serving.metrics import availability_summary
+
+        report = _simulator().run(
+            poisson_arrivals(50.0, 10.0, seed=1), _fault_plan(10.0)
+        )
+        registry = MetricsRegistry()
+        with scoped_observability(Tracer(enabled=False), registry):
+            summary = availability_summary(report)
+        gauges = registry.snapshot()["gauges"]
+        # one source of truth: the printed summary and the gauges agree
+        assert gauges["serving.availability"] == summary["availability"]
+        assert gauges["serving.goodput"] == summary["goodput"]
+
+    def test_record_report_gauges_skips_missing_attrs(self):
+        class Partial:
+            availability = 0.5
+            goodput = None
+
+        registry = MetricsRegistry()
+        record_report_gauges(Partial(), prefix="x", registry=registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges == {"x.availability": 0.5}
+
+
+class TestSloDrivenAutoscaling:
+    def test_burn_rate_scale_out_flag(self):
+        from repro.calibration import (
+            caffenet_accuracy_model,
+            caffenet_time_model,
+        )
+        from repro.cloud.catalog import instance_type
+        from repro.pruning.base import PruneSpec
+        from repro.serving.arrivals import bursty_arrivals
+        from repro.serving.autoscaler import (
+            AutoscalePolicy,
+            AutoscalingSimulator,
+        )
+        from repro.serving.batcher import BatchPolicy
+
+        def fleet_sizes(policy, telemetry):
+            simulator = AutoscalingSimulator(
+                caffenet_time_model(),
+                caffenet_accuracy_model(),
+                instance_type("p2.xlarge"),
+                PruneSpec.unpruned(),
+                BatchPolicy(max_batch=16, max_wait_s=0.05),
+                policy,
+            )
+            return simulator.run(
+                bursty_arrivals(120.0, 40.0, seed=3),
+                telemetry=telemetry,
+            )
+
+        # the flag only matters when a telemetry SLO monitor rides along
+        passive = fleet_sizes(
+            AutoscalePolicy(interval_s=5.0, max_instances=6),
+            ServingTelemetry(SloPolicy(latency_slo_s=0.2)),
+        )
+        reactive = fleet_sizes(
+            AutoscalePolicy(
+                interval_s=5.0,
+                max_instances=6,
+                scale_out_on_slo_burn=True,
+            ),
+            ServingTelemetry(SloPolicy(latency_slo_s=0.2)),
+        )
+        assert reactive.peak_instances >= passive.peak_instances
