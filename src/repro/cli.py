@@ -27,6 +27,19 @@ Commands
     Performance-trajectory recorder: run the bench suite, append a
     ``BENCH_<n>.json`` snapshot (``--record``), or gate against the
     latest snapshot (``--check``, non-zero exit on regression).
+``serve --instances p2.xlarge ... [--faults MTBF] [--slo S]``
+    Online-serving simulation: latency percentiles, utilisation,
+    cost, fault/goodput accounting and streaming telemetry.
+``serve --fleet --replica [Nx]ITYPE[:SPEC] ... [--routing P]``
+    Route requests across N heterogeneous replicas (round-robin /
+    jsq / weighted / tiered) with optional admission control
+    (``--admission-rate``/``--admission-burst``/``--queue-limit``)
+    and per-request accuracy floors (``--floors``).
+``trace --instances p2.xlarge ... [--images N] [--chrome-out PATH]``
+    Per-instance execution trace of one batch job (ASCII Gantt,
+    optionally Chrome trace-event JSON).
+``export DIRECTORY [id ...]``
+    Write all (or selected) artefacts as txt/json/csv files.
 
 ``experiments``, ``serve`` and ``trace`` take telemetry flags:
 ``--trace-out`` (Chrome trace-event JSON, loads at ui.perfetto.dev),
@@ -243,7 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec", type=_parse_spec, default="none"
     )
     p_serve.add_argument(
-        "--instances", nargs="+", required=True
+        "--instances",
+        nargs="+",
+        help="instance types of the (single-endpoint) fleet",
     )
     p_serve.add_argument("--rate", type=float, default=200.0, help="req/s")
     p_serve.add_argument("--duration", type=float, default=60.0, help="s")
@@ -293,6 +308,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--spot",
         action="store_true",
         help="bill the fleet at the EC2 spot discount",
+    )
+    p_serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "route across a heterogeneous replica fleet "
+            "(use --replica; --instances/--spec are ignored)"
+        ),
+    )
+    p_serve.add_argument(
+        "--replica",
+        action="append",
+        metavar="[Nx]ITYPE[:SPEC]",
+        help=(
+            "add a fleet replica: N instances of ITYPE serving SPEC "
+            "(e.g. 2xp2.xlarge:conv1=0.3,conv2=0.5); repeatable"
+        ),
+    )
+    p_serve.add_argument(
+        "--routing",
+        default="round-robin",
+        choices=["round-robin", "jsq", "weighted", "tiered"],
+        help="fleet routing policy",
+    )
+    p_serve.add_argument(
+        "--floors",
+        metavar="TOP5=FRAC,...",
+        help=(
+            "per-request Top-5 accuracy floor mixture for tiered "
+            "routing, e.g. 0=0.7,75=0.3"
+        ),
+    )
+    p_serve.add_argument(
+        "--admission-rate",
+        type=float,
+        help="token-bucket admission rate (req/s); omit for no limit",
+    )
+    p_serve.add_argument(
+        "--admission-burst",
+        type=int,
+        default=32,
+        help="token-bucket burst size (default 32)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=float,
+        help="shed arrivals when the fleet backlog exceeds this depth",
     )
     _add_telemetry_flags(p_serve)
 
@@ -703,6 +765,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_serve_fleet(args)
     from repro.cloud.catalog import instance_type
     from repro.cloud.configuration import ResourceConfiguration
     from repro.cloud.instance import CloudInstance
@@ -714,6 +778,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         uniform_arrivals,
     )
 
+    if not args.instances:
+        print("serve needs --instances (or --fleet)", file=sys.stderr)
+        return 2
     time_model, accuracy_model = _models(args.model)
     config = ResourceConfiguration(
         [CloudInstance(instance_type(n)) for n in args.instances]
@@ -811,6 +878,200 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"SLO alert : [{state}] {alert['slo']} "
             f"burn {alert['burn_rate']:.1f}x at t={alert['at_s']:.1f}s"
+        )
+    if args.trace_out:
+        from repro.obs.export import chrome_trace, write_chrome_trace
+
+        write_chrome_trace(args.trace_out, chrome_trace(tracer))
+        print(f"trace   -> {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, {"serve": registry.snapshot()})
+        print(f"metrics -> {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _parse_replica(entry: str, index: int):
+    """Parse one ``[Nx]ITYPE[:SPEC]`` replica description."""
+    import re
+
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+
+    count = 1
+    match = re.match(r"^(\d+)x(.+)$", entry)
+    if match:
+        count, entry = int(match.group(1)), match.group(2)
+    itype_name, _, spec_text = entry.partition(":")
+    spec = _parse_spec(spec_text or "none")
+    itype = instance_type(itype_name)
+    configuration = ResourceConfiguration(
+        [CloudInstance(itype) for _ in range(count)]
+    )
+    name = f"r{index + 1}-{itype_name}" + (
+        "-pruned" if spec.ratios else ""
+    )
+    return name, configuration, spec
+
+
+def _parse_floors(text: str):
+    """Parse ``0=0.7,75=0.3`` into a floor-mixture tuple."""
+    from repro.errors import ConfigurationError
+
+    floors = []
+    for part in text.split(","):
+        floor, _, fraction = part.partition("=")
+        if not fraction:
+            raise ConfigurationError(
+                f"--floors expects TOP5=FRACTION pairs, got {part!r}"
+            )
+        try:
+            floors.append((float(floor), float(fraction)))
+        except ValueError:
+            raise ConfigurationError(
+                f"--floors expects numeric TOP5=FRACTION pairs, got {part!r}"
+            ) from None
+    return tuple(floors)
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        AdmissionPolicy,
+        BatchPolicy,
+        FleetRouter,
+        FleetTelemetry,
+        FleetWorkload,
+        ReplicaSpec,
+        SloPolicy,
+    )
+
+    if not args.replica:
+        print(
+            "serve --fleet needs at least one --replica", file=sys.stderr
+        )
+        return 2
+    time_model, accuracy_model = _models(args.model)
+    policy = BatchPolicy(
+        max_batch=args.max_batch, max_wait_s=args.max_wait
+    )
+    replicas = []
+    for i, entry in enumerate(args.replica):
+        name, configuration, spec = _parse_replica(entry, i)
+        plan = None
+        if args.faults is not None or args.request_timeout is not None:
+            from repro.cloud.faults import FaultPlan
+
+            if args.faults is not None:
+                plan = FaultPlan.sample(
+                    duration_s=args.duration,
+                    workers=configuration.total_gpus,
+                    mtbf_s=args.faults,
+                    recovery_s=args.fault_recovery,
+                    retry_budget=args.retry_budget,
+                    timeout_s=args.request_timeout,
+                    seed=args.seed + i,
+                )
+            else:
+                plan = FaultPlan(
+                    retry_budget=args.retry_budget,
+                    timeout_s=args.request_timeout,
+                )
+        hourly_rate = None
+        if args.spot:
+            from repro.cloud.pricing import spot_rate
+
+            hourly_rate = spot_rate(configuration.total_price_per_hour)
+        replicas.append(
+            ReplicaSpec(
+                name=name,
+                configuration=configuration,
+                spec=spec,
+                policy=policy,
+                faults=plan,
+                hourly_rate=hourly_rate,
+            )
+        )
+    admission = None
+    if args.admission_rate is not None or args.queue_limit is not None:
+        admission = AdmissionPolicy(
+            rate_per_s=args.admission_rate,
+            burst=args.admission_burst,
+            queue_limit=args.queue_limit,
+        )
+    workload = FleetWorkload(
+        args.rate,
+        args.duration,
+        arrival=args.arrival,
+        seed=args.seed,
+        floors=_parse_floors(args.floors) if args.floors else (),
+    )
+    arrivals = workload.arrivals()
+    floors = workload.accuracy_floors(arrivals.size)
+    router = FleetRouter(
+        time_model,
+        accuracy_model,
+        replicas,
+        routing=args.routing,
+        admission=admission,
+    )
+    from repro.obs import MetricsRegistry, Tracer, scoped_observability
+
+    telemetry = FleetTelemetry(
+        SloPolicy(latency_slo_s=args.slo) if args.slo is not None else None
+    )
+    tracer = Tracer(enabled=bool(args.trace_out))
+    registry = MetricsRegistry()
+    with scoped_observability(tracer, registry):
+        with _maybe_event_log(args.log_json):
+            report = router.run(
+                arrivals, floors=floors, telemetry=telemetry
+            )
+    print(
+        f"fleet     : {len(replicas)} replicas, "
+        f"{args.routing} routing"
+        + (" + admission control" if admission is not None else "")
+    )
+    print(
+        f"served    : {report.served}/{report.offered} requests in "
+        f"{report.duration_s:.1f}s "
+        f"({report.shed} shed, {report.dropped - report.shed} dropped)"
+    )
+    print(
+        f"latency   : p50 {report.p50:.3f}s  p99 {report.p99:.3f}s"
+    )
+    print(
+        f"cost      : ${report.cost:.4f}"
+        + (" (spot)" if args.spot else "")
+        + f"  (availability {report.availability:.1%}, "
+        f"goodput {report.goodput:.1f} req/s)"
+    )
+    for outcome in report.outcomes:
+        accuracy = router.accuracy(outcome.spec.name)
+        if outcome.report is None:
+            print(
+                f"  {outcome.spec.name:<24} idle "
+                f"(${outcome.cost:.4f} for the makespan)"
+            )
+            continue
+        print(
+            f"  {outcome.spec.name:<24} {outcome.served:>6} served  "
+            f"p99 {outcome.report.latency_percentile(99):.3f}s  "
+            f"top5 {accuracy.top5:.1f}%  ${outcome.cost:.4f}"
+        )
+    aggregate = telemetry.aggregate_latency
+    if aggregate.count:
+        print(
+            f"telemetry : p50 {aggregate.p50:.3f}s  "
+            f"p95 {aggregate.p95:.3f}s  p99 {aggregate.p99:.3f}s  "
+            f"({aggregate.count} samples across "
+            f"{len(telemetry.per_replica)} replicas)"
+        )
+    if args.slo is not None:
+        burn = report.burn_rates(SloPolicy(latency_slo_s=args.slo))
+        print(
+            f"SLO burn  : availability {burn['availability']:.2f}x  "
+            f"latency {burn['latency']:.2f}x  "
+            f"({telemetry.alerts_fired} alerts fired)"
         )
     if args.trace_out:
         from repro.obs.export import chrome_trace, write_chrome_trace

@@ -49,10 +49,12 @@ class AllocationResult:
 
     @property
     def accuracy_top1(self) -> float:
+        """Modelled Top-1 accuracy of the chosen degree."""
         return self.result.accuracy.top1
 
     @property
     def accuracy_top5(self) -> float:
+        """Modelled Top-5 accuracy of the chosen degree."""
         return self.result.accuracy.top5
 
 

@@ -139,14 +139,17 @@ class SpaceSpec:
     # ------------------------------------------------------------------
     @property
     def n_specs(self) -> int:
+        """Number of degrees of pruning in the grid."""
         return len(self.specs)
 
     @property
     def n_configurations(self) -> int:
+        """Number of resource configurations in the grid."""
         return len(self.configurations)
 
     @property
     def n_points(self) -> int:
+        """Total grid size (degrees x configurations)."""
         return self.n_specs * self.n_configurations
 
     def cache_key(self) -> tuple:
@@ -185,10 +188,12 @@ class EvaluatedSpace:
     # ------------------------------------------------------------------
     @property
     def n_specs(self) -> int:
+        """Number of degrees of pruning in the grid."""
         return self.space.n_specs
 
     @property
     def n_configurations(self) -> int:
+        """Number of resource configurations in the grid."""
         return self.space.n_configurations
 
     def __len__(self) -> int:
@@ -196,6 +201,7 @@ class EvaluatedSpace:
 
     @property
     def time_hours(self) -> np.ndarray:
+        """Makespan column in hours."""
         return self.time_s / 3600.0
 
     def accuracy(self, metric: str = "top5") -> np.ndarray:
@@ -252,6 +258,7 @@ class EvaluatedSpace:
         deadline_s: float | None = None,
         budget: float | None = None,
     ) -> np.ndarray:
+        """Global row indices passing the deadline/budget filter."""
         return np.flatnonzero(self.feasible_mask(deadline_s, budget))
 
     def feasible(

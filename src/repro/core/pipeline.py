@@ -52,10 +52,12 @@ class ConfigurationPoint:
 
     @property
     def spec_label(self) -> str:
+        """Human-readable degree-of-pruning label."""
         return self.result.spec.label()
 
     @property
     def config_label(self) -> str:
+        """Human-readable resource-configuration label."""
         return self.result.configuration.label()
 
 
@@ -158,6 +160,7 @@ class CostAccuracyPipeline:
     def feasible(
         points: Sequence[ConfigurationPoint],
     ) -> list[ConfigurationPoint]:
+        """The points that satisfy the stage-3 constraints."""
         return [p for p in points if p.feasible]
 
     @staticmethod

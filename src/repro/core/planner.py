@@ -15,6 +15,13 @@ All three are vectorised selections over one
 :class:`~repro.core.evalspace.EvaluatedSpace`;
 :class:`PlanningSpace` is a thin (space, metric) view whose queries run
 on the space's numpy columns.
+
+:func:`cheapest_fleet` extends the same inverse-query discipline to the
+*serving* axis: candidate routed fleets
+(:class:`~repro.serving.fleet.FleetSpec`) are evaluated through the
+content-keyed fleet cache and filtered by availability and tail
+latency, exactly the way the batch queries filter the evaluation
+space.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.pruning.schedule import DegreeOfPruning
 
 __all__ = [
     "PlanningSpace",
+    "cheapest_fleet",
     "min_budget_for",
     "min_deadline_for",
     "iso_accuracy_frontier",
@@ -55,6 +63,7 @@ class PlanningSpace:
         images: int,
         metric: str = "top5",
     ) -> "PlanningSpace":
+        """Evaluate a fresh grid and wrap it for planning queries."""
         evaluated = evaluate(
             SpaceSpec.from_simulator(
                 simulator, degrees, configurations, images
@@ -65,6 +74,7 @@ class PlanningSpace:
     # ------------------------------------------------------------------
     @property
     def results(self) -> tuple[SimulationResult, ...]:
+        """The underlying per-point simulation records."""
         return self.space.results
 
     def _accurate_enough(self, target: float) -> np.ndarray:
@@ -130,3 +140,50 @@ def iso_accuracy_frontier(
         -space.space.time_s[idx], space.space.cost[idx]
     )
     return [space.results[i] for i in idx[local]]
+
+
+def cheapest_fleet(
+    candidates: Sequence,
+    workload,
+    *,
+    availability: float = 0.999,
+    p99_s: float | None = None,
+):
+    """Cheapest candidate fleet meeting availability A and p99 L.
+
+    Each candidate (a :class:`~repro.serving.fleet.FleetSpec`) is
+    evaluated under ``workload`` through the content-keyed fleet cache
+    — repeated planner queries over overlapping candidate sets pay for
+    each simulation once per process.  Feasible fleets serve at least
+    ``availability`` of the offered stream and (when ``p99_s`` is set)
+    keep fleet-wide p99 latency at or below it; the cheapest by run
+    cost wins, declaration order breaking ties.  Returns
+    ``(spec, report)``; raises
+    :class:`~repro.errors.InfeasibleError` when no candidate
+    qualifies.
+    """
+    from repro.serving.fleet import evaluate_fleet
+
+    candidates = tuple(candidates)
+    if not candidates:
+        raise InfeasibleError("no candidate fleets to choose from")
+    best: tuple | None = None
+    for spec in candidates:
+        report = evaluate_fleet(spec, workload)
+        if report.availability < availability:
+            continue
+        if p99_s is not None:
+            p99 = report.p99
+            if not np.isfinite(p99) or p99 > p99_s:
+                continue
+        if best is None or report.cost < best[1].cost:
+            best = (spec, report)
+    if best is None:
+        constraint = f"availability >= {availability:.3f}"
+        if p99_s is not None:
+            constraint += f" and p99 <= {p99_s:.3f}s"
+        raise InfeasibleError(
+            f"none of the {len(candidates)} candidate fleets meets "
+            f"{constraint}"
+        )
+    return best

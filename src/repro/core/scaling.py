@@ -50,6 +50,7 @@ class ScalingStudy:
     points: tuple[ScalingPoint, ...]
 
     def point(self, instances: int) -> ScalingPoint:
+        """The sweep point for a given fleet size (KeyError if absent)."""
         for p in self.points:
             if p.instances == instances:
                 return p

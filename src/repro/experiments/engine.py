@@ -293,6 +293,12 @@ REGISTRY: dict[str, Experiment] = {
             "extension",
             "ext_noise_protocol",
         ),
+        _exp(
+            "ext-fleet-routing",
+            "Extension: routed heterogeneous fleets — tiered accuracy at fleet scale",
+            "extension",
+            "ext_fleet_routing",
+        ),
     )
 }
 

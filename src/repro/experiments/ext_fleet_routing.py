@@ -1,0 +1,334 @@
+"""Extension: fleet-scale routing — tiered accuracy beats a single tier.
+
+The paper prices one model on one static configuration; its motivating
+scenario (near-real-time filtering of 350 M daily uploads) is served by
+a *fleet* of heterogeneous replicas behind a router.  This experiment
+wires the reproduction's routed-fleet layer
+(:mod:`repro.serving.router`) into the cost-accuracy story three ways:
+
+1. **Routing policies** — the same heterogeneous fleet (one unpruned
+   p2.8xlarge "gold" replica + two pruned p2.xlarge "cheap" replicas)
+   under round-robin, join-shortest-queue and
+   weighted-by-throughput routing: weighting by modelled capacity keeps
+   tail latency down because it stops over-assigning the narrow
+   replicas.
+2. **Accuracy-tiered vs single-tier** — 30% of requests carry a Top-5
+   floor of 75% (only the unpruned model clears it), the rest carry
+   none.  A single-tier fleet must provision *every* request on
+   unpruned p2.8xlarge capacity; the tiered fleet routes floor-free
+   traffic to pruned p2.xlarge replicas.  Both serve everything
+   (equal availability), the tiered fleet at a fraction of the cost —
+   the paper's sweet-spot argument, lifted from one model to a fleet
+   mix.  The planner query
+   (:func:`repro.core.planner.cheapest_fleet`) picks the tiered fleet
+   from the candidate set under the same constraints.
+3. **Overload** — a single narrow replica offered ~2.6x its capacity,
+   with and without admission control (token bucket + queue-depth
+   shedding): unprotected, every request is eventually served but p99
+   collapses into the tens of seconds; with admission the fleet sheds
+   load and the requests it accepts keep sub-second tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.core.planner import cheapest_fleet
+from repro.experiments.report import format_kv, format_table
+from repro.pruning.base import PruneSpec
+from repro.serving.batcher import BatchPolicy
+from repro.serving.fleet import (
+    FleetSpec,
+    FleetWorkload,
+    evaluate_fleet,
+)
+from repro.serving.router import AdmissionPolicy, ReplicaSpec
+
+__all__ = [
+    "FleetRoutingStudy",
+    "OverloadRow",
+    "PolicyRow",
+    "TierRow",
+    "run",
+    "render",
+]
+
+#: the paper's Figure 8 sweet-spot combination (70% Top-5)
+_SWEET_SPOT = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+_BATCH = BatchPolicy(max_batch=32, max_wait_s=0.05)
+
+
+@dataclass(frozen=True)
+class PolicyRow:
+    """One routing policy's outcome on the heterogeneous fleet."""
+
+    policy: str
+    p99_s: float
+    mean_s: float
+    utilisation: float
+    availability: float
+
+
+@dataclass(frozen=True)
+class TierRow:
+    """One fleet design's outcome under the floor-mixture workload."""
+
+    name: str
+    rate_per_h: float
+    availability: float
+    p99_s: float
+    cost: float
+    top5_served: float
+
+
+@dataclass(frozen=True)
+class OverloadRow:
+    """One admission setting's outcome under 2.6x overload."""
+
+    name: str
+    shed: int
+    availability: float
+    p99_s: float
+    goodput: float
+
+
+@dataclass(frozen=True)
+class FleetRoutingStudy:
+    """Everything the fleet-routing extension measured."""
+
+    policies: tuple[PolicyRow, ...]
+    tiers: tuple[TierRow, ...]
+    overload: tuple[OverloadRow, ...]
+    planner_pick: str
+    planner_cost: float
+    cost_reduction_pct: float
+
+    def tier(self, name: str) -> TierRow:
+        """The tier-comparison row named ``name``."""
+        for row in self.tiers:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def _gold(n: int = 1) -> ResourceConfiguration:
+    return ResourceConfiguration(
+        [CloudInstance(instance_type("p2.8xlarge")) for _ in range(n)]
+    )
+
+
+def _cheap() -> ResourceConfiguration:
+    return ResourceConfiguration(
+        [CloudInstance(instance_type("p2.xlarge"))]
+    )
+
+
+def _heterogeneous() -> tuple[ReplicaSpec, ...]:
+    return (
+        ReplicaSpec("gold", _gold(), PruneSpec.unpruned(), _BATCH),
+        ReplicaSpec("cheap-a", _cheap(), _SWEET_SPOT, _BATCH),
+        ReplicaSpec("cheap-b", _cheap(), _SWEET_SPOT, _BATCH),
+    )
+
+
+@lru_cache(maxsize=1)
+def run(
+    rate: float = 100.0,
+    duration_s: float = 60.0,
+    floor_top5: float = 75.0,
+    floor_fraction: float = 0.3,
+    seed: int = 11,
+) -> FleetRoutingStudy:
+    """Run the three fleet studies; deterministic for fixed arguments."""
+    tm, am = caffenet_time_model(), caffenet_accuracy_model()
+    replicas = _heterogeneous()
+    plain = FleetWorkload(rate, duration_s, seed=seed)
+
+    # 1. routing policies over the same fleet and load ----------------
+    policies = []
+    for policy in ("round-robin", "jsq", "weighted"):
+        report = evaluate_fleet(
+            FleetSpec(tm, am, replicas, routing=policy), plain
+        )
+        policies.append(
+            PolicyRow(
+                policy=policy,
+                p99_s=report.p99,
+                mean_s=float(report.latencies_s.mean()),
+                utilisation=report.utilisation,
+                availability=report.availability,
+            )
+        )
+
+    # 2. tiered vs single-tier under the floor mixture ----------------
+    floored = FleetWorkload(
+        rate,
+        duration_s,
+        seed=seed,
+        floors=((0.0, 1.0 - floor_fraction), (floor_top5, floor_fraction)),
+    )
+    single_tier = FleetSpec(
+        tm,
+        am,
+        (
+            ReplicaSpec("gold-a", _gold(), PruneSpec.unpruned(), _BATCH),
+            ReplicaSpec("gold-b", _gold(), PruneSpec.unpruned(), _BATCH),
+        ),
+        routing="round-robin",
+    )
+    tiered = FleetSpec(tm, am, replicas, routing="tiered")
+    tiers = []
+    for name, spec in (
+        ("single-tier", single_tier),
+        ("accuracy-tiered", tiered),
+    ):
+        report = evaluate_fleet(spec, floored)
+        served = max(report.served, 1)
+        top5 = sum(
+            o.served * am.accuracy(o.spec.spec).top5
+            for o in report.outcomes
+        ) / served
+        tiers.append(
+            TierRow(
+                name=name,
+                rate_per_h=spec.hourly_rate,
+                availability=report.availability,
+                p99_s=report.p99,
+                cost=report.cost,
+                top5_served=top5,
+            )
+        )
+    reduction = 100.0 * (1.0 - tiers[1].cost / tiers[0].cost)
+
+    # ... and let the planner pick from the full candidate set
+    pick, pick_report = cheapest_fleet(
+        (single_tier, tiered),
+        floored,
+        availability=0.999,
+        p99_s=2.0,
+    )
+    planner_pick = (
+        "accuracy-tiered" if pick is tiered else "single-tier"
+    )
+
+    # 3. overload with and without admission control ------------------
+    surge = FleetWorkload(120.0, 30.0, seed=seed + 1)
+    narrow = (ReplicaSpec("cheap", _cheap(), _SWEET_SPOT, _BATCH),)
+    overload = []
+    for name, admission in (
+        ("no admission", None),
+        (
+            "token bucket + shed",
+            AdmissionPolicy(
+                rate_per_s=40.0, burst=20, queue_limit=200.0
+            ),
+        ),
+    ):
+        report = evaluate_fleet(
+            FleetSpec(tm, am, narrow, routing="jsq", admission=admission),
+            surge,
+        )
+        overload.append(
+            OverloadRow(
+                name=name,
+                shed=report.shed,
+                availability=report.availability,
+                p99_s=report.p99,
+                goodput=report.goodput,
+            )
+        )
+
+    return FleetRoutingStudy(
+        policies=tuple(policies),
+        tiers=tuple(tiers),
+        overload=tuple(overload),
+        planner_pick=planner_pick,
+        planner_cost=pick_report.cost,
+        cost_reduction_pct=reduction,
+    )
+
+
+def render(study: FleetRoutingStudy | None = None) -> str:
+    """Render the study as the three tables + planner verdict."""
+    study = run() if study is None else study
+    parts = [
+        "Routing policies over a heterogeneous fleet "
+        "(1x p2.8xlarge unpruned + 2x p2.xlarge pruned, 100 req/s):",
+        format_table(
+            ["policy", "p99 (s)", "mean (s)", "util", "availability"],
+            [
+                [
+                    r.policy,
+                    f"{r.p99_s:.3f}",
+                    f"{r.mean_s:.3f}",
+                    f"{r.utilisation:.0%}",
+                    f"{r.availability:.3f}",
+                ]
+                for r in study.policies
+            ],
+        ),
+        "",
+        "Accuracy-tiered vs single-tier fleet (30% of requests need "
+        "Top-5 >= 75%):",
+        format_table(
+            [
+                "fleet",
+                "$/h",
+                "availability",
+                "p99 (s)",
+                "cost ($)",
+                "served top5 (%)",
+            ],
+            [
+                [
+                    r.name,
+                    f"{r.rate_per_h:.2f}",
+                    f"{r.availability:.3f}",
+                    f"{r.p99_s:.3f}",
+                    f"{r.cost:.4f}",
+                    f"{r.top5_served:.1f}",
+                ]
+                for r in study.tiers
+            ],
+        ),
+        "",
+        format_kv(
+            [
+                (
+                    "cost reduction",
+                    f"{study.cost_reduction_pct:.0f}% at equal "
+                    "availability",
+                ),
+                (
+                    "planner pick",
+                    f"{study.planner_pick} "
+                    f"(cheapest fleet meeting availability >= 0.999, "
+                    f"p99 <= 2s; ${study.planner_cost:.4f})",
+                ),
+            ]
+        ),
+        "",
+        "Overload (120 req/s onto one ~46 req/s replica):",
+        format_table(
+            ["admission", "shed", "availability", "p99 (s)", "goodput"],
+            [
+                [
+                    r.name,
+                    r.shed,
+                    f"{r.availability:.3f}",
+                    f"{r.p99_s:.3f}",
+                    f"{r.goodput:.1f}",
+                ]
+                for r in study.overload
+            ],
+        ),
+    ]
+    return "\n".join(parts)

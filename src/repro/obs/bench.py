@@ -189,12 +189,76 @@ def _scenario_autoscale_surge() -> None:
     ).run(arrivals)
 
 
+def _scenario_fleet_routed() -> None:
+    """A tiered, admission-controlled fleet through the cached
+    evaluation path (one miss, then a pure content-cache hit)."""
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.pruning.base import PruneSpec
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.fleet import (
+        FleetSpec,
+        FleetWorkload,
+        clear_fleet_cache,
+        evaluate_fleet,
+    )
+    from repro.serving.router import AdmissionPolicy, ReplicaSpec
+
+    clear_fleet_cache()
+    policy = BatchPolicy(max_batch=32, max_wait_s=0.05)
+    sweet = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+    spec = FleetSpec(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        (
+            ReplicaSpec(
+                "gold",
+                ResourceConfiguration(
+                    [CloudInstance(instance_type("p2.8xlarge"))]
+                ),
+                PruneSpec.unpruned(),
+                policy,
+            ),
+            ReplicaSpec(
+                "cheap-a",
+                ResourceConfiguration(
+                    [CloudInstance(instance_type("p2.xlarge"))]
+                ),
+                sweet,
+                policy,
+            ),
+            ReplicaSpec(
+                "cheap-b",
+                ResourceConfiguration(
+                    [CloudInstance(instance_type("p2.xlarge"))]
+                ),
+                sweet,
+                policy,
+            ),
+        ),
+        routing="tiered",
+        admission=AdmissionPolicy(rate_per_s=150.0, burst=64),
+    )
+    workload = FleetWorkload(
+        120.0, 30.0, seed=5, floors=((0.0, 0.7), (75.0, 0.3))
+    )
+    evaluate_fleet(spec, workload)
+    # a content-equal re-request must be a pure cache hit
+    evaluate_fleet(spec, workload)
+
+
 #: name -> callable; each runs one hot path end to end.
 SCENARIOS: dict[str, Callable[[], None]] = {
     "evalspace.grid": _scenario_evalspace_grid,
     "serving.faulty": _scenario_serving_faulty,
     "allocation.greedy": _scenario_allocation_greedy,
     "autoscale.surge": _scenario_autoscale_surge,
+    "fleet.routed": _scenario_fleet_routed,
 }
 
 

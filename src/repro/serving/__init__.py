@@ -17,6 +17,10 @@ of the cost-accuracy axes.
 * :mod:`repro.serving.batcher`  — batch-forming policy;
 * :mod:`repro.serving.simulator`— the event loop + report;
 * :mod:`repro.serving.autoscaler` — the elastic fleet;
+* :mod:`repro.serving.router`   — fleet-scale routing + admission
+  control over N heterogeneous replicas (see docs/serving.md);
+* :mod:`repro.serving.fleet`    — declarative ``FleetSpec`` with the
+  content-keyed evaluation cache behind the fleet planner query;
 * :mod:`repro.serving.metrics`  — post-hoc views incl. availability.
 """
 
@@ -27,19 +31,49 @@ from repro.serving.arrivals import (
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.serving.autoscaler import (
+    AutoscalePolicy,
+    AutoscaleReport,
+    AutoscalingSimulator,
+)
 from repro.serving.batcher import BatchPolicy
+from repro.serving.fleet import (
+    FleetSpec,
+    FleetWorkload,
+    evaluate_fleet,
+)
+from repro.serving.router import (
+    ROUTING_POLICIES,
+    AdmissionPolicy,
+    FleetReport,
+    FleetRouter,
+    FleetTelemetry,
+    ReplicaSpec,
+)
 from repro.serving.simulator import ServingReport, ServingSimulator
 
 __all__ = [
+    "AdmissionPolicy",
+    "AutoscalePolicy",
+    "AutoscaleReport",
+    "AutoscalingSimulator",
     "BatchPolicy",
     "FaultPlan",
+    "FleetReport",
+    "FleetRouter",
+    "FleetSpec",
+    "FleetTelemetry",
+    "FleetWorkload",
     "Preemption",
+    "ROUTING_POLICIES",
+    "ReplicaSpec",
     "ServingReport",
     "ServingSimulator",
     "ServingTelemetry",
     "SloPolicy",
     "Slowdown",
     "bursty_arrivals",
+    "evaluate_fleet",
     "poisson_arrivals",
     "uniform_arrivals",
 ]

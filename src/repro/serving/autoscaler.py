@@ -110,33 +110,40 @@ class AutoscaleReport:
     preempted: int = 0
 
     def latency_percentile(self, q: float) -> float:
+        """Latency percentile in seconds (q in [0, 100])."""
         if self.latencies_s.size == 0:
             return float("nan")
         return float(np.percentile(self.latencies_s, q))
 
     @property
     def p99(self) -> float:
+        """99th-percentile served latency in seconds."""
         return self.latency_percentile(99)
 
     @property
     def served(self) -> int:
+        """Requests that completed (offered minus dropped)."""
         return self.requests - self.dropped
 
     @property
     def availability(self) -> float:
+        """Served fraction of the offered requests."""
         return self.served / self.requests
 
     @property
     def drop_rate(self) -> float:
+        """Dropped fraction of the offered requests."""
         return self.dropped / self.requests
 
     @property
     def goodput(self) -> float:
+        """Served requests per second of simulated wall time."""
         if self.duration_s == 0:
             return 0.0
         return self.served / self.duration_s
 
     def miss_rate(self, slo_s: float) -> float:
+        """Fraction of served requests over the latency SLO."""
         if self.latencies_s.size == 0:
             return 0.0
         return float((self.latencies_s > slo_s).mean())

@@ -48,12 +48,14 @@ class PendingQueue:
     _queue: deque = field(default_factory=deque)
 
     def push(self, request_id: int, arrival_s: float) -> None:
+        """Enqueue one request in arrival order."""
         self._queue.append((request_id, arrival_s))
 
     def __len__(self) -> int:
         return len(self._queue)
 
     def oldest_arrival(self) -> float:
+        """Arrival time of the head request (raises when empty)."""
         if not self._queue:
             raise IndexError("empty queue")
         return self._queue[0][1]

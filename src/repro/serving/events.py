@@ -33,6 +33,7 @@ class EventQueue:
         self._seq = 0
 
     def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; same-time events pop in push order."""
         if time < 0:
             raise ValueError("event time must be non-negative")
         event = Event(time=time, seq=self._seq, kind=kind, payload=payload)
@@ -41,6 +42,7 @@ class EventQueue:
         return event
 
     def pop(self) -> Event:
+        """Remove and return the earliest scheduled event."""
         if not self._heap:
             raise IndexError("pop from empty event queue")
         return heapq.heappop(self._heap)
@@ -53,6 +55,7 @@ class EventQueue:
 
     @property
     def next_time(self) -> float:
+        """Time of the earliest event without popping it."""
         if not self._heap:
             raise IndexError("empty event queue")
         return self._heap[0].time

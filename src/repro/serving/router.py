@@ -1,0 +1,858 @@
+"""Fleet-scale request routing across heterogeneous serving replicas.
+
+The paper's cost model (Eqs. 1-4) splits a batch workload evenly over a
+static configuration; the serving simulators then brought that model to
+one online endpoint.  A production fleet is neither: it is *many*
+replicas — different instance types, different degrees of pruning,
+different batch policies, some of them elastic — behind one router that
+decides, request by request, who serves what.  This module adds that
+layer while keeping every downstream number bit-reproducible.
+
+Design: **partition, then simulate.**  Routing and admission decisions
+are made per arrival from a deterministic fluid view of each replica's
+backlog (assigned requests drain at the replica's modelled capacity);
+each replica then serves its assigned sub-stream through the *unchanged*
+:class:`~repro.serving.simulator.ServingSimulator` (or
+:class:`~repro.serving.autoscaler.AutoscalingSimulator` for elastic
+replicas).  Two consequences fall out:
+
+* a single-replica fleet with no admission control is *literally* the
+  bare simulator — same arrivals, same event loop, byte-identical
+  report (tested); and
+* fleet runs stay deterministic for fixed seeds, so they can sit behind
+  the content-keyed evaluation cache
+  (:mod:`repro.serving.fleet`) and the bench regression gate.
+
+Routing policies (:data:`ROUTING_POLICIES`):
+
+* ``round-robin``   — cycle replicas in declaration order;
+* ``jsq``           — join the shortest queue of the fluid backlog view;
+* ``weighted``      — smooth weighted round-robin by modelled
+  throughput (or explicit per-replica weights);
+* ``tiered``        — accuracy-tiered: the cheapest replica whose model
+  accuracy clears the request's floor (ties broken by backlog).
+
+An :class:`AdmissionPolicy` (token bucket + queue-depth shedding) can
+shed load before it reaches any replica, so overload degrades into a
+bounded-latency, partial-availability regime instead of a latency
+collapse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.accuracy_model import AccuracyModel, AccuracyPair
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.faults import FaultPlan
+from repro.cloud.pricing import hourly_rate_cost
+from repro.errors import ConfigurationError
+from repro.obs import get_metrics, get_tracer
+from repro.perf.latency import CalibratedTimeModel
+from repro.pruning.base import PruneSpec
+from repro.serving.autoscaler import AutoscalePolicy, AutoscalingSimulator
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import ServingSimulator
+
+__all__ = [
+    "AdmissionPolicy",
+    "FleetReport",
+    "FleetRouter",
+    "FleetTelemetry",
+    "ReplicaOutcome",
+    "ReplicaSpec",
+    "ROUTING_POLICIES",
+]
+
+
+# ----------------------------------------------------------------------
+# declarative pieces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica of the fleet: a serving deployment the router targets.
+
+    Attributes
+    ----------
+    name:
+        Unique label within the fleet (appears in reports/telemetry).
+    configuration:
+        Instances whose GPUs form this replica's worker pool.
+    spec:
+        Degree of pruning of the model this replica deploys.
+    policy:
+        Its batch-forming policy.
+    faults:
+        Optional per-replica :class:`~repro.cloud.faults.FaultPlan`
+        (worker indices are local to the replica).
+    hourly_rate:
+        Billing override (e.g. a spot rate); ``None`` bills on-demand.
+    weight:
+        Optional explicit weight for ``weighted`` routing; ``None``
+        uses the modelled throughput capacity.
+    autoscale:
+        When set, the replica is *elastic*: it serves its sub-stream
+        through :class:`~repro.serving.autoscaler.AutoscalingSimulator`
+        on the configuration's (single) instance type, adding and
+        removing instances per the policy.
+    """
+
+    name: str
+    configuration: ResourceConfiguration
+    spec: PruneSpec
+    policy: BatchPolicy
+    faults: FaultPlan | None = None
+    hourly_rate: float | None = None
+    weight: float | None = None
+    autoscale: AutoscalePolicy | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("replica needs a non-empty name")
+        if self.hourly_rate is not None and self.hourly_rate < 0:
+            raise ConfigurationError("hourly rate must be non-negative")
+        if self.weight is not None and self.weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        if self.autoscale is not None:
+            itypes = {
+                i.itype for i in self.configuration.instances
+            }
+            if len(itypes) != 1:
+                raise ConfigurationError(
+                    "an autoscaled replica needs a single instance type"
+                )
+
+    def key(self) -> tuple:
+        """Content key for fleet-level caching (mirrors
+        :meth:`repro.core.evalspace.SpaceSpec.cache_key`)."""
+        return (
+            self.name,
+            self.configuration,
+            self.spec.ratios,
+            self.policy,
+            self.faults,
+            self.hourly_rate,
+            self.weight,
+            self.autoscale,
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission control in front of the whole fleet.
+
+    Attributes
+    ----------
+    rate_per_s:
+        Token-bucket refill rate; each admitted request consumes one
+        token and requests finding the bucket empty are shed.  ``None``
+        disables rate limiting; ``0.0`` admits only the initial burst.
+    burst:
+        Bucket capacity — the largest spike admitted at line rate.
+    queue_limit:
+        Shed arrivals while the fleet's total (fluid-estimated) backlog
+        is at or above this many requests; ``None`` disables
+        depth-based shedding, ``0`` sheds everything.
+    """
+
+    rate_per_s: float | None = None
+    burst: int = 32
+    queue_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s < 0:
+            raise ConfigurationError("admission rate must be >= 0")
+        if self.burst < 0:
+            raise ConfigurationError("burst must be >= 0")
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise ConfigurationError("queue limit must be >= 0")
+
+    @property
+    def is_open(self) -> bool:
+        """True when the policy can never shed (both knobs disabled)."""
+        return self.rate_per_s is None and self.queue_limit is None
+
+
+# ----------------------------------------------------------------------
+# routing policies
+# ----------------------------------------------------------------------
+class _RoutingState:
+    """Mutable per-run view the policies share.
+
+    ``backlog`` is a fluid model of each replica's queue: it decays at
+    the replica's modelled saturated throughput between arrivals and
+    grows by one per assignment.  Deterministic by construction — no
+    co-simulation with the replica event loops is needed.
+    """
+
+    def __init__(self, capacities: Sequence[float]) -> None:
+        self.capacity = np.asarray(capacities, dtype=float)
+        self.backlog = np.zeros(len(capacities))
+        self._last_t = 0.0
+
+    def advance(self, now: float) -> None:
+        """Drain every backlog to ``now`` at the replica's capacity."""
+        dt = now - self._last_t
+        if dt > 0:
+            self.backlog = np.maximum(
+                0.0, self.backlog - dt * self.capacity
+            )
+            self._last_t = now
+
+    def assign(self, replica: int) -> None:
+        """Record one request routed to ``replica``."""
+        self.backlog[replica] += 1.0
+
+    @property
+    def total_backlog(self) -> float:
+        """Fleet-wide fluid queue estimate (for depth shedding)."""
+        return float(self.backlog.sum())
+
+
+class _RoundRobin:
+    """Cycle replicas in declaration order."""
+
+    def __init__(self, router: "FleetRouter") -> None:
+        self._n = len(router.replicas)
+        self._next = 0
+
+    def select(self, now: float, floor: float, state: _RoutingState) -> int:
+        """Pick the next replica in the cycle (floor ignored)."""
+        pick = self._next
+        self._next = (self._next + 1) % self._n
+        return pick
+
+
+class _JoinShortestQueue:
+    """Route to the replica with the smallest fluid backlog."""
+
+    def __init__(self, router: "FleetRouter") -> None:
+        pass
+
+    def select(self, now: float, floor: float, state: _RoutingState) -> int:
+        """Pick the least-loaded replica (ties go to the lowest index)."""
+        return int(np.argmin(state.backlog))
+
+
+class _WeightedThroughput:
+    """Smooth weighted round-robin over modelled throughput.
+
+    The classic smooth-WRR scheme: each replica accumulates its weight
+    every arrival, the largest accumulator wins and pays back the total
+    weight.  With weights (3, 1) the sequence is A A B A — spread out,
+    not bursty, and fully deterministic.
+    """
+
+    def __init__(self, router: "FleetRouter") -> None:
+        self._weights = np.array(
+            [
+                r.weight if r.weight is not None else c
+                for r, c in zip(router.replicas, router.capacities)
+            ],
+            dtype=float,
+        )
+        if not np.all(self._weights > 0):
+            raise ConfigurationError(
+                "weighted routing needs positive capacities/weights"
+            )
+        self._current = np.zeros(len(self._weights))
+
+    def select(self, now: float, floor: float, state: _RoutingState) -> int:
+        """Pick by smooth weighted round-robin (floor ignored)."""
+        self._current += self._weights
+        pick = int(np.argmax(self._current))
+        self._current[pick] -= self._weights.sum()
+        return pick
+
+
+class _AccuracyTiered:
+    """Cheapest replica whose accuracy clears the request's floor.
+
+    ``floor`` is a Top-5 accuracy requirement in percent.  Among the
+    replicas that clear it, the lowest hourly rate wins; rate ties are
+    broken by the smaller fluid backlog, then declaration order.  When
+    *no* replica clears the floor the request degrades gracefully to
+    the most accurate replica instead of being rejected.
+    """
+
+    def __init__(self, router: "FleetRouter") -> None:
+        self._top5 = np.array(
+            [a.top5 for a in router.accuracies], dtype=float
+        )
+        self._rates = np.array(router.rates_per_hour, dtype=float)
+        self._best = int(np.argmax(self._top5))
+
+    def select(self, now: float, floor: float, state: _RoutingState) -> int:
+        """Pick the cheapest floor-clearing replica (see class doc)."""
+        eligible = np.flatnonzero(self._top5 >= floor - 1e-9)
+        if eligible.size == 0:
+            return self._best
+        rates = self._rates[eligible]
+        cheapest = eligible[np.flatnonzero(rates == rates.min())]
+        if cheapest.size == 1:
+            return int(cheapest[0])
+        return int(cheapest[np.argmin(state.backlog[cheapest])])
+
+
+#: routing policy name -> implementation (the ``repro serve --fleet
+#: --routing`` choices).
+ROUTING_POLICIES: dict[str, type] = {
+    "round-robin": _RoundRobin,
+    "jsq": _JoinShortestQueue,
+    "weighted": _WeightedThroughput,
+    "tiered": _AccuracyTiered,
+}
+
+
+# ----------------------------------------------------------------------
+# fleet telemetry
+# ----------------------------------------------------------------------
+class FleetTelemetry:
+    """Per-replica :class:`~repro.obs.telemetry.ServingTelemetry` plus a
+    fleet-aggregate view.
+
+    Pass one to :meth:`FleetRouter.run`; the router hands each replica
+    its own bundle (full streaming histograms and — when ``slo`` is set
+    — a per-replica sliding-window SLO burn monitor), records admission
+    sheds, and :meth:`finalize` publishes both the per-replica and the
+    merged fleet gauges.
+    """
+
+    def __init__(self, slo=None) -> None:
+        self.slo = slo
+        self.per_replica: dict[str, object] = {}
+        self.shed = 0
+
+    def replica(self, name: str):
+        """The (lazily created) telemetry bundle for replica ``name``."""
+        from repro.obs.telemetry import ServingTelemetry
+
+        if name not in self.per_replica:
+            self.per_replica[name] = ServingTelemetry(self.slo)
+        return self.per_replica[name]
+
+    def record_shed(self, now: float) -> None:
+        """Count one admission-shed request (never reaches a replica)."""
+        self.shed += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_latency(self):
+        """Merged fleet-wide latency histogram (same bucket bounds)."""
+        from repro.obs.telemetry import LatencyHistogram
+
+        merged: LatencyHistogram | None = None
+        for telemetry in self.per_replica.values():
+            hist = telemetry.latency
+            if merged is None:
+                merged = LatencyHistogram(hist.bounds)
+            elif merged.bounds != hist.bounds:
+                raise ConfigurationError(
+                    "cannot merge histograms with different bounds"
+                )
+            merged.counts = [
+                a + b for a, b in zip(merged.counts, hist.counts)
+            ]
+            merged.count += hist.count
+            merged.total += hist.total
+            merged._max = max(merged._max, hist._max)
+            merged._min = min(merged._min, hist._min)
+        if merged is None:
+            merged = LatencyHistogram()
+        return merged
+
+    def burn_summaries(self) -> dict[str, dict]:
+        """Per-replica SLO burn summaries (empty without an SLO)."""
+        return {
+            name: t.slo.summary()
+            for name, t in self.per_replica.items()
+            if t.slo is not None
+        }
+
+    @property
+    def alerts_fired(self) -> int:
+        """Total ``slo.alert`` events across every replica monitor."""
+        return sum(
+            t.alerts_fired for t in self.per_replica.values()
+        )
+
+    def finalize(self, registry=None, prefix: str = "router") -> None:
+        """Publish per-replica and merged fleet gauges into
+        ``registry`` (default: the current observability scope)."""
+        if registry is None:
+            registry = get_metrics()
+        for name, telemetry in self.per_replica.items():
+            telemetry.finalize(registry, prefix=f"{prefix}.{name}")
+        merged = self.aggregate_latency
+        if merged.count:
+            for q, label in ((50, "p50"), (95, "p95"), (99, "p99")):
+                registry.gauge(f"{prefix}.latency_{label}_s").set(
+                    merged.percentile(q)
+                )
+        registry.counter(f"{prefix}.shed").inc(self.shed)
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaOutcome:
+    """One replica's slice of a fleet run.
+
+    ``report`` is the replica's own
+    :class:`~repro.serving.simulator.ServingReport` (or
+    :class:`~repro.serving.autoscaler.AutoscaleReport` for elastic
+    replicas) — ``None`` when the replica received no requests, in
+    which case it idled (and was billed) for the fleet's makespan.
+    """
+
+    spec: ReplicaSpec
+    assigned: int
+    report: object | None
+    cost: float
+
+    @property
+    def served(self) -> int:
+        """Requests this replica completed."""
+        return 0 if self.report is None else self.report.served
+
+    @property
+    def dropped(self) -> int:
+        """Requests this replica dropped (faults/timeouts)."""
+        return 0 if self.report is None else self.report.dropped
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of one routed fleet run.
+
+    Aggregates treat the *offered* stream (including admission sheds)
+    as the denominator, so availability composes admission control and
+    per-replica drops the way an external client would measure it.
+    """
+
+    offered: int
+    shed: int
+    duration_s: float
+    routing: str
+    outcomes: tuple[ReplicaOutcome, ...]
+
+    # ------------------------------------------------------------------
+    def outcome(self, name: str) -> ReplicaOutcome:
+        """The outcome of the replica named ``name``."""
+        for o in self.outcomes:
+            if o.spec.name == name:
+                return o
+        raise KeyError(name)
+
+    @property
+    def requests(self) -> int:
+        """Offered requests (admitted + shed)."""
+        return self.offered
+
+    @property
+    def admitted(self) -> int:
+        """Requests that passed admission control."""
+        return self.offered - self.shed
+
+    @property
+    def served(self) -> int:
+        """Requests completed by any replica."""
+        return sum(o.served for o in self.outcomes)
+
+    @property
+    def dropped(self) -> int:
+        """Requests lost anywhere: admission sheds + replica drops."""
+        return self.shed + sum(o.dropped for o in self.outcomes)
+
+    @property
+    def availability(self) -> float:
+        """Served fraction of the *offered* stream."""
+        return self.served / self.offered if self.offered else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Lost fraction of the offered stream (1 - availability)."""
+        return self.dropped / self.offered if self.offered else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Served requests per second of fleet wall time."""
+        return self.served / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def cost(self) -> float:
+        """Total dollars across every replica (idle replicas included)."""
+        return sum(o.cost for o in self.outcomes)
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Served latencies concatenated across replicas."""
+        parts = [
+            o.report.latencies_s
+            for o in self.outcomes
+            if o.report is not None and o.report.latencies_s.size
+        ]
+        if not parts:
+            return np.empty(0)
+        return np.concatenate(parts)
+
+    def latency_percentile(self, q: float) -> float:
+        """Fleet-wide latency percentile in seconds (``nan`` if none
+        were served)."""
+        latencies = self.latencies_s
+        if latencies.size == 0:
+            return float("nan")
+        return float(np.percentile(latencies, q))
+
+    @property
+    def p50(self) -> float:
+        """Fleet-wide median latency."""
+        return self.latency_percentile(50)
+
+    @property
+    def p99(self) -> float:
+        """Fleet-wide 99th-percentile latency."""
+        return self.latency_percentile(99)
+
+    @property
+    def utilisation(self) -> float:
+        """Busy fraction over the static replicas' worker-seconds
+        (elastic replicas, whose pool varies, are excluded)."""
+        busy = denominator = 0.0
+        for o in self.outcomes:
+            report = o.report
+            if report is None or not hasattr(report, "busy_s"):
+                continue
+            busy += report.busy_s
+            denominator += report.worker_count * report.duration_s
+        return busy / denominator if denominator else 0.0
+
+    def miss_rate(self, slo_s: float) -> float:
+        """Fraction of served requests exceeding a latency SLO."""
+        latencies = self.latencies_s
+        if latencies.size == 0:
+            return 0.0
+        return float((latencies > slo_s).mean())
+
+    def burn_rates(self, slo) -> dict[str, float]:
+        """Whole-run SLO burn rates against a
+        :class:`~repro.obs.telemetry.SloPolicy` — the fleet-level
+        counterpart of the per-replica sliding-window monitors (which
+        live in :class:`FleetTelemetry`): error rate over the full run
+        divided by the SLO's error budget."""
+        availability_budget = 1.0 - slo.availability_target
+        latency_budget = 1.0 - slo.latency_quantile
+        return {
+            "availability": self.drop_rate / availability_budget,
+            "latency": self.miss_rate(slo.latency_slo_s)
+            / latency_budget,
+        }
+
+    def summary(self) -> dict[str, object]:
+        """JSON-ready headline aggregates plus per-replica rows."""
+        return {
+            "routing": self.routing,
+            "offered": self.offered,
+            "shed": self.shed,
+            "served": self.served,
+            "dropped": self.dropped,
+            "availability": self.availability,
+            "goodput": self.goodput,
+            "p50_s": self.p50,
+            "p99_s": self.p99,
+            "cost": self.cost,
+            "duration_s": self.duration_s,
+            "replicas": [
+                {
+                    "name": o.spec.name,
+                    "assigned": o.assigned,
+                    "served": o.served,
+                    "dropped": o.dropped,
+                    "cost": o.cost,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# the router
+# ----------------------------------------------------------------------
+class FleetRouter:
+    """Compose N replica simulators behind a routing policy.
+
+    Parameters
+    ----------
+    time_model, accuracy_model:
+        Calibrated models shared by every replica (each replica applies
+        its own pruning degree to them).
+    replicas:
+        The fleet; names must be unique.
+    routing:
+        One of :data:`ROUTING_POLICIES`.
+    admission:
+        Optional :class:`AdmissionPolicy`; ``None`` admits everything.
+    """
+
+    def __init__(
+        self,
+        time_model: CalibratedTimeModel,
+        accuracy_model: AccuracyModel,
+        replicas: Sequence[ReplicaSpec],
+        routing: str = "round-robin",
+        admission: AdmissionPolicy | None = None,
+    ) -> None:
+        replicas = tuple(replicas)
+        if not replicas:
+            raise ConfigurationError(
+                "a fleet needs at least one replica"
+            )
+        names = [r.name for r in replicas]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"replica names must be unique, got {names}"
+            )
+        if routing not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {routing!r}; "
+                f"available: {sorted(ROUTING_POLICIES)}"
+            )
+        if time_model.name != accuracy_model.name:
+            raise ConfigurationError("time/accuracy model mismatch")
+        self.time_model = time_model
+        self.accuracy_model = accuracy_model
+        self.replicas = replicas
+        self.routing = routing
+        self.admission = admission
+        self.capacities = tuple(
+            self._capacity(r) for r in replicas
+        )
+        self.accuracies = tuple(
+            accuracy_model.accuracy(r.spec) for r in replicas
+        )
+        self.rates_per_hour = tuple(
+            r.hourly_rate
+            if r.hourly_rate is not None
+            else r.configuration.total_price_per_hour
+            for r in replicas
+        )
+
+    # ------------------------------------------------------------------
+    def _capacity(self, replica: ReplicaSpec) -> float:
+        """Modelled saturated throughput (req/s) of one replica.
+
+        Per worker: the clamped batch width divided by that batch's
+        service time; elastic replicas count their minimum fleet (the
+        capacity a router can rely on before scale-out kicks in).
+        """
+        total = 0.0
+        for instance in replica.configuration.instances:
+            device = instance.itype.gpu
+            batching = self.time_model.batching_model(
+                replica.spec, device
+            )
+            width = min(
+                replica.policy.max_batch,
+                self.time_model.max_batch(device),
+            )
+            total += instance.gpus_used * (
+                width / batching.batch_time(width)
+            )
+        if replica.autoscale is not None:
+            per_instance = total / len(replica.configuration.instances)
+            total = per_instance * replica.autoscale.min_instances
+        return total
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        arrivals: np.ndarray,
+        floors: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Assign each arrival to a replica index, or ``-1`` for shed.
+
+        Pure decision pass — no replica is simulated.  ``floors`` is an
+        optional per-request Top-5 accuracy requirement in percent
+        (used by ``tiered`` routing); ``None`` means no requirement.
+        """
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            raise ConfigurationError("no arrivals to route")
+        if np.any(np.diff(arrivals) < 0):
+            raise ConfigurationError("arrivals must be sorted")
+        if floors is None:
+            floors = np.zeros(arrivals.size)
+        else:
+            floors = np.asarray(floors, dtype=float)
+            if floors.shape != arrivals.shape:
+                raise ConfigurationError(
+                    "floors must align with arrivals"
+                )
+        policy = ROUTING_POLICIES[self.routing](self)
+        state = _RoutingState(self.capacities)
+        admission = self.admission
+        tokens = float(admission.burst) if admission else 0.0
+        last_refill = 0.0
+        assignment = np.empty(arrivals.size, dtype=np.int64)
+        for i, (t, floor) in enumerate(zip(arrivals, floors)):
+            state.advance(t)
+            if admission is not None:
+                if admission.rate_per_s is not None:
+                    tokens = min(
+                        float(admission.burst),
+                        tokens
+                        + (t - last_refill) * admission.rate_per_s,
+                    )
+                    last_refill = t
+                shed = (
+                    admission.queue_limit is not None
+                    and state.total_backlog >= admission.queue_limit
+                ) or (
+                    admission.rate_per_s is not None and tokens < 1.0
+                )
+                if shed:
+                    assignment[i] = -1
+                    continue
+                if admission.rate_per_s is not None:
+                    tokens -= 1.0
+            pick = policy.select(float(t), float(floor), state)
+            state.assign(pick)
+            assignment[i] = pick
+        return assignment
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: np.ndarray,
+        floors: np.ndarray | None = None,
+        telemetry: FleetTelemetry | None = None,
+    ) -> FleetReport:
+        """Route ``arrivals`` and serve every sub-stream; returns the
+        fleet report.
+
+        Each replica's sub-stream runs through the unchanged simulator
+        with the replica's own :class:`~repro.cloud.faults.FaultPlan`;
+        replicas that receive no requests idle (and are billed) for the
+        fleet's makespan.  ``telemetry`` is an optional
+        :class:`FleetTelemetry`; as with the bare simulators it never
+        perturbs a simulated float.
+        """
+        arrivals = np.asarray(arrivals, dtype=float)
+        with get_tracer().span(
+            "router.run",
+            replicas=len(self.replicas),
+            routing=self.routing,
+            requests=int(arrivals.size),
+        ) as span:
+            report = self._run(arrivals, floors, telemetry)
+        metrics = get_metrics()
+        metrics.counter("router.runs").inc()
+        metrics.counter("router.requests").inc(report.offered)
+        metrics.counter("router.shed").inc(report.shed)
+        metrics.counter("router.drops").inc(report.dropped)
+        from repro.obs.telemetry import record_report_gauges
+
+        record_report_gauges(report, prefix="router", registry=metrics)
+        if telemetry is not None:
+            telemetry.finalize(metrics, prefix="router")
+        if span is not None:
+            span.tags["shed"] = report.shed
+            span.tags["served"] = report.served
+        return report
+
+    def _run(
+        self,
+        arrivals: np.ndarray,
+        floors: np.ndarray | None,
+        telemetry: FleetTelemetry | None,
+    ) -> FleetReport:
+        assignment = self.route(arrivals, floors)
+        shed_count = int((assignment == -1).sum())
+        if telemetry is not None and shed_count:
+            for t in arrivals[assignment == -1]:
+                telemetry.record_shed(float(t))
+        reports: list[object | None] = []
+        assigned_counts: list[int] = []
+        for index, replica in enumerate(self.replicas):
+            sub = arrivals[assignment == index]
+            assigned_counts.append(int(sub.size))
+            if sub.size == 0:
+                reports.append(None)
+                continue
+            bundle = (
+                telemetry.replica(replica.name)
+                if telemetry is not None
+                else None
+            )
+            reports.append(
+                self._run_replica(replica, sub, bundle)
+            )
+        duration = max(
+            (r.duration_s for r in reports if r is not None),
+            default=float(arrivals[-1]) if arrivals.size else 0.0,
+        )
+        outcomes = []
+        for replica, assigned, report in zip(
+            self.replicas, assigned_counts, reports
+        ):
+            if report is None:
+                rate = (
+                    replica.hourly_rate
+                    if replica.hourly_rate is not None
+                    else replica.configuration.total_price_per_hour
+                )
+                cost = hourly_rate_cost(rate, duration)
+            else:
+                cost = report.cost
+            outcomes.append(
+                ReplicaOutcome(
+                    spec=replica,
+                    assigned=assigned,
+                    report=report,
+                    cost=cost,
+                )
+            )
+        return FleetReport(
+            offered=int(arrivals.size),
+            shed=shed_count,
+            duration_s=duration,
+            routing=self.routing,
+            outcomes=tuple(outcomes),
+        )
+
+    def _run_replica(
+        self, replica: ReplicaSpec, sub: np.ndarray, bundle
+    ):
+        """Serve one replica's sub-stream through its simulator."""
+        if replica.autoscale is not None:
+            simulator = AutoscalingSimulator(
+                self.time_model,
+                self.accuracy_model,
+                replica.configuration.instances[0].itype,
+                replica.spec,
+                replica.policy,
+                replica.autoscale,
+                hourly_rate=replica.hourly_rate,
+            )
+        else:
+            simulator = ServingSimulator(
+                self.time_model,
+                self.accuracy_model,
+                replica.configuration,
+                replica.spec,
+                replica.policy,
+                hourly_rate=replica.hourly_rate,
+            )
+        return simulator.run(sub, replica.faults, telemetry=bundle)
+
+    # ------------------------------------------------------------------
+    def accuracy(self, replica: str) -> AccuracyPair:
+        """The model accuracy the named replica serves at."""
+        for spec, pair in zip(self.replicas, self.accuracies):
+            if spec.name == replica:
+                return pair
+        raise KeyError(replica)

@@ -70,20 +70,24 @@ class ServingReport:
 
     @property
     def p50(self) -> float:
+        """Median served latency in seconds."""
         return self.latency_percentile(50)
 
     @property
     def p99(self) -> float:
+        """99th-percentile served latency in seconds."""
         return self.latency_percentile(99)
 
     @property
     def mean_latency(self) -> float:
+        """Mean served latency in seconds (NaN when none served)."""
         if self.latencies_s.size == 0:
             return float("nan")
         return float(self.latencies_s.mean())
 
     @property
     def mean_batch(self) -> float:
+        """Mean dispatched batch width."""
         if self.batch_sizes.size == 0:
             return 0.0
         return float(self.batch_sizes.mean())

@@ -64,6 +64,7 @@ class TestRunSuite:
             "serving.faulty",
             "allocation.greedy",
             "autoscale.surge",
+            "fleet.routed",
         }
 
 
@@ -153,7 +154,9 @@ class TestCheck:
 
         Wall times are machine-dependent, so only the deterministic
         work counters are compared here — exactly what ``--check``
-        treats as tolerance-free.
+        treats as tolerance-free.  Scenarios newer than the committed
+        record are skipped, matching ``--check``'s "new scenario (no
+        baseline)" semantics.
         """
         from pathlib import Path
 
@@ -161,6 +164,9 @@ class TestCheck:
         baseline = latest_record(repo_root)
         if baseline is None:  # pragma: no cover - repo always has one
             pytest.skip("no BENCH_*.json committed")
+        known = {e.name for e in baseline.entries}
         fresh = run_suite(repeats=1)
         for entry in fresh:
+            if entry.name not in known:
+                continue
             assert entry.counters == baseline.entry(entry.name).counters

@@ -117,3 +117,89 @@ class TestServeCommand:
         )
         assert code == 0
         assert "16 GPUs" in capsys.readouterr().out
+
+    def test_missing_instances_is_a_usage_error(self, capsys):
+        code = main(["serve", "--rate", "10"])
+        assert code == 2
+        assert "--instances" in capsys.readouterr().err
+
+
+class TestServeFleetCommand:
+    def test_tiered_fleet_end_to_end(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--fleet",
+                "--replica",
+                "p2.8xlarge",
+                "--replica",
+                "2xp2.xlarge:conv1=0.3,conv2=0.5",
+                "--routing",
+                "tiered",
+                "--floors",
+                "0=0.7,75=0.3",
+                "--rate",
+                "100",
+                "--duration",
+                "20",
+                "--slo",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replicas, tiered routing" in out
+        assert "r1-p2.8xlarge" in out
+        assert "r2-p2.xlarge-pruned" in out
+        assert "SLO burn" in out
+
+    def test_admission_control_sheds_overload(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--fleet",
+                "--replica",
+                "p2.xlarge:conv1=0.3,conv2=0.5",
+                "--rate",
+                "120",
+                "--duration",
+                "20",
+                "--admission-rate",
+                "40",
+                "--admission-burst",
+                "20",
+                "--queue-limit",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admission control" in out
+        assert " shed" in out and " 0 shed" not in out
+
+    def test_fleet_without_replicas_is_a_usage_error(self, capsys):
+        code = main(["serve", "--fleet", "--rate", "10"])
+        assert code == 2
+        assert "--replica" in capsys.readouterr().err
+
+    def test_unknown_replica_type_fails_cleanly(self, capsys):
+        code = main(
+            ["serve", "--fleet", "--replica", "x9.gigantic", "--rate", "10"]
+        )
+        assert code == 1
+        assert "unknown" in capsys.readouterr().err
+
+    def test_malformed_floors_fail_cleanly(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--fleet",
+                "--replica",
+                "p2.xlarge",
+                "--floors",
+                "banana",
+                "--rate",
+                "10",
+            ]
+        )
+        assert code != 0

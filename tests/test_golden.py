@@ -18,8 +18,15 @@ from repro.experiments.runner import run_all
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-#: artefacts pinned byte-for-byte (the paper's headline numbers)
-GOLDEN_ARTEFACTS = ("table1", "fig9", "fig10", "algorithm1")
+#: artefacts pinned byte-for-byte (the paper's headline numbers, plus
+#: the routed-fleet extension whose cost-reduction claim CI enforces)
+GOLDEN_ARTEFACTS = (
+    "table1",
+    "fig9",
+    "fig10",
+    "algorithm1",
+    "ext-fleet-routing",
+)
 
 
 def _render(artefact: str) -> str:
