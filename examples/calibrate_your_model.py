@@ -18,15 +18,12 @@ normally read from your own measurement logs:
 Run:  python examples/calibrate_your_model.py
 """
 
+from repro import api
 from repro.calibration.accuracy_model import AccuracyPair
 from repro.calibration.fitting import fit_accuracy_model, fit_time_model
 from repro.cloud import CloudSimulator, P2_TYPES
 from repro.core.config_space import enumerate_configurations
-from repro.core.planner import (
-    PlanningSpace,
-    iso_accuracy_frontier,
-    min_budget_for,
-)
+from repro.core.planner import PlanningSpace
 from repro.pruning import DegreeOfPruning, PruneSpec
 
 # ----------------------------------------------------------------------
@@ -94,19 +91,24 @@ def main() -> None:
         metric="top5",
     )
 
+    # plan over the custom space through the typed API surface: the
+    # request carries the question, ``space=`` overrides the grid
     target = 90.0
-    best = min_budget_for(space, target, deadline_s=4 * 3600.0)
+    best = api.plan(
+        api.PlanRequest(target=target, deadline_h=4.0), space=space
+    ).best
     print(
         f"cheapest way to {target:.0f}% Top-5 within 4h: "
-        f"{best.spec.label()} on {best.configuration.label()} — "
-        f"${best.cost:.2f}, {best.time_s / 3600:.2f}h"
+        f"{best.spec} on {best.configuration} — "
+        f"${best.cost:.2f}, {best.time_h:.2f}h"
     )
 
     print(f"\niso-accuracy frontier at {target:.0f}% Top-5:")
-    for r in iso_accuracy_frontier(space, target):
+    frontier = api.plan(api.PlanRequest(target=target), space=space)
+    for p in frontier.points:
         print(
-            f"  {r.time_s / 3600:5.2f}h  ${r.cost:7.2f}  "
-            f"{r.spec.label():24} {r.configuration.label()}"
+            f"  {p.time_h:5.2f}h  ${p.cost:7.2f}  "
+            f"{p.spec:24} {p.configuration}"
         )
 
 

@@ -1,0 +1,122 @@
+"""A stdlib HTTP client for the planning service.
+
+:class:`PlanningClient` speaks the same frozen request/response types
+as the in-process handlers — ``client.plan(PlanRequest(...))`` returns
+the same :class:`~repro.api.types.PlanResponse` (modulo the rich
+in-process report objects, which never cross the wire) as
+``repro.api.plan(...)``, so code can swap between embedded and remote
+planning by changing one constructor.
+
+Built on :mod:`urllib.request` only; server-side :class:`ApiError`
+bodies are re-raised as :class:`ApiError` with the original code.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.api.types import (
+    ApiError,
+    FleetRequest,
+    FleetResponse,
+    PlanRequest,
+    PlanResponse,
+)
+
+__all__ = ["PlanningClient"]
+
+
+class PlanningClient:
+    """Typed access to a running planning service.
+
+    Parameters
+    ----------
+    base_url:
+        Root of the service, e.g. ``http://127.0.0.1:8123`` (trailing
+        slash tolerated).
+    timeout_s:
+        Per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, bytes]:
+        data = (
+            None
+            if body is None
+            else json.dumps(body).encode("utf-8")
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers=(
+                {"Content-Type": "application/json"}
+                if data is not None
+                else {}
+            ),
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def _post(self, path: str, body: dict) -> dict:
+        status, raw = self._request("POST", path, body)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            raise ApiError(
+                "internal",
+                f"non-JSON response (HTTP {status}) from {path}",
+            ) from None
+        if status >= 400 or "error" in payload:
+            raise ApiError.from_dict(payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    def plan(self, request: PlanRequest) -> PlanResponse:
+        """``POST /v1/plan``."""
+        return PlanResponse.from_dict(
+            self._post("/v1/plan", request.to_dict())
+        )
+
+    def evaluate_fleets(self, request: FleetRequest) -> FleetResponse:
+        """``POST /v1/fleet/evaluate``."""
+        return FleetResponse.from_dict(
+            self._post("/v1/fleet/evaluate", request.to_dict())
+        )
+
+    def cheapest_fleets(self, request: FleetRequest) -> FleetResponse:
+        """``POST /v1/fleet/cheapest``."""
+        return FleetResponse.from_dict(
+            self._post("/v1/fleet/cheapest", request.to_dict())
+        )
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz`` (raises on a non-200 answer)."""
+        status, raw = self._request("GET", "/v1/healthz")
+        if status != 200:
+            raise ApiError(
+                "internal", f"healthz returned HTTP {status}"
+            )
+        return json.loads(raw.decode("utf-8"))
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the OpenMetrics exposition text."""
+        status, raw = self._request("GET", "/v1/metrics")
+        if status != 200:
+            raise ApiError(
+                "internal", f"metrics returned HTTP {status}"
+            )
+        return raw.decode("utf-8")

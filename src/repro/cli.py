@@ -19,14 +19,27 @@ Commands
 ``plan --target 78 [--deadline H] [--budget D]``
     Inverse planning over the evaluation space: cheapest budget for a
     deadline, fastest deadline for a budget, or the full iso-accuracy
-    (time, cost) frontier when neither constraint is given.
+    (time, cost) frontier when neither constraint is given.  Routed
+    through :mod:`repro.api` (the same typed surface the HTTP service
+    exposes).
+``service [--host H] [--port P] [--max-inflight N]``
+    Serve the versioned planning API over HTTP in the foreground:
+    ``POST /v1/plan``, ``POST /v1/fleet/evaluate``,
+    ``POST /v1/fleet/cheapest``, ``GET /v1/healthz``,
+    ``GET /v1/metrics`` (OpenMetrics).
+``loadgen [--url URL] [--rate R] [--duration S | --requests N]``
+    Replay a seeded open-loop planning-query mixture against a running
+    service (``--url``) or an in-process dispatcher (no sockets), and
+    report throughput, latency percentiles and cache hit ratio.
 ``metrics [id ...] [--format openmetrics|json] [--output PATH]``
     Run artefacts (uncached) and export their metric snapshots as
     Prometheus/OpenMetrics text or flat JSON.
-``bench [--record | --check] [--tolerance F] [--repeats N]``
+``bench [--record | --check] [--tolerance F] [--warn-ratio F]``
     Performance-trajectory recorder: run the bench suite, append a
     ``BENCH_<n>.json`` snapshot (``--record``), or gate against the
-    latest snapshot (``--check``, non-zero exit on regression).
+    latest snapshot (``--check``, non-zero exit on regression;
+    wall-time drift past ``--warn-ratio`` — against the latest or the
+    first record — is surfaced as a warning).
 ``serve --instances p2.xlarge ... [--faults MTBF] [--slo S]``
     Online-serving simulation: latency percentiles, utilisation,
     cost, fault/goodput accounting and streaming telemetry.
@@ -246,6 +259,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--images", type=int, default=20_000_000)
     p_plan.add_argument("--instances-per-type", type=int, default=2)
 
+    p_service = sub.add_parser(
+        "service", help="serve the versioned planning API over HTTP"
+    )
+    p_service.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_service.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 picks a free one; default 8765)",
+    )
+    p_service.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="shed planning requests beyond N in flight with 503 "
+        "(default 64)",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="open-loop load harness for the planning service",
+    )
+    p_load.add_argument(
+        "--url",
+        metavar="URL",
+        help="base URL of a running service (default: dispatch "
+        "in-process, no sockets)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=500.0, help="offered req/s"
+    )
+    volume = p_load.add_mutually_exclusive_group()
+    volume.add_argument(
+        "--duration", type=float, help="trace length in seconds"
+    )
+    volume.add_argument(
+        "--requests", type=int, help="exact request count instead"
+    )
+    p_load.add_argument(
+        "--arrival",
+        default="uniform",
+        choices=["poisson", "uniform", "bursty"],
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--model", default="caffenet", choices=["caffenet", "googlenet"]
+    )
+    p_load.add_argument("--images", type=int, default=20_000_000)
+    p_load.add_argument("--instances-per-type", type=int, default=2)
+    p_load.add_argument(
+        "--catalog",
+        nargs="+",
+        metavar="ITYPE",
+        help="restrict the grid to these instance types "
+        "(default: the full EC2 catalog)",
+    )
+    p_load.add_argument(
+        "--workers",
+        type=int,
+        default=32,
+        metavar="N",
+        help="client-side concurrency (default 32)",
+    )
+    p_load.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable summary instead of text",
+    )
+
     p_serve = sub.add_parser(
         "serve", help="online-serving simulation (latency percentiles)"
     )
@@ -424,6 +509,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="F",
         help="allowed fractional wall-time slowdown for --check "
         "(default 0.5 = +50%%; counters must match exactly)",
+    )
+    p_bench.add_argument(
+        "--warn-ratio",
+        type=float,
+        default=1.5,
+        metavar="F",
+        help="warn (without failing) when --check wall time exceeds "
+        "F times the latest record, or F times the first record on "
+        "the trajectory (default 1.5)",
     )
     p_bench.add_argument(
         "--repeats",
@@ -684,83 +778,83 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    from repro.cloud.catalog import EC2_CATALOG
-    from repro.cloud.simulator import CloudSimulator
-    from repro.core.config_space import enumerate_configurations
-    from repro.core.planner import (
-        PlanningSpace,
-        iso_accuracy_frontier,
-        min_budget_for,
-        min_deadline_for,
-    )
-    from repro.errors import InfeasibleError
+    from repro import api
 
-    time_model, accuracy_model = _models(args.model)
-    simulator = CloudSimulator(time_model, accuracy_model)
-    if args.model == "caffenet":
-        from repro.pruning.schedule import caffenet_variant_set
-
-        degrees = caffenet_variant_set()
-    else:
-        from repro.experiments.ext_googlenet_pareto import (
-            googlenet_variant_set,
-        )
-
-        degrees = googlenet_variant_set()
-    space = PlanningSpace.evaluate(
-        simulator,
-        degrees,
-        enumerate_configurations(
-            EC2_CATALOG, max_per_type=args.instances_per_type
-        ),
-        images=args.images,
+    request = api.PlanRequest(
+        target=args.target,
+        model=args.model,
         metric=args.metric,
+        deadline_h=args.deadline,
+        budget=args.budget,
+        images=args.images,
+        instances_per_type=args.instances_per_type,
+    )
+    try:
+        response = api.plan(request)
+    except api.ApiError as exc:
+        if exc.code == "infeasible":
+            print(f"infeasible: {exc}", file=sys.stderr)
+            return 1
+        raise
+    print(response.render())
+    return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.service import PlanningServer
+
+    server = PlanningServer(
+        args.host,
+        args.port,
+        max_inflight=args.max_inflight,
+        registry=MetricsRegistry(),
+    )
+    print(f"serving on {server.url} (ctrl-c to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import (
+        HttpTarget,
+        InProcessTarget,
+        PlanMixture,
+        run_load,
     )
 
-    def _show(r) -> None:
-        print(f"degree of pruning : {r.spec.label()}")
-        print(f"configuration     : {r.configuration.label()}")
-        print(f"time              : {r.time_s / 3600.0:.2f} h")
-        print(f"cost              : ${r.cost:.2f}")
-        print(
-            f"accuracy          : top1 {r.accuracy.top1:.1f}% / "
-            f"top5 {r.accuracy.top5:.1f}%"
-        )
-
-    try:
-        if args.deadline is not None:
-            r = min_budget_for(space, args.target, args.deadline * 3600.0)
-            if args.budget is not None and r.cost > args.budget:
-                raise InfeasibleError(
-                    f"cheapest plan inside {args.deadline:g}h costs "
-                    f"${r.cost:.2f} > budget ${args.budget:.2f}"
-                )
-            print(
-                f"minimum budget for {args.target:g}% {args.metric} "
-                f"within {args.deadline:g}h:"
-            )
-            _show(r)
-        elif args.budget is not None:
-            r = min_deadline_for(space, args.target, args.budget)
-            print(
-                f"minimum deadline for {args.target:g}% {args.metric} "
-                f"within ${args.budget:.2f}:"
-            )
-            _show(r)
-        else:
-            front = iso_accuracy_frontier(space, args.target)
-            print(
-                f"iso-accuracy frontier at {args.target:g}% {args.metric} "
-                f"({len(front)} points, fastest first):"
-            )
-            for r in front:
-                print(
-                    f"  {r.time_s / 3600.0:7.2f} h  ${r.cost:8.2f}  "
-                    f"{r.spec.label()}  on  {r.configuration.label()}"
-                )
-    except InfeasibleError as exc:
-        print(f"infeasible: {exc}", file=sys.stderr)
-        return 1
+    mixture = PlanMixture(
+        model=args.model,
+        images=args.images,
+        instances_per_type=args.instances_per_type,
+        catalog=tuple(args.catalog) if args.catalog else None,
+        seed=args.seed,
+    )
+    target = HttpTarget(args.url) if args.url else InProcessTarget()
+    duration = args.duration
+    if duration is None and args.requests is None:
+        duration = 5.0
+    report = run_load(
+        target,
+        mixture,
+        rate_per_s=args.rate,
+        duration_s=duration,
+        n_requests=args.requests,
+        arrival=args.arrival,
+        seed=args.seed,
+        max_workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0
 
 
@@ -1171,6 +1265,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             report = bench.check(
                 args.root,
                 tolerance=args.tolerance,
+                warn_ratio=args.warn_ratio,
                 repeats=args.repeats,
                 only=only,
             )
@@ -1183,6 +1278,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         for line in report.lines:
             print(line)
+        for warning in report.warnings:
+            print(f"WARN: {warning}", file=sys.stderr)
         if not report.ok:
             print(
                 f"FAIL: {len(report.failures)} regression(s)",
@@ -1226,6 +1323,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "plan":
             return _cmd_plan(args)
+        if args.command == "service":
+            return _cmd_service(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "trace":

@@ -57,7 +57,30 @@ __all__ = [
 #: Bound on retained evaluated spaces; oldest entries evicted first.
 _CACHE_MAX_ENTRIES = 32
 
-_CACHE: dict[tuple, "EvaluatedSpace"] = {}
+_CACHE: dict["_HashedKey", "EvaluatedSpace"] = {}
+
+
+class _HashedKey:
+    """A cache key with its hash computed once.
+
+    Content keys embed every configuration object in the grid, so
+    hashing one from scratch walks hundreds of dataclasses — a ~2 ms
+    tax per lookup that dominates a warm-cache planning query.  Specs
+    memoize one of these, so repeated lookups hash in O(1) and dict
+    probes short-circuit on identity.
+    """
+
+    __slots__ = ("parts", "hash")
+
+    def __init__(self, parts: tuple) -> None:
+        self.parts = parts
+        self.hash = hash(parts)
+
+    def __hash__(self) -> int:
+        return self.hash
+
+    def __eq__(self, other: object) -> bool:
+        return self.parts == getattr(other, "parts", other)
 
 
 def _as_spec(degree) -> PruneSpec:
@@ -167,6 +190,19 @@ class SpaceSpec:
             self.images,
             self.proportional_split,
         )
+
+    def _hashed_key(self) -> _HashedKey:
+        """The content key with its hash memoized on this instance.
+
+        Long-lived specs (the planning service resolves each request to
+        a memoized spec) pay the full key hash once; every later cache
+        lookup reuses it, keeping warm planning queries sub-millisecond.
+        """
+        cached = getattr(self, "_key_cache", None)
+        if cached is None:
+            cached = _HashedKey(self.cache_key())
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
 
 @dataclass(frozen=True, eq=False)
@@ -366,7 +402,7 @@ def _evaluate_uncached(spec: SpaceSpec) -> EvaluatedSpace:
 
 def evaluate(spec: SpaceSpec) -> EvaluatedSpace:
     """Evaluate ``spec`` once; content-equal grids hit the shared cache."""
-    key = spec.cache_key()
+    key = spec._hashed_key()
     cached = _CACHE.get(key)
     if cached is not None:
         get_metrics().counter("evalspace.cache_hits").inc()

@@ -26,6 +26,7 @@ space.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -86,7 +87,7 @@ class PlanningSpace:
         return float(self.space.accuracy(self.metric).max())
 
 
-def min_budget_for(
+def _min_budget_for(
     space: PlanningSpace,
     target_accuracy: float,
     deadline_s: float,
@@ -104,7 +105,7 @@ def min_budget_for(
     return space.results[idx[order[0]]]
 
 
-def min_deadline_for(
+def _min_deadline_for(
     space: PlanningSpace,
     target_accuracy: float,
     budget: float,
@@ -121,7 +122,7 @@ def min_deadline_for(
     return space.results[idx[order[0]]]
 
 
-def iso_accuracy_frontier(
+def _iso_accuracy_frontier(
     space: PlanningSpace, target_accuracy: float
 ) -> list[SimulationResult]:
     """The (time, cost) Pareto curve at one accuracy target.
@@ -142,7 +143,7 @@ def iso_accuracy_frontier(
     return [space.results[i] for i in idx[local]]
 
 
-def cheapest_fleet(
+def _cheapest_fleet(
     candidates: Sequence,
     workload,
     *,
@@ -187,3 +188,60 @@ def cheapest_fleet(
             f"{constraint}"
         )
     return best
+
+
+# ----------------------------------------------------------------------
+# deprecated free-function shims
+# ----------------------------------------------------------------------
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.planner.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def min_budget_for(
+    space: PlanningSpace,
+    target_accuracy: float,
+    deadline_s: float,
+) -> SimulationResult:
+    """Deprecated shim for :func:`repro.api.plan` (``deadline_h`` set).
+
+    Delegates unchanged; new code builds a
+    :class:`repro.api.PlanRequest` instead.
+    """
+    _deprecated("min_budget_for", "repro.api.plan")
+    return _min_budget_for(space, target_accuracy, deadline_s)
+
+
+def min_deadline_for(
+    space: PlanningSpace,
+    target_accuracy: float,
+    budget: float,
+) -> SimulationResult:
+    """Deprecated shim for :func:`repro.api.plan` (``budget`` set)."""
+    _deprecated("min_deadline_for", "repro.api.plan")
+    return _min_deadline_for(space, target_accuracy, budget)
+
+
+def iso_accuracy_frontier(
+    space: PlanningSpace, target_accuracy: float
+) -> list[SimulationResult]:
+    """Deprecated shim for :func:`repro.api.plan` (no constraints)."""
+    _deprecated("iso_accuracy_frontier", "repro.api.plan")
+    return _iso_accuracy_frontier(space, target_accuracy)
+
+
+def cheapest_fleet(
+    candidates: Sequence,
+    workload,
+    *,
+    availability: float = 0.999,
+    p99_s: float | None = None,
+):
+    """Deprecated shim for :func:`repro.api.select_cheapest_fleet`."""
+    _deprecated("cheapest_fleet", "repro.api.select_cheapest_fleet")
+    return _cheapest_fleet(
+        candidates, workload, availability=availability, p99_s=p99_s
+    )

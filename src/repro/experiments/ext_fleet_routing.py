@@ -20,7 +20,7 @@ wires the reproduction's routed-fleet layer
    (equal availability), the tiered fleet at a fraction of the cost —
    the paper's sweet-spot argument, lifted from one model to a fleet
    mix.  The planner query
-   (:func:`repro.core.planner.cheapest_fleet`) picks the tiered fleet
+   (:func:`repro.api.select_cheapest_fleet`) picks the tiered fleet
    from the candidate set under the same constraints.
 3. **Overload** — a single narrow replica offered ~2.6x its capacity,
    with and without admission control (token bucket + queue-depth
@@ -41,7 +41,7 @@ from repro.calibration.caffenet import (
 from repro.cloud.catalog import instance_type
 from repro.cloud.configuration import ResourceConfiguration
 from repro.cloud.instance import CloudInstance
-from repro.core.planner import cheapest_fleet
+from repro.api import select_cheapest_fleet
 from repro.experiments.report import format_kv, format_table
 from repro.pruning.base import PruneSpec
 from repro.serving.batcher import BatchPolicy
@@ -209,7 +209,7 @@ def run(
     reduction = 100.0 * (1.0 - tiers[1].cost / tiers[0].cost)
 
     # ... and let the planner pick from the full candidate set
-    pick, pick_report = cheapest_fleet(
+    pick, pick_report = select_cheapest_fleet(
         (single_tier, tiered),
         floored,
         availability=0.999,

@@ -252,13 +252,66 @@ def _scenario_fleet_routed() -> None:
     evaluate_fleet(spec, workload)
 
 
-#: name -> callable; each runs one hot path end to end.
-SCENARIOS: dict[str, Callable[[], None]] = {
+def _scenario_service_plan() -> dict[str, float]:
+    """Warm-cache planning queries through the full service dispatch
+    path: one cold grid evaluation, then an open-loop replay of 400
+    mixed queries that must all be evaluation-cache hits.  Extras
+    capture the control-plane throughput and latency percentiles the
+    acceptance bar (>= 1k plan-queries/s warm) is measured against."""
+    import json
+
+    from repro.api import clear_api_caches
+    from repro.service import (
+        InProcessTarget,
+        PlanMixture,
+        PlanningService,
+        run_load,
+    )
+
+    # memoized models keep their per-degree memos warm across repeats;
+    # start each repeat truly cold or the work counters drift
+    clear_api_caches()
+    mixture = PlanMixture(
+        catalog=("p2.xlarge", "p2.8xlarge", "p2.16xlarge"),
+        instances_per_type=3,
+        images=20_000_000,
+        seed=17,
+    )
+    service = PlanningService()
+    warm = json.dumps(
+        mixture.requests(1)[0].to_dict(), sort_keys=True
+    ).encode("utf-8")
+    status, _, _ = service.dispatch("POST", "/v1/plan", warm)
+    assert status in (200, 422)
+    report = run_load(
+        InProcessTarget(service),
+        mixture,
+        rate_per_s=2000.0,
+        n_requests=400,
+        arrival="uniform",
+        max_workers=8,
+    )
+    assert report.errors == 0, report.status_counts
+    assert (report.cache_misses, report.cache_hits) == (0, 400)
+    return {
+        "qps": report.qps,
+        "p50_ms": report.p50 * 1e3,
+        "p95_ms": report.p95 * 1e3,
+        "p99_ms": report.p99 * 1e3,
+        "cache_hit_ratio": report.cache_hit_ratio,
+    }
+
+
+#: name -> callable; each runs one hot path end to end and may return
+#: a mapping of float "extras" (latency percentiles, throughput) that
+#: ride along in the record without being gated.
+SCENARIOS: dict[str, Callable[[], object]] = {
     "evalspace.grid": _scenario_evalspace_grid,
     "serving.faulty": _scenario_serving_faulty,
     "allocation.greedy": _scenario_allocation_greedy,
     "autoscale.surge": _scenario_autoscale_surge,
     "fleet.routed": _scenario_fleet_routed,
+    "service.plan": _scenario_service_plan,
 }
 
 
@@ -267,18 +320,32 @@ SCENARIOS: dict[str, Callable[[], None]] = {
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class BenchEntry:
-    """One scenario's slice of a bench record."""
+    """One scenario's slice of a bench record.
+
+    ``extras`` are informational floats the scenario returned (service
+    throughput, latency percentiles): recorded for the trajectory,
+    never gated — unlike ``counters`` they measure the machine, not
+    the algorithm.
+    """
 
     name: str
     wall_s: float
     counters: dict[str, int]
+    extras: dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.extras is None:
+            object.__setattr__(self, "extras", {})
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "name": self.name,
             "wall_s": self.wall_s,
             "counters": dict(self.counters),
         }
+        if self.extras:
+            out["extras"] = dict(self.extras)
+        return out
 
 
 @dataclass(frozen=True)
@@ -324,6 +391,10 @@ class BenchRecord:
                     wall_s=float(e["wall_s"]),
                     counters={
                         k: int(v) for k, v in e["counters"].items()
+                    },
+                    extras={
+                        k: float(v)
+                        for k, v in e.get("extras", {}).items()
                     },
                 )
                 for e in payload["entries"]
@@ -377,14 +448,20 @@ def run_suite(
     for name, fn in scenarios.items():
         best = float("inf")
         counters: dict[str, int] | None = None
+        extras: dict[str, float] = {}
         for _ in range(repeats):
             clear_space_cache()
             registry = MetricsRegistry()
             with scoped_observability(Tracer(enabled=False), registry):
                 wall0 = time.perf_counter()
-                fn()
+                returned = fn()
                 wall = time.perf_counter() - wall0
-            best = min(best, wall)
+            if wall < best:
+                best = wall
+                if isinstance(returned, Mapping):
+                    extras = {
+                        str(k): float(v) for k, v in returned.items()
+                    }
             snapshot = registry.snapshot()["counters"]
             if counters is not None and snapshot != counters:
                 raise AssertionError(
@@ -393,7 +470,12 @@ def run_suite(
                 )
             counters = snapshot
         entries.append(
-            BenchEntry(name=name, wall_s=best, counters=counters or {})
+            BenchEntry(
+                name=name,
+                wall_s=best,
+                counters=counters or {},
+                extras=extras,
+            )
         )
     return entries
 
@@ -446,12 +528,18 @@ def record(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CheckReport:
-    """Outcome of one ``check`` run against the latest record."""
+    """Outcome of one ``check`` run against the latest record.
+
+    ``failures`` break the gate; ``warnings`` (wall-clock drift past
+    the warn ratio, against the latest record *or* cumulatively
+    against the first) only surface it.
+    """
 
     baseline_index: int
     tolerance: float
     lines: tuple[str, ...]
     failures: tuple[str, ...]
+    warnings: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -462,6 +550,7 @@ def check(
     root: str | os.PathLike,
     *,
     tolerance: float = 0.5,
+    warn_ratio: float = 1.5,
     repeats: int = 3,
     scenarios: Mapping[str, Callable[[], None]] | None = None,
     only: tuple[str, ...] | None = None,
@@ -473,16 +562,26 @@ def check(
     any drift means the amount of *work* changed, which a tolerance
     band must never absorb.  Scenarios present in only one of the two
     suites are reported but not failed (the suite itself may grow).
+
+    ``warn_ratio`` surfaces slowdowns the hard gate would let through:
+    a scenario whose wall exceeds ``warn_ratio`` times the latest
+    record (without failing the tolerance), or — the creeping case a
+    latest-only gate is blind to — ``warn_ratio`` times the *first*
+    record on the trajectory, lands in ``CheckReport.warnings``.
     """
     baseline = latest_record(root)
     if baseline is None:
         raise FileNotFoundError(
             f"no BENCH_*.json under {root}; run `repro bench --record`"
         )
+    paths = bench_paths(root)
+    first = BenchRecord.read(paths[0])
     fresh = run_suite(scenarios, repeats=repeats, only=only)
     lines: list[str] = []
     failures: list[str] = []
+    warnings: list[str] = []
     base_names = {e.name for e in baseline.entries}
+    first_names = {e.name for e in first.entries}
     for entry in fresh:
         if entry.name not in base_names:
             lines.append(f"{entry.name}: new scenario (no baseline)")
@@ -501,6 +600,30 @@ def check(
                 f"{prior.wall_s:.3f}s baseline "
                 f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)"
             )
+        elif ratio > warn_ratio:
+            verdict = "WARN"
+            warnings.append(
+                f"{entry.name}: wall {entry.wall_s:.3f}s is "
+                f"{ratio:.2f}x the latest record "
+                f"(warn threshold {warn_ratio:.2f}x)"
+            )
+        if (
+            entry.name in first_names
+            and first.index != baseline.index
+        ):
+            origin = first.entry(entry.name)
+            cumulative = (
+                entry.wall_s / origin.wall_s
+                if origin.wall_s > 0
+                else float("inf")
+            )
+            if cumulative > warn_ratio:
+                warnings.append(
+                    f"{entry.name}: trajectory drift — wall "
+                    f"{entry.wall_s:.3f}s is {cumulative:.2f}x "
+                    f"BENCH_{first.index} "
+                    f"(warn threshold {warn_ratio:.2f}x)"
+                )
         drifted = {
             k: (prior.counters.get(k), entry.counters.get(k))
             for k in set(prior.counters) | set(entry.counters)
@@ -524,4 +647,5 @@ def check(
         tolerance=tolerance,
         lines=tuple(lines),
         failures=tuple(failures),
+        warnings=tuple(warnings),
     )

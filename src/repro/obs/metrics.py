@@ -9,6 +9,7 @@ snapshots to a plain JSON-ready dict.
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Iterable, Sequence
 
 from repro.obs.events import get_event_bus
@@ -43,22 +44,27 @@ class Counter:
     Each increment is also offered to the process-wide event bus as a
     ``counter`` event (name, delta, new value) — a single truthiness
     check when nothing is subscribed, so hot loops stay hot.
+
+    Increments are atomic under a per-counter lock: the threaded
+    planning service increments shared counters from many request
+    threads, and a lost update would make the bench suite's
+    exact-counter gate flaky.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> int:
-        self.value += n
+        with self._lock:
+            self.value = value = self.value + n
         bus = get_event_bus()
         if bus.active:
-            bus.emit(
-                "counter", name=self.name, delta=n, value=self.value
-            )
-        return self.value
+            bus.emit("counter", name=self.name, delta=n, value=value)
+        return value
 
 
 class Gauge:
@@ -142,34 +148,40 @@ class Timer:
 
 
 class MetricsRegistry:
-    """Get-or-create home for named counters, gauges and timers."""
+    """Get-or-create home for named counters, gauges and timers.
+
+    Creation is race-safe: concurrent first touches of one name settle
+    on a single instrument (``setdefault`` under a registry lock), so
+    no increment lands on a discarded duplicate.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         try:
             return self._counters[name]
         except KeyError:
-            self._counters[name] = c = Counter(name)
-            return c
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
         try:
             return self._gauges[name]
         except KeyError:
-            self._gauges[name] = g = Gauge(name)
-            return g
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
 
     def timer(self, name: str) -> Timer:
         try:
             return self._timers[name]
         except KeyError:
-            self._timers[name] = t = Timer(name)
-            return t
+            with self._lock:
+                return self._timers.setdefault(name, Timer(name))
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, dict[str, object]]:

@@ -1,0 +1,39 @@
+"""repro.service — the live planning control plane.
+
+:class:`PlanningService` dispatches the versioned ``/v1`` routes
+in-process; :class:`PlanningServer` binds one to a TCP port on the
+stdlib ``ThreadingHTTPServer``; :mod:`repro.service.loadgen` replays
+seeded open-loop query traces against either and reports throughput,
+latency percentiles and cache hit ratio.
+
+Start one from the CLI (``python -m repro service``), from code::
+
+    from repro.service import PlanningServer
+
+    with PlanningServer(port=0) as server:
+        ...  # point a repro.api.PlanningClient at server.url
+
+or embed the dispatch layer directly (no sockets) for tests and
+benchmarks.  See ``docs/service.md``.
+"""
+
+from repro.service.loadgen import (
+    HttpTarget,
+    InProcessTarget,
+    LoadReport,
+    PlanMixture,
+    TRANSPORT_ERROR_STATUS,
+    run_load,
+)
+from repro.service.server import PlanningServer, PlanningService
+
+__all__ = [
+    "HttpTarget",
+    "InProcessTarget",
+    "LoadReport",
+    "PlanMixture",
+    "PlanningServer",
+    "PlanningService",
+    "TRANSPORT_ERROR_STATUS",
+    "run_load",
+]

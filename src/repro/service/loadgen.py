@@ -1,0 +1,418 @@
+"""Async open-loop load generation against the planning control plane.
+
+The harness replays a seeded *trace* of planning queries against a
+target (a live HTTP server or an in-process
+:class:`~repro.service.server.PlanningService`), open-loop: request
+``i`` is issued at its precomputed arrival time regardless of whether
+earlier requests have completed, so a slow control plane accumulates
+measurable queueing delay instead of silently throttling the offered
+load.  Arrival times come from the same generators the serving
+simulators use (:mod:`repro.serving.arrivals`), so the offered process
+is reproducible from ``(arrival, rate, duration, seed)`` alone.
+
+Pieces:
+
+* :class:`PlanMixture` — a seeded mixture over targets / deadlines /
+  budgets that expands into concrete
+  :class:`~repro.api.PlanRequest` traces (all sharing one grid, so a
+  warm service answers every query from the evaluation-space cache);
+* :class:`InProcessTarget` / :class:`HttpTarget` — where requests go;
+* :func:`run_load` — replay a trace, returning a :class:`LoadReport`
+  with throughput, latency percentiles (measured from each request's
+  *scheduled* arrival, so queueing counts), per-status counts and the
+  evaluation-cache hit/miss delta observed during the run.
+
+The ``service.plan`` bench scenario wraps :func:`run_load` over the
+in-process target; ``python -m repro loadgen`` drives a live server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import ApiError, PlanRequest
+from repro.serving.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+__all__ = [
+    "HttpTarget",
+    "InProcessTarget",
+    "LoadReport",
+    "PlanMixture",
+    "TRANSPORT_ERROR_STATUS",
+    "run_load",
+]
+
+_GENERATORS = {
+    "poisson": poisson_arrivals,
+    "uniform": uniform_arrivals,
+    "bursty": bursty_arrivals,
+}
+
+_CACHE_COUNTERS = ("evalspace.cache_hits", "evalspace.cache_misses")
+
+
+# ----------------------------------------------------------------------
+# request mixtures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanMixture:
+    """A seeded mixture of planning queries over one shared grid.
+
+    Each request draws independently (from ``seed``) a target from
+    ``targets``, a deadline from ``deadlines_h`` and a budget from
+    ``budgets`` (``None`` entries mean "constraint absent", selecting
+    the frontier / min-budget / min-deadline query kinds).  Grid
+    fields (``model``, ``images``, ``instances_per_type``,
+    ``catalog``) are fixed across the mixture so every query plans
+    over the *same* evaluated space — the warm-cache regime the
+    control plane is sized for.
+    """
+
+    model: str = "caffenet"
+    metric: str = "top5"
+    targets: tuple[float, ...] = (78.0, 80.0)
+    deadlines_h: tuple[float | None, ...] = (None, 6.0, 12.0)
+    budgets: tuple[float | None, ...] = (None, 100.0)
+    images: int = 20_000_000
+    instances_per_type: int = 2
+    catalog: tuple[str, ...] | None = None
+    seed: int = 0
+
+    def requests(self, n: int) -> list[PlanRequest]:
+        """The first ``n`` requests of this mixture's trace."""
+        rng = np.random.default_rng(self.seed)
+        targets = rng.choice(np.asarray(self.targets, dtype=float), size=n)
+        deadline_picks = rng.integers(0, len(self.deadlines_h), size=n)
+        budget_picks = rng.integers(0, len(self.budgets), size=n)
+        return [
+            PlanRequest(
+                target=float(targets[i]),
+                model=self.model,
+                metric=self.metric,
+                deadline_h=self.deadlines_h[deadline_picks[i]],
+                budget=self.budgets[budget_picks[i]],
+                images=self.images,
+                instances_per_type=self.instances_per_type,
+                catalog=self.catalog,
+            )
+            for i in range(n)
+        ]
+
+
+# ----------------------------------------------------------------------
+# targets
+# ----------------------------------------------------------------------
+class InProcessTarget:
+    """Drive a :class:`~repro.service.server.PlanningService` directly.
+
+    No sockets: ``send`` calls ``dispatch`` on the calling thread, so
+    the measured latency is pure control-plane work.  Cache counters
+    are read from the current observability scope.
+    """
+
+    def __init__(self, service=None) -> None:
+        if service is None:
+            from repro.service.server import PlanningService
+
+            service = PlanningService()
+        self.service = service
+
+    def send(self, body: bytes) -> int:
+        """POST one plan request; returns the HTTP status."""
+        status, _, _ = self.service.dispatch("POST", "/v1/plan", body)
+        return status
+
+    def cache_counters(self) -> dict[str, int]:
+        """Current evaluation-space hit/miss counters."""
+        from repro.obs import get_metrics
+
+        counters = get_metrics().snapshot().get("counters", {})
+        return {k: int(counters.get(k, 0)) for k in _CACHE_COUNTERS}
+
+
+#: synthetic status for requests that failed below HTTP (refused /
+#: reset / truncated connections, timeouts) — counts as an error in
+#: :class:`LoadReport` instead of aborting the whole replay
+TRANSPORT_ERROR_STATUS = 599
+
+
+class HttpTarget:
+    """Drive a live server over HTTP (stdlib ``urllib`` per request)."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def send(self, body: bytes) -> int:
+        """POST one plan request; returns the HTTP status.
+
+        Transport failures (connection refused/reset, timeouts,
+        truncated responses) come back as
+        :data:`TRANSPORT_ERROR_STATUS` — an open-loop harness must
+        record a dropped connection as a data point, not die on it.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/plan",
+            data=body,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                response.read()
+                return response.status
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            return exc.code
+        except (urllib.error.URLError, http.client.HTTPException, OSError):
+            return TRANSPORT_ERROR_STATUS
+
+    def cache_counters(self) -> dict[str, int]:
+        """Scrape ``/v1/metrics`` and parse the evaluation counters."""
+        from repro.obs.export import metric_name
+
+        with urllib.request.urlopen(
+            f"{self.base_url}/v1/metrics", timeout=self.timeout_s
+        ) as response:
+            text = response.read().decode("utf-8")
+        wanted = {
+            f"{metric_name(name)}_total": name for name in _CACHE_COUNTERS
+        }
+        out = {name: 0 for name in _CACHE_COUNTERS}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            sample, _, value = line.rpartition(" ")
+            if sample in wanted:
+                out[wanted[sample]] = int(float(value))
+        return out
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoadReport:
+    """What one load run measured.
+
+    Latencies are completion minus *scheduled* arrival, in seconds —
+    open-loop, so a saturated control plane shows up as queueing delay
+    rather than reduced throughput.
+    """
+
+    requests: int
+    wall_s: float
+    latencies_s: np.ndarray = field(repr=False)
+    status_counts: dict[int, int]
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per second of wall time."""
+        return self.requests / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def ok(self) -> int:
+        """Requests answered 200."""
+        return self.status_counts.get(200, 0)
+
+    @property
+    def errors(self) -> int:
+        """Requests answered anything but 200 or 422 (infeasible
+        answers are valid planning outcomes, not harness errors)."""
+        return sum(
+            n
+            for status, n in self.status_counts.items()
+            if status not in (200, 422)
+        )
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Evaluation-cache hits over total probes during the run."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in seconds."""
+        if self.latencies_s.size == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, q))
+
+    @property
+    def p50(self) -> float:
+        """Median latency (s)."""
+        return self.latency_percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency (s)."""
+        return self.latency_percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency (s)."""
+        return self.latency_percentile(99)
+
+    def summary(self) -> dict:
+        """JSON-ready headline numbers."""
+        return {
+            "requests": self.requests,
+            "wall_s": self.wall_s,
+            "qps": self.qps,
+            "p50_ms": self.p50 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "status": {
+                str(k): v for k, v in sorted(self.status_counts.items())
+            },
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+        }
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        status = "  ".join(
+            f"{k}:{v}" for k, v in sorted(self.status_counts.items())
+        )
+        return "\n".join(
+            [
+                f"requests  : {self.requests} in {self.wall_s:.2f}s "
+                f"({self.qps:.0f} qps)",
+                f"latency   : p50 {self.p50 * 1e3:.2f}ms  "
+                f"p95 {self.p95 * 1e3:.2f}ms  "
+                f"p99 {self.p99 * 1e3:.2f}ms",
+                f"status    : {status}",
+                f"cache     : {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"({self.cache_hit_ratio:.1%} hit ratio)",
+            ]
+        )
+
+
+# ----------------------------------------------------------------------
+# the generator
+# ----------------------------------------------------------------------
+def run_load(
+    target,
+    mixture: PlanMixture,
+    *,
+    rate_per_s: float,
+    duration_s: float | None = None,
+    n_requests: int | None = None,
+    arrival: str = "uniform",
+    seed: int | None = None,
+    max_workers: int = 32,
+) -> LoadReport:
+    """Replay an open-loop planning trace against ``target``.
+
+    Exactly one of ``duration_s`` / ``n_requests`` sizes the trace
+    (``n_requests`` derives the duration from the rate, which keeps
+    the request count — and therefore every cache counter —
+    deterministic).  ``seed`` defaults to the mixture's.
+    """
+    if (duration_s is None) == (n_requests is None):
+        raise ApiError(
+            "invalid_request",
+            "pass exactly one of duration_s / n_requests",
+        )
+    if rate_per_s <= 0:
+        raise ApiError(
+            "invalid_request", f"rate must be positive, got {rate_per_s}"
+        )
+    if arrival not in _GENERATORS:
+        raise ApiError(
+            "invalid_request",
+            f"unknown arrival process {arrival!r}; "
+            f"available: {sorted(_GENERATORS)}",
+        )
+    if n_requests is not None:
+        duration_s = n_requests / rate_per_s
+    arrivals = _GENERATORS[arrival](
+        rate_per_s,
+        duration_s,
+        seed=mixture.seed if seed is None else seed,
+    )
+    if n_requests is not None:
+        if arrivals.size < n_requests:
+            extra = np.linspace(
+                float(arrivals[-1]) if arrivals.size else 0.0,
+                duration_s,
+                num=n_requests - arrivals.size,
+            )
+            arrivals = np.concatenate([arrivals, extra])
+        arrivals = arrivals[:n_requests]
+    if arrivals.size == 0:
+        raise ApiError(
+            "invalid_request",
+            "trace is empty; raise the rate or the duration",
+        )
+    requests = mixture.requests(arrivals.size)
+    bodies = [
+        json.dumps(r.to_dict(), sort_keys=True).encode("utf-8")
+        for r in requests
+    ]
+    before = target.cache_counters()
+    statuses, latencies, wall = asyncio.run(
+        _replay(target, bodies, arrivals, max_workers)
+    )
+    after = target.cache_counters()
+    status_counts: dict[int, int] = {}
+    for status in statuses:
+        status_counts[status] = status_counts.get(status, 0) + 1
+    return LoadReport(
+        requests=len(bodies),
+        wall_s=wall,
+        latencies_s=np.asarray(latencies, dtype=float),
+        status_counts=status_counts,
+        cache_hits=after["evalspace.cache_hits"]
+        - before["evalspace.cache_hits"],
+        cache_misses=after["evalspace.cache_misses"]
+        - before["evalspace.cache_misses"],
+    )
+
+
+async def _replay(
+    target, bodies: list[bytes], arrivals: np.ndarray, max_workers: int
+) -> tuple[list[int], list[float], float]:
+    """Issue every request at its arrival offset; gather latencies."""
+    loop = asyncio.get_running_loop()
+    statuses: list[int] = [0] * len(bodies)
+    latencies: list[float] = [0.0] * len(bodies)
+    start = time.perf_counter()
+
+    async def one(index: int, offset: float, body: bytes) -> None:
+        delay = offset - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        scheduled = start + offset
+        statuses[index] = await loop.run_in_executor(
+            executor, target.send, body
+        )
+        latencies[index] = time.perf_counter() - scheduled
+
+    with ThreadPoolExecutor(max_workers=max_workers) as executor:
+        await asyncio.gather(
+            *(
+                one(i, float(t), body)
+                for i, (t, body) in enumerate(zip(arrivals, bodies))
+            )
+        )
+    return statuses, latencies, time.perf_counter() - start

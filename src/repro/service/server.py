@@ -1,0 +1,311 @@
+"""The live planning service: ``repro.api`` over HTTP.
+
+Two layers, split so tests and the in-process load generator can skip
+the socket entirely:
+
+* :class:`PlanningService` — transport-agnostic request dispatch.
+  ``dispatch(method, path, body)`` maps a route to an API operation,
+  serialises the typed response, and turns :class:`ApiError` into the
+  versioned error body at its canonical HTTP status.  An optional
+  in-flight limit sheds excess concurrency with ``503 overloaded``
+  *before* any evaluation work starts.
+* :class:`PlanningServer` — a stdlib ``ThreadingHTTPServer`` wrapper
+  that binds a :class:`PlanningService` to a host/port, optionally
+  installs a dedicated metrics registry for its lifetime (so
+  ``GET /v1/metrics`` scrapes only service traffic), and runs in a
+  daemon thread (``start()``/``close()``, or use it as a context
+  manager).
+
+Routes (all bodies JSON, schema ``repro.api/v1``):
+
+========================  =====================================
+``POST /v1/plan``         :func:`repro.api.plan`
+``POST /v1/fleet/evaluate``  :func:`repro.api.evaluate_fleets`
+``POST /v1/fleet/cheapest``  :func:`repro.api.cheapest_fleets`
+``GET /v1/healthz``       liveness + cache occupancy
+``GET /v1/metrics``       OpenMetrics exposition of the scope
+========================  =====================================
+
+Every planning answer is served from the process-wide content-keyed
+caches, so a repeated query is a cache hit no matter which client
+asked first.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api import (
+    API_SCHEMA,
+    ApiError,
+    FleetRequest,
+    PlanRequest,
+    cheapest_fleets,
+    evaluate_fleets,
+    plan,
+)
+from repro.obs import MetricsRegistry, Tracer, get_metrics, scoped_observability
+
+__all__ = ["PlanningServer", "PlanningService"]
+
+_JSON = "application/json"
+_OPENMETRICS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class PlanningService:
+    """Transport-agnostic dispatch of the ``/v1`` control-plane routes.
+
+    Parameters
+    ----------
+    max_inflight:
+        Upper bound on concurrently dispatched planning requests;
+        excess requests are rejected immediately with ``503``
+        (``overloaded``).  ``None`` disables the limit; ``0`` rejects
+        every planning request (useful to test the error path
+        deterministically).  ``healthz``/``metrics`` are exempt so the
+        service stays observable under overload.
+    """
+
+    def __init__(self, *, max_inflight: int | None = None) -> None:
+        if max_inflight is not None and max_inflight < 0:
+            raise ApiError(
+                "invalid_request",
+                f"max_inflight must be >= 0, got {max_inflight}",
+            )
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._plan_routes = {
+            "/v1/plan": (PlanRequest, plan),
+            "/v1/fleet/evaluate": (FleetRequest, evaluate_fleets),
+            "/v1/fleet/cheapest": (FleetRequest, cheapest_fleets),
+        }
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, str, bytes]:
+        """Answer one request; returns ``(status, content_type, body)``.
+
+        Never raises: every failure becomes a serialised
+        :class:`ApiError` body at its mapped status.
+        """
+        path = path.partition("?")[0].rstrip("/") or "/"
+        try:
+            if path == "/v1/healthz":
+                return self._expect(method, "GET", self._healthz)
+            if path == "/v1/metrics":
+                return self._expect(method, "GET", self._metrics)
+            if path in self._plan_routes:
+                return self._expect(
+                    method, "POST", lambda: self._planning(path, body)
+                )
+            raise ApiError("not_found", f"no route {path!r}")
+        except ApiError as exc:
+            return self._error(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            return self._error(ApiError.from_exception(exc))
+
+    # ------------------------------------------------------------------
+    def _expect(self, method: str, expected: str, handler):
+        if method != expected:
+            raise ApiError(
+                "invalid_request",
+                f"use {expected} for this route, not {method}",
+                http_status=405,
+            )
+        return handler()
+
+    def _error(self, exc: ApiError) -> tuple[int, str, bytes]:
+        get_metrics().counter("service.errors").inc()
+        payload = json.dumps(exc.to_dict(), sort_keys=True).encode("utf-8")
+        return exc.http_status, _JSON, payload
+
+    def _healthz(self) -> tuple[int, str, bytes]:
+        from repro.core.evalspace import space_cache_info
+        from repro.serving.fleet import fleet_cache_info
+
+        payload = {
+            "schema": API_SCHEMA,
+            "status": "ok",
+            "space_cache": space_cache_info(),
+            "fleet_cache": fleet_cache_info(),
+        }
+        return 200, _JSON, json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def _metrics(self) -> tuple[int, str, bytes]:
+        from repro.obs.export import prometheus_text
+
+        text = prometheus_text(get_metrics().snapshot())
+        return 200, _OPENMETRICS, text.encode("utf-8")
+
+    def _planning(self, path: str, body: bytes) -> tuple[int, str, bytes]:
+        request_cls, handler = self._plan_routes[path]
+        with self._admitted():
+            get_metrics().counter("service.requests").inc()
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, ValueError):
+                raise ApiError(
+                    "invalid_request", "request body is not valid JSON"
+                ) from None
+            response = handler(request_cls.from_dict(payload))
+            out = json.dumps(response.to_dict(), sort_keys=True)
+            return 200, _JSON, out.encode("utf-8")
+
+    # ------------------------------------------------------------------
+    def _admitted(self):
+        """Context manager holding one in-flight slot (or shedding)."""
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _slot():
+            if self.max_inflight is not None:
+                with self._lock:
+                    if self._inflight >= self.max_inflight:
+                        get_metrics().counter("service.rejected").inc()
+                        raise ApiError(
+                            "overloaded",
+                            f"{self._inflight} requests in flight "
+                            f"(limit {self.max_inflight}); retry later",
+                        )
+                    self._inflight += 1
+            try:
+                yield
+            finally:
+                if self.max_inflight is not None:
+                    with self._lock:
+                        self._inflight -= 1
+
+        return _slot()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Socket-facing shim: reads the body, defers to the service."""
+
+    server_version = "repro-planning/1"
+    protocol_version = "HTTP/1.1"
+
+    def _handle(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length else b""
+        status, content_type, payload = self.server.service.dispatch(
+            self.command, self.path, body
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _handle
+    do_POST = _handle
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the default per-request stderr log."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # socketserver's default listen backlog of 5 drops (RST) bursty
+    # open-loop connects long before the service itself is saturated
+    request_queue_size = 128
+    service: PlanningService
+
+
+class PlanningServer:
+    """A :class:`PlanningService` bound to a TCP port.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` picks a free one (see :attr:`url`).
+    max_inflight:
+        Passed to :class:`PlanningService`.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` installed as the
+        observability scope for the server's lifetime, so
+        ``GET /v1/metrics`` exposes only traffic served since start.
+        ``None`` leaves the ambient scope in place.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int | None = 64,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.service = PlanningService(max_inflight=max_inflight)
+        self._http = _Server((host, port), _Handler)
+        self._http.service = self.service
+        self._registry = registry
+        self._scope = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (resolved when constructed with port 0)."""
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PlanningServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        if self._registry is not None:
+            self._scope = scoped_observability(
+                Tracer(enabled=False), self._registry
+            )
+            self._scope.__enter__()
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-planning-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI foreground mode)."""
+        if self._registry is not None:
+            with scoped_observability(
+                Tracer(enabled=False), self._registry
+            ):
+                self._http.serve_forever()
+        else:
+            self._http.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._http.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._http.server_close()
+        if self._scope is not None:
+            self._scope.__exit__(None, None, None)
+            self._scope = None
+
+    def __enter__(self) -> "PlanningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

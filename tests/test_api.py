@@ -1,0 +1,369 @@
+"""The versioned request/response API surface (``repro.api``).
+
+Covers the v1 contract: request validation with stable error codes,
+lossless ``to_dict``/``from_dict`` round-trips, byte-identical parity
+between ``PlanResponse.render()`` and the historical ``repro plan``
+CLI output, the deprecation shims, and the source-tree grep gate that
+keeps internal callers off the deprecated free functions.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api import (
+    API_SCHEMA,
+    ERROR_STATUS,
+    ApiError,
+    FleetDesign,
+    FleetReplica,
+    FleetRequest,
+    PlanRequest,
+    PlanResponse,
+)
+from repro.cli import main
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    UnknownArtefactError,
+)
+
+#: a small grid (two P2 types, 2 instances each) keeping API tests fast
+SMALL = {"catalog": ("p2.16xlarge", "p2.8xlarge"), "instances_per_type": 2}
+
+
+class TestApiError:
+    def test_codes_map_to_canonical_statuses(self):
+        assert ERROR_STATUS["invalid_request"] == 400
+        assert ERROR_STATUS["unknown_model"] == 404
+        assert ERROR_STATUS["not_found"] == 404
+        assert ERROR_STATUS["infeasible"] == 422
+        assert ERROR_STATUS["overloaded"] == 503
+        assert ERROR_STATUS["internal"] == 500
+        for code, status in ERROR_STATUS.items():
+            assert ApiError(code, "x").http_status == status
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ApiError("no_such_code", "x")
+
+    def test_round_trip(self):
+        err = ApiError("infeasible", "too poor", detail={"budget": 1})
+        body = err.to_dict()
+        assert body["schema"] == API_SCHEMA
+        restored = ApiError.from_dict(json.loads(json.dumps(body)))
+        assert restored.code == "infeasible"
+        assert restored.http_status == 422
+        assert str(restored) == "too poor"
+        assert restored.detail == {"budget": 1}
+
+    def test_from_exception_maps_the_hierarchy(self):
+        assert ApiError.from_exception(InfeasibleError("x")).code == "infeasible"
+        assert (
+            ApiError.from_exception(
+                UnknownArtefactError(["x"], ["a", "b"])
+            ).code
+            == "unknown_artefact"
+        )
+        assert (
+            ApiError.from_exception(ConfigurationError("x")).code
+            == "invalid_request"
+        )
+        assert (
+            ApiError.from_exception(ReproError("x")).code == "invalid_request"
+        )
+        assert ApiError.from_exception(RuntimeError("x")).code == "internal"
+        passthrough = ApiError("overloaded", "x")
+        assert ApiError.from_exception(passthrough) is passthrough
+
+
+class TestPlanRequest:
+    def test_round_trips_losslessly(self):
+        request = PlanRequest(
+            target=78.0,
+            deadline_h=6.0,
+            budget=100.0,
+            catalog=("p2.xlarge", "p2.8xlarge"),
+        )
+        body = json.loads(json.dumps(request.to_dict()))
+        assert PlanRequest.from_dict(body) == request
+        assert PlanRequest.from_dict(body).cache_key() == request.cache_key()
+
+    def test_unknown_model_is_404(self):
+        with pytest.raises(ApiError) as exc:
+            PlanRequest(target=78.0, model="resnet")
+        assert exc.value.code == "unknown_model"
+        assert exc.value.http_status == 404
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target": 0.0},
+            {"target": 120.0},
+            {"target": True},
+            {"target": 78.0, "metric": "top3"},
+            {"target": 78.0, "deadline_h": -1.0},
+            {"target": 78.0, "budget": 0.0},
+            {"target": 78.0, "images": 0},
+            {"target": 78.0, "instances_per_type": 0},
+            {"target": 78.0, "catalog": ()},
+        ],
+    )
+    def test_invalid_fields_are_400(self, kwargs):
+        with pytest.raises(ApiError) as exc:
+            PlanRequest(**kwargs)
+        assert exc.value.code == "invalid_request"
+        assert exc.value.http_status == 400
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ApiError) as exc:
+            PlanRequest.from_dict({"target": 78.0, "deadline": 6.0})
+        assert exc.value.code == "invalid_request"
+        assert "deadline" in str(exc.value)
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ApiError, match="repro.api/v1"):
+            PlanRequest.from_dict({"schema": "repro.api/v2", "target": 78.0})
+
+    def test_from_dict_rejects_non_integer_counts(self):
+        for field, value in (("images", 2.5), ("images", True),
+                             ("instances_per_type", "2")):
+            with pytest.raises(ApiError) as exc:
+                PlanRequest.from_dict({"target": 78.0, field: value})
+            assert exc.value.code == "invalid_request"
+
+    def test_from_dict_requires_target(self):
+        with pytest.raises(ApiError, match="target"):
+            PlanRequest.from_dict({})
+
+
+class TestPlan:
+    def test_min_budget_answer(self):
+        response = api.plan(
+            PlanRequest(target=78.0, deadline_h=6.0, **SMALL)
+        )
+        assert response.kind == "min_budget"
+        assert response.best.top5 >= 78.0
+        assert response.best.time_h <= 6.0
+
+    def test_response_round_trips_byte_identically(self):
+        response = api.plan(
+            PlanRequest(target=78.0, deadline_h=6.0, **SMALL)
+        )
+        wire = json.dumps(response.to_dict(), sort_keys=True)
+        restored = PlanResponse.from_dict(json.loads(wire))
+        assert json.dumps(restored.to_dict(), sort_keys=True) == wire
+        assert restored.render() == response.render()
+
+    def test_frontier_is_fastest_first(self):
+        response = api.plan(PlanRequest(target=78.0, **SMALL))
+        assert response.kind == "frontier"
+        times = [p.time_s for p in response.points]
+        assert times == sorted(times)
+
+    def test_infeasible_is_422(self):
+        with pytest.raises(ApiError) as exc:
+            api.plan(PlanRequest(target=78.0, metric="top1", **SMALL))
+        assert exc.value.code == "infeasible"
+        assert exc.value.http_status == 422
+
+    def test_budget_cap_on_deadline_query(self):
+        with pytest.raises(ApiError) as exc:
+            api.plan(
+                PlanRequest(
+                    target=78.0, deadline_h=6.0, budget=0.01, **SMALL
+                )
+            )
+        assert exc.value.code == "infeasible"
+        assert "budget $0.01" in str(exc.value)
+
+
+class TestCliParity:
+    """`repro plan` output must be byte-identical through the API."""
+
+    CASES = [
+        ["plan", "--target", "78", "--deadline", "6"],
+        ["plan", "--target", "78", "--budget", "100"],
+        ["plan", "--target", "80"],
+    ]
+
+    @pytest.mark.parametrize("argv", CASES, ids=lambda a: " ".join(a[1:]))
+    def test_render_matches_cli_stdout(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        namespace = _parse(argv)
+        response = api.plan(
+            PlanRequest(
+                target=namespace.target,
+                metric=namespace.metric,
+                deadline_h=namespace.deadline,
+                budget=namespace.budget,
+                images=namespace.images,
+                instances_per_type=namespace.instances_per_type,
+            )
+        )
+        assert out == response.render() + "\n"
+
+    def test_infeasible_goes_to_stderr_with_exit_1(self, capsys):
+        rc = main(["plan", "--target", "80", "--metric", "top1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.out == ""
+        assert (
+            captured.err
+            == "infeasible: no configuration reaches 80.0% top1\n"
+        )
+
+    def test_budget_capped_deadline_is_infeasible(self, capsys):
+        rc = main(
+            ["plan", "--target", "78", "--deadline", "6", "--budget", "40"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.err.startswith(
+            "infeasible: cheapest plan inside 6h costs $"
+        )
+
+
+def _parse(argv):
+    from repro.cli import build_parser
+
+    return build_parser().parse_args(argv)
+
+
+class TestFleetRequest:
+    def test_round_trips(self):
+        request = FleetRequest(
+            designs=(
+                FleetDesign(
+                    replicas=(
+                        FleetReplica("p2.8xlarge"),
+                        FleetReplica(
+                            "p2.xlarge",
+                            count=2,
+                            spec=(("conv1", 0.3), ("conv2", 0.5)),
+                        ),
+                    ),
+                    routing="tiered",
+                ),
+            ),
+            rate_per_s=100.0,
+            duration_s=30.0,
+            floors=((0.0, 0.7), (75.0, 0.3)),
+        )
+        body = json.loads(json.dumps(request.to_dict()))
+        assert FleetRequest.from_dict(body) == request
+
+    def test_evaluate_and_cheapest(self):
+        request = FleetRequest(
+            designs=(
+                FleetDesign(
+                    replicas=(FleetReplica("p2.xlarge"),), name="solo"
+                ),
+            ),
+            rate_per_s=20.0,
+            duration_s=10.0,
+        )
+        evaluated = api.evaluate_fleets(request)
+        assert evaluated.kind == "evaluate"
+        (view,) = evaluated.views
+        assert view.name == "solo"
+        assert view.served > 0
+        cheapest = api.cheapest_fleets(request)
+        assert cheapest.chosen == "solo"
+
+    def test_duplicate_design_names_rejected(self):
+        request = FleetRequest(
+            designs=(
+                FleetDesign(replicas=(FleetReplica("p2.xlarge"),), name="a"),
+                FleetDesign(replicas=(FleetReplica("p2.xlarge"),), name="a"),
+            ),
+            rate_per_s=20.0,
+            duration_s=10.0,
+        )
+        with pytest.raises(ApiError) as exc:
+            api.evaluate_fleets(request)
+        assert exc.value.code == "invalid_request"
+
+    def test_unmeetable_constraints_are_infeasible(self):
+        request = FleetRequest(
+            designs=(
+                FleetDesign(
+                    replicas=(FleetReplica("p2.xlarge"),), name="solo"
+                ),
+            ),
+            rate_per_s=20.0,
+            duration_s=10.0,
+            p99_s=1e-9,
+        )
+        with pytest.raises(ApiError) as exc:
+            api.cheapest_fleets(request)
+        assert exc.value.code == "infeasible"
+
+
+class TestDeprecatedShims:
+    def test_planner_free_functions_warn_and_delegate(self):
+        from repro.core.planner import (
+            iso_accuracy_frontier,
+            min_budget_for,
+            min_deadline_for,
+        )
+
+        space = api.planning_space(PlanRequest(target=78.0, **SMALL))
+        with pytest.warns(DeprecationWarning, match="repro.api.plan"):
+            budget = min_budget_for(space, 78.0, 24 * 3600.0)
+        with pytest.warns(DeprecationWarning):
+            deadline = min_deadline_for(space, 78.0, budget.cost)
+        with pytest.warns(DeprecationWarning):
+            front = iso_accuracy_frontier(space, 78.0)
+        assert deadline.cost <= budget.cost
+        assert budget in front or front
+
+    def test_api_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.plan(PlanRequest(target=78.0, deadline_h=24.0, **SMALL))
+
+
+class TestGrepGate:
+    """No non-shim src module imports the deprecated free functions.
+
+    Mirrors the CI gate so the contract is enforced locally too;
+    ``repro.core.planner`` itself (definitions + shims) is the only
+    file allowed to name them.
+    """
+
+    PATTERNS = [
+        re.compile(
+            r"from repro\.core\.planner import [^\n]*"
+            r"\b(min_budget_for|min_deadline_for"
+            r"|iso_accuracy_frontier|cheapest_fleet)\b"
+        ),
+        re.compile(
+            r"\b(min_budget_for|min_deadline_for"
+            r"|iso_accuracy_frontier|cheapest_fleet)\("
+        ),
+    ]
+    ALLOWED = {"src/repro/core/planner.py"}
+
+    def test_src_tree_is_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        bad = []
+        for path in sorted((root / "src").rglob("*.py")):
+            relative = path.relative_to(root).as_posix()
+            if relative in self.ALLOWED:
+                continue
+            for i, line in enumerate(path.read_text().splitlines(), 1):
+                if any(p.search(line) for p in self.PATTERNS):
+                    bad.append(f"{relative}:{i}: {line.strip()}")
+        assert not bad, (
+            "deprecated planner free functions used outside the shim "
+            f"module:\n" + "\n".join(bad)
+        )

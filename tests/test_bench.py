@@ -65,6 +65,7 @@ class TestRunSuite:
             "allocation.greedy",
             "autoscale.surge",
             "fleet.routed",
+            "service.plan",
         }
 
 
@@ -148,6 +149,45 @@ class TestCheck:
         report = check(tmp_path, repeats=1, scenarios=grown)
         assert report.ok
         assert any("new scenario" in line for line in report.lines)
+
+    def test_warn_ratio_surfaces_slowdown_without_failing(self, tmp_path):
+        record(tmp_path, repeats=1, scenarios=_fast_scenarios())
+
+        def slow() -> None:
+            get_metrics().counter("fake.evals").inc(5)
+            get_metrics().gauge("fake.peak").set(1.0)
+            time.sleep(0.05)
+
+        report = check(
+            tmp_path,
+            repeats=1,
+            tolerance=1e9,  # wide enough that only the warning fires
+            warn_ratio=1.5,
+            scenarios={"fake.scenario": slow},
+        )
+        assert report.ok
+        assert any("warn threshold" in w for w in report.warnings)
+        assert any("WARN" in line for line in report.lines)
+
+    def test_trajectory_drift_vs_first_record_warns(self, tmp_path):
+        def slow() -> None:
+            get_metrics().counter("fake.evals").inc(5)
+            get_metrics().gauge("fake.peak").set(1.0)
+            time.sleep(0.05)
+
+        # BENCH_1 fast, BENCH_2 already slow: a latest-only gate sees
+        # no change, the trajectory comparison sees the creep
+        record(tmp_path, repeats=1, scenarios=_fast_scenarios())
+        record(tmp_path, repeats=1, scenarios={"fake.scenario": slow})
+        report = check(
+            tmp_path,
+            repeats=1,
+            tolerance=1e9,
+            warn_ratio=1.5,
+            scenarios={"fake.scenario": slow},
+        )
+        assert report.ok
+        assert any("trajectory drift" in w for w in report.warnings)
 
     def test_repo_baseline_matches_current_code(self):
         """The committed BENCH_*.json must agree with today's counters.

@@ -57,6 +57,14 @@ class TestExamples:
         assert "fitted models" in out
         assert "iso-accuracy frontier" in out
 
+    def test_planning_service(self, capsys):
+        out = _run("planning_service.py", capsys)
+        assert "service up at http://127.0.0.1:" in out
+        assert "minimum budget for 78% top5" in out
+        assert "[infeasible]" in out
+        assert "hit ratio" in out
+        assert "repro_service_requests_total" in out
+
     def test_telemetry_tour(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         out = _run("telemetry_tour.py", capsys)

@@ -1,0 +1,168 @@
+"""The open-loop load harness (``repro.service.loadgen``).
+
+Mixture determinism, report arithmetic, harness validation, and one
+real in-process run over a small grid (statuses, counters and the
+cache delta all deterministic for a fixed seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ApiError
+from repro.service import (
+    TRANSPORT_ERROR_STATUS,
+    HttpTarget,
+    InProcessTarget,
+    LoadReport,
+    PlanMixture,
+    run_load,
+)
+
+SMALL = dict(
+    catalog=("p2.16xlarge", "p2.8xlarge"),
+    instances_per_type=2,
+    seed=17,
+)
+
+
+class TestPlanMixture:
+    def test_trace_is_deterministic_for_a_seed(self):
+        mixture = PlanMixture(**SMALL)
+        assert mixture.requests(25) == PlanMixture(**SMALL).requests(25)
+
+    def test_different_seed_different_trace(self):
+        a = PlanMixture(**{**SMALL, "seed": 1}).requests(25)
+        b = PlanMixture(**{**SMALL, "seed": 2}).requests(25)
+        assert a != b
+
+    def test_mixture_spans_all_query_kinds(self):
+        requests = PlanMixture(**SMALL).requests(60)
+        kinds = {
+            (r.deadline_h is not None, r.budget is not None)
+            for r in requests
+        }
+        # min-budget, min-deadline and frontier all appear
+        assert (True, False) in kinds or (True, True) in kinds
+        assert (False, True) in kinds
+        assert (False, False) in kinds
+
+    def test_grid_fields_are_shared_across_the_trace(self):
+        requests = PlanMixture(**SMALL).requests(10)
+        grids = {
+            (r.model, r.images, r.instances_per_type, r.catalog)
+            for r in requests
+        }
+        assert len(grids) == 1
+
+
+class TestLoadReport:
+    def _report(self) -> LoadReport:
+        return LoadReport(
+            requests=4,
+            wall_s=2.0,
+            latencies_s=np.array([0.1, 0.2, 0.3, 0.4]),
+            status_counts={200: 2, 422: 1, 500: 1},
+            cache_hits=3,
+            cache_misses=1,
+        )
+
+    def test_arithmetic(self):
+        report = self._report()
+        assert report.qps == 2.0
+        assert report.ok == 2
+        assert report.errors == 1  # 422 is a valid planning outcome
+        assert report.cache_hit_ratio == 0.75
+        assert report.p50 == pytest.approx(0.25)
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        summary = self._report().summary()
+        json.dumps(summary)
+        assert summary["errors"] == 1
+        assert summary["status"] == {"200": 2, "422": 1, "500": 1}
+        assert summary["p99_ms"] == pytest.approx(397.0)
+
+    def test_render_mentions_the_headlines(self):
+        text = self._report().render()
+        assert "qps" in text and "p99" in text and "hit ratio" in text
+
+
+class TestRunLoad:
+    def test_exactly_one_volume_argument(self):
+        mixture = PlanMixture(**SMALL)
+        with pytest.raises(ApiError):
+            run_load(InProcessTarget(), mixture, rate_per_s=10.0)
+        with pytest.raises(ApiError):
+            run_load(
+                InProcessTarget(),
+                mixture,
+                rate_per_s=10.0,
+                duration_s=1.0,
+                n_requests=5,
+            )
+
+    def test_bad_arrival_and_rate_rejected(self):
+        mixture = PlanMixture(**SMALL)
+        with pytest.raises(ApiError, match="arrival"):
+            run_load(
+                InProcessTarget(),
+                mixture,
+                rate_per_s=10.0,
+                duration_s=1.0,
+                arrival="lumpy",
+            )
+        with pytest.raises(ApiError, match="rate"):
+            run_load(
+                InProcessTarget(), mixture, rate_per_s=0.0, duration_s=1.0
+            )
+
+    def test_in_process_run_is_clean_and_cache_backed(self):
+        from repro.api import clear_api_caches
+
+        clear_api_caches()
+        report = run_load(
+            InProcessTarget(),
+            PlanMixture(**SMALL),
+            rate_per_s=400.0,
+            n_requests=40,
+            arrival="uniform",
+            max_workers=4,
+        )
+        assert report.requests == 40
+        assert report.errors == 0
+        assert set(report.status_counts) <= {200, 422}
+        # the whole trace shares one grid: one cold evaluation at most
+        assert report.cache_misses <= 1
+        assert report.cache_hits + report.cache_misses == 40
+        assert report.latencies_s.shape == (40,)
+        clear_api_caches()
+
+    def test_transport_failure_is_a_status_not_a_crash(self):
+        # nothing listens on this port: the connection is refused, and
+        # the harness must record that as an error status, not raise
+        target = HttpTarget("http://127.0.0.1:9", timeout_s=0.5)
+        assert target.send(b"{}") == TRANSPORT_ERROR_STATUS
+        report = LoadReport(
+            requests=1,
+            wall_s=1.0,
+            latencies_s=np.array([0.1]),
+            status_counts={TRANSPORT_ERROR_STATUS: 1},
+            cache_hits=0,
+            cache_misses=0,
+        )
+        assert report.errors == 1
+
+    def test_n_requests_pins_the_trace_length_for_any_arrival(self):
+        report = run_load(
+            InProcessTarget(),
+            PlanMixture(**SMALL),
+            rate_per_s=400.0,
+            n_requests=30,
+            arrival="poisson",
+            seed=3,
+            max_workers=4,
+        )
+        assert report.requests == 30

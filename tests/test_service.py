@@ -1,0 +1,196 @@
+"""The planning control plane: routes, error mapping, concurrency.
+
+``PlanningService.dispatch`` is exercised without sockets for the
+route/error matrix; a real ``PlanningServer`` + ``PlanningClient``
+pair covers the HTTP path end to end.  The concurrency test pins the
+single-flight contract: N parallel identical ``/v1/plan`` requests
+cost exactly one evaluation (1 miss, N-1 hits).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import ApiError, PlanRequest, PlanningClient, clear_api_caches
+from repro.obs import MetricsRegistry, Tracer, scoped_observability
+from repro.service import PlanningServer, PlanningService
+
+#: a tiny grid so service tests never pay for the full catalog
+SMALL = {"catalog": ("p2.16xlarge", "p2.8xlarge"), "instances_per_type": 2}
+
+
+def _body(**kwargs) -> bytes:
+    request = PlanRequest(**{**SMALL, **kwargs})
+    return json.dumps(request.to_dict(), sort_keys=True).encode("utf-8")
+
+
+@pytest.fixture()
+def service():
+    return PlanningService()
+
+
+class TestDispatch:
+    def test_plan_route_answers_200(self, service):
+        status, content_type, payload = service.dispatch(
+            "POST", "/v1/plan", _body(target=78.0, deadline_h=6.0)
+        )
+        assert status == 200
+        assert content_type == "application/json"
+        answer = json.loads(payload)
+        assert answer["schema"] == "repro.api/v1"
+        assert answer["kind"] == "min_budget"
+
+    def test_healthz(self, service):
+        status, _, payload = service.dispatch("GET", "/v1/healthz")
+        assert status == 200
+        health = json.loads(payload)
+        assert health["status"] == "ok"
+        assert "space_cache" in health and "fleet_cache" in health
+
+    def test_metrics_is_openmetrics(self, service):
+        status, content_type, payload = service.dispatch(
+            "GET", "/v1/metrics"
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert payload.decode("utf-8").rstrip().endswith("# EOF")
+
+    def test_unknown_route_is_404(self, service):
+        status, _, payload = service.dispatch("POST", "/v1/nope", b"{}")
+        assert status == 404
+        assert json.loads(payload)["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405(self, service):
+        status, _, payload = service.dispatch("GET", "/v1/plan")
+        assert status == 405
+        assert json.loads(payload)["error"]["code"] == "invalid_request"
+
+    def test_bad_json_is_400(self, service):
+        status, _, payload = service.dispatch(
+            "POST", "/v1/plan", b"{not json"
+        )
+        assert status == 400
+        assert json.loads(payload)["error"]["code"] == "invalid_request"
+
+    def test_unknown_model_is_404(self, service):
+        status, _, payload = service.dispatch(
+            "POST",
+            "/v1/plan",
+            json.dumps({"target": 78.0, "model": "resnet"}).encode(),
+        )
+        assert status == 404
+        assert json.loads(payload)["error"]["code"] == "unknown_model"
+
+    def test_bad_schema_is_400(self, service):
+        status, _, payload = service.dispatch(
+            "POST",
+            "/v1/plan",
+            json.dumps(
+                {"schema": "repro.api/v9", "target": 78.0}
+            ).encode(),
+        )
+        assert status == 400
+
+    def test_unknown_field_is_400(self, service):
+        status, _, payload = service.dispatch(
+            "POST",
+            "/v1/plan",
+            json.dumps({"target": 78.0, "deadlnie_h": 6.0}).encode(),
+        )
+        assert status == 400
+        assert "deadlnie_h" in json.loads(payload)["error"]["message"]
+
+    def test_infeasible_is_422(self, service):
+        status, _, payload = service.dispatch(
+            "POST", "/v1/plan", _body(target=80.0, metric="top1")
+        )
+        assert status == 422
+        assert json.loads(payload)["error"]["code"] == "infeasible"
+
+    def test_overload_is_503_and_exempts_health(self):
+        shedding = PlanningService(max_inflight=0)
+        status, _, payload = shedding.dispatch(
+            "POST", "/v1/plan", _body(target=78.0)
+        )
+        assert status == 503
+        assert json.loads(payload)["error"]["code"] == "overloaded"
+        assert shedding.dispatch("GET", "/v1/healthz")[0] == 200
+        assert shedding.dispatch("GET", "/v1/metrics")[0] == 200
+
+    def test_negative_inflight_rejected(self):
+        with pytest.raises(ApiError):
+            PlanningService(max_inflight=-1)
+
+    def test_query_string_and_trailing_slash_normalised(self, service):
+        assert service.dispatch("GET", "/v1/healthz/?probe=1")[0] == 200
+
+    def test_request_counter_ticks(self, service):
+        registry = MetricsRegistry()
+        with scoped_observability(Tracer(enabled=False), registry):
+            service.dispatch(
+                "POST", "/v1/plan", _body(target=78.0, deadline_h=6.0)
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters.get("service.requests") == 1
+
+
+class TestSingleFlight:
+    def test_parallel_identical_plans_cost_one_evaluation(self):
+        """N parallel identical /v1/plan -> exactly 1 miss, N-1 hits."""
+        n = 8
+        service = PlanningService()
+        # a content-key no other test uses, so the probe starts cold
+        body = _body(target=78.0, deadline_h=6.0, images=19_000_001)
+        registry = MetricsRegistry()
+        clear_api_caches()
+        with scoped_observability(Tracer(enabled=False), registry):
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                statuses = list(
+                    pool.map(
+                        lambda _: service.dispatch(
+                            "POST", "/v1/plan", body
+                        )[0],
+                        range(n),
+                    )
+                )
+        assert statuses == [200] * n
+        counters = registry.snapshot()["counters"]
+        assert counters["evalspace.cache_misses"] == 1
+        assert counters["evalspace.cache_hits"] == n - 1
+        clear_api_caches()
+
+
+class TestHttpServer:
+    def test_end_to_end_with_client(self):
+        registry = MetricsRegistry()
+        with PlanningServer(port=0, registry=registry) as server:
+            assert server.url.startswith("http://127.0.0.1:")
+            client = PlanningClient(server.url)
+
+            health = client.healthz()
+            assert health["status"] == "ok"
+
+            response = client.plan(
+                PlanRequest(target=78.0, deadline_h=6.0, **SMALL)
+            )
+            assert response.kind == "min_budget"
+            assert response.best.top5 >= 78.0
+
+            with pytest.raises(ApiError) as exc:
+                client.plan(
+                    PlanRequest(target=80.0, metric="top1", **SMALL)
+                )
+            assert exc.value.code == "infeasible"
+
+            text = client.metrics()
+            assert "repro_service_requests_total" in text
+            assert text.rstrip().endswith("# EOF")
+
+    def test_close_is_idempotent(self):
+        server = PlanningServer(port=0)
+        server.start()
+        server.close()
+        server.close()
