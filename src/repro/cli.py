@@ -34,12 +34,14 @@ Commands
 ``metrics [id ...] [--format openmetrics|json] [--output PATH]``
     Run artefacts (uncached) and export their metric snapshots as
     Prometheus/OpenMetrics text or flat JSON.
-``bench [--record | --check] [--tolerance F] [--warn-ratio F]``
+``bench [--record | --check] [--tolerance F] [--warn-ratio F] [--fail-ratio F]``
     Performance-trajectory recorder: run the bench suite, append a
     ``BENCH_<n>.json`` snapshot (``--record``), or gate against the
     latest snapshot (``--check``, non-zero exit on regression;
     wall-time drift past ``--warn-ratio`` — against the latest or the
-    first record — is surfaced as a warning).
+    first record — is surfaced as a warning, and ``--fail-ratio``
+    turns the first-record comparison into a hard gate; baselines
+    from different hardware demote wall gates to warnings).
 ``serve --instances p2.xlarge ... [--faults MTBF] [--slo S]``
     Online-serving simulation: latency percentiles, utilisation,
     cost, fault/goodput accounting and streaming telemetry.
@@ -518,6 +520,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="warn (without failing) when --check wall time exceeds "
         "F times the latest record, or F times the first record on "
         "the trajectory (default 1.5)",
+    )
+    p_bench.add_argument(
+        "--fail-ratio",
+        type=float,
+        default=None,
+        metavar="F",
+        help="hard-fail --check when wall time exceeds F times the "
+        "FIRST record on the trajectory (bounds cumulative creep the "
+        "per-step tolerance cannot; demoted to a warning when the "
+        "baseline came from different hardware)",
     )
     p_bench.add_argument(
         "--repeats",
@@ -1266,6 +1278,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 args.root,
                 tolerance=args.tolerance,
                 warn_ratio=args.warn_ratio,
+                fail_ratio=args.fail_ratio,
                 repeats=args.repeats,
                 only=only,
             )

@@ -302,15 +302,145 @@ def _scenario_service_plan() -> dict[str, float]:
     }
 
 
+def _scenario_serving_columnar() -> None:
+    """A million-request saturation drain through the columnar engine.
+
+    25 kreq/s offered against one p2.8xlarge — the queue grows for the
+    whole window and drains after, so nearly every batch dispatches
+    full.  The point is scale: the columnar event loop is O(batches +
+    structural events), so a 278x-larger stream than ``serving.faulty``
+    must stay within the same order of wall time.  The outcome is
+    seed-deterministic; the asserts pin it exactly.
+    """
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.obs.telemetry import ServingTelemetry, SloPolicy
+    from repro.pruning.base import PruneSpec
+    from repro.serving.arrivals import poisson_arrivals
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.simulator import ServingSimulator
+
+    arrivals = poisson_arrivals(25_000.0, 40.0, seed=13)
+    report = ServingSimulator(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        ResourceConfiguration(
+            [CloudInstance(instance_type("p2.8xlarge"))]
+        ),
+        PruneSpec.unpruned(),
+        BatchPolicy(max_batch=64, max_wait_s=0.02),
+    ).run(
+        arrivals,
+        telemetry=ServingTelemetry(SloPolicy(latency_slo_s=1.0)),
+    )
+    assert arrivals.size == 1_001_317
+    assert report.requests == 1_001_317
+    assert report.served == 1_001_317
+    assert report.dropped == 0
+    assert report.batch_sizes.size == 15_646
+
+
+def _scenario_fleet_columnar() -> None:
+    """A million requests routed across a tiered three-replica fleet.
+
+    ~900 req/s for ~19 simulated minutes against a fleet sized just
+    under saturation, with token-bucket admission trimming Poisson
+    bursts.  Floors split the stream across tiers: floor-75 requests
+    can only run on ``gold``, the rest take the cheapest tier
+    (``cheap-b``, priced above ``cheap-a``, idles by design — a
+    standby the tiered policy never needs).  The routing decision pass
+    is the columnar fast path: candidate sets per distinct floor plus
+    a scalar token bucket, no per-arrival numpy.  Deterministic; the
+    asserts pin the exact assignment.
+    """
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.pruning.base import PruneSpec
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.fleet import FleetWorkload
+    from repro.serving.router import (
+        AdmissionPolicy,
+        FleetRouter,
+        ReplicaSpec,
+    )
+
+    def config(itype: str, count: int = 1) -> ResourceConfiguration:
+        return ResourceConfiguration(
+            [
+                CloudInstance(instance_type(itype))
+                for _ in range(count)
+            ]
+        )
+
+    policy = BatchPolicy(max_batch=64, max_wait_s=0.02)
+    sweet = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+    router = FleetRouter(
+        caffenet_time_model(),
+        caffenet_accuracy_model(),
+        (
+            ReplicaSpec(
+                "gold",
+                config("p2.8xlarge", 2),
+                PruneSpec.unpruned(),
+                policy,
+            ),
+            ReplicaSpec(
+                "cheap-a",
+                config("p2.8xlarge"),
+                sweet,
+                policy,
+                hourly_rate=4.0,
+            ),
+            ReplicaSpec(
+                "cheap-b",
+                config("p2.8xlarge"),
+                sweet,
+                policy,
+                hourly_rate=4.5,
+            ),
+        ),
+        routing="tiered",
+        admission=AdmissionPolicy(rate_per_s=880.0, burst=256),
+    )
+    workload = FleetWorkload(
+        900.0, 1112.0, seed=29, floors=((0.0, 0.45), (75.0, 0.55))
+    )
+    arrivals = workload.arrivals()
+    report = router.run(
+        arrivals, floors=workload.accuracy_floors(arrivals.size)
+    )
+    assert report.offered == 1_000_537
+    assert report.shed == 21_747
+    assert report.served == 978_790
+    assert tuple(o.assigned for o in report.outcomes) == (
+        538_597,
+        440_193,
+        0,
+    )
+    assert report.dropped == report.shed  # no replica-side losses
+
+
 #: name -> callable; each runs one hot path end to end and may return
 #: a mapping of float "extras" (latency percentiles, throughput) that
 #: ride along in the record without being gated.
 SCENARIOS: dict[str, Callable[[], object]] = {
     "evalspace.grid": _scenario_evalspace_grid,
     "serving.faulty": _scenario_serving_faulty,
+    "serving.columnar": _scenario_serving_columnar,
     "allocation.greedy": _scenario_allocation_greedy,
     "autoscale.surge": _scenario_autoscale_surge,
     "fleet.routed": _scenario_fleet_routed,
+    "fleet.columnar": _scenario_fleet_columnar,
     "service.plan": _scenario_service_plan,
 }
 
@@ -509,9 +639,14 @@ def record(
     scenarios: Mapping[str, Callable[[], None]] | None = None,
     only: tuple[str, ...] | None = None,
 ) -> Path:
-    """Run the suite and write the next ``BENCH_<n>.json`` under root."""
+    """Run the suite and write the next ``BENCH_<n>.json`` under root.
+
+    ``root`` is created (with parents) when it does not exist yet, so
+    ``--record --root /tmp/fresh`` works without a prior mkdir.
+    """
     from repro.obs.manifest import environment_info
 
+    Path(root).mkdir(parents=True, exist_ok=True)
     entries = run_suite(scenarios, repeats=repeats, only=only)
     bench = BenchRecord(
         index=next_index(root),
@@ -532,7 +667,11 @@ class CheckReport:
 
     ``failures`` break the gate; ``warnings`` (wall-clock drift past
     the warn ratio, against the latest record *or* cumulatively
-    against the first) only surface it.
+    against the first) only surface it.  ``machine_drift`` notes that
+    the baseline was recorded on a different machine (``cpu_count`` or
+    ``machine`` mismatch), in which case every *wall* comparison is
+    demoted to a warning — cross-machine wall clocks measure the
+    hardware, not the code — while counter drift still fails hard.
     """
 
     baseline_index: int
@@ -540,10 +679,28 @@ class CheckReport:
     lines: tuple[str, ...]
     failures: tuple[str, ...]
     warnings: tuple[str, ...] = ()
+    machine_drift: bool = False
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+
+def _machines_differ(environment: Mapping) -> bool:
+    """True when the recorded host differs from the current one.
+
+    Compares the two stable hardware axes ``environment_info``
+    records — ``cpu_count`` and ``machine`` — so a record produced on
+    a different box demotes wall gates instead of failing them.
+    Records predating these keys compare as drifted (unknown host).
+    """
+    from repro.obs.manifest import environment_info
+
+    current = environment_info()
+    for key in ("cpu_count", "machine"):
+        if environment.get(key) != current[key]:
+            return True
+    return False
 
 
 def check(
@@ -551,6 +708,7 @@ def check(
     *,
     tolerance: float = 0.5,
     warn_ratio: float = 1.5,
+    fail_ratio: float | None = None,
     repeats: int = 3,
     scenarios: Mapping[str, Callable[[], None]] | None = None,
     only: tuple[str, ...] | None = None,
@@ -568,6 +726,17 @@ def check(
     record (without failing the tolerance), or — the creeping case a
     latest-only gate is blind to — ``warn_ratio`` times the *first*
     record on the trajectory, lands in ``CheckReport.warnings``.
+
+    ``fail_ratio`` hardens that second comparison: when set, a
+    scenario whose wall exceeds ``fail_ratio`` times the first record
+    *fails* instead of warning.  The latest-record tolerance only
+    bounds one step; this bounds the whole trajectory, which is what
+    CI enforces so slow creep cannot launder itself one +49% at a
+    time.
+
+    Both wall gates are demoted to warnings when the baseline was
+    recorded on different hardware (see :class:`CheckReport`); the
+    counter gate is machine-independent and always hard.
     """
     baseline = latest_record(root)
     if baseline is None:
@@ -577,9 +746,25 @@ def check(
     paths = bench_paths(root)
     first = BenchRecord.read(paths[0])
     fresh = run_suite(scenarios, repeats=repeats, only=only)
+    machine_drift = _machines_differ(baseline.environment)
     lines: list[str] = []
     failures: list[str] = []
     warnings: list[str] = []
+    if machine_drift:
+        warnings.append(
+            f"baseline BENCH_{baseline.index} was recorded on "
+            "different hardware (cpu_count/machine mismatch); wall "
+            "gates demoted to warnings, counters still gate"
+        )
+
+    def wall_gate(message: str) -> str:
+        """Fail on this machine's own records, warn across machines."""
+        if machine_drift:
+            warnings.append(message)
+            return "WARN"
+        failures.append(message)
+        return "SLOW"
+
     base_names = {e.name for e in baseline.entries}
     first_names = {e.name for e in first.entries}
     for entry in fresh:
@@ -594,8 +779,7 @@ def check(
         )
         verdict = "ok"
         if ratio > 1.0 + tolerance:
-            verdict = "SLOW"
-            failures.append(
+            verdict = wall_gate(
                 f"{entry.name}: wall {entry.wall_s:.3f}s vs "
                 f"{prior.wall_s:.3f}s baseline "
                 f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)"
@@ -607,17 +791,24 @@ def check(
                 f"{ratio:.2f}x the latest record "
                 f"(warn threshold {warn_ratio:.2f}x)"
             )
-        if (
-            entry.name in first_names
-            and first.index != baseline.index
-        ):
+        if entry.name in first_names:
             origin = first.entry(entry.name)
             cumulative = (
                 entry.wall_s / origin.wall_s
                 if origin.wall_s > 0
                 else float("inf")
             )
-            if cumulative > warn_ratio:
+            if fail_ratio is not None and cumulative > fail_ratio:
+                verdict = wall_gate(
+                    f"{entry.name}: trajectory budget exceeded — "
+                    f"wall {entry.wall_s:.3f}s is {cumulative:.2f}x "
+                    f"BENCH_{first.index} "
+                    f"(fail threshold {fail_ratio:.2f}x)"
+                )
+            elif (
+                first.index != baseline.index
+                and cumulative > warn_ratio
+            ):
                 warnings.append(
                     f"{entry.name}: trajectory drift — wall "
                     f"{entry.wall_s:.3f}s is {cumulative:.2f}x "
@@ -648,4 +839,5 @@ def check(
         lines=tuple(lines),
         failures=tuple(failures),
         warnings=tuple(warnings),
+        machine_drift=machine_drift,
     )

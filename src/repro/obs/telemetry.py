@@ -37,6 +37,8 @@ from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.obs.events import get_event_bus
 from repro.obs.metrics import MetricsRegistry
@@ -101,6 +103,36 @@ class LatencyHistogram:
     def observe_many(self, values) -> None:
         for value in values:
             self.observe(value)
+
+    def observe_array(self, values: np.ndarray) -> None:
+        """Observe a whole latency array in one columnar pass.
+
+        Bucket counts come from ``np.searchsorted`` + ``np.bincount``
+        (the same comparisons ``bisect_right`` makes, so the counts are
+        identical); the running ``total`` is accumulated in array order
+        so the float sum is bit-identical to calling :meth:`observe`
+        once per element.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self.bounds, values, side="right")
+        per_bucket = np.bincount(indices, minlength=len(self.counts))
+        for i, n in enumerate(per_bucket.tolist()):
+            self.counts[i] += n
+        self.count += int(values.size)
+        # np.cumsum is a sequential left-to-right scan (unlike np.sum's
+        # pairwise reduction), so seeding it with the running total
+        # reproduces the scalar accumulation bit for bit
+        self.total = float(
+            np.cumsum(np.concatenate(([self.total], values)))[-1]
+        )
+        high = float(values.max())
+        low = float(values.min())
+        if high > self._max:
+            self._max = high
+        if low < self._min:
+            self._min = low
 
     # ------------------------------------------------------------------
     @property
@@ -199,6 +231,35 @@ class GaugeStat:
             self._max = value
         if value < self._min:
             self._min = value
+
+    def observe_stream(self, values) -> None:
+        """Observe a whole sequence in order, bit-identical to repeated
+        :meth:`observe` calls.
+
+        The running ``total`` is seeded into ``np.cumsum`` — a
+        sequential left-to-right scan (unlike ``np.sum``'s pairwise
+        reduction), so the accumulation is bit-identical to
+        element-by-element float addition (the same argument
+        :meth:`LatencyHistogram.observe_array` rests on) — while
+        min/max reduce in one pass, order-independent for the finite
+        values gauges carry.
+        """
+        if not isinstance(values, (list, tuple, np.ndarray)):
+            values = list(values)
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        self.total = float(
+            np.cumsum(np.concatenate(([self.total], arr)))[-1]
+        )
+        self.last = float(arr[-1])
+        hi = float(arr.max())
+        lo = float(arr.min())
+        if hi > self._max:
+            self._max = hi
+        if lo < self._min:
+            self._min = lo
 
     @property
     def mean(self) -> float:
@@ -306,6 +367,126 @@ class SloMonitor:
     def record_dropped(self, now: float, n: int = 1) -> None:
         for _ in range(n):
             self._record(now, dropped=True)
+
+    # ------------------------------------------------------------------
+    def record_stream(
+        self,
+        times: np.ndarray,
+        dropped: np.ndarray,
+        slow: np.ndarray,
+    ) -> None:
+        """Replay a whole outcome stream in one columnar pass.
+
+        ``times`` must be nondecreasing (the event-time-order contract
+        of :meth:`record_served`/:meth:`record_dropped`); ``dropped``
+        and ``slow`` are aligned boolean arrays.  The replay is exact:
+        window sums, burn rates, edge-triggered alerts and the final
+        ring state are bit-identical to feeding the stream one record
+        at a time — the per-event Python loop is replaced by cumulative
+        sums and ``np.searchsorted`` window lookups, and only the (rare)
+        alert edges fall back to scalar bookkeeping.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        dropped = np.asarray(dropped, dtype=bool)
+        slow = np.asarray(slow, dtype=bool)
+        policy = self.policy
+        wb = int(policy.window_s / policy.bucket_s)
+        bucket = np.floor_divide(times, policy.bucket_s).astype(np.int64)
+        horizon = bucket - wb
+        # prior ring state (buckets recorded before this stream); the
+        # common single-shot ingest starts from an empty ring, where
+        # every prior window sum is a scalar zero
+        prior = [list(b) for b in self._buckets]
+        if prior:
+            prior_idx = np.array([b[0] for b in prior], dtype=np.int64)
+            prior_req = np.array([b[1] for b in prior], dtype=np.int64)
+            prior_drop = np.array([b[2] for b in prior], dtype=np.int64)
+            prior_slow = np.array([b[3] for b in prior], dtype=np.int64)
+            # prior buckets surviving event i's expiry: index > horizon_i
+            keep = np.searchsorted(prior_idx, horizon, side="right")
+            prior_req_w = prior_req.sum() - np.concatenate(
+                ([0], np.cumsum(prior_req))
+            )[keep]
+            prior_drop_w = prior_drop.sum() - np.concatenate(
+                ([0], np.cumsum(prior_drop))
+            )[keep]
+            prior_slow_w = prior_slow.sum() - np.concatenate(
+                ([0], np.cumsum(prior_slow))
+            )[keep]
+        else:
+            prior_req_w = prior_drop_w = prior_slow_w = 0
+        # stream events in event i's window: first j with bucket_j > horizon_i
+        start = np.searchsorted(bucket, horizon, side="right")
+        cum_drop = np.cumsum(dropped.astype(np.int64))
+        cum_slow = np.cumsum(slow.astype(np.int64))
+        i = np.arange(times.size)
+        req_w = prior_req_w + (i - start + 1)
+        drop_w = prior_drop_w + cum_drop - np.where(
+            start > 0, cum_drop[start - 1], 0
+        )
+        slow_w = prior_slow_w + cum_slow - np.where(
+            start > 0, cum_slow[start - 1], 0
+        )
+        burns = {
+            "availability": (drop_w / req_w)
+            / (1.0 - policy.availability_target),
+            "latency": (slow_w / req_w) / (1.0 - policy.latency_quantile),
+        }
+        evaluated = np.flatnonzero(req_w >= policy.min_requests)
+        # edge-triggered alerts: only the state *transitions* on the
+        # evaluated subsequence matter, and diff finds them in one pass
+        edges: list[tuple[int, int, str, bool]] = []
+        for rank, slo in enumerate(("availability", "latency")):
+            state = self._alerting[slo]
+            firing = burns[slo][evaluated] >= policy.burn_alert
+            flips = np.flatnonzero(
+                np.diff(
+                    np.concatenate(([state], firing)).astype(np.int8)
+                )
+            )
+            for k in flips.tolist():
+                state = bool(firing[k])
+                edges.append((int(evaluated[k]), rank, slo, state))
+            self._alerting[slo] = state
+        edges.sort(key=lambda e: (e[0], e[1]))
+        for j, _, slo, firing in edges:
+            alert = {
+                "kind": "slo.alert" if firing else "slo.resolve",
+                "slo": slo,
+                "at_s": float(times[j]),
+                "burn_rate": float(burns[slo][j]),
+                "window_requests": int(req_w[j]),
+                "window_drops": int(drop_w[j]),
+                "window_slow": int(slow_w[j]),
+            }
+            self.alerts.append(alert)
+            get_event_bus().emit(alert["kind"], **alert)
+        # final rolling sums + ring: the last event's window
+        self._requests = int(req_w[-1])
+        self._drops = int(drop_w[-1])
+        self._slow = int(slow_w[-1])
+        ring: dict[int, list[int]] = {
+            int(b[0]): [int(b[1]), int(b[2]), int(b[3])]
+            for b in prior
+            if b[0] > horizon[-1]
+        }
+        tail = slice(int(start[-1]), times.size)
+        uniq, inverse = np.unique(bucket[tail], return_inverse=True)
+        req_by = np.bincount(inverse)
+        drop_by = np.bincount(inverse, weights=dropped[tail]).astype(
+            np.int64
+        )
+        slow_by = np.bincount(inverse, weights=slow[tail]).astype(
+            np.int64
+        )
+        for idx, req, drp, slw in zip(uniq, req_by, drop_by, slow_by):
+            entry = ring.setdefault(int(idx), [0, 0, 0])
+            entry[0] += int(req)
+            entry[1] += int(drp)
+            entry[2] += int(slw)
+        self._buckets = deque([i, *ring[i]] for i in sorted(ring))
 
     def _record(
         self, now: float, *, dropped: bool = False, slow: bool = False
@@ -420,6 +601,59 @@ class ServingTelemetry:
             size / capacity if capacity else 0.0
         )
         self.queue_depth.observe(queued)
+
+    def record_batch_stream(self, sizes, capacities, queued) -> None:
+        """Record a whole run's dispatch stream in one pass.
+
+        ``sizes``/``capacities``/``queued`` are per-batch sequences in
+        dispatch order.  Bit-identical to calling :meth:`record_batch`
+        once per batch: the occupancy ratio is computed with the same
+        expression and both gauges accumulate in the same order.  The
+        batch gauges share no state with the latency/SLO side, so the
+        columnar engine may defer this until after the event loop.
+        """
+        sizes_arr = np.asarray(sizes, dtype=float)
+        caps_arr = np.asarray(capacities, dtype=float)
+        # elementwise IEEE divide == the scalar `size / cap`; a zero
+        # capacity maps to 0.0 exactly like the scalar conditional
+        nonzero = caps_arr != 0.0
+        ratios = np.where(
+            nonzero,
+            sizes_arr / np.where(nonzero, caps_arr, 1.0),
+            0.0,
+        )
+        self.batch_occupancy.observe_stream(ratios)
+        self.queue_depth.observe_stream(queued)
+
+    def ingest_stream(
+        self,
+        times: np.ndarray,
+        latencies: np.ndarray,
+        dropped: np.ndarray,
+    ) -> None:
+        """Ingest a whole run's outcome stream in one columnar pass.
+
+        ``times`` holds the event-ordered completion/drop timestamps the
+        per-event hooks would have seen, ``latencies`` the per-request
+        latency (ignored where ``dropped``), ``dropped`` the loss mask.
+        Equivalent to calling :meth:`record_served` /
+        :meth:`record_dropped` once per element, bit for bit — histogram
+        totals, SLO window state and the alert sequence all match the
+        scalar path.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        latencies = np.asarray(latencies, dtype=float)
+        dropped = np.asarray(dropped, dtype=bool)
+        served = ~dropped
+        self.latency.observe_array(latencies[served])
+        if self.slo is not None:
+            slow = np.zeros(times.size, dtype=bool)
+            slow[served] = (
+                latencies[served] > self.slo.policy.latency_slo_s
+            )
+            self.slo.record_stream(times, dropped, slow)
 
     # ------------------------------------------------------------------
     @property

@@ -49,6 +49,7 @@ from repro.serving.router import (
     FleetRouter,
     FleetTelemetry,
     ReplicaSpec,
+    fluid_backlog_trajectory,
 )
 from repro.serving.simulator import ServingReport, ServingSimulator
 
@@ -74,6 +75,7 @@ __all__ = [
     "Slowdown",
     "bursty_arrivals",
     "evaluate_fleet",
+    "fluid_backlog_trajectory",
     "poisson_arrivals",
     "uniform_arrivals",
 ]

@@ -236,8 +236,7 @@ class AutoscalingSimulator:
     ) -> AutoscaleReport:
 
         events = EventQueue()
-        for idx, t in enumerate(arrivals):
-            events.push(float(t), "arrival", idx)
+        events.extend_sorted(arrivals, "arrival")
         events.push(self.autoscale.interval_s, "control", None)
         for preemption in plan.preemptions:
             events.push(preemption.at_s, "preempt", preemption)

@@ -148,6 +148,7 @@ class FleetSpec:
     replicas: tuple[ReplicaSpec, ...]
     routing: str = "round-robin"
     admission: AdmissionPolicy | None = None
+    engine: str = "columnar"
 
     def router(self) -> FleetRouter:
         """Build the imperative router this spec describes."""
@@ -157,6 +158,7 @@ class FleetSpec:
             self.replicas,
             routing=self.routing,
             admission=self.admission,
+            engine=self.engine,
         )
 
     @property
@@ -171,7 +173,12 @@ class FleetSpec:
         )
 
     def cache_key(self) -> tuple:
-        """Content key: equal fleets share one evaluation process-wide."""
+        """Content key: equal fleets share one evaluation process-wide.
+
+        ``engine`` is deliberately absent — both engines produce
+        byte-identical reports (tested), so a fleet evaluated under
+        one must hit the cache entry written under the other.
+        """
         return (
             self.time_model.fingerprint(),
             self.accuracy_model.fingerprint(),

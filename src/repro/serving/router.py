@@ -65,6 +65,7 @@ __all__ = [
     "ReplicaOutcome",
     "ReplicaSpec",
     "ROUTING_POLICIES",
+    "fluid_backlog_trajectory",
 ]
 
 
@@ -305,6 +306,51 @@ ROUTING_POLICIES: dict[str, type] = {
     "weighted": _WeightedThroughput,
     "tiered": _AccuracyTiered,
 }
+
+
+def fluid_backlog_trajectory(
+    arrivals: np.ndarray,
+    assignment: np.ndarray,
+    capacities: Sequence[float],
+) -> np.ndarray:
+    """Every replica's fluid backlog after each arrival, closed form.
+
+    Replays the router's fluid queue model — drain at capacity between
+    arrivals, ``+1`` per assignment, clamp at zero — for the whole run
+    at once.  Returns shape ``(len(arrivals), len(capacities))``:
+    row ``i`` is the backlog vector just after arrival ``i`` was
+    processed (sheds, ``assignment == -1``, add nothing but time still
+    passes).
+
+    The sequential recurrence ``b_i = max(0, b_{i-1} - dt_i * c) + a_i``
+    unrolls to a prefix maximum: with ``s_i = c * t_i`` and
+    ``A_i = cumsum(a)_i``,
+
+    ``b_i = max(0, max_j<=i (s_j - A_{j-1})) + A_i - s_i``
+
+    which vectorizes as one ``np.maximum.accumulate``.  The regrouped
+    arithmetic is *not* guaranteed bit-identical to stepping
+    :class:`_RoutingState` (terms associate differently); agreement is
+    to float tolerance, which is why the router's decision pass never
+    uses it — it exists for post-hoc analysis and plots over the
+    assignment the decision pass produced.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != arrivals.shape:
+        raise ConfigurationError(
+            "assignment must align with arrivals"
+        )
+    capacity = np.asarray(capacities, dtype=float)
+    added = (
+        assignment[:, None] == np.arange(capacity.size)[None, :]
+    ).astype(float)
+    cumulative = np.cumsum(added, axis=0)
+    drained = arrivals[:, None] * capacity[None, :]
+    reset_level = np.maximum.accumulate(
+        np.maximum(drained - (cumulative - added), 0.0), axis=0
+    )
+    return reset_level + cumulative - drained
 
 
 # ----------------------------------------------------------------------
@@ -596,6 +642,12 @@ class FleetRouter:
         One of :data:`ROUTING_POLICIES`.
     admission:
         Optional :class:`AdmissionPolicy`; ``None`` admits everything.
+    engine:
+        ``"columnar"`` (default) routes with the vectorized decision
+        pass and serves static replicas through the columnar simulator
+        engine; ``"event"`` keeps the per-arrival reference loop and
+        the per-event simulator.  Both produce byte-identical reports;
+        the knob exists for differential testing.
     """
 
     def __init__(
@@ -605,6 +657,7 @@ class FleetRouter:
         replicas: Sequence[ReplicaSpec],
         routing: str = "round-robin",
         admission: AdmissionPolicy | None = None,
+        engine: str = "columnar",
     ) -> None:
         replicas = tuple(replicas)
         if not replicas:
@@ -621,6 +674,11 @@ class FleetRouter:
                 f"unknown routing policy {routing!r}; "
                 f"available: {sorted(ROUTING_POLICIES)}"
             )
+        if engine not in ("columnar", "event"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; "
+                "available: ['columnar', 'event']"
+            )
         if time_model.name != accuracy_model.name:
             raise ConfigurationError("time/accuracy model mismatch")
         self.time_model = time_model
@@ -628,6 +686,7 @@ class FleetRouter:
         self.replicas = replicas
         self.routing = routing
         self.admission = admission
+        self.engine = engine
         self.capacities = tuple(
             self._capacity(r) for r in replicas
         )
@@ -678,6 +737,11 @@ class FleetRouter:
         Pure decision pass — no replica is simulated.  ``floors`` is an
         optional per-request Top-5 accuracy requirement in percent
         (used by ``tiered`` routing); ``None`` means no requirement.
+
+        The columnar engine (the default) makes bit-identical decisions
+        to the per-arrival reference loop — tested property-style in
+        ``tests/test_columnar.py`` — while touching each replica's
+        fluid backlog only where a decision actually reads it.
         """
         arrivals = np.asarray(arrivals, dtype=float)
         if arrivals.size == 0:
@@ -692,6 +756,20 @@ class FleetRouter:
                 raise ConfigurationError(
                     "floors must align with arrivals"
                 )
+        if self.engine == "event":
+            return self._route_reference(arrivals, floors)
+        return self._route_columnar(arrivals, floors)
+
+    def _route_reference(
+        self, arrivals: np.ndarray, floors: np.ndarray
+    ) -> np.ndarray:
+        """The per-arrival decision loop the columnar pass replays.
+
+        One :meth:`_RoutingState.advance`/``select``/``assign`` cycle
+        per arrival — the executable specification the equivalence
+        tests compare against.  Inputs are pre-validated by
+        :meth:`route`.
+        """
         policy = ROUTING_POLICIES[self.routing](self)
         state = _RoutingState(self.capacities)
         admission = self.admission
@@ -723,6 +801,208 @@ class FleetRouter:
             state.assign(pick)
             assignment[i] = pick
         return assignment
+
+    def _route_columnar(
+        self, arrivals: np.ndarray, floors: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized decision pass, bit-identical to the reference.
+
+        Strategy: hoist everything that does not depend on the fluid
+        backlog out of the per-arrival loop.
+
+        * ``tiered`` floors repeat heavily, so the eligible/cheapest
+          candidate set is computed once per *distinct* floor with the
+          reference's own numpy expressions, then looked up by code.
+        * When no decision reads the backlog (round-robin, weighted,
+          or tiered whose candidate sets are all singletons) and depth
+          shedding is off, assignments are pure numpy — the token
+          bucket, when present, is a cheap scalar pre-pass.
+        * Otherwise a scalar loop runs with plain Python floats,
+          draining only the *tracked* replicas a decision can read.
+          Scalar ``max(0, b - dt*c)`` / first-min scans replicate the
+          reference's ``np.maximum``/``np.argmin`` exactly (same IEEE
+          ops, first-extremum ties).
+
+        The one regrouping hazard is ``total_backlog``: numpy's
+        ``.sum()`` switches to unrolled accumulation at 8 elements, so
+        depth shedding on fleets of >= 8 replicas falls back to the
+        reference loop rather than risk a differently-rounded sum.
+        """
+        n = arrivals.size
+        n_replicas = len(self.replicas)
+        routing = self.routing
+        admission = self.admission
+        rate = admission.rate_per_s if admission is not None else None
+        queue_limit = (
+            admission.queue_limit if admission is not None else None
+        )
+        if queue_limit is not None and n_replicas >= 8:
+            return self._route_reference(arrivals, floors)
+
+        # --- per-distinct-floor candidate tables (tiered only) -------
+        codes = cand_sets = None
+        if routing == "tiered":
+            tiers = _AccuracyTiered(self)
+            uniq, codes = np.unique(floors, return_inverse=True)
+            cand_sets = []
+            for floor in uniq.tolist():
+                eligible = np.flatnonzero(
+                    tiers._top5 >= floor - 1e-9
+                )
+                if eligible.size == 0:
+                    cand_sets.append((tiers._best,))
+                    continue
+                rates = tiers._rates[eligible]
+                cheapest = eligible[
+                    np.flatnonzero(rates == rates.min())
+                ]
+                cand_sets.append(tuple(int(c) for c in cheapest))
+        elif routing == "weighted":
+            # construct for its validation (positive weights) even on
+            # the scalar path below, which re-reads the arrays
+            wrr = _WeightedThroughput(self)
+
+        # which replicas can a decision actually read?
+        if queue_limit is not None or routing == "jsq":
+            tracked = list(range(n_replicas))
+        elif routing == "tiered":
+            tracked = sorted(
+                {
+                    c
+                    for cands in cand_sets
+                    if len(cands) > 1
+                    for c in cands
+                }
+            )
+        else:
+            tracked = []
+
+        # --- fully/mostly vectorized paths ----------------------------
+        backlog_free = not tracked and queue_limit is None
+        if backlog_free and routing in ("round-robin", "tiered"):
+            if routing == "tiered":
+                pickmap = np.array(
+                    [cands[0] for cands in cand_sets],
+                    dtype=np.int64,
+                )
+            if rate is None:
+                if routing == "round-robin":
+                    return np.arange(n, dtype=np.int64) % n_replicas
+                return pickmap[codes]
+            # token bucket only: scalar admission pre-pass, then
+            # vectorized assignment over the admitted sub-stream
+            assignment = np.full(n, -1, dtype=np.int64)
+            idx = np.flatnonzero(self._admitted_mask(arrivals))
+            if routing == "round-robin":
+                assignment[idx] = (
+                    np.arange(idx.size, dtype=np.int64) % n_replicas
+                )
+            else:
+                assignment[idx] = pickmap[codes[idx]]
+            return assignment
+
+        # --- scalar loop over python floats ---------------------------
+        arrival_list = arrivals.tolist()
+        capacity = [float(c) for c in self.capacities]
+        backlog = [0.0] * n_replicas
+        last_t = 0.0
+        rate_on = rate is not None
+        tokens = float(admission.burst) if admission is not None else 0.0
+        burst = tokens
+        last_refill = 0.0
+        picks: list[int] = []
+        if routing == "round-robin":
+            next_rr = 0
+        elif routing == "weighted":
+            weights = [float(w) for w in wrr._weights]
+            current = [0.0] * n_replicas
+            wsum = float(wrr._weights.sum())
+        elif routing == "tiered":
+            code_list = codes.tolist()
+        for i in range(n):
+            t = arrival_list[i]
+            dt = t - last_t
+            if dt > 0.0:
+                for r in tracked:
+                    drained = backlog[r] - dt * capacity[r]
+                    backlog[r] = drained if drained > 0.0 else 0.0
+                last_t = t
+            if admission is not None:
+                if rate_on:
+                    # same value as min(burst, tokens + dt * rate)
+                    tokens = tokens + (t - last_refill) * rate
+                    if tokens > burst:
+                        tokens = burst
+                    last_refill = t
+                if (
+                    queue_limit is not None
+                    and sum(backlog) >= queue_limit
+                ) or (rate_on and tokens < 1.0):
+                    picks.append(-1)
+                    continue
+                if rate_on:
+                    tokens -= 1.0
+            if routing == "round-robin":
+                pick = next_rr
+                next_rr += 1
+                if next_rr == n_replicas:
+                    next_rr = 0
+            elif routing == "jsq":
+                pick = 0
+                best = backlog[0]
+                for r in range(1, n_replicas):
+                    if backlog[r] < best:
+                        best = backlog[r]
+                        pick = r
+            elif routing == "weighted":
+                pick = 0
+                best = float("-inf")
+                for r in range(n_replicas):
+                    credit = current[r] + weights[r]
+                    current[r] = credit
+                    if credit > best:
+                        best = credit
+                        pick = r
+                current[pick] -= wsum
+            else:  # tiered with backlog tie-breaks
+                cands = cand_sets[code_list[i]]
+                pick = cands[0]
+                if len(cands) > 1:
+                    best = backlog[pick]
+                    for r in cands[1:]:
+                        if backlog[r] < best:
+                            best = backlog[r]
+                            pick = r
+            backlog[pick] += 1.0
+            picks.append(pick)
+        return np.asarray(picks, dtype=np.int64)
+
+    def _admitted_mask(self, arrivals: np.ndarray) -> np.ndarray:
+        """Token-bucket admission as a boolean mask (no depth limit).
+
+        Scalar replay of the reference bucket — Python floats and
+        ``np.float64`` share IEEE-754 arithmetic, so the refill math is
+        identical.  Only valid when ``queue_limit`` is ``None`` (depth
+        shedding couples admission to the backlog state).
+        """
+        admission = self.admission
+        rate = admission.rate_per_s
+        tokens = float(admission.burst)
+        burst = tokens
+        last_refill = 0.0
+        flags = bytearray(arrivals.size)
+        i = 0
+        for t in arrivals.tolist():
+            # same value as min(burst, tokens + dt * rate), fewer calls
+            tokens = tokens + (t - last_refill) * rate
+            if tokens > burst:
+                tokens = burst
+            last_refill = t
+            if tokens >= 1.0:
+                tokens -= 1.0
+                flags[i] = 1
+            i += 1
+        return np.frombuffer(bytes(flags), dtype=np.uint8).astype(bool)
 
     # ------------------------------------------------------------------
     def run(
@@ -846,6 +1126,7 @@ class FleetRouter:
                 replica.spec,
                 replica.policy,
                 hourly_rate=replica.hourly_rate,
+                engine=self.engine,
             )
         return simulator.run(sub, replica.faults, telemetry=bundle)
 

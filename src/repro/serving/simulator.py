@@ -154,6 +154,12 @@ class ServingSimulator:
         Override for the fleet's hourly price (e.g. a spot rate from
         :func:`repro.cloud.pricing.spot_rate`); ``None`` bills the
         configuration's on-demand total.
+    engine:
+        ``"columnar"`` (default) runs the vectorised batch-granularity
+        engine in :mod:`repro.serving.columnar`; ``"event"`` runs the
+        original per-event loop.  The two are bit-identical (pinned by
+        ``tests/test_columnar.py``); the per-event loop remains
+        available for one release as the differential oracle.
     """
 
     def __init__(
@@ -164,11 +170,18 @@ class ServingSimulator:
         spec: PruneSpec,
         policy: BatchPolicy,
         hourly_rate: float | None = None,
+        engine: str = "columnar",
     ) -> None:
         if time_model.name != accuracy_model.name:
             raise ConfigurationError("time/accuracy model mismatch")
         if hourly_rate is not None and hourly_rate < 0:
             raise ConfigurationError("hourly rate must be non-negative")
+        if engine not in ("columnar", "event"):
+            raise ConfigurationError(
+                f"unknown serving engine {engine!r}; "
+                "expected 'columnar' or 'event'"
+            )
+        self.engine = engine
         self.time_model = time_model
         self.accuracy_model = accuracy_model
         self.configuration = configuration
@@ -212,12 +225,22 @@ class ServingSimulator:
             raise ConfigurationError("no arrivals to serve")
         if np.any(np.diff(arrivals) < 0):
             raise ConfigurationError("arrivals must be sorted")
+        if arrivals[0] < 0:
+            # the per-event engine rejects this at Event construction;
+            # the columnar engine never builds arrival Events, so both
+            # engines validate up front with the same error
+            raise ValueError("event time must be non-negative")
         with get_tracer().span(
             "serving.run",
             workers=len(self._workers),
             requests=int(arrivals.size),
         ) as span:
-            report = self._run(arrivals, plan, telemetry)
+            if self.engine == "columnar":
+                from repro.serving.columnar import columnar_run
+
+                report = columnar_run(self, arrivals, plan, telemetry)
+            else:
+                report = self._run(arrivals, plan, telemetry)
         metrics = get_metrics()
         metrics.counter("serving.runs").inc()
         metrics.counter("serving.requests").inc(report.requests)
@@ -238,8 +261,7 @@ class ServingSimulator:
     ) -> ServingReport:
 
         events = EventQueue()
-        for idx, t in enumerate(arrivals):
-            events.push(float(t), "arrival", idx)
+        events.extend_sorted(arrivals, "arrival")
         for preemption in plan.preemptions:
             events.push(preemption.at_s, "preempt", preemption)
 

@@ -62,9 +62,11 @@ class TestRunSuite:
         assert set(SCENARIOS) == {
             "evalspace.grid",
             "serving.faulty",
+            "serving.columnar",
             "allocation.greedy",
             "autoscale.surge",
             "fleet.routed",
+            "fleet.columnar",
             "service.plan",
         }
 
@@ -188,6 +190,76 @@ class TestCheck:
         )
         assert report.ok
         assert any("trajectory drift" in w for w in report.warnings)
+
+    def test_fail_ratio_hard_gates_trajectory_creep(self, tmp_path):
+        def slow() -> None:
+            get_metrics().counter("fake.evals").inc(5)
+            get_metrics().gauge("fake.peak").set(1.0)
+            time.sleep(0.05)
+
+        # BENCH_1 fast, BENCH_2 already slow: each step passed the
+        # per-step tolerance, but the trajectory budget catches the sum
+        record(tmp_path, repeats=1, scenarios=_fast_scenarios())
+        record(tmp_path, repeats=1, scenarios={"fake.scenario": slow})
+        report = check(
+            tmp_path,
+            repeats=1,
+            tolerance=1e9,
+            fail_ratio=2.0,
+            scenarios={"fake.scenario": slow},
+        )
+        assert not report.ok
+        assert any(
+            "trajectory budget exceeded" in f for f in report.failures
+        )
+        # without fail_ratio the same creep only warns
+        report = check(
+            tmp_path,
+            repeats=1,
+            tolerance=1e9,
+            scenarios={"fake.scenario": slow},
+        )
+        assert report.ok
+
+    def test_cross_machine_baseline_demotes_wall_gates(self, tmp_path):
+        record(tmp_path, repeats=1, scenarios=_fast_scenarios())
+        # rewrite the record as if it came from other hardware
+        path = bench_paths(tmp_path)[-1]
+        payload = json.loads(path.read_text())
+        payload["environment"]["cpu_count"] = 9999
+        path.write_text(json.dumps(payload))
+
+        def slow() -> None:
+            get_metrics().counter("fake.evals").inc(5)
+            get_metrics().gauge("fake.peak").set(1.0)
+            time.sleep(0.05)
+
+        report = check(
+            tmp_path,
+            repeats=1,
+            tolerance=0.5,
+            fail_ratio=1.1,
+            scenarios={"fake.scenario": slow},
+        )
+        # wall regressions (step and trajectory) become warnings...
+        assert report.machine_drift
+        assert report.ok
+        assert any("different hardware" in w for w in report.warnings)
+        assert any("wall" in w for w in report.warnings)
+        # ...but counter drift still fails hard
+        report = check(
+            tmp_path,
+            repeats=1,
+            tolerance=1e9,
+            scenarios=_fast_scenarios(6),
+        )
+        assert not report.ok
+        assert any("drifted" in f for f in report.failures)
+
+    def test_same_machine_baseline_reports_no_drift(self, tmp_path):
+        record(tmp_path, repeats=1, scenarios=_fast_scenarios())
+        report = check(tmp_path, repeats=1, scenarios=_fast_scenarios())
+        assert not report.machine_drift
 
     def test_repo_baseline_matches_current_code(self):
         """The committed BENCH_*.json must agree with today's counters.

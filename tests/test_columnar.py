@@ -1,0 +1,536 @@
+"""Differential tests for the columnar serving/routing engines.
+
+The columnar engine is an exact-replay rewrite: it must make the same
+IEEE-754 float operations in the same order as the per-event reference,
+so every comparison here is bit-for-bit (``repr`` / ``tobytes``), not
+``allclose``.  The sweeps are property-style — seeds x fault plans x
+batch policies x admission configs — deliberately covering the fast
+paths *and* the branches that force the scalar fallbacks.
+
+The one intentionally approximate kernel is
+:func:`repro.serving.router.fluid_backlog_trajectory`, whose prefix-max
+closed form regroups float terms; it is tested against the stepped
+:class:`~repro.serving.router._RoutingState` with a tight tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.calibration import caffenet_accuracy_model, caffenet_time_model
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.faults import FaultPlan, Preemption, Slowdown
+from repro.cloud.instance import CloudInstance
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import (
+    GaugeStat,
+    LatencyHistogram,
+    ServingTelemetry,
+    SloMonitor,
+    SloPolicy,
+)
+from repro.pruning.base import PruneSpec
+from repro.serving import (
+    AdmissionPolicy,
+    BatchPolicy,
+    FleetRouter,
+    FleetSpec,
+    FleetWorkload,
+    ReplicaSpec,
+    ServingSimulator,
+    evaluate_fleet,
+    fluid_backlog_trajectory,
+    poisson_arrivals,
+)
+from repro.serving.events import EventQueue
+from repro.serving.fleet import clear_fleet_cache
+from repro.serving.router import _RoutingState
+
+TM = caffenet_time_model()
+AM = caffenet_accuracy_model()
+SWEET = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+SPECS = (
+    PruneSpec.unpruned(),
+    PruneSpec.uniform(("conv1", "conv2"), 0.3),
+    SWEET,
+)
+
+
+def _config(itype: str, n: int = 1) -> ResourceConfiguration:
+    return ResourceConfiguration(
+        [CloudInstance(instance_type(itype)) for _ in range(n)]
+    )
+
+
+def _simulator(itype, spec, policy, engine) -> ServingSimulator:
+    return ServingSimulator(
+        TM, AM, _config(itype), spec, policy, engine=engine
+    )
+
+
+def _report_fingerprint(report) -> tuple:
+    """Every float via repr / tobytes — equality means bit-equality."""
+    return (
+        report.requests,
+        repr(report.duration_s),
+        report.latencies_s.tobytes(),
+        report.batch_sizes.tobytes(),
+        repr(report.busy_s),
+        report.worker_count,
+        repr(report.cost),
+        repr(report.accuracy),
+        report.retries,
+        report.dropped,
+        report.preempted,
+    )
+
+
+def _telemetry_fingerprint(telemetry) -> tuple:
+    hist = telemetry.latency
+    parts = [
+        (
+            tuple(hist.counts),
+            hist.count,
+            repr(hist.total),
+            repr(hist._min),
+            repr(hist._max),
+        )
+    ]
+    for gauge in (telemetry.batch_occupancy, telemetry.queue_depth):
+        parts.append(repr(gauge.summary()))
+    if telemetry.slo is not None:
+        slo = telemetry.slo
+        parts.append(
+            (
+                tuple(tuple(b) for b in slo._buckets),
+                slo._requests,
+                slo._drops,
+                slo._slow,
+                tuple(sorted(slo._alerting.items())),
+                repr(slo.alerts),
+            )
+        )
+    return tuple(parts)
+
+
+def _fault_plan(rng: random.Random, duration: float) -> FaultPlan:
+    kind = rng.randrange(5)
+    if kind == 0:
+        return FaultPlan()
+    if kind == 1:
+        return FaultPlan(timeout_s=rng.choice([0.05, 0.5, 3.0]))
+    if kind == 2:
+        return FaultPlan(
+            preemptions=tuple(
+                Preemption(
+                    at_s=rng.uniform(0, duration),
+                    target=rng.randrange(16),
+                    recover_after_s=rng.choice([None, 0.5, 3.0]),
+                )
+                for _ in range(rng.randrange(1, 4))
+            ),
+            retry_budget=rng.randrange(0, 3),
+            timeout_s=rng.choice([None, 1.0]),
+        )
+    if kind == 3:
+        return FaultPlan(
+            slowdowns=tuple(
+                Slowdown(
+                    target=rng.randrange(8),
+                    start_s=rng.uniform(0, duration),
+                    duration_s=rng.uniform(0.5, duration),
+                    factor=rng.uniform(1.1, 4.0),
+                )
+                for _ in range(rng.randrange(1, 3))
+            ),
+        )
+    return FaultPlan.sample(
+        duration_s=duration,
+        workers=8,
+        mtbf_s=rng.choice([5.0, 20.0]),
+        recovery_s=2.0,
+        retry_budget=2,
+        timeout_s=rng.choice([None, 0.8, 3.0]),
+        seed=rng.randrange(10_000),
+    )
+
+
+class TestServingEngineEquivalence:
+    """Both simulator engines must produce bit-identical runs."""
+
+    @pytest.mark.parametrize("trial", range(24))
+    def test_property_sweep_bit_identical(self, trial):
+        rng = random.Random(9100 + trial)
+        duration = rng.choice([4.0, 11.0])
+        arrivals = poisson_arrivals(
+            rng.choice([20.0, 120.0, 400.0]),
+            duration,
+            seed=rng.randrange(10_000),
+        )
+        itype = rng.choice(["p2.xlarge", "p2.8xlarge"])
+        spec = rng.choice(SPECS)
+        policy = BatchPolicy(
+            max_batch=rng.choice([1, 4, 32, 64]),
+            max_wait_s=rng.choice([0.0, 0.01, 0.05, 0.2]),
+        )
+        plan = _fault_plan(rng, duration)
+        slo = (
+            SloPolicy(latency_slo_s=rng.choice([0.1, 1.0]))
+            if rng.random() < 0.7
+            else None
+        )
+        results = {}
+        for engine in ("event", "columnar"):
+            telemetry = ServingTelemetry(slo=slo)
+            report = _simulator(itype, spec, policy, engine).run(
+                arrivals, faults=plan, telemetry=telemetry
+            )
+            results[engine] = (
+                _report_fingerprint(report),
+                _telemetry_fingerprint(telemetry),
+            )
+        assert results["event"] == results["columnar"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _simulator("p2.xlarge", SWEET, BatchPolicy(8), "vector")
+
+    def test_negative_arrivals_rejected_by_both_engines(self):
+        for engine in ("event", "columnar"):
+            sim = _simulator(
+                "p2.xlarge", SWEET, BatchPolicy(8), engine
+            )
+            with pytest.raises(ValueError):
+                sim.run(np.array([-1.0, 0.5]))
+
+
+def _replicas(rng: random.Random, count: int) -> list[ReplicaSpec]:
+    return [
+        ReplicaSpec(
+            name=f"r{i}",
+            configuration=_config(
+                rng.choice(["p2.xlarge", "p2.8xlarge"])
+            ),
+            spec=rng.choice(SPECS),
+            policy=BatchPolicy(
+                rng.choice([8, 32]), rng.choice([0.01, 0.05])
+            ),
+            hourly_rate=rng.choice([None, 1.0, 1.0, 2.5]),
+            weight=rng.choice([None, None, 1.0, 3.0]),
+        )
+        for i in range(count)
+    ]
+
+
+def _admission(rng: random.Random) -> AdmissionPolicy | None:
+    kind = rng.randrange(5)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return AdmissionPolicy()  # open: both knobs disabled
+    if kind == 2:
+        return AdmissionPolicy(
+            rate_per_s=rng.choice([0.0, 20.0, 150.0]),
+            burst=rng.choice([0, 5, 64]),
+        )
+    if kind == 3:
+        return AdmissionPolicy(
+            queue_limit=rng.choice([0.0, 5.0, 200.0])
+        )
+    return AdmissionPolicy(
+        rate_per_s=rng.choice([20.0, 150.0]),
+        burst=rng.choice([1, 32]),
+        queue_limit=rng.choice([3.0, 400.0]),
+    )
+
+
+class TestRouteDecisionEquivalence:
+    """The columnar decision pass replays the reference loop exactly.
+
+    The sweep covers every routing policy, every admission shape, and
+    replica counts on both sides of the depth-shedding sum fallback
+    (``>= 8`` replicas fall back to the reference loop outright).
+    """
+
+    @pytest.mark.parametrize("trial", range(60))
+    def test_assignment_sweep_bit_identical(self, trial):
+        rng = random.Random(4400 + trial)
+        replicas = _replicas(rng, rng.choice([1, 2, 3, 4, 9]))
+        routing = rng.choice(
+            ["round-robin", "jsq", "weighted", "tiered"]
+        )
+        admission = _admission(rng)
+        arrivals = poisson_arrivals(
+            rng.choice([10.0, 80.0, 300.0]),
+            rng.choice([3.0, 10.0]),
+            seed=rng.randrange(10_000),
+        )
+        if rng.random() < 0.5:
+            floors = None
+        else:
+            frng = np.random.default_rng(rng.randrange(10_000))
+            floors = frng.choice(
+                [0.0, 60.0, 75.0, 82.0, 99.5], size=arrivals.size
+            )
+        router = FleetRouter(
+            TM, AM, replicas, routing=routing, admission=admission
+        )
+        columnar = router.route(arrivals, floors)
+        reference = router._route_reference(
+            np.asarray(arrivals, dtype=float),
+            np.zeros(arrivals.size)
+            if floors is None
+            else np.asarray(floors, dtype=float),
+        )
+        assert np.array_equal(columnar, reference)
+
+    def test_engine_event_routes_through_reference(self):
+        arrivals = poisson_arrivals(80.0, 5.0, seed=3)
+        kwargs = dict(
+            routing="tiered",
+            admission=AdmissionPolicy(rate_per_s=60.0, burst=16),
+        )
+        replicas = _replicas(random.Random(5), 3)
+        event = FleetRouter(
+            TM, AM, replicas, engine="event", **kwargs
+        )
+        columnar = FleetRouter(
+            TM, AM, replicas, engine="columnar", **kwargs
+        )
+        floors = np.random.default_rng(5).choice(
+            [0.0, 75.0], size=arrivals.size
+        )
+        assert np.array_equal(
+            event.route(arrivals, floors),
+            columnar.route(arrivals, floors),
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetRouter(
+                TM, AM, _replicas(random.Random(0), 1), engine="x"
+            )
+
+
+class TestFleetEngineEquivalence:
+    """End-to-end: full fleet runs agree byte-for-byte across engines."""
+
+    def _fleet_fingerprint(self, report) -> tuple:
+        return (
+            report.offered,
+            report.shed,
+            repr(report.duration_s),
+            report.latencies_s.tobytes(),
+            repr(report.cost),
+            tuple(
+                (o.assigned, o.served, o.dropped, repr(o.cost))
+                for o in report.outcomes
+            ),
+        )
+
+    def test_routed_fleet_bit_identical_across_engines(self):
+        arrivals = poisson_arrivals(150.0, 12.0, seed=11)
+        floors = np.random.default_rng(11).choice(
+            [0.0, 75.0], size=arrivals.size
+        )
+        replicas = _replicas(random.Random(21), 3)
+        fingerprints = {}
+        for engine in ("event", "columnar"):
+            router = FleetRouter(
+                TM,
+                AM,
+                replicas,
+                routing="tiered",
+                admission=AdmissionPolicy(
+                    rate_per_s=120.0, burst=32
+                ),
+                engine=engine,
+            )
+            fingerprints[engine] = self._fleet_fingerprint(
+                router.run(arrivals, floors=floors)
+            )
+        assert fingerprints["event"] == fingerprints["columnar"]
+
+    def test_fleet_cache_shared_across_engines(self):
+        """``engine`` is absent from the cache key on purpose: both
+        engines produce the same report, so one evaluation serves
+        both."""
+        clear_fleet_cache()
+        workload = FleetWorkload(40.0, 4.0, seed=9)
+        replicas = tuple(_replicas(random.Random(33), 2))
+        by_engine = {}
+        for engine in ("columnar", "event"):
+            spec = FleetSpec(
+                TM, AM, replicas, routing="jsq", engine=engine
+            )
+            by_engine[engine] = evaluate_fleet(spec, workload)
+        # second call was a pure cache hit: identical object
+        assert by_engine["event"] is by_engine["columnar"]
+        clear_fleet_cache()
+
+
+class TestFluidBacklogTrajectory:
+    def test_matches_stepped_state(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = int(rng.integers(1, 300))
+            arrivals = np.sort(rng.uniform(0, 30, n))
+            count = int(rng.integers(1, 5))
+            capacities = rng.uniform(0.1, 50.0, count)
+            assignment = rng.integers(-1, count, n)
+            state = _RoutingState(capacities)
+            expected = np.empty((n, count))
+            for i, (t, a) in enumerate(zip(arrivals, assignment)):
+                state.advance(float(t))
+                if a >= 0:
+                    state.assign(int(a))
+                expected[i] = state.backlog
+            got = fluid_backlog_trajectory(
+                arrivals, assignment, capacities
+            )
+            assert got.shape == (n, count)
+            assert np.allclose(got, expected, atol=1e-9)
+
+    def test_sheds_pass_time_but_add_nothing(self):
+        trajectory = fluid_backlog_trajectory(
+            np.array([0.0, 1.0, 2.0]),
+            np.array([0, -1, -1]),
+            [0.5],
+        )
+        # one assignment at t=0, then pure drain at 0.5 req/s
+        assert np.allclose(trajectory[:, 0], [1.0, 0.5, 0.0])
+
+    def test_misaligned_assignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fluid_backlog_trajectory(
+                np.array([0.0, 1.0]), np.array([0]), [1.0]
+            )
+
+
+class TestTelemetryBatchApis:
+    """Each columnar ingest path equals its scalar twin bit-for-bit."""
+
+    def test_histogram_observe_array(self):
+        values = np.random.default_rng(0).lognormal(-3, 1.5, 500)
+        scalar, batched = LatencyHistogram(), LatencyHistogram()
+        for v in values:
+            scalar.observe(float(v))
+        batched.observe_array(values[:123])
+        batched.observe_array(values[123:])
+        assert scalar.counts == batched.counts
+        assert scalar.count == batched.count
+        assert repr(scalar.total) == repr(batched.total)
+        assert repr(scalar._min) == repr(batched._min)
+        assert repr(scalar._max) == repr(batched._max)
+
+    def test_gauge_observe_stream(self):
+        values = np.random.default_rng(1).uniform(0, 40, 400)
+        scalar, batched = GaugeStat("g"), GaugeStat("g")
+        for v in values:
+            scalar.observe(float(v))
+        batched.observe_stream(values[:17])
+        batched.observe_stream(values[17:])
+        assert repr(scalar.summary()) == repr(batched.summary())
+
+    def test_slo_record_stream(self):
+        rng = np.random.default_rng(2)
+        times = np.sort(rng.uniform(0, 600, 2000))
+        dropped = rng.random(2000) < 0.2
+        slow = (rng.random(2000) < 0.3) & ~dropped
+        policy = SloPolicy(latency_slo_s=0.5)
+        scalar, batched = SloMonitor(policy), SloMonitor(policy)
+        for t, d, s in zip(times, dropped, slow):
+            if d:
+                scalar.record_dropped(float(t))
+            else:
+                scalar._record(float(t), slow=bool(s))
+        split = 700
+        batched.record_stream(
+            times[:split], dropped[:split], slow[:split]
+        )
+        batched.record_stream(
+            times[split:], dropped[split:], slow[split:]
+        )
+        assert list(scalar._buckets) == list(batched._buckets)
+        assert scalar._requests == batched._requests
+        assert scalar._drops == batched._drops
+        assert scalar._slow == batched._slow
+        assert scalar.alerts == batched.alerts
+
+    def test_serving_telemetry_batch_stream(self):
+        rng = np.random.default_rng(3)
+        sizes = rng.integers(1, 33, 150)
+        capacities = np.full(150, 32)
+        queued = rng.integers(0, 90, 150)
+        scalar = ServingTelemetry()
+        batched = ServingTelemetry()
+        for s, c, q in zip(sizes, capacities, queued):
+            scalar.record_batch(0.0, int(s), int(c), int(q))
+        batched.record_batch_stream(
+            sizes.tolist(), capacities.tolist(), queued.tolist()
+        )
+        assert repr(scalar.summary()) == repr(batched.summary())
+
+    def test_ingest_stream_matches_scalar_hooks(self):
+        rng = np.random.default_rng(4)
+        times = np.sort(rng.uniform(0, 120, 800))
+        latencies = rng.lognormal(-2, 1, 800)
+        dropped = rng.random(800) < 0.15
+        policy = SloPolicy(latency_slo_s=0.25)
+        scalar = ServingTelemetry(slo=policy)
+        batched = ServingTelemetry(slo=policy)
+        for t, lat, d in zip(times, latencies, dropped):
+            if d:
+                scalar.record_dropped(float(t))
+            else:
+                scalar.record_served(float(t), float(lat))
+        batched.ingest_stream(times, latencies, dropped)
+        assert _telemetry_fingerprint(scalar) == _telemetry_fingerprint(
+            batched
+        )
+
+
+class TestEventQueueExtendSorted:
+    def test_pop_order_matches_individual_pushes(self):
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0, 10, 200))
+        pushed, bulk = EventQueue(), EventQueue()
+        # pre-existing content on both queues
+        for queue in (pushed, bulk):
+            queue.push(4.25, "timer")
+            queue.push(0.0, "preempt", "p")
+        for idx, t in enumerate(times):
+            pushed.push(float(t), "arrival", idx)
+        bulk.extend_sorted(times, "arrival")
+        while pushed:
+            a, b = pushed.pop(), bulk.pop()
+            assert (a.time, a.seq, a.kind, a.payload) == (
+                b.time,
+                b.seq,
+                b.kind,
+                b.payload,
+            )
+        assert not bulk
+
+    def test_empty_batch_is_noop(self):
+        queue = EventQueue()
+        queue.extend_sorted([], "arrival")
+        assert len(queue) == 0
+
+    def test_unsorted_batch_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().extend_sorted([1.0, 0.5], "arrival")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().extend_sorted([-0.1, 0.5], "arrival")
+
+    def test_explicit_payloads(self):
+        queue = EventQueue()
+        queue.extend_sorted([1.0, 2.0], "done", payloads=["a", "b"])
+        assert queue.pop().payload == "a"
+        assert queue.pop().payload == "b"
