@@ -9,6 +9,14 @@ planning by changing one constructor.
 
 Built on :mod:`urllib.request` only; server-side :class:`ApiError`
 bodies are re-raised as :class:`ApiError` with the original code.
+
+Every request travels inside a request-scoped
+:class:`~repro.obs.context.TraceContext`: the client opens a
+``client.request`` span, re-roots the context under it, and sends the
+context along in the ``X-Repro-Trace`` header — so the server-side
+``service.request`` span (and everything under it, down to
+``evalspace.evaluate``) shares the client's ``trace_id`` and, when
+client and server share a process, forms one connected span tree.
 """
 
 from __future__ import annotations
@@ -23,6 +31,14 @@ from repro.api.types import (
     FleetResponse,
     PlanRequest,
     PlanResponse,
+)
+from repro.obs import get_tracer
+from repro.obs.context import (
+    TRACE_HEADER,
+    TraceContext,
+    activate,
+    current_trace,
+    new_trace_id,
 )
 
 __all__ = ["PlanningClient"]
@@ -53,23 +69,34 @@ class PlanningClient:
             if body is None
             else json.dumps(body).encode("utf-8")
         )
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers=(
-                {"Content-Type": "application/json"}
-                if data is not None
-                else {}
-            ),
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout_s
-            ) as response:
-                return response.status, response.read()
-        except urllib.error.HTTPError as exc:
-            return exc.code, exc.read()
+        context = current_trace()
+        if context is None:
+            context = TraceContext(new_trace_id())
+        with activate(context), get_tracer().span(
+            "client.request", method=method, path=path
+        ) as span:
+            if span is not None:
+                # re-root the context so the server span parents here
+                context = context.child(span.span_id)
+            headers = {TRACE_HEADER: context.to_header()}
+            if data is not None:
+                headers["Content-Type"] = "application/json"
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                method=method,
+                headers=headers,
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    status, payload = response.status, response.read()
+            except urllib.error.HTTPError as exc:
+                status, payload = exc.code, exc.read()
+            if span is not None:
+                span.tags["status"] = status
+            return status, payload
 
     def _post(self, path: str, body: dict) -> dict:
         status, raw = self._request("POST", path, body)

@@ -41,6 +41,7 @@ from repro.api.types import (
     PlanResponse,
 )
 from repro.errors import InfeasibleError, ReproError
+from repro.obs import get_tracer
 
 __all__ = [
     "cheapest_fleets",
@@ -162,35 +163,44 @@ def plan(request: PlanRequest, *, space=None) -> PlanResponse:
         _min_deadline_for,
     )
 
-    if space is None:
-        space = planning_space(request)
-    target = float(request.target)
-    try:
-        if request.deadline_h is not None:
-            result = _min_budget_for(
-                space, target, request.deadline_h * 3600.0
-            )
-            if request.budget is not None and result.cost > request.budget:
-                raise InfeasibleError(
-                    f"cheapest plan inside {request.deadline_h:g}h costs "
-                    f"${result.cost:.2f} > budget ${request.budget:.2f}"
+    with get_tracer().span(
+        "api.plan", model=request.model, target=request.target
+    ) as span:
+        if space is None:
+            space = planning_space(request)
+        target = float(request.target)
+        try:
+            if request.deadline_h is not None:
+                result = _min_budget_for(
+                    space, target, request.deadline_h * 3600.0
                 )
-            kind, results = "min_budget", [result]
-        elif request.budget is not None:
-            kind, results = "min_deadline", [
-                _min_deadline_for(space, target, request.budget)
-            ]
-        else:
-            kind, results = "frontier", _iso_accuracy_frontier(
-                space, target
-            )
-    except ReproError as exc:
-        raise ApiError.from_exception(exc) from exc
-    return PlanResponse(
-        kind=kind,
-        request=request,
-        points=tuple(PlanPoint.from_result(r) for r in results),
-    )
+                if (
+                    request.budget is not None
+                    and result.cost > request.budget
+                ):
+                    raise InfeasibleError(
+                        f"cheapest plan inside {request.deadline_h:g}h "
+                        f"costs ${result.cost:.2f} > budget "
+                        f"${request.budget:.2f}"
+                    )
+                kind, results = "min_budget", [result]
+            elif request.budget is not None:
+                kind, results = "min_deadline", [
+                    _min_deadline_for(space, target, request.budget)
+                ]
+            else:
+                kind, results = "frontier", _iso_accuracy_frontier(
+                    space, target
+                )
+        except ReproError as exc:
+            raise ApiError.from_exception(exc) from exc
+        if span is not None:
+            span.tags["kind"] = kind
+        return PlanResponse(
+            kind=kind,
+            request=request,
+            points=tuple(PlanPoint.from_result(r) for r in results),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -273,7 +283,10 @@ def _evaluate_request(request: FleetRequest):
 
 def evaluate_fleets(request: FleetRequest) -> FleetResponse:
     """Evaluate every design in ``request`` under its workload."""
-    names, specs, reports = _evaluate_request(request)
+    with get_tracer().span(
+        "api.fleet.evaluate", designs=len(request.designs)
+    ):
+        names, specs, reports = _evaluate_request(request)
     return FleetResponse(
         kind="evaluate",
         views=tuple(
@@ -290,7 +303,10 @@ def cheapest_fleets(request: FleetRequest) -> FleetResponse:
     so callers can see why the winner won."""
     import numpy as np
 
-    names, specs, reports = _evaluate_request(request)
+    with get_tracer().span(
+        "api.fleet.cheapest", designs=len(request.designs)
+    ):
+        names, specs, reports = _evaluate_request(request)
     chosen = None
     best_cost = None
     for name, report in zip(names, reports):

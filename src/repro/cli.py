@@ -22,15 +22,28 @@ Commands
     (time, cost) frontier when neither constraint is given.  Routed
     through :mod:`repro.api` (the same typed surface the HTTP service
     exposes).
-``service [--host H] [--port P] [--max-inflight N]``
+``service [--host H] [--port P] [--max-inflight N] [--log-json PATH]``
     Serve the versioned planning API over HTTP in the foreground:
     ``POST /v1/plan``, ``POST /v1/fleet/evaluate``,
     ``POST /v1/fleet/cheapest``, ``GET /v1/healthz``,
-    ``GET /v1/metrics`` (OpenMetrics).
+    ``GET /v1/metrics`` (OpenMetrics), ``GET /v1/status`` (windowed
+    live metrics + anomaly state).  ``--log-json`` appends every
+    structured event — per-request ``service.access`` lines included —
+    to a JSONL file ``repro tail`` can follow.
 ``loadgen [--url URL] [--rate R] [--duration S | --requests N]``
     Replay a seeded open-loop planning-query mixture against a running
     service (``--url``) or an in-process dispatcher (no sockets), and
     report throughput, latency percentiles and cache hit ratio.
+    ``--soak`` switches to the sustained harness: the trace runs in
+    fixed windows (``--window``) through streaming anomaly detectors,
+    optionally perturbed mid-run (``--inject
+    price-step|fault-plan|latency``), and exits non-zero unless the
+    :class:`~repro.service.loadgen.SoakReport` comes back clean
+    (``--windows-out`` dumps every closed window as JSON).
+``tail PATH [--follow] [--kind K ...] [--trace ID] [--limit N]``
+    Pretty-follow a ``repro.events/v1`` JSONL event log: filter by
+    event kind prefixes and/or trace id, optionally waiting for new
+    events like ``tail -f``.
 ``metrics [id ...] [--format openmetrics|json] [--output PATH]``
     Run artefacts (uncached) and export their metric snapshots as
     Prometheus/OpenMetrics text or flat JSON.
@@ -281,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed planning requests beyond N in flight with 503 "
         "(default 64)",
     )
+    p_service.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="append structured events (access log, anomalies; "
+        "JSONL, repro.events/v1)",
+    )
 
     p_load = sub.add_parser(
         "loadgen",
@@ -331,6 +350,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable summary instead of text",
+    )
+    p_load.add_argument(
+        "--soak",
+        action="store_true",
+        help="sustained soak: windowed streaming detectors + drift "
+        "verdicts (exit 1 unless the report comes back clean)",
+    )
+    p_load.add_argument(
+        "--window",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="soak window width in seconds (default 1.0)",
+    )
+    p_load.add_argument(
+        "--inject",
+        choices=["price-step", "fault-plan", "latency"],
+        help="perturb the middle third of the soak: a 3x cost step, "
+        "a mixture the service rejects, or +250ms latency",
+    )
+    p_load.add_argument(
+        "--windows-out",
+        metavar="PATH",
+        help="write every closed soak window as a JSON array",
+    )
+    p_load.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="append structured events (anomaly raise/resolve; "
+        "JSONL, repro.events/v1)",
+    )
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="follow a JSONL event log (repro.events/v1)",
+    )
+    p_tail.add_argument("path", help="JSONL event-log file")
+    p_tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep waiting for new events (ctrl-c to stop)",
+    )
+    p_tail.add_argument(
+        "--kind",
+        action="append",
+        metavar="PREFIX",
+        help="only events whose kind starts with PREFIX "
+        "(repeatable, e.g. --kind anomaly --kind service.access)",
+    )
+    p_tail.add_argument(
+        "--trace",
+        metavar="ID",
+        help="only events carrying this trace id",
+    )
+    p_tail.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="stop after N matching events",
     )
 
     p_serve = sub.add_parser(
@@ -824,12 +903,32 @@ def _cmd_service(args: argparse.Namespace) -> int:
     )
     print(f"serving on {server.url} (ctrl-c to stop)", file=sys.stderr)
     try:
-        server.serve_forever()
+        with _maybe_event_log(args.log_json):
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
     return 0
+
+
+def _soak_injection(preset: str | None, mixture):
+    """Build the :class:`SoakInjection` a ``--inject`` preset names."""
+    from dataclasses import replace
+
+    from repro.service import SoakInjection
+
+    if preset is None:
+        return None
+    if preset == "price-step":
+        return SoakInjection(cost_scale=3.0)
+    if preset == "fault-plan":
+        # a catalog only the server can reject: every pulse request
+        # comes back 4xx, stepping the error rate
+        return SoakInjection(
+            mixture=replace(mixture, catalog=("injected-fault",))
+        )
+    return SoakInjection(extra_latency_s=0.25)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -840,6 +939,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         InProcessTarget,
         PlanMixture,
         run_load,
+        run_soak,
     )
 
     mixture = PlanMixture(
@@ -853,20 +953,100 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     duration = args.duration
     if duration is None and args.requests is None:
         duration = 5.0
-    report = run_load(
-        target,
-        mixture,
-        rate_per_s=args.rate,
-        duration_s=duration,
-        n_requests=args.requests,
-        arrival=args.arrival,
-        seed=args.seed,
-        max_workers=args.workers,
-    )
+    if args.soak:
+        if duration is None:
+            duration = args.requests / args.rate
+        with _maybe_event_log(args.log_json):
+            soak = run_soak(
+                target,
+                mixture,
+                rate_per_s=args.rate,
+                duration_s=duration,
+                window_s=args.window,
+                arrival=args.arrival,
+                seed=args.seed,
+                inject=_soak_injection(args.inject, mixture),
+                max_workers=args.workers,
+            )
+        if args.windows_out:
+            from pathlib import Path
+
+            path = Path(args.windows_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(soak.window_rows(), indent=2, sort_keys=True)
+            )
+            print(f"windows -> {args.windows_out}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(soak.summary(), indent=2, sort_keys=True))
+        else:
+            print(soak.render())
+        return 0 if soak.ok else 1
+    with _maybe_event_log(args.log_json):
+        report = run_load(
+            target,
+            mixture,
+            rate_per_s=args.rate,
+            duration_s=duration,
+            n_requests=args.requests,
+            arrival=args.arrival,
+            seed=args.seed,
+            max_workers=args.workers,
+        )
     if args.json:
         print(json.dumps(report.summary(), indent=2, sort_keys=True))
     else:
         print(report.render())
+    return 0
+
+
+def _tail_matches(event: dict, kinds, trace_id) -> bool:
+    """Does one decoded event pass the ``repro tail`` filters?"""
+    kind = str(event.get("kind", ""))
+    if kinds and not any(kind.startswith(k) for k in kinds):
+        return False
+    if trace_id is not None and event.get("trace_id") != trace_id:
+        return False
+    return True
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such file {args.path!r}", file=sys.stderr)
+        return 2
+    kinds = tuple(args.kind or ())
+    shown = 0
+    try:
+        with path.open("r") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    if not args.follow:
+                        break
+                    time.sleep(0.2)
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                if not _tail_matches(event, kinds, args.trace):
+                    continue
+                print(json.dumps(event, sort_keys=True))
+                shown += 1
+                if args.limit is not None and shown >= args.limit:
+                    break
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -1340,6 +1520,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_service(args)
         if args.command == "loadgen":
             return _cmd_loadgen(args)
+        if args.command == "tail":
+            return _cmd_tail(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "trace":

@@ -32,12 +32,28 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.context import (
+    TRACE_HEADER,
+    TraceContext,
+    activate,
+    current_trace,
+    new_trace_id,
+)
 from repro.obs.events import EventBus, JsonlEventLog, get_event_bus
 from repro.obs.manifest import ArtefactRecord, RunManifest, environment_info
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, percentile
+from repro.obs.timeseries import (
+    AnomalyDetector,
+    AnomalyPolicy,
+    TelemetryPipeline,
+    WindowSnapshot,
+    WindowedSeries,
+)
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "AnomalyDetector",
+    "AnomalyPolicy",
     "ArtefactRecord",
     "Counter",
     "EventBus",
@@ -46,12 +62,20 @@ __all__ = [
     "MetricsRegistry",
     "RunManifest",
     "Span",
+    "TelemetryPipeline",
+    "TRACE_HEADER",
     "Timer",
+    "TraceContext",
     "Tracer",
+    "WindowSnapshot",
+    "WindowedSeries",
+    "activate",
+    "current_trace",
     "environment_info",
     "get_event_bus",
     "get_metrics",
     "get_tracer",
+    "new_trace_id",
     "percentile",
     "scoped_observability",
 ]

@@ -1,0 +1,121 @@
+"""Request-scoped trace context: one id that follows a request around.
+
+A live control plane serves many requests at once, across the client's
+calling thread, the ``ThreadingHTTPServer`` worker that accepts the
+connection, and whatever the handler calls into (`evalspace.evaluate`,
+router spans).  Spans alone cannot stitch that together — each thread
+starts its own stack — so this module carries a
+:class:`TraceContext` in a :mod:`contextvars` variable:
+
+* ``trace_id`` — 16 hex chars naming the whole request tree.  Every
+  span opened while a context is active is tagged with it, so a
+  Chrome-trace export (or ``repro tail --trace``) can pull one
+  request out of interleaved traffic.
+* ``parent_span_id`` — the span the *next* root span should attach to.
+  :class:`~repro.api.client.PlanningClient` puts its own request span
+  here before serialising the context into the ``X-Repro-Trace``
+  header; the server parses the header back and activates it, so the
+  handler's ``service.request`` span parents onto the client span even
+  though it runs on a different thread.  When client and server share
+  a process (tests, :class:`~repro.service.loadgen.InProcessTarget`)
+  the ids land in one tracer and the tree is fully connected; across
+  processes the shared ``trace_id`` still ties the two traces together.
+
+Contexts are *explicitly* activated (:func:`activate`) — new threads
+deliberately start blank, which is exactly what a per-request server
+wants: whatever the previous request on that pooled thread did cannot
+leak into this one.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "activate",
+    "current_trace",
+    "new_trace_id",
+]
+
+#: The HTTP header the planning client/server propagate context in.
+TRACE_HEADER = "X-Repro-Trace"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: a trace id plus the span to parent onto.
+
+    ``parent_span_id`` is a span id in the *originating* tracer; it is
+    only meaningful as a parent link when both sides record into the
+    same tracer (the in-process case).  ``trace_id`` is always
+    meaningful.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+
+    # ------------------------------------------------------------------
+    def child(self, parent_span_id: int | None) -> "TraceContext":
+        """The same trace, re-rooted under ``parent_span_id``."""
+        return replace(self, parent_span_id=parent_span_id)
+
+    def to_header(self) -> str:
+        """Serialise for the ``X-Repro-Trace`` header."""
+        if self.parent_span_id is None:
+            return self.trace_id
+        return f"{self.trace_id}-{self.parent_span_id}"
+
+    @classmethod
+    def from_header(cls, value: str | None) -> "TraceContext | None":
+        """Parse a header value; ``None`` for absent/garbage input.
+
+        A malformed header must never fail a request — tracing is
+        best-effort metadata, not part of the API contract.
+        """
+        if not value:
+            return None
+        trace_id, _, parent = value.strip().partition("-")
+        if not trace_id or not all(
+            c in "0123456789abcdef" for c in trace_id
+        ):
+            return None
+        if not parent:
+            return cls(trace_id=trace_id)
+        try:
+            return cls(trace_id=trace_id, parent_span_id=int(parent))
+        except ValueError:
+            return None
+
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace() -> TraceContext | None:
+    """The active :class:`TraceContext`, or ``None`` outside a request."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(context: TraceContext | None):
+    """Make ``context`` current for the duration of a ``with`` block.
+
+    Passing ``None`` activates "no context" — useful to fence off work
+    that must not inherit the surrounding request's identity.
+    """
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,463 @@
+"""Streaming windowed aggregation + anomaly detection over telemetry.
+
+The serving stack can already *export* telemetry (histograms, gauges,
+OpenMetrics); this module is the piece that *watches* it while the
+system runs — the CloudSentinel-style loop the ROADMAP asks for:
+
+* :class:`WindowedSeries` — fixed-width tumbling windows over one
+  metric.  Each window is a
+  :class:`~repro.obs.telemetry.LatencyHistogram` sketch, so per-window
+  count/mean/p50/p95/p99 cost O(buckets) memory no matter how many
+  observations land in the window.  Closed windows become immutable
+  :class:`WindowSnapshot` rows on a bounded deque.
+* :class:`AnomalyDetector` — a robust z-score over an EWMA baseline of
+  one window statistic.  Alerts are **edge-triggered** with
+  hysteresis: one ``anomaly.raise`` event on the
+  :class:`~repro.obs.events.EventBus` when the score crosses the
+  threshold, one ``anomaly.resolve`` when it falls back under the
+  (lower) resolve bar.  The baseline *freezes* while an anomaly is
+  active, so a sustained fault cannot launder itself into the normal.
+* :class:`TelemetryPipeline` — named series, each optionally guarded
+  by a detector, sharing one window width; the bundle behind the
+  planning service's ``/v1/status`` route and the soak harness's
+  drift verdicts.
+
+Cold start is deliberately conservative: a detector evaluates nothing
+until it has seen ``min_windows`` baseline windows, a constant series
+scores z = 0 forever (the sigma floor prevents 0/0), and a window
+statistic that comes back ``NaN`` (an empty window's p99) is skipped
+rather than propagated.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EventBus, get_event_bus
+from repro.obs.telemetry import DEFAULT_LATENCY_BUCKETS, LatencyHistogram
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyPolicy",
+    "TelemetryPipeline",
+    "WindowSnapshot",
+    "WindowedSeries",
+]
+
+
+# ----------------------------------------------------------------------
+# windows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One closed window of one metric — the unit detectors consume."""
+
+    metric: str
+    index: int
+    start_s: float
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    def stat(self, name: str) -> float:
+        """Fetch a statistic by name (``count|mean|p50|p95|p99``)."""
+        try:
+            return float(getattr(self, name))
+        except AttributeError:
+            raise ConfigurationError(
+                f"unknown window statistic {name!r}; "
+                "available: count, mean, p50, p95, p99"
+            ) from None
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """JSON-ready row (the ``/v1/status`` wire form)."""
+        return {
+            "metric": self.metric,
+            "index": self.index,
+            "start_s": self.start_s,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class WindowedSeries:
+    """Fixed-width tumbling windows over one streamed metric.
+
+    ``observe(t, value)`` buckets the observation into window
+    ``floor(t / window_s)``; when an observation lands in a *later*
+    window the current one closes (snapshot appended, subscribers
+    notified).  Late observations — an earlier window's stragglers —
+    are absorbed into the open window rather than reopening history,
+    so window closure is monotone and each window closes exactly once.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        window_s: float = 1.0,
+        keep: int = 600,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if window_s <= 0:
+            raise ConfigurationError(
+                f"window_s must be positive, got {window_s}"
+            )
+        if keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        self.name = name
+        self.window_s = float(window_s)
+        self.bounds = bounds
+        self.windows: deque[WindowSnapshot] = deque(maxlen=keep)
+        self.closed = 0
+        self._subscribers: list[Callable[[WindowSnapshot], None]] = []
+        self._index: int | None = None
+        self._sketch: LatencyHistogram | None = None
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, fn: Callable[[WindowSnapshot], None]
+    ) -> Callable[[WindowSnapshot], None]:
+        """Call ``fn`` with every :class:`WindowSnapshot` as it closes."""
+        self._subscribers.append(fn)
+        return fn
+
+    def observe(self, t: float, value: float) -> None:
+        """Record ``value`` at stream time ``t`` (seconds)."""
+        index = int(t // self.window_s)
+        if self._index is None:
+            self._index = index
+            self._sketch = LatencyHistogram(self.bounds)
+        elif index > self._index:
+            self._close()
+            self._index = index
+            self._sketch = LatencyHistogram(self.bounds)
+        self._sketch.observe(value)
+
+    def observe_many(self, t: float, values: Iterable[float]) -> None:
+        """Record a batch of observations all stamped ``t``."""
+        for value in values:
+            self.observe(t, value)
+
+    def flush(self) -> None:
+        """Close the open window (end of stream / forced rollover)."""
+        if self._sketch is not None and self._sketch.count:
+            self._close()
+        self._index = None
+        self._sketch = None
+
+    # ------------------------------------------------------------------
+    def _close(self) -> None:
+        sketch, index = self._sketch, self._index
+        snapshot = WindowSnapshot(
+            metric=self.name,
+            index=index,
+            start_s=index * self.window_s,
+            count=sketch.count,
+            mean=sketch.mean,
+            p50=sketch.p50,
+            p95=sketch.p95,
+            p99=sketch.p99,
+        )
+        self.windows.append(snapshot)
+        self.closed += 1
+        for fn in tuple(self._subscribers):
+            fn(snapshot)
+
+    def recent(self, n: int = 5) -> tuple[WindowSnapshot, ...]:
+        """The last ``n`` closed windows, oldest first."""
+        if n <= 0:
+            return ()
+        return tuple(self.windows)[-n:]
+
+
+# ----------------------------------------------------------------------
+# anomaly detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AnomalyPolicy:
+    """How one metric's windows are scored.
+
+    Attributes
+    ----------
+    stat:
+        Which :class:`WindowSnapshot` statistic feeds the detector
+        (``p99`` for latency, ``mean`` for rates/costs, ``count`` for
+        fault counters).
+    threshold, resolve:
+        Raise when ``|z| >= threshold``; resolve when ``|z| <=
+        resolve``.  The gap is hysteresis — a score oscillating around
+        the threshold produces one raise/resolve pair, not a storm.
+    alpha:
+        EWMA decay for the baseline mean and deviation.
+    min_windows:
+        Baseline windows consumed before any scoring happens (the
+        NaN-free cold start).
+    min_sigma, rel_floor:
+        The deviation is floored at
+        ``max(min_sigma, rel_floor * |baseline|)`` so a constant (or
+        near-constant) series cannot page on microscopic jitter.
+    min_count:
+        Windows with fewer observations are skipped outright.
+    """
+
+    stat: str = "mean"
+    threshold: float = 4.0
+    resolve: float = 1.5
+    alpha: float = 0.25
+    min_windows: int = 5
+    min_sigma: float = 1e-6
+    rel_floor: float = 0.05
+    min_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0 or self.resolve < 0:
+            raise ConfigurationError(
+                "need threshold > 0 and resolve >= 0"
+            )
+        if self.resolve >= self.threshold:
+            raise ConfigurationError(
+                "resolve must sit below threshold (hysteresis)"
+            )
+        if not 0 < self.alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if self.min_windows < 1:
+            raise ConfigurationError("min_windows must be >= 1")
+        if self.min_sigma <= 0 or self.rel_floor < 0:
+            raise ConfigurationError(
+                "need min_sigma > 0 and rel_floor >= 0"
+            )
+        if self.min_count < 1:
+            raise ConfigurationError("min_count must be >= 1")
+
+
+class AnomalyDetector:
+    """Edge-triggered robust z-score over one windowed statistic.
+
+    Feed it closed windows (:meth:`observe_window`, or subscribe it to
+    a :class:`WindowedSeries`); it maintains an EWMA baseline of the
+    chosen statistic and its absolute deviation, scores each window as
+    ``z = (x - baseline) / max(dev, floor)``, and emits
+    ``anomaly.raise`` / ``anomaly.resolve`` events on the bus at the
+    policy's edges.  While an anomaly is active the baseline is frozen
+    — the fault must *end* (or the operator intervene), not merely
+    persist long enough to look normal.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        policy: AnomalyPolicy | None = None,
+        *,
+        bus: EventBus | None = None,
+    ) -> None:
+        self.metric = metric
+        self.policy = policy if policy is not None else AnomalyPolicy()
+        self.bus = bus if bus is not None else get_event_bus()
+        self.active = False
+        self.events: list[dict] = []
+        self.windows_seen = 0
+        self._baseline: float | None = None
+        self._deviation = 0.0
+        self._raised_at: int | None = None
+
+    # ------------------------------------------------------------------
+    def observe_window(self, window: WindowSnapshot) -> float | None:
+        """Score one closed window; returns z (``None`` when skipped)."""
+        policy = self.policy
+        x = window.stat(policy.stat)
+        if window.count < policy.min_count or not math.isfinite(x):
+            return None
+        self.windows_seen += 1
+        if self._baseline is None:
+            self._baseline = x
+            return None
+        if self.windows_seen <= policy.min_windows:
+            self._update_baseline(x)
+            return None
+        sigma = max(
+            self._deviation,
+            policy.min_sigma,
+            policy.rel_floor * abs(self._baseline),
+        )
+        z = (x - self._baseline) / sigma
+        if not self.active and abs(z) >= policy.threshold:
+            self.active = True
+            self._raised_at = window.index
+            self._emit(
+                "anomaly.raise", window, value=x, z=z, sigma=sigma
+            )
+        elif self.active and abs(z) <= policy.resolve:
+            self.active = False
+            self._emit(
+                "anomaly.resolve",
+                window,
+                value=x,
+                z=z,
+                windows_active=window.index - self._raised_at,
+            )
+            self._raised_at = None
+            self._update_baseline(x)
+        elif not self.active:
+            self._update_baseline(x)
+        return z
+
+    # ------------------------------------------------------------------
+    def _update_baseline(self, x: float) -> None:
+        alpha = self.policy.alpha
+        deviation = abs(x - self._baseline)
+        self._baseline += alpha * (x - self._baseline)
+        self._deviation += alpha * (deviation - self._deviation)
+
+    def _emit(self, kind: str, window: WindowSnapshot, **fields) -> None:
+        event = {
+            "kind": kind,
+            "metric": self.metric,
+            "stat": self.policy.stat,
+            "window": window.index,
+            "at_s": window.start_s,
+            "baseline": self._baseline,
+            **fields,
+        }
+        self.events.append(event)
+        if self.bus.active:
+            self.bus.emit(kind, **{k: v for k, v in event.items() if k != "kind"})
+
+    # ------------------------------------------------------------------
+    @property
+    def baseline(self) -> float | None:
+        """The EWMA baseline of the watched statistic (``None`` cold)."""
+        return self._baseline
+
+    @property
+    def pairs(self) -> int:
+        """Completed raise→resolve pairs."""
+        return sum(
+            1 for e in self.events if e["kind"] == "anomaly.resolve"
+        )
+
+    def state(self) -> dict:
+        """JSON-ready detector state for status surfaces."""
+        return {
+            "metric": self.metric,
+            "stat": self.policy.stat,
+            "active": self.active,
+            "baseline": self._baseline,
+            "deviation": self._deviation,
+            "windows_seen": self.windows_seen,
+            "events": len(self.events),
+        }
+
+
+# ----------------------------------------------------------------------
+# the bundle
+# ----------------------------------------------------------------------
+class TelemetryPipeline:
+    """Named :class:`WindowedSeries`, each optionally watched by an
+    :class:`AnomalyDetector`, sharing one window width.
+
+    This is the shape both live consumers use: the planning service
+    feeds it per-request (latency, cost, shed/error rates, cache hit
+    ratio) and serves its :meth:`status` on ``/v1/status``; the soak
+    harness feeds it per-window and turns its history into drift
+    verdicts.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 1.0,
+        keep: int = 600,
+        bus: EventBus | None = None,
+    ) -> None:
+        if window_s <= 0:
+            raise ConfigurationError(
+                f"window_s must be positive, got {window_s}"
+            )
+        self.window_s = float(window_s)
+        self.keep = keep
+        self.bus = bus
+        self.series: dict[str, WindowedSeries] = {}
+        self.detectors: dict[str, AnomalyDetector] = {}
+
+    # ------------------------------------------------------------------
+    def watch(
+        self,
+        name: str,
+        policy: AnomalyPolicy | None = None,
+    ) -> WindowedSeries:
+        """Get-or-create the series ``name``; attach a detector when a
+        policy is given (idempotent for an existing series)."""
+        series = self.series.get(name)
+        if series is None:
+            series = WindowedSeries(
+                name, window_s=self.window_s, keep=self.keep
+            )
+            self.series[name] = series
+        if policy is not None and name not in self.detectors:
+            detector = AnomalyDetector(name, policy, bus=self.bus)
+            self.detectors[name] = detector
+            series.subscribe(detector.observe_window)
+        return series
+
+    def observe(self, name: str, t: float, value: float) -> None:
+        """Record one observation into series ``name`` (must exist)."""
+        self.series[name].observe(t, value)
+
+    def observe_many(
+        self, name: str, t: float, values: Iterable[float]
+    ) -> None:
+        """Record a batch stamped ``t`` into series ``name``."""
+        self.series[name].observe_many(t, values)
+
+    def flush(self) -> None:
+        """Close every open window (end of stream)."""
+        for series in self.series.values():
+            series.flush()
+
+    # ------------------------------------------------------------------
+    def active_anomalies(self) -> list[dict]:
+        """State of every detector currently raising."""
+        return [
+            d.state()
+            for d in self.detectors.values()
+            if d.active
+        ]
+
+    def anomaly_events(self) -> list[dict]:
+        """Every raise/resolve event, in (metric, window) order."""
+        events = [
+            e for d in self.detectors.values() for e in d.events
+        ]
+        events.sort(key=lambda e: (e["window"], e["metric"]))
+        return events
+
+    def status(self, recent: int = 5) -> dict:
+        """JSON-ready live view: recent windows + anomaly state."""
+        return {
+            "window_s": self.window_s,
+            "metrics": {
+                name: {
+                    "windows": [
+                        w.as_dict() for w in series.recent(recent)
+                    ],
+                    "closed": series.closed,
+                    "detector": (
+                        self.detectors[name].state()
+                        if name in self.detectors
+                        else None
+                    ),
+                }
+                for name, series in sorted(self.series.items())
+            },
+            "anomalies": self.active_anomalies(),
+        }

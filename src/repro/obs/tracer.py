@@ -4,14 +4,26 @@ A span records a name, wall and CPU duration, free-form tags, and its
 parent span — enough to reconstruct the call tree of one run.  The
 tracer is process-local and append-only; spans are kept in *start*
 order, so a depth-first walk of ``spans`` replays the run.
+
+Threading: the span *list* is shared (one trace per tracer, guarded by
+a lock), but the open-span *stack* is thread-local — concurrent
+request threads each nest their own spans without parenting onto each
+other.  A thread whose stack is empty consults the request-scoped
+:class:`~repro.obs.context.TraceContext` (if one is active) for its
+parent, which is how a ``ThreadingHTTPServer`` worker's root span
+attaches under the client span that caused it; every span opened
+inside an active context is also tagged with the context's
+``trace_id``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.context import current_trace
 from repro.obs.events import get_event_bus
 
 __all__ = ["Span", "Tracer"]
@@ -38,6 +50,13 @@ class Span:
     def finished(self) -> bool:
         return self.wall_s is not None
 
+    @property
+    def trace_id(self) -> str | None:
+        """The request trace this span belongs to, if it was opened
+        inside an active :class:`~repro.obs.context.TraceContext`."""
+        trace_id = self.tags.get("trace_id")
+        return None if trace_id is None else str(trace_id)
+
     def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
@@ -56,11 +75,19 @@ class Tracer:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._spans: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
         self._epoch = time.perf_counter()
 
     # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     @contextmanager
     def span(self, name: str, **tags: object):
         """Open a nested span; closes (and times it) on exit.
@@ -68,21 +95,36 @@ class Tracer:
         Yields the :class:`Span` so callers can attach tags discovered
         mid-flight (``span.tags["batches"] = n``); yields ``None`` when
         the tracer is disabled.
+
+        Parentage: the enclosing span on *this thread* wins; a root
+        span (empty thread stack) parents onto the active
+        :class:`~repro.obs.context.TraceContext`'s ``parent_span_id``
+        instead, and any span opened inside a context is tagged with
+        its ``trace_id``.
         """
         if not self.enabled:
             yield None
             return
-        parent = self._stack[-1].span_id if self._stack else None
-        span = Span(
-            name=name,
-            span_id=self._next_id,
-            parent_id=parent,
-            tags=dict(tags),
-            start_s=time.perf_counter() - self._epoch,
-        )
-        self._next_id += 1
-        self._spans.append(span)
-        self._stack.append(span)
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        context = current_trace()
+        tags = dict(tags)
+        if context is not None:
+            if parent is None:
+                parent = context.parent_span_id
+            tags.setdefault("trace_id", context.trace_id)
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent,
+                tags=tags,
+                start_s=time.perf_counter() - self._epoch,
+            )
+            self._spans.append(span)
+        stack.append(span)
         bus = get_event_bus()
         if bus.active:
             bus.emit(
@@ -100,7 +142,7 @@ class Tracer:
         finally:
             span.wall_s = time.perf_counter() - wall0
             span.cpu_s = time.process_time() - cpu0
-            self._stack.pop()
+            stack.pop()
             if bus.active:
                 bus.emit(
                     "span.close",
@@ -115,31 +157,40 @@ class Tracer:
     @property
     def spans(self) -> tuple[Span, ...]:
         """All spans recorded so far, in start order."""
-        return tuple(self._spans)
+        with self._lock:
+            return tuple(self._spans)
 
     def find(self, name: str) -> tuple[Span, ...]:
         """Spans with the given name, in start order."""
-        return tuple(s for s in self._spans if s.name == name)
+        return tuple(s for s in self.spans if s.name == name)
 
     def children(self, span: Span) -> tuple[Span, ...]:
         """Direct children of ``span``."""
         return tuple(
-            s for s in self._spans if s.parent_id == span.span_id
+            s for s in self.spans if s.parent_id == span.span_id
         )
 
     def depth(self, span: Span) -> int:
-        """Nesting depth (root spans are depth 0)."""
-        by_id = {s.span_id: s for s in self._spans}
+        """Nesting depth (root spans are depth 0).
+
+        A span whose parent id is not in this tracer (a remote parent
+        propagated over the ``X-Repro-Trace`` header from another
+        process) counts as a root.
+        """
+        by_id = {s.span_id: s for s in self.spans}
         depth = 0
-        while span.parent_id is not None:
+        while (
+            span.parent_id is not None and span.parent_id in by_id
+        ):
             span = by_id[span.parent_id]
             depth += 1
         return depth
 
     def as_dicts(self) -> tuple[dict[str, object], ...]:
         """JSON-ready representation of the whole trace."""
-        return tuple(s.as_dict() for s in self._spans)
+        return tuple(s.as_dict() for s in self.spans)
 
     def reset(self) -> None:
         """Drop all recorded spans (open spans keep closing correctly)."""
-        self._spans.clear()
+        with self._lock:
+            self._spans.clear()

@@ -18,22 +18,35 @@ benchmarks.  See ``docs/service.md``.
 """
 
 from repro.service.loadgen import (
+    DriftVerdict,
     HttpTarget,
     InProcessTarget,
     LoadReport,
     PlanMixture,
+    SoakInjection,
+    SoakReport,
     TRANSPORT_ERROR_STATUS,
     run_load,
+    run_soak,
 )
-from repro.service.server import PlanningServer, PlanningService
+from repro.service.server import (
+    PlanningServer,
+    PlanningService,
+    ServiceMonitor,
+)
 
 __all__ = [
+    "DriftVerdict",
     "HttpTarget",
     "InProcessTarget",
     "LoadReport",
     "PlanMixture",
     "PlanningServer",
     "PlanningService",
+    "ServiceMonitor",
+    "SoakInjection",
+    "SoakReport",
     "TRANSPORT_ERROR_STATUS",
     "run_load",
+    "run_soak",
 ]

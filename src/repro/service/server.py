@@ -22,19 +22,31 @@ Routes (all bodies JSON, schema ``repro.api/v1``):
 ``POST /v1/plan``         :func:`repro.api.plan`
 ``POST /v1/fleet/evaluate``  :func:`repro.api.evaluate_fleets`
 ``POST /v1/fleet/cheapest``  :func:`repro.api.cheapest_fleets`
-``GET /v1/healthz``       liveness + cache occupancy
+``GET /v1/healthz``       liveness, uptime, inflight, cache occupancy
 ``GET /v1/metrics``       OpenMetrics exposition of the scope
+``GET /v1/status``        windowed live metrics + active anomalies
 ========================  =====================================
 
 Every planning answer is served from the process-wide content-keyed
 caches, so a repeated query is a cache hit no matter which client
 asked first.
+
+Observability: each request runs inside a request-scoped
+:class:`~repro.obs.context.TraceContext` (created fresh, or parsed
+from the client's ``X-Repro-Trace`` header) under a
+``service.request`` span, emits a structured ``service.access`` event
+on the :class:`~repro.obs.events.EventBus` (method, path, status,
+latency, trace id — the structured replacement for the silenced
+stdlib access log), and feeds the :class:`ServiceMonitor`'s windowed
+streaming aggregators, whose anomaly state ``GET /v1/status`` serves.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api import (
@@ -46,12 +58,128 @@ from repro.api import (
     evaluate_fleets,
     plan,
 )
-from repro.obs import MetricsRegistry, Tracer, get_metrics, scoped_observability
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_event_bus,
+    get_metrics,
+    get_tracer,
+    scoped_observability,
+)
+from repro.obs.context import TRACE_HEADER, TraceContext, activate, new_trace_id
+from repro.obs.timeseries import AnomalyPolicy, TelemetryPipeline
 
-__all__ = ["PlanningServer", "PlanningService"]
+__all__ = ["PlanningServer", "PlanningService", "ServiceMonitor"]
 
 _JSON = "application/json"
 _OPENMETRICS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ServiceMonitor:
+    """Windowed live telemetry + anomaly detection for one service.
+
+    Per planning request the service records latency, HTTP status
+    (shed / error rates) and the answered plan's cost into fixed-width
+    :class:`~repro.obs.timeseries.WindowedSeries`; once per window it
+    samples the evaluation-cache hit ratio from the counter deltas.
+    Each series feeds an edge-triggered
+    :class:`~repro.obs.timeseries.AnomalyDetector`, so a spot-price
+    step, a latency regression or a shed storm raises exactly one
+    ``anomaly.raise`` event on the bus (and one ``anomaly.resolve``
+    when it clears).  :meth:`status` is the ``/v1/status`` payload.
+
+    ``clock`` is injectable for tests; stream time is seconds since
+    construction.
+    """
+
+    #: metric name -> (statistic watched, detector policy).  Latency
+    #: carries a 50ms absolute sigma floor so scheduler jitter on a
+    #: busy host cannot page a sub-millisecond control plane.
+    POLICIES: dict[str, AnomalyPolicy] = {
+        "latency_s": AnomalyPolicy(
+            stat="p99", rel_floor=0.25, min_sigma=0.05
+        ),
+        "cost": AnomalyPolicy(stat="mean"),
+        "shed_rate": AnomalyPolicy(stat="mean", min_sigma=0.02),
+        "error_rate": AnomalyPolicy(stat="mean", min_sigma=0.02),
+        "cache_hit_ratio": AnomalyPolicy(stat="mean", min_sigma=0.02),
+    }
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 1.0,
+        keep: int = 600,
+        clock=time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self.pipeline = TelemetryPipeline(window_s=window_s, keep=keep)
+        for name, policy in self.POLICIES.items():
+            self.pipeline.watch(name, policy)
+        self._cache_window: int | None = None
+        self._cache_last = (0, 0)
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Stream time: seconds since the monitor was built."""
+        return self._clock() - self._epoch
+
+    def record(self, latency_s: float, status: int) -> None:
+        """Feed one completed planning request."""
+        t = self.now()
+        with self._lock:
+            self.pipeline.observe("latency_s", t, latency_s)
+            self.pipeline.observe(
+                "shed_rate", t, 1.0 if status == 503 else 0.0
+            )
+            self.pipeline.observe(
+                "error_rate",
+                t,
+                0.0 if status in (200, 422) else 1.0,
+            )
+            self._sample_cache(t)
+
+    def observe_cost(self, cost: float) -> None:
+        """Feed one answered plan's headline cost (dollars)."""
+        cost = float(cost)
+        if not math.isfinite(cost):
+            return
+        t = self.now()
+        with self._lock:
+            self.pipeline.observe("cost", t, cost)
+
+    def _sample_cache(self, t: float) -> None:
+        """Once per window: hit ratio over the counter delta."""
+        window = int(t // self.pipeline.window_s)
+        registry = get_metrics()
+        hits = registry.counter("evalspace.cache_hits").value
+        misses = registry.counter("evalspace.cache_misses").value
+        if self._cache_window is None:
+            self._cache_window = window
+            self._cache_last = (hits, misses)
+            return
+        if window <= self._cache_window:
+            return
+        d_hits = hits - self._cache_last[0]
+        d_misses = misses - self._cache_last[1]
+        total = d_hits + d_misses
+        if total > 0:
+            self.pipeline.observe("cache_hit_ratio", t, d_hits / total)
+        self._cache_window = window
+        self._cache_last = (hits, misses)
+
+    # ------------------------------------------------------------------
+    def status(self, recent: int = 5) -> dict:
+        """JSON-ready live view (recent windows + anomaly state)."""
+        with self._lock:
+            return self.pipeline.status(recent)
+
+    def active_anomalies(self) -> list[dict]:
+        """Detectors currently raising."""
+        with self._lock:
+            return self.pipeline.active_anomalies()
 
 
 class PlanningService:
@@ -68,14 +196,22 @@ class PlanningService:
         service stays observable under overload.
     """
 
-    def __init__(self, *, max_inflight: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_inflight: int | None = None,
+        monitor: ServiceMonitor | None = None,
+    ) -> None:
         if max_inflight is not None and max_inflight < 0:
             raise ApiError(
                 "invalid_request",
                 f"max_inflight must be >= 0, got {max_inflight}",
             )
         self.max_inflight = max_inflight
+        self.monitor = monitor if monitor is not None else ServiceMonitor()
         self._inflight = 0
+        self._served = 0
+        self._started = time.monotonic()
         self._lock = threading.Lock()
         self._plan_routes = {
             "/v1/plan": (PlanRequest, plan),
@@ -85,28 +221,70 @@ class PlanningService:
 
     # ------------------------------------------------------------------
     def dispatch(
-        self, method: str, path: str, body: bytes = b""
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers=None,
     ) -> tuple[int, str, bytes]:
         """Answer one request; returns ``(status, content_type, body)``.
 
         Never raises: every failure becomes a serialised
         :class:`ApiError` body at its mapped status.
+
+        ``headers`` is any mapping with ``.get`` (the stdlib handler
+        passes its ``email.message.Message``); when it carries an
+        ``X-Repro-Trace`` header the request joins that trace,
+        otherwise a fresh trace id is minted.  Either way the route
+        runs under a ``service.request`` span inside the activated
+        context — which is what stitches handler/evalspace spans on
+        *this* worker thread to the remote client's trace.
         """
         path = path.partition("?")[0].rstrip("/") or "/"
-        try:
-            if path == "/v1/healthz":
-                return self._expect(method, "GET", self._healthz)
-            if path == "/v1/metrics":
-                return self._expect(method, "GET", self._metrics)
-            if path in self._plan_routes:
-                return self._expect(
-                    method, "POST", lambda: self._planning(path, body)
-                )
-            raise ApiError("not_found", f"no route {path!r}")
-        except ApiError as exc:
-            return self._error(exc)
-        except Exception as exc:  # pragma: no cover - defensive
-            return self._error(ApiError.from_exception(exc))
+        raw = headers.get(TRACE_HEADER) if headers is not None else None
+        context = TraceContext.from_header(raw)
+        if context is None:
+            context = TraceContext(new_trace_id())
+        started = time.perf_counter()
+        with activate(context), get_tracer().span(
+            "service.request", method=method, path=path
+        ) as span:
+            try:
+                if path == "/v1/healthz":
+                    result = self._expect(method, "GET", self._healthz)
+                elif path == "/v1/metrics":
+                    result = self._expect(method, "GET", self._metrics)
+                elif path == "/v1/status":
+                    result = self._expect(method, "GET", self._status)
+                elif path in self._plan_routes:
+                    result = self._expect(
+                        method, "POST", lambda: self._planning(path, body)
+                    )
+                else:
+                    raise ApiError("not_found", f"no route {path!r}")
+            except ApiError as exc:
+                result = self._error(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                result = self._error(ApiError.from_exception(exc))
+            status = result[0]
+            if span is not None:
+                span.tags["status"] = status
+        latency_s = time.perf_counter() - started
+        with self._lock:
+            self._served += 1
+        if path in self._plan_routes:
+            self.monitor.record(latency_s, status)
+        bus = get_event_bus()
+        if bus.active:
+            bus.emit(
+                "service.access",
+                method=method,
+                path=path,
+                status=status,
+                latency_s=round(latency_s, 6),
+                trace_id=context.trace_id,
+            )
+        return result
 
     # ------------------------------------------------------------------
     def _expect(self, method: str, expected: str, handler):
@@ -127,11 +305,24 @@ class PlanningService:
         from repro.core.evalspace import space_cache_info
         from repro.serving.fleet import fleet_cache_info
 
+        with self._lock:
+            inflight, served = self._inflight, self._served
         payload = {
             "schema": API_SCHEMA,
             "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "inflight": inflight,
+            "served": served,
             "space_cache": space_cache_info(),
             "fleet_cache": fleet_cache_info(),
+        }
+        return 200, _JSON, json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def _status(self) -> tuple[int, str, bytes]:
+        payload = {
+            "schema": API_SCHEMA,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            **self.monitor.status(),
         }
         return 200, _JSON, json.dumps(payload, sort_keys=True).encode("utf-8")
 
@@ -152,6 +343,11 @@ class PlanningService:
                     "invalid_request", "request body is not valid JSON"
                 ) from None
             response = handler(request_cls.from_dict(payload))
+            points = getattr(response, "points", ())
+            if points:
+                # the answered plan's headline cost feeds the monitor's
+                # cost series (a spot-price step shows up here first)
+                self.monitor.observe_cost(points[0].cost)
             out = json.dumps(response.to_dict(), sort_keys=True)
             return 200, _JSON, out.encode("utf-8")
 
@@ -195,7 +391,7 @@ class _Handler(BaseHTTPRequestHandler):
             length = 0
         body = self.rfile.read(length) if length else b""
         status, content_type, payload = self.server.service.dispatch(
-            self.command, self.path, body
+            self.command, self.path, body, headers=self.headers
         )
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -207,7 +403,13 @@ class _Handler(BaseHTTPRequestHandler):
     do_POST = _handle
 
     def log_message(self, format: str, *args) -> None:
-        """Silence the default per-request stderr log."""
+        """Silence the stdlib's unstructured stderr access log.
+
+        The service publishes ``service.access`` events on the
+        :class:`~repro.obs.events.EventBus` instead — same facts
+        (method, path, status) plus latency and trace id, consumable
+        by ``repro tail`` and any JSONL event log.
+        """
 
 
 class _Server(ThreadingHTTPServer):

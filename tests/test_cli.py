@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import _parse_spec, build_parser, main
+from repro.cli import (
+    _parse_spec,
+    _soak_injection,
+    build_parser,
+    main,
+)
 
 
 class TestSpecParsing:
@@ -199,3 +206,119 @@ class TestExperimentsEngineFlags:
         assert text.startswith("# Experiment report")
         assert "| table3 | ok |" in text
         assert "p2.xlarge" in text
+
+
+class TestTailCommand:
+    @staticmethod
+    def _log(tmp_path, events):
+        path = tmp_path / "events.jsonl"
+        lines = [json.dumps(e, sort_keys=True) for e in events]
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    EVENTS = [
+        {"seq": 0, "kind": "service.access", "trace_id": "aa" * 8},
+        {"seq": 1, "kind": "anomaly.raise", "metric": "cost"},
+        {"seq": 2, "kind": "anomaly.resolve", "metric": "cost"},
+        {"seq": 3, "kind": "service.access", "trace_id": "bb" * 8},
+    ]
+
+    def test_prints_every_event(self, capsys, tmp_path):
+        path = self._log(tmp_path, self.EVENTS)
+        assert main(["tail", path]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(ln)["seq"] for ln in lines] == [0, 1, 2, 3]
+
+    def test_kind_prefix_filter(self, capsys, tmp_path):
+        path = self._log(tmp_path, self.EVENTS)
+        assert main(["tail", path, "--kind", "anomaly"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        kinds = [json.loads(ln)["kind"] for ln in lines]
+        assert kinds == ["anomaly.raise", "anomaly.resolve"]
+
+    def test_trace_filter(self, capsys, tmp_path):
+        path = self._log(tmp_path, self.EVENTS)
+        assert main(["tail", path, "--trace", "bb" * 8]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(ln)["seq"] for ln in lines] == [3]
+
+    def test_limit_stops_early(self, capsys, tmp_path):
+        path = self._log(tmp_path, self.EVENTS)
+        assert main(["tail", path, "--limit", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_missing_file_is_exit_2(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["tail", missing]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_garbage_lines_are_skipped(self, capsys, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            'not json\n[1, 2]\n\n{"seq": 9, "kind": "x"}\n'
+        )
+        assert main(["tail", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(ln)["seq"] for ln in lines] == [9]
+
+
+class TestSoakCli:
+    def test_injection_presets(self):
+        from repro.service import PlanMixture
+
+        mixture = PlanMixture(seed=0)
+        assert _soak_injection(None, mixture) is None
+        price = _soak_injection("price-step", mixture)
+        assert price.cost_scale == 3.0
+        fault = _soak_injection("fault-plan", mixture)
+        assert fault.mixture.catalog == ("injected-fault",)
+        latency = _soak_injection("latency", mixture)
+        assert latency.extra_latency_s == 0.25
+
+    def test_parser_accepts_soak_flags(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--soak",
+                "--window",
+                "0.5",
+                "--inject",
+                "price-step",
+                "--windows-out",
+                "w.json",
+            ]
+        )
+        assert args.soak and args.window == 0.5
+        assert args.inject == "price-step"
+
+    def test_healthy_soak_exits_zero_with_json(
+        self, capsys, tmp_path
+    ):
+        windows = tmp_path / "windows.json"
+        code = main(
+            [
+                "loadgen",
+                "--soak",
+                "--rate",
+                "50",
+                "--duration",
+                "2",
+                "--window",
+                "0.5",
+                "--catalog",
+                "p2.16xlarge",
+                "p2.8xlarge",
+                "--images",
+                "1000000",
+                "--json",
+                "--windows-out",
+                str(windows),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] is True
+        assert summary["requests"] == 100  # 4 windows x 25
+        rows = json.loads(windows.read_text())
+        assert rows and {"metric", "index", "count"} <= set(rows[0])

@@ -194,3 +194,97 @@ class TestHttpServer:
         server.start()
         server.close()
         server.close()
+
+
+class TestObservabilityRoutes:
+    def test_healthz_reports_uptime_inflight_served(self):
+        service = PlanningService()
+        first = json.loads(service.dispatch("GET", "/v1/healthz")[2])
+        assert first["uptime_s"] >= 0.0
+        assert first["inflight"] == 0
+        assert first["served"] == 0  # counted after dispatch completes
+        service.dispatch(
+            "POST", "/v1/plan", _body(target=78.0, deadline_h=6.0)
+        )
+        second = json.loads(service.dispatch("GET", "/v1/healthz")[2])
+        assert second["served"] == 2  # healthz + plan
+        assert second["uptime_s"] >= first["uptime_s"]
+
+    def test_status_route_serves_windows_and_anomalies(self):
+        service = PlanningService()
+        for _ in range(3):
+            service.dispatch(
+                "POST", "/v1/plan", _body(target=78.0, deadline_h=6.0)
+            )
+        status, content_type, payload = service.dispatch(
+            "GET", "/v1/status"
+        )
+        assert status == 200
+        assert content_type == "application/json"
+        body = json.loads(payload)
+        assert body["schema"] == "repro.api/v1"
+        assert body["anomalies"] == []
+        metrics = body["metrics"]
+        assert {
+            "latency_s",
+            "cost",
+            "shed_rate",
+            "error_rate",
+            "cache_hit_ratio",
+        } <= set(metrics)
+        assert metrics["latency_s"]["detector"]["metric"] == "latency_s"
+
+    def test_status_is_exempt_from_shedding(self):
+        shedding = PlanningService(max_inflight=0)
+        assert shedding.dispatch("GET", "/v1/status")[0] == 200
+
+    def test_access_events_replace_the_stdlib_log(self):
+        from repro.obs import get_event_bus
+
+        service = PlanningService()
+        events = []
+        with get_event_bus().subscribed(events.append):
+            service.dispatch(
+                "POST", "/v1/plan", _body(target=78.0, deadline_h=6.0)
+            )
+            service.dispatch("GET", "/v1/healthz")
+        access = [e for e in events if e["kind"] == "service.access"]
+        assert [(e["method"], e["path"], e["status"]) for e in access] == [
+            ("POST", "/v1/plan", 200),
+            ("GET", "/v1/healthz", 200),
+        ]
+        for event in access:
+            assert event["latency_s"] >= 0.0
+            assert len(event["trace_id"]) == 16
+
+    def test_dispatch_joins_the_header_trace(self):
+        from repro.obs.context import TRACE_HEADER
+
+        from repro.obs import get_event_bus
+
+        service = PlanningService()
+        events = []
+        with get_event_bus().subscribed(events.append):
+            service.dispatch(
+                "GET",
+                "/v1/healthz",
+                b"",
+                headers={TRACE_HEADER: "ab12cd34ef56ab78-7"},
+            )
+        (event,) = [e for e in events if e["kind"] == "service.access"]
+        assert event["trace_id"] == "ab12cd34ef56ab78"
+
+    def test_monitor_records_latency_shed_and_cost(self):
+        clock = iter(
+            [0.0] + [0.1 * i for i in range(1, 200)]
+        ).__next__
+        from repro.service import ServiceMonitor
+
+        monitor = ServiceMonitor(window_s=1.0, clock=clock)
+        service = PlanningService(max_inflight=0, monitor=monitor)
+        for _ in range(12):
+            service.dispatch("POST", "/v1/plan", _body(target=78.0))
+        monitor.pipeline.flush()
+        shed = monitor.pipeline.series["shed_rate"]
+        assert shed.closed >= 1
+        assert all(w.mean == 1.0 for w in shed.windows)  # all 503s

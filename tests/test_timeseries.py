@@ -1,0 +1,222 @@
+"""Windowed streaming aggregation + anomaly detection.
+
+Detector edge cases the ISSUE pins: a constant series never pages, a
+single window produces no verdict, and the cold start is NaN-free even
+when early windows are empty or carry non-finite statistics.  The
+pulse test pins the headline contract — a step that starts and ends
+produces exactly one ``anomaly.raise``/``anomaly.resolve`` pair.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EventBus
+from repro.obs.timeseries import (
+    AnomalyDetector,
+    AnomalyPolicy,
+    TelemetryPipeline,
+    WindowSnapshot,
+    WindowedSeries,
+)
+
+
+def _window(value: float, index: int = 0, count: int = 10, **over):
+    fields = {
+        "metric": "m",
+        "index": index,
+        "start_s": float(index),
+        "count": count,
+        "mean": value,
+        "p50": value,
+        "p95": value,
+        "p99": value,
+    }
+    fields.update(over)
+    return WindowSnapshot(**fields)
+
+
+class TestWindowedSeries:
+    def test_windows_close_when_a_later_one_opens(self):
+        series = WindowedSeries("lat", window_s=1.0)
+        series.observe(0.2, 1.0)
+        series.observe(0.8, 3.0)
+        assert series.closed == 0
+        series.observe(1.1, 5.0)  # rolls window 0 closed
+        assert series.closed == 1
+        (first,) = series.windows
+        assert first.index == 0 and first.count == 2
+        assert first.mean == pytest.approx(2.0)
+
+    def test_late_observations_fold_into_the_open_window(self):
+        series = WindowedSeries("lat", window_s=1.0)
+        series.observe(5.5, 1.0)
+        series.observe(0.1, 9.0)  # straggler from long ago
+        series.flush()
+        (only,) = series.windows
+        assert only.index == 5
+        assert only.count == 2  # absorbed, not dropped or reopened
+
+    def test_flush_closes_only_nonempty(self):
+        series = WindowedSeries("lat", window_s=1.0)
+        series.flush()
+        assert series.closed == 0
+        series.observe(0.0, 1.0)
+        series.flush()
+        series.flush()  # idempotent
+        assert series.closed == 1
+
+    def test_keep_bounds_history_but_not_the_count(self):
+        series = WindowedSeries("lat", window_s=1.0, keep=3)
+        for w in range(6):
+            series.observe(float(w), 1.0)
+        series.flush()
+        assert series.closed == 6
+        assert [w.index for w in series.windows] == [3, 4, 5]
+        assert [w.index for w in series.recent(2)] == [4, 5]
+
+    def test_subscribers_see_each_close_once(self):
+        series = WindowedSeries("lat", window_s=1.0)
+        seen = []
+        series.subscribe(seen.append)
+        for w in range(3):
+            series.observe(float(w), 1.0)
+        series.flush()
+        assert [w.index for w in seen] == [0, 1, 2]
+
+    def test_unknown_stat_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            _window(1.0).stat("p999")
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowedSeries("x", window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            WindowedSeries("x", keep=0)
+
+
+class TestAnomalyPolicy:
+    def test_hysteresis_gap_required(self):
+        with pytest.raises(ConfigurationError):
+            AnomalyPolicy(threshold=2.0, resolve=2.0)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnomalyPolicy(alpha=0.0)
+
+
+class TestAnomalyDetector:
+    def _detector(self, **policy):
+        policy.setdefault("min_windows", 3)
+        return AnomalyDetector(
+            "m", AnomalyPolicy(**policy), bus=EventBus()
+        )
+
+    def test_constant_series_never_pages(self):
+        detector = self._detector()
+        for i in range(200):
+            z = detector.observe_window(_window(5.0, i))
+        assert detector.events == []
+        assert z == 0.0  # sigma floored, not 0/0
+
+    def test_single_window_is_quiet(self):
+        detector = self._detector()
+        assert detector.observe_window(_window(5.0, 0)) is None
+        assert detector.events == []
+        assert detector.baseline == 5.0
+
+    def test_cold_start_skips_empty_and_nan_windows(self):
+        detector = self._detector()
+        assert detector.observe_window(_window(1.0, 0, count=0)) is None
+        nan = float("nan")
+        assert detector.observe_window(_window(nan, 1)) is None
+        assert detector.windows_seen == 0
+        assert detector.baseline is None
+        # a real window then seeds cleanly — nothing NaN leaked in
+        detector.observe_window(_window(5.0, 2))
+        assert math.isfinite(detector.baseline)
+
+    def test_pulse_step_is_exactly_one_pair(self):
+        detector = self._detector()
+        values = [1.0] * 10 + [10.0] * 10 + [1.0] * 10
+        for i, v in enumerate(values):
+            detector.observe_window(_window(v, i))
+        kinds = [e["kind"] for e in detector.events]
+        assert kinds == ["anomaly.raise", "anomaly.resolve"]
+        assert detector.pairs == 1
+        assert not detector.active
+        resolve = detector.events[1]
+        assert resolve["windows_active"] == 10
+
+    def test_baseline_freezes_while_active(self):
+        detector = self._detector()
+        for i in range(10):
+            detector.observe_window(_window(1.0, i))
+        frozen = detector.baseline
+        for i in range(10, 60):
+            detector.observe_window(_window(10.0, i))
+        assert detector.active  # a *sustained* fault stays raised
+        assert detector.baseline == frozen  # and cannot launder itself
+
+    def test_events_reach_the_bus(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe(received.append)
+        detector = AnomalyDetector(
+            "m", AnomalyPolicy(min_windows=3), bus=bus
+        )
+        for i, v in enumerate([1.0] * 8 + [50.0] * 4 + [1.0] * 4):
+            detector.observe_window(_window(v, i))
+        kinds = [e["kind"] for e in received]
+        assert kinds == ["anomaly.raise", "anomaly.resolve"]
+        assert received[0]["metric"] == "m"
+        assert received[0]["z"] >= 4.0
+
+    def test_state_is_json_ready(self):
+        detector = self._detector()
+        detector.observe_window(_window(2.0, 0))
+        state = detector.state()
+        assert state["metric"] == "m"
+        assert state["active"] is False
+        assert state["windows_seen"] == 1
+
+
+class TestTelemetryPipeline:
+    def test_watch_is_get_or_create(self):
+        pipeline = TelemetryPipeline(window_s=1.0, bus=EventBus())
+        a = pipeline.watch("lat", AnomalyPolicy())
+        b = pipeline.watch("lat")
+        assert a is b
+        assert set(pipeline.detectors) == {"lat"}
+
+    def test_status_shape(self):
+        pipeline = TelemetryPipeline(window_s=1.0, bus=EventBus())
+        pipeline.watch("lat", AnomalyPolicy())
+        pipeline.watch("cost")
+        for w in range(4):
+            pipeline.observe("lat", w + 0.5, 0.01)
+            pipeline.observe("cost", w + 0.5, 2.0)
+        pipeline.flush()
+        status = pipeline.status(recent=2)
+        assert status["window_s"] == 1.0
+        assert set(status["metrics"]) == {"cost", "lat"}
+        lat = status["metrics"]["lat"]
+        assert lat["closed"] == 4
+        assert len(lat["windows"]) == 2
+        assert lat["detector"]["metric"] == "lat"
+        assert status["metrics"]["cost"]["detector"] is None
+        assert status["anomalies"] == []
+
+    def test_active_anomalies_surface(self):
+        pipeline = TelemetryPipeline(window_s=1.0, bus=EventBus())
+        pipeline.watch("lat", AnomalyPolicy(min_windows=3))
+        for w, v in enumerate([1.0] * 8 + [100.0] * 3):
+            pipeline.observe("lat", w + 0.5, v)
+        pipeline.flush()
+        (active,) = pipeline.active_anomalies()
+        assert active["metric"] == "lat"
+        events = pipeline.anomaly_events()
+        assert [e["kind"] for e in events] == ["anomaly.raise"]

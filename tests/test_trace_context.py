@@ -1,0 +1,220 @@
+"""Request-scoped trace context: header codec, contextvar scoping,
+thread behaviour, and the end-to-end client -> server -> handler ->
+evalspace span tree the observability tentpole promises.
+
+The cross-thread test is the load-bearing one: ``PlanningServer``
+dispatches on ``ThreadingHTTPServer`` worker threads, where
+contextvars do *not* propagate from the client — the server must
+rebuild the context from the ``X-Repro-Trace`` header for the spans
+to join up.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import PlanRequest, PlanningClient, clear_api_caches
+from repro.obs import MetricsRegistry, Tracer, scoped_observability
+from repro.obs.context import (
+    TRACE_HEADER,
+    TraceContext,
+    activate,
+    current_trace,
+    new_trace_id,
+)
+from repro.obs.export import chrome_trace
+
+SMALL = {
+    "catalog": ("p2.16xlarge", "p2.8xlarge"),
+    "instances_per_type": 2,
+    "images": 1_000_000,
+}
+
+
+class TestHeaderCodec:
+    def test_round_trip_with_parent(self):
+        context = TraceContext("ab12cd34ef56ab78", parent_span_id=17)
+        parsed = TraceContext.from_header(context.to_header())
+        assert parsed == context
+
+    def test_round_trip_without_parent(self):
+        context = TraceContext(new_trace_id())
+        parsed = TraceContext.from_header(context.to_header())
+        assert parsed == context
+        assert parsed.parent_span_id is None
+
+    def test_child_reroots_parent_only(self):
+        context = TraceContext("ab12cd34ef56ab78")
+        child = context.child(5)
+        assert child.trace_id == context.trace_id
+        assert child.parent_span_id == 5
+        assert context.parent_span_id is None  # frozen original
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [None, "", "   ", "not hex!", "zz-17", "ab12-xyz", "a-b-c-d"],
+    )
+    def test_garbage_headers_are_rejected_not_fatal(self, garbage):
+        assert TraceContext.from_header(garbage) is None
+
+    def test_new_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(int(i, 16) >= 0 and len(i) == 16 for i in ids)
+
+
+class TestActivation:
+    def test_default_is_no_context(self):
+        assert current_trace() is None
+
+    def test_activate_scopes_and_restores(self):
+        outer = TraceContext(new_trace_id())
+        inner = TraceContext(new_trace_id(), parent_span_id=3)
+        with activate(outer):
+            assert current_trace() is outer
+            with activate(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_new_threads_start_blank(self):
+        seen = []
+        with activate(TraceContext(new_trace_id())):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestTracerIntegration:
+    def test_root_span_parents_onto_active_context(self):
+        tracer = Tracer(enabled=True)
+        context = TraceContext("ab12cd34ef56ab78", parent_span_id=41)
+        with activate(context):
+            with tracer.span("work") as span:
+                pass
+        assert span.parent_id == 41
+        assert span.tags["trace_id"] == "ab12cd34ef56ab78"
+
+    def test_nested_spans_keep_thread_stack_parentage(self):
+        tracer = Tracer(enabled=True)
+        with activate(TraceContext("ab12cd34ef56ab78", 41)):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id == 41
+        assert inner.parent_id == outer.span_id
+
+    def test_spans_without_context_have_no_trace_tag(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("plain") as span:
+            pass
+        assert span.parent_id is None
+        assert "trace_id" not in span.tags
+
+    def test_per_thread_stacks_do_not_interleave(self):
+        tracer = Tracer(enabled=True)
+        ready = threading.Barrier(2)
+        spans = {}
+
+        def worker(name):
+            with tracer.span(name) as outer:
+                ready.wait()
+                with tracer.span(f"{name}.child") as child:
+                    pass
+            spans[name] = (outer, child)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name in ("a", "b"):
+            outer, child = spans[name]
+            assert outer.parent_id is None
+            assert child.parent_id == outer.span_id
+
+
+class TestEndToEndTree:
+    @pytest.fixture()
+    def tracer(self):
+        clear_api_caches()
+        return Tracer(enabled=True)
+
+    def test_one_request_is_one_connected_tree(self, tracer):
+        from repro.service import PlanningServer
+
+        with scoped_observability(tracer, MetricsRegistry()):
+            with PlanningServer(port=0) as server:
+                client = PlanningClient(server.url)
+                client.plan(
+                    PlanRequest(target=78.0, deadline_h=6.0, **SMALL)
+                )
+        by_name = {s.name: s for s in tracer.spans}
+        chain = [
+            "client.request",
+            "service.request",
+            "api.plan",
+            "evalspace.evaluate",
+        ]
+        assert set(chain) <= set(by_name)
+        # one trace id across client and server threads
+        trace_ids = {
+            s.tags["trace_id"] for s in tracer.spans if s.name in chain
+        }
+        assert len(trace_ids) == 1
+        # correct parentage link by link
+        for parent, child in zip(chain, chain[1:]):
+            assert by_name[child].parent_id == by_name[parent].span_id
+        assert by_name["client.request"].parent_id is None
+        assert by_name["service.request"].tags["status"] == 200
+
+    def test_chrome_export_carries_the_shared_trace_id(self, tracer):
+        from repro.service import PlanningServer
+
+        with scoped_observability(tracer, MetricsRegistry()):
+            with PlanningServer(port=0) as server:
+                client = PlanningClient(server.url)
+                client.plan(
+                    PlanRequest(target=78.0, deadline_h=6.0, **SMALL)
+                )
+        document = chrome_trace(tracer)
+        spans = [
+            e
+            for e in document["traceEvents"]
+            if e.get("ph") == "X" and "trace_id" in e.get("args", {})
+        ]
+        assert len(spans) >= 4
+        assert len({e["args"]["trace_id"] for e in spans}) == 1
+
+    def test_client_header_travels_even_when_tracing_is_off(self):
+        from repro.service import PlanningService
+
+        captured = {}
+
+        class SpyService(PlanningService):
+            def dispatch(self, method, path, body=b"", headers=None):
+                if headers is not None:
+                    captured["header"] = headers.get(TRACE_HEADER)
+                return super().dispatch(method, path, body, headers)
+
+        from repro.service.server import PlanningServer
+
+        server = PlanningServer(port=0)
+        server.service = SpyService()
+        server._http.service = server.service
+        with server:
+            client = PlanningClient(server.url)
+            client.healthz()
+        # default scope = disabled tracer: no span, but the trace id
+        # header still travels (bare, no parent segment)
+        context = TraceContext.from_header(captured["header"])
+        assert context is not None
+        assert context.parent_span_id is None
