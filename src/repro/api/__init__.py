@@ -25,6 +25,7 @@ from repro.api.handlers import (
     clear_api_caches,
     evaluate_fleets,
     fleet_report,
+    goodput_accuracy_frontier,
     plan,
     planning_space,
     select_cheapest_fleet,
@@ -62,6 +63,7 @@ __all__ = [
     "clear_api_caches",
     "evaluate_fleets",
     "fleet_report",
+    "goodput_accuracy_frontier",
     "plan",
     "planning_space",
     "select_cheapest_fleet",

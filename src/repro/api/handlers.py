@@ -48,6 +48,7 @@ __all__ = [
     "clear_api_caches",
     "evaluate_fleets",
     "fleet_report",
+    "goodput_accuracy_frontier",
     "plan",
     "select_cheapest_fleet",
 ]
@@ -348,6 +349,61 @@ def fleet_report(spec, workload):
 
     with _EVAL_LOCK:
         return evaluate_fleet(spec, workload)
+
+
+def goodput_accuracy_frontier(
+    candidates: Sequence,
+    workload,
+):
+    """The cost / goodput-at-accuracy Pareto frontier over candidate
+    :class:`~repro.serving.fleet.FleetSpec` objects.
+
+    Evaluates every candidate under ``workload`` (through the shared
+    fleet cache) and keeps the fleets no rival beats on *both* axes —
+    lower hourly cost and higher
+    :attr:`~repro.serving.router.FleetReport.goodput_at_accuracy`
+    (served requests credited at their accuracy floor, per second).
+    This is the planner query a degradation policy is judged by: a
+    fleet that sheds or over-degrades under load falls off the
+    frontier even when its raw goodput looks fine.
+
+    Returns ``(spec, report)`` pairs sorted by ascending hourly cost.
+    Raises :class:`ApiError` (``invalid_request``) when no candidates
+    are given.
+    """
+    candidates = tuple(candidates)
+    if not candidates:
+        raise ApiError(
+            "invalid_request",
+            "goodput frontier needs at least one candidate",
+        )
+    evaluated = [
+        (spec, fleet_report(spec, workload)) for spec in candidates
+    ]
+    frontier = []
+    for spec, report in evaluated:
+        dominated = any(
+            (
+                other.hourly_rate <= spec.hourly_rate
+                and other_report.goodput_at_accuracy
+                > report.goodput_at_accuracy
+            )
+            or (
+                other.hourly_rate < spec.hourly_rate
+                and other_report.goodput_at_accuracy
+                >= report.goodput_at_accuracy
+            )
+            for other, other_report in evaluated
+        )
+        if not dominated:
+            frontier.append((spec, report))
+    frontier.sort(
+        key=lambda pair: (
+            pair[0].hourly_rate,
+            -pair[1].goodput_at_accuracy,
+        )
+    )
+    return frontier
 
 
 def select_cheapest_fleet(

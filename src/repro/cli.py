@@ -60,9 +60,11 @@ Commands
     cost, fault/goodput accounting and streaming telemetry.
 ``serve --fleet --replica [Nx]ITYPE[:SPEC] ... [--routing P]``
     Route requests across N heterogeneous replicas (round-robin /
-    jsq / weighted / tiered) with optional admission control
-    (``--admission-rate``/``--admission-burst``/``--queue-limit``)
-    and per-request accuracy floors (``--floors``).
+    jsq / weighted / tiered / adaptive, ``--adaptive`` as shorthand)
+    with optional admission control (``--admission-rate`` /
+    ``--admission-burst``/``--queue-limit``/``--degrade-limit``) and
+    per-request accuracy floors and deadlines (``--floors``,
+    ``--deadlines``).
 ``trace --instances p2.xlarge ... [--images N] [--chrome-out PATH]``
     Per-instance execution trace of one batch job (ASCII Gantt,
     optionally Chrome trace-event JSON).
@@ -495,15 +497,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--routing",
         default="round-robin",
-        choices=["round-robin", "jsq", "weighted", "tiered"],
+        choices=["round-robin", "jsq", "weighted", "tiered", "adaptive"],
         help="fleet routing policy",
+    )
+    p_serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "shorthand for --routing adaptive: pick an accuracy tier "
+            "per request from its deadline, floor, and backlog"
+        ),
     )
     p_serve.add_argument(
         "--floors",
         metavar="TOP5=FRAC,...",
         help=(
-            "per-request Top-5 accuracy floor mixture for tiered "
-            "routing, e.g. 0=0.7,75=0.3"
+            "per-request Top-5 accuracy floor mixture for tiered/"
+            "adaptive routing, e.g. 0=0.7,75=0.3"
+        ),
+    )
+    p_serve.add_argument(
+        "--deadlines",
+        metavar="SECONDS=FRAC,...",
+        help=(
+            "per-request latency deadline mixture for adaptive "
+            "routing, e.g. 0.5=0.8,2=0.2"
         ),
     )
     p_serve.add_argument(
@@ -521,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-limit",
         type=float,
         help="shed arrivals when the fleet backlog exceeds this depth",
+    )
+    p_serve.add_argument(
+        "--degrade-limit",
+        type=float,
+        help=(
+            "waive accuracy floors (serve degraded instead of "
+            "shedding) past this fleet backlog depth"
+        ),
     )
     _add_telemetry_flags(p_serve)
 
@@ -1220,6 +1246,28 @@ def _parse_floors(text: str):
     return tuple(floors)
 
 
+def _parse_deadlines(text: str):
+    """Parse ``0.5=0.8,2=0.2`` into a deadline-mixture tuple."""
+    from repro.errors import ConfigurationError
+
+    deadlines = []
+    for part in text.split(","):
+        deadline, _, fraction = part.partition("=")
+        if not fraction:
+            raise ConfigurationError(
+                "--deadlines expects SECONDS=FRACTION pairs, "
+                f"got {part!r}"
+            )
+        try:
+            deadlines.append((float(deadline), float(fraction)))
+        except ValueError:
+            raise ConfigurationError(
+                "--deadlines expects numeric SECONDS=FRACTION pairs, "
+                f"got {part!r}"
+            ) from None
+    return tuple(deadlines)
+
+
 def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     from repro.serving import (
         AdmissionPolicy,
@@ -1278,26 +1326,36 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
             )
         )
     admission = None
-    if args.admission_rate is not None or args.queue_limit is not None:
+    if (
+        args.admission_rate is not None
+        or args.queue_limit is not None
+        or args.degrade_limit is not None
+    ):
         admission = AdmissionPolicy(
             rate_per_s=args.admission_rate,
             burst=args.admission_burst,
             queue_limit=args.queue_limit,
+            degrade_limit=args.degrade_limit,
         )
+    routing = "adaptive" if args.adaptive else args.routing
     workload = FleetWorkload(
         args.rate,
         args.duration,
         arrival=args.arrival,
         seed=args.seed,
         floors=_parse_floors(args.floors) if args.floors else (),
+        deadlines=(
+            _parse_deadlines(args.deadlines) if args.deadlines else ()
+        ),
     )
     arrivals = workload.arrivals()
     floors = workload.accuracy_floors(arrivals.size)
+    deadlines = workload.deadlines_s(arrivals.size)
     router = FleetRouter(
         time_model,
         accuracy_model,
         replicas,
-        routing=args.routing,
+        routing=routing,
         admission=admission,
     )
     from repro.obs import MetricsRegistry, Tracer, scoped_observability
@@ -1310,11 +1368,14 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     with scoped_observability(tracer, registry):
         with _maybe_event_log(args.log_json):
             report = router.run(
-                arrivals, floors=floors, telemetry=telemetry
+                arrivals,
+                floors=floors,
+                deadlines=deadlines,
+                telemetry=telemetry,
             )
     print(
         f"fleet     : {len(replicas)} replicas, "
-        f"{args.routing} routing"
+        f"{routing} routing"
         + (" + admission control" if admission is not None else "")
     )
     print(
@@ -1322,6 +1383,13 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         f"{report.duration_s:.1f}s "
         f"({report.shed} shed, {report.dropped - report.shed} dropped)"
     )
+    if report.degraded:
+        print(
+            f"degraded  : {report.degraded} requests served below "
+            f"their accuracy floor "
+            f"(goodput-at-accuracy "
+            f"{report.goodput_at_accuracy:.1f} req/s)"
+        )
     print(
         f"latency   : p50 {report.p50:.3f}s  p99 {report.p99:.3f}s"
     )

@@ -299,6 +299,12 @@ REGISTRY: dict[str, Experiment] = {
             "extension",
             "ext_fleet_routing",
         ),
+        _exp(
+            "ext-adaptive-accuracy",
+            "Extension: per-request adaptive accuracy — degrade before you shed",
+            "extension",
+            "ext_adaptive_accuracy",
+        ),
     )
 }
 

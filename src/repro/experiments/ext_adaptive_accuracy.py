@@ -1,0 +1,383 @@
+"""Extension: per-request adaptive accuracy under a flash crowd.
+
+The paper's tiered-fleet argument (``ext-fleet-routing``) freezes the
+pruning degree per replica and per request class: a floor either maps
+to a replica tier or the request is shed.  This experiment promotes the
+degree to a *per-request decision* — the ``adaptive`` routing policy
+picks the highest-accuracy replica whose estimated wait fits the
+request's deadline, and past the admission policy's ``degrade_limit``
+the floor itself is waived so overload is served at reduced accuracy
+*before* anything is shed.  Three views:
+
+1. **Flash crowd, whole run** — the same heterogeneous fleet (one
+   unpruned p2.xlarge "gold" + two sweet-spot-pruned p2.xlarge
+   "cheap" replicas) under a quiet/crowd/quiet arrival profile, once
+   with static ``tiered`` routing + queue-limit shedding and once with
+   ``adaptive`` routing + graceful degradation.  The static fleet
+   funnels every 75%-floor request onto gold, whose backlog trips the
+   queue limit and sheds *everyone*; the adaptive fleet spills floored
+   requests onto the pruned replicas instead.
+2. **Crowd segment** — per-decision accounting restricted to the
+   crowd window: offered, shed, served-at-floor and degraded counts,
+   where dynamic degradation must beat the static policy's
+   goodput-at-accuracy (the acceptance bar for this study).
+3. **Frontier** — :func:`repro.api.goodput_accuracy_frontier` over
+   static and adaptive variants at two fleet sizes: the planner view
+   of what degradation buys per dollar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.calibration.caffenet import (
+    caffenet_accuracy_model,
+    caffenet_time_model,
+)
+from repro.cloud.catalog import instance_type
+from repro.cloud.configuration import ResourceConfiguration
+from repro.cloud.instance import CloudInstance
+from repro.api import fleet_report, goodput_accuracy_frontier
+from repro.experiments.report import format_kv, format_table
+from repro.pruning.base import PruneSpec
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.batcher import BatchPolicy
+from repro.serving.fleet import FleetSpec, FleetWorkload
+from repro.serving.router import AdmissionPolicy, ReplicaSpec
+
+__all__ = [
+    "AdaptiveAccuracyStudy",
+    "CrowdRow",
+    "FleetRow",
+    "FrontierRow",
+    "run",
+    "render",
+]
+
+#: the paper's Figure 8 sweet-spot combination (70% Top-5)
+_SWEET_SPOT = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+_BATCH = BatchPolicy(max_batch=32, max_wait_s=0.05)
+
+_QUIET_RATE = 40.0
+_CROWD_RATE = 110.0
+_SEGMENT_S = 60.0
+_FLOOR_TOP5 = 75.0
+_QUEUE_LIMIT = 50.0
+_DEGRADE_LIMIT = 25.0
+
+
+@dataclass(frozen=True)
+class FleetRow:
+    """One policy's whole-run outcome under the flash crowd."""
+
+    name: str
+    shed: int
+    degraded: int
+    availability: float
+    p99_s: float
+    goodput: float
+    goodput_at_accuracy: float
+
+
+@dataclass(frozen=True)
+class CrowdRow:
+    """Per-decision accounting inside the crowd window."""
+
+    name: str
+    offered: int
+    shed: int
+    at_floor: int
+    degraded: int
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """One candidate fleet on the goodput-at-accuracy frontier query."""
+
+    name: str
+    rate_per_h: float
+    goodput_at_accuracy: float
+    on_frontier: bool
+
+
+@dataclass(frozen=True)
+class AdaptiveAccuracyStudy:
+    """Everything the adaptive-accuracy extension measured."""
+
+    flash: tuple[FleetRow, ...]
+    crowd: tuple[CrowdRow, ...]
+    frontier: tuple[FrontierRow, ...]
+    crowd_goodput_gain_pct: float
+
+    def flash_row(self, name: str) -> FleetRow:
+        """The whole-run row named ``name``."""
+        for row in self.flash:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def crowd_row(self, name: str) -> CrowdRow:
+        """The crowd-window row named ``name``."""
+        for row in self.crowd:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def _xlarge() -> ResourceConfiguration:
+    return ResourceConfiguration(
+        [CloudInstance(instance_type("p2.xlarge"))]
+    )
+
+
+def _replicas(cheap: int) -> tuple[ReplicaSpec, ...]:
+    gold = ReplicaSpec("gold", _xlarge(), PruneSpec.unpruned(), _BATCH)
+    names = ("cheap-a", "cheap-b")
+    return (gold,) + tuple(
+        ReplicaSpec(names[i], _xlarge(), _SWEET_SPOT, _BATCH)
+        for i in range(cheap)
+    )
+
+
+def _flash_crowd(seed: int) -> np.ndarray:
+    """Quiet / crowd / quiet Poisson segments, concatenated."""
+    quiet_a = poisson_arrivals(_QUIET_RATE, _SEGMENT_S, seed=seed)
+    crowd = poisson_arrivals(_CROWD_RATE, _SEGMENT_S, seed=seed + 1)
+    quiet_b = poisson_arrivals(_QUIET_RATE, _SEGMENT_S, seed=seed + 2)
+    return np.concatenate(
+        [quiet_a, crowd + _SEGMENT_S, quiet_b + 2 * _SEGMENT_S]
+    )
+
+
+def _request_mixtures(
+    n: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Floors and deadlines for ``n`` arrivals, seeded like
+    :class:`~repro.serving.fleet.FleetWorkload` derives its own."""
+    floors = np.random.default_rng(seed + 0x0F100).choice(
+        [0.0, _FLOOR_TOP5], size=n, p=[0.6, 0.4]
+    )
+    deadlines = np.random.default_rng(seed + 0x0D1E5).choice(
+        [0.6, 3.0], size=n, p=[0.5, 0.5]
+    )
+    return floors, deadlines
+
+
+@lru_cache(maxsize=1)
+def run(seed: int = 17) -> AdaptiveAccuracyStudy:
+    """Run the flash-crowd comparison; deterministic for a fixed seed."""
+    tm, am = caffenet_time_model(), caffenet_accuracy_model()
+    replicas = _replicas(cheap=2)
+    arrivals = _flash_crowd(seed)
+    floors, deadlines = _request_mixtures(arrivals.size, seed)
+
+    static_spec = FleetSpec(
+        tm,
+        am,
+        replicas,
+        routing="tiered",
+        admission=AdmissionPolicy(queue_limit=_QUEUE_LIMIT),
+    )
+    adaptive_spec = FleetSpec(
+        tm,
+        am,
+        replicas,
+        routing="adaptive",
+        admission=AdmissionPolicy(
+            queue_limit=_QUEUE_LIMIT, degrade_limit=_DEGRADE_LIMIT
+        ),
+    )
+
+    top5 = np.array(
+        [am.accuracy(r.spec).top5 for r in replicas], dtype=float
+    )
+    crowd_mask = (arrivals >= _SEGMENT_S) & (
+        arrivals < 2 * _SEGMENT_S
+    )
+
+    flash, crowd = [], []
+    crowd_at_floor = {}
+    for name, spec in (
+        ("static tiered", static_spec),
+        ("adaptive", adaptive_spec),
+    ):
+        report = spec.router().run(
+            arrivals, floors=floors, deadlines=deadlines
+        )
+        flash.append(
+            FleetRow(
+                name=name,
+                shed=report.shed,
+                degraded=report.degraded,
+                availability=report.availability,
+                p99_s=report.p99,
+                goodput=report.goodput,
+                goodput_at_accuracy=report.goodput_at_accuracy,
+            )
+        )
+        # decision-level accounting inside the crowd window: a fresh
+        # router so route() replays the same admission state
+        assignment = spec.router().route(arrivals, floors, deadlines)
+        admitted = assignment >= 0
+        met = np.zeros(arrivals.size, dtype=bool)
+        met[admitted] = (
+            top5[assignment[admitted]] >= floors[admitted] - 1e-9
+        )
+        offered = int(np.count_nonzero(crowd_mask))
+        shed = int(np.count_nonzero(crowd_mask & ~admitted))
+        at_floor = int(np.count_nonzero(crowd_mask & met))
+        crowd.append(
+            CrowdRow(
+                name=name,
+                offered=offered,
+                shed=shed,
+                at_floor=at_floor,
+                degraded=offered - shed - at_floor,
+            )
+        )
+        crowd_at_floor[name] = at_floor
+
+    gain = 100.0 * (
+        crowd_at_floor["adaptive"] / max(crowd_at_floor["static tiered"], 1)
+        - 1.0
+    )
+
+    # planner frontier: what does degradation buy per dollar?  A
+    # sustained overload of the gold tier (40% of 100 req/s needs the
+    # 75% floor vs ~31 req/s of unpruned capacity) — degradation pays
+    # only where there is pruned capacity to degrade *into*.
+    frontier_workload = FleetWorkload(
+        100.0,
+        60.0,
+        seed=seed + 3,
+        floors=((0.0, 0.6), (_FLOOR_TOP5, 0.4)),
+        deadlines=((0.4, 0.5), (1.2, 0.5)),
+    )
+    candidates = []
+    for size, label in ((1, "lean"), (2, "full")):
+        fleet = _replicas(cheap=size)
+        candidates.append(
+            (
+                f"{label} static",
+                FleetSpec(
+                    tm,
+                    am,
+                    fleet,
+                    routing="tiered",
+                    admission=AdmissionPolicy(
+                        queue_limit=_QUEUE_LIMIT
+                    ),
+                ),
+            )
+        )
+        candidates.append(
+            (
+                f"{label} adaptive",
+                FleetSpec(
+                    tm,
+                    am,
+                    fleet,
+                    routing="adaptive",
+                    admission=AdmissionPolicy(
+                        queue_limit=_QUEUE_LIMIT,
+                        degrade_limit=_DEGRADE_LIMIT,
+                    ),
+                ),
+            )
+        )
+    frontier_specs = goodput_accuracy_frontier(
+        tuple(spec for _, spec in candidates), frontier_workload
+    )
+    surviving = {id(spec) for spec, _ in frontier_specs}
+    reports = {id(spec): report for spec, report in frontier_specs}
+    frontier = []
+    for label, spec in candidates:
+        report = reports.get(id(spec))
+        if report is None:
+            report = fleet_report(spec, frontier_workload)
+        frontier.append(
+            FrontierRow(
+                name=label,
+                rate_per_h=spec.hourly_rate,
+                goodput_at_accuracy=report.goodput_at_accuracy,
+                on_frontier=id(spec) in surviving,
+            )
+        )
+
+    return AdaptiveAccuracyStudy(
+        flash=tuple(flash),
+        crowd=tuple(crowd),
+        frontier=tuple(frontier),
+        crowd_goodput_gain_pct=gain,
+    )
+
+
+def render(study: AdaptiveAccuracyStudy | None = None) -> str:
+    """Render the study as the flash-crowd tables + frontier."""
+    study = run() if study is None else study
+    parts = [
+        "Flash crowd (40 -> 110 -> 40 req/s) over 1x unpruned + "
+        "2x pruned p2.xlarge; 40% of requests need Top-5 >= 75%:",
+        format_table(
+            [
+                "policy",
+                "shed",
+                "degraded",
+                "availability",
+                "p99 (s)",
+                "goodput",
+                "goodput@accuracy",
+            ],
+            [
+                [
+                    r.name,
+                    r.shed,
+                    r.degraded,
+                    f"{r.availability:.3f}",
+                    f"{r.p99_s:.3f}",
+                    f"{r.goodput:.1f}",
+                    f"{r.goodput_at_accuracy:.1f}",
+                ]
+                for r in study.flash
+            ],
+        ),
+        "",
+        "Crowd window only (60s <= t < 120s), per routing decision:",
+        format_table(
+            ["policy", "offered", "shed", "at floor", "degraded"],
+            [
+                [r.name, r.offered, r.shed, r.at_floor, r.degraded]
+                for r in study.crowd
+            ],
+        ),
+        "",
+        format_kv(
+            [
+                (
+                    "crowd at-floor gain",
+                    f"{study.crowd_goodput_gain_pct:.0f}% more "
+                    "requests served at their accuracy floor by "
+                    "dynamic degradation",
+                )
+            ]
+        ),
+        "",
+        "Goodput-at-accuracy frontier (sustained 100 req/s, 40% "
+        "floored; gold tier alone is ~31 req/s):",
+        format_table(
+            ["fleet", "$/h", "goodput@accuracy", "on frontier"],
+            [
+                [
+                    r.name,
+                    f"{r.rate_per_h:.2f}",
+                    f"{r.goodput_at_accuracy:.1f}",
+                    "yes" if r.on_frontier else "no",
+                ]
+                for r in study.frontier
+            ],
+        ),
+    ]
+    return "\n".join(parts)

@@ -430,6 +430,117 @@ def _scenario_fleet_columnar() -> None:
     assert report.dropped == report.shed  # no replica-side losses
 
 
+def _scenario_fleet_adaptive() -> object:
+    """A flash crowd served twice: static tiers vs dynamic degradation.
+
+    ~200k requests in a quiet/crowd/quiet profile (350 -> 1000 -> 350
+    req/s) over one unpruned "gold" p2.8xlarge and two sweet-spot
+    pruned ones; 40% of requests carry a Top-5 floor only gold clears,
+    so the crowd overloads gold (~273 req/s of capacity against ~400
+    req/s of floored demand).  The same arrivals run once under static
+    ``tiered`` routing + queue-limit shedding and once under
+    ``adaptive`` routing + graceful degradation (``degrade_limit``),
+    exercising the per-request decision pass of both policies at
+    scale.  Deterministic; the asserts pin the exact decisions and the
+    headline claim — degradation turns every shed into a served
+    request and beats the static policy's served-at-floor count.
+    """
+    import numpy as np
+
+    from repro.calibration import (
+        caffenet_accuracy_model,
+        caffenet_time_model,
+    )
+    from repro.cloud.catalog import instance_type
+    from repro.cloud.configuration import ResourceConfiguration
+    from repro.cloud.instance import CloudInstance
+    from repro.pruning.base import PruneSpec
+    from repro.serving.arrivals import poisson_arrivals
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.router import (
+        AdmissionPolicy,
+        FleetRouter,
+        ReplicaSpec,
+    )
+
+    def config() -> ResourceConfiguration:
+        return ResourceConfiguration(
+            [CloudInstance(instance_type("p2.8xlarge"))]
+        )
+
+    policy = BatchPolicy(max_batch=64, max_wait_s=0.02)
+    sweet = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+    replicas = (
+        ReplicaSpec("gold", config(), PruneSpec.unpruned(), policy),
+        ReplicaSpec("cheap-a", config(), sweet, policy),
+        ReplicaSpec("cheap-b", config(), sweet, policy),
+    )
+    tm, am = caffenet_time_model(), caffenet_accuracy_model()
+    segment_s = 120.0
+    arrivals = np.concatenate(
+        [
+            poisson_arrivals(350.0, segment_s, seed=31),
+            poisson_arrivals(1000.0, segment_s, seed=32) + segment_s,
+            poisson_arrivals(350.0, segment_s, seed=33)
+            + 2 * segment_s,
+        ]
+    )
+    # same derivation scheme as FleetWorkload's floor/deadline draws
+    floors = np.random.default_rng(31 + 0x0F100).choice(
+        [0.0, 75.0], size=arrivals.size, p=[0.6, 0.4]
+    )
+    deadlines = np.random.default_rng(31 + 0x0D1E5).choice(
+        [0.2, 0.6], size=arrivals.size, p=[0.5, 0.5]
+    )
+
+    static = FleetRouter(
+        tm,
+        am,
+        replicas,
+        routing="tiered",
+        admission=AdmissionPolicy(queue_limit=300.0),
+    ).run(arrivals, floors=floors, deadlines=deadlines)
+    assert static.offered == 204_044
+    assert static.shed == 37_524
+    assert static.served == 166_520
+    assert static.degraded == 0
+    assert tuple(o.assigned for o in static.outcomes) == (
+        80_868,
+        55_806,
+        29_846,
+    )
+
+    adaptive = FleetRouter(
+        tm,
+        am,
+        replicas,
+        routing="adaptive",
+        admission=AdmissionPolicy(
+            queue_limit=300.0, degrade_limit=150.0
+        ),
+    ).run(arrivals, floors=floors, deadlines=deadlines)
+    assert adaptive.offered == 204_044
+    assert adaptive.shed == 0
+    assert adaptive.served == 204_044
+    assert adaptive.degraded == 15_357
+    assert tuple(o.assigned for o in adaptive.outcomes) == (
+        80_736,
+        71_800,
+        51_508,
+    )
+    assert tuple(o.at_floor for o in adaptive.outcomes) == (
+        80_736,
+        56_443,
+        51_508,
+    )
+    # the headline: degradation beats shedding at equal accuracy
+    assert adaptive.served_at_floor > static.served_at_floor
+    return {
+        "tiered_goodput_at_accuracy": static.goodput_at_accuracy,
+        "adaptive_goodput_at_accuracy": adaptive.goodput_at_accuracy,
+    }
+
+
 #: name -> callable; each runs one hot path end to end and may return
 #: a mapping of float "extras" (latency percentiles, throughput) that
 #: ride along in the record without being gated.
@@ -441,6 +552,7 @@ SCENARIOS: dict[str, Callable[[], object]] = {
     "autoscale.surge": _scenario_autoscale_surge,
     "fleet.routed": _scenario_fleet_routed,
     "fleet.columnar": _scenario_fleet_columnar,
+    "fleet.adaptive": _scenario_fleet_adaptive,
     "service.plan": _scenario_service_plan,
 }
 
@@ -686,6 +798,25 @@ class CheckReport:
         return not self.failures
 
 
+def _sanitize_machine(value: object, limit: int = 48) -> str:
+    """A recorded machine string, safe to print in the gate report.
+
+    Records are hand-editable JSON, so the stored ``machine`` value is
+    untrusted: control characters are escaped as ``\\xNN`` (a raw
+    ``\\r`` or ANSI escape would corrupt the terminal report and can
+    spoof gate lines) and over-long values are capped at ``limit``
+    characters with a ``...`` marker.
+    """
+    text = str(value)
+    safe = "".join(
+        ch if ch.isprintable() else f"\\x{ord(ch):02x}"
+        for ch in text
+    )
+    if len(safe) > limit:
+        safe = safe[:limit] + "..."
+    return safe
+
+
 def _machines_differ(environment: Mapping) -> bool:
     """True when the recorded host differs from the current one.
 
@@ -751,10 +882,14 @@ def check(
     failures: list[str] = []
     warnings: list[str] = []
     if machine_drift:
+        stored = _sanitize_machine(
+            baseline.environment.get("machine", "<unknown>")
+        )
         warnings.append(
             f"baseline BENCH_{baseline.index} was recorded on "
-            "different hardware (cpu_count/machine mismatch); wall "
-            "gates demoted to warnings, counters still gate"
+            f"different hardware (machine {stored!r}, cpu_count/"
+            "machine mismatch); wall gates demoted to warnings, "
+            "counters still gate"
         )
 
     def wall_gate(message: str) -> str:

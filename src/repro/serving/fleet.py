@@ -7,8 +7,8 @@ gives routed serving fleets the same treatment so the planner can ask
 a fleet it has already measured:
 
 * :class:`FleetWorkload` — a seeded description of the offered load
-  (arrival process + per-request accuracy floors), reproducible from
-  its fields alone;
+  (arrival process + per-request accuracy floors and deadlines),
+  reproducible from its fields alone;
 * :class:`FleetSpec` — models + replicas + routing + admission, with a
   :meth:`~FleetSpec.cache_key` built from model *fingerprints* (not
   object identity), mirroring
@@ -78,6 +78,11 @@ class FleetWorkload:
         ``(floor_percent, fraction)`` pairs; fractions must sum to 1.
         Empty means no request carries a requirement (floor 0), which
         is also what non-tiered routing policies assume.
+    deadlines:
+        Mixture of per-request latency deadlines as
+        ``(deadline_s, fraction)`` pairs; fractions must sum to 1.
+        Empty means no request carries a deadline (infinity), which
+        is what every policy other than ``adaptive`` assumes.
     """
 
     rate_per_s: float
@@ -85,6 +90,7 @@ class FleetWorkload:
     arrival: str = "poisson"
     seed: int = 0
     floors: tuple[tuple[float, float], ...] = ()
+    deadlines: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.arrival not in _GENERATORS:
@@ -101,6 +107,16 @@ class FleetWorkload:
             if abs(total - 1.0) > 1e-9:
                 raise ConfigurationError(
                     f"floor fractions must sum to 1, got {total}"
+                )
+        if self.deadlines:
+            if any(deadline <= 0 for deadline, _ in self.deadlines):
+                raise ConfigurationError(
+                    "deadlines must be positive seconds"
+                )
+            total = sum(fraction for _, fraction in self.deadlines)
+            if abs(total - 1.0) > 1e-9:
+                raise ConfigurationError(
+                    f"deadline fractions must sum to 1, got {total}"
                 )
 
     # ------------------------------------------------------------------
@@ -121,6 +137,18 @@ class FleetWorkload:
         weights = np.array([w for _, w in self.floors])
         return rng.choice(values, size=n, p=weights / weights.sum())
 
+    def deadlines_s(self, n: int) -> np.ndarray | None:
+        """Per-request deadlines for ``n`` arrivals (``None`` if no
+        mixture is configured).  Drawn from a seed derived from the
+        workload's own — distinct from the floors' derivation — so
+        arrivals, floors, and deadlines are mutually independent."""
+        if not self.deadlines:
+            return None
+        rng = np.random.default_rng(self.seed + 0x0D1E5)
+        values = np.array([d for d, _ in self.deadlines])
+        weights = np.array([w for _, w in self.deadlines])
+        return rng.choice(values, size=n, p=weights / weights.sum())
+
     def cache_key(self) -> tuple:
         """Content key for the fleet evaluation cache."""
         return (
@@ -129,6 +157,7 @@ class FleetWorkload:
             self.arrival,
             self.seed,
             self.floors,
+            self.deadlines,
         )
 
 
@@ -205,7 +234,10 @@ def evaluate_fleet(
     get_metrics().counter("fleet.cache_misses").inc()
     arrivals = workload.arrivals()
     floors = workload.accuracy_floors(arrivals.size)
-    report = spec.router().run(arrivals, floors=floors)
+    deadlines = workload.deadlines_s(arrivals.size)
+    report = spec.router().run(
+        arrivals, floors=floors, deadlines=deadlines
+    )
     while len(_CACHE) >= _CACHE_MAX_ENTRIES:
         _CACHE.pop(next(iter(_CACHE)))  # dicts iterate oldest-first
     _CACHE[key] = report

@@ -30,12 +30,20 @@ Routing policies (:data:`ROUTING_POLICIES`):
 * ``weighted``      — smooth weighted round-robin by modelled
   throughput (or explicit per-replica weights);
 * ``tiered``        — accuracy-tiered: the cheapest replica whose model
-  accuracy clears the request's floor (ties broken by backlog).
+  accuracy clears the request's floor (ties broken by backlog);
+* ``adaptive``      — anytime inference: the cheapest replica that
+  clears the request's floor *and* can meet its deadline under the
+  current backlog, degrading to the most accurate still-timely
+  replica (then to the smallest estimated wait) rather than piling
+  onto a saturated tier or shedding when nothing fits.
 
 An :class:`AdmissionPolicy` (token bucket + queue-depth shedding) can
 shed load before it reaches any replica, so overload degrades into a
 bounded-latency, partial-availability regime instead of a latency
-collapse.
+collapse.  Its ``degrade_limit`` adds a softer rung below the shed
+threshold: past it, requests keep flowing but their accuracy floors
+are waived, so the fleet serves lower-accuracy answers *before* it
+starts shedding.
 """
 
 from __future__ import annotations
@@ -157,11 +165,20 @@ class AdmissionPolicy:
         Shed arrivals while the fleet's total (fluid-estimated) backlog
         is at or above this many requests; ``None`` disables
         depth-based shedding, ``0`` sheds everything.
+    degrade_limit:
+        Graceful-degradation threshold: while the total fluid backlog
+        is at or above this many requests (but below ``queue_limit``),
+        admitted requests have their accuracy floors waived, so the
+        routing policy may serve them on a cheaper, less accurate
+        replica instead of queueing behind the accurate tier.  Must
+        not exceed ``queue_limit`` when both are set — degradation is
+        the rung *before* shedding, never after.  ``None`` disables it.
     """
 
     rate_per_s: float | None = None
     burst: int = 32
     queue_limit: float | None = None
+    degrade_limit: float | None = None
 
     def __post_init__(self) -> None:
         if self.rate_per_s is not None and self.rate_per_s < 0:
@@ -170,6 +187,17 @@ class AdmissionPolicy:
             raise ConfigurationError("burst must be >= 0")
         if self.queue_limit is not None and self.queue_limit < 0:
             raise ConfigurationError("queue limit must be >= 0")
+        if self.degrade_limit is not None and self.degrade_limit < 0:
+            raise ConfigurationError("degrade limit must be >= 0")
+        if (
+            self.degrade_limit is not None
+            and self.queue_limit is not None
+            and self.degrade_limit > self.queue_limit
+        ):
+            raise ConfigurationError(
+                "degrade limit must not exceed the queue limit "
+                "(degradation happens before shedding)"
+            )
 
     @property
     def is_open(self) -> bool:
@@ -220,8 +248,14 @@ class _RoundRobin:
         self._n = len(router.replicas)
         self._next = 0
 
-    def select(self, now: float, floor: float, state: _RoutingState) -> int:
-        """Pick the next replica in the cycle (floor ignored)."""
+    def select(
+        self,
+        now: float,
+        floor: float,
+        deadline: float,
+        state: _RoutingState,
+    ) -> int:
+        """Pick the next replica in the cycle (floor/deadline ignored)."""
         pick = self._next
         self._next = (self._next + 1) % self._n
         return pick
@@ -233,7 +267,13 @@ class _JoinShortestQueue:
     def __init__(self, router: "FleetRouter") -> None:
         pass
 
-    def select(self, now: float, floor: float, state: _RoutingState) -> int:
+    def select(
+        self,
+        now: float,
+        floor: float,
+        deadline: float,
+        state: _RoutingState,
+    ) -> int:
         """Pick the least-loaded replica (ties go to the lowest index)."""
         return int(np.argmin(state.backlog))
 
@@ -261,8 +301,14 @@ class _WeightedThroughput:
             )
         self._current = np.zeros(len(self._weights))
 
-    def select(self, now: float, floor: float, state: _RoutingState) -> int:
-        """Pick by smooth weighted round-robin (floor ignored)."""
+    def select(
+        self,
+        now: float,
+        floor: float,
+        deadline: float,
+        state: _RoutingState,
+    ) -> int:
+        """Pick by smooth weighted round-robin (floor/deadline ignored)."""
         self._current += self._weights
         pick = int(np.argmax(self._current))
         self._current[pick] -= self._weights.sum()
@@ -286,7 +332,13 @@ class _AccuracyTiered:
         self._rates = np.array(router.rates_per_hour, dtype=float)
         self._best = int(np.argmax(self._top5))
 
-    def select(self, now: float, floor: float, state: _RoutingState) -> int:
+    def select(
+        self,
+        now: float,
+        floor: float,
+        deadline: float,
+        state: _RoutingState,
+    ) -> int:
         """Pick the cheapest floor-clearing replica (see class doc)."""
         eligible = np.flatnonzero(self._top5 >= floor - 1e-9)
         if eligible.size == 0:
@@ -298,6 +350,56 @@ class _AccuracyTiered:
         return int(cheapest[np.argmin(state.backlog[cheapest])])
 
 
+class _Adaptive:
+    """Per-request accuracy tier from deadline, floor, and backlog.
+
+    Deadline-aware tiered routing with a degradation ladder: among the
+    replicas that clear the request's accuracy floor *and* whose fluid
+    estimated wait (``backlog / capacity``) fits its deadline, the
+    lowest hourly rate wins — rate ties go to the smaller backlog,
+    then declaration order, exactly like ``tiered``.  When no replica
+    satisfies both, the request degrades gracefully instead of piling
+    onto a saturated tier: first to the most accurate replica that
+    still makes the deadline (a lower-accuracy answer in time beats an
+    accurate one too late), and when even that fails, to the replica
+    with the smallest estimated wait.
+    """
+
+    def __init__(self, router: "FleetRouter") -> None:
+        self._top5 = np.array(
+            [a.top5 for a in router.accuracies], dtype=float
+        )
+        self._rates = np.array(router.rates_per_hour, dtype=float)
+        self._capacity = np.asarray(router.capacities, dtype=float)
+
+    def select(
+        self,
+        now: float,
+        floor: float,
+        deadline: float,
+        state: _RoutingState,
+    ) -> int:
+        """Cheapest floor-clearing replica whose estimated wait meets
+        the deadline; degrade to the most accurate timely replica,
+        then to the smallest estimated wait (see class doc)."""
+        backlog = state.backlog
+        wait = backlog / self._capacity
+        timely = wait <= deadline
+        eligible = np.flatnonzero(
+            timely & (self._top5 >= floor - 1e-9)
+        )
+        if eligible.size == 0:
+            makes_it = np.flatnonzero(timely)
+            if makes_it.size:
+                return int(makes_it[np.argmax(self._top5[makes_it])])
+            return int(np.argmin(wait))
+        rates = self._rates[eligible]
+        cheapest = eligible[np.flatnonzero(rates == rates.min())]
+        if cheapest.size == 1:
+            return int(cheapest[0])
+        return int(cheapest[np.argmin(backlog[cheapest])])
+
+
 #: routing policy name -> implementation (the ``repro serve --fleet
 #: --routing`` choices).
 ROUTING_POLICIES: dict[str, type] = {
@@ -305,6 +407,7 @@ ROUTING_POLICIES: dict[str, type] = {
     "jsq": _JoinShortestQueue,
     "weighted": _WeightedThroughput,
     "tiered": _AccuracyTiered,
+    "adaptive": _Adaptive,
 }
 
 
@@ -371,6 +474,9 @@ class FleetTelemetry:
         self.slo = slo
         self.per_replica: dict[str, object] = {}
         self.shed = 0
+        #: replica name -> {"assigned", "at_floor"} decision counts
+        self.tier_counts: dict[str, dict[str, int]] = {}
+        self.degraded = 0
 
     def replica(self, name: str):
         """The (lazily created) telemetry bundle for replica ``name``."""
@@ -383,6 +489,18 @@ class FleetTelemetry:
     def record_shed(self, now: float) -> None:
         """Count one admission-shed request (never reaches a replica)."""
         self.shed += 1
+
+    def record_tier(
+        self, name: str, assigned: int, at_floor: int
+    ) -> None:
+        """Record one replica's decision-level tier counts: how many
+        requests it was assigned and how many of those had their
+        accuracy floor honoured (the difference was degraded)."""
+        self.tier_counts[name] = {
+            "assigned": assigned,
+            "at_floor": at_floor,
+        }
+        self.degraded += assigned - at_floor
 
     # ------------------------------------------------------------------
     @property
@@ -439,6 +557,14 @@ class FleetTelemetry:
                     merged.percentile(q)
                 )
         registry.counter(f"{prefix}.shed").inc(self.shed)
+        # tier counters only exist once degradation actually happened,
+        # so pre-adaptive runs keep byte-identical counter snapshots
+        # (the fleet-wide degraded counter is published by the router)
+        if self.degraded:
+            for name, counts in self.tier_counts.items():
+                registry.counter(
+                    f"{prefix}.{name}.at_floor"
+                ).inc(counts["at_floor"])
 
 
 # ----------------------------------------------------------------------
@@ -459,6 +585,14 @@ class ReplicaOutcome:
     assigned: int
     report: object | None
     cost: float
+    #: assigned requests whose accuracy floor this replica's model
+    #: cleared (decision-level; the rest were served *degraded*)
+    at_floor: int = 0
+
+    @property
+    def degraded(self) -> int:
+        """Assigned requests served below their accuracy floor."""
+        return self.assigned - self.at_floor
 
     @property
     def served(self) -> int:
@@ -528,6 +662,43 @@ class FleetReport:
     def goodput(self) -> float:
         """Served requests per second of fleet wall time."""
         return self.served / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def degraded(self) -> int:
+        """Admitted requests routed below their accuracy floor —
+        the adaptive policy's graceful degradation and/or admission's
+        ``degrade_limit`` floor waiver.  Zero whenever every request's
+        floor was honoured (in particular for every pre-adaptive
+        configuration)."""
+        return sum(o.degraded for o in self.outcomes)
+
+    @property
+    def served_at_floor(self) -> float:
+        """Served requests credited at their accuracy floor.
+
+        Decision-level estimate: each replica's served count is scaled
+        by the fraction of its assignments that honoured the floor
+        (the router decides tiers per request, but a replica's report
+        does not say *which* of its requests completed, so the credit
+        is proportional).  Equal to ``served`` when nothing degraded.
+        """
+        total = 0.0
+        for o in self.outcomes:
+            if o.assigned:
+                total += o.served * (o.at_floor / o.assigned)
+        return total
+
+    @property
+    def goodput_at_accuracy(self) -> float:
+        """Floor-honouring served requests per second of wall time —
+        the quality-weighted counterpart of :attr:`goodput` that a
+        degradation policy is judged by (serving everything at the
+        lowest tier maximises goodput but not this)."""
+        return (
+            self.served_at_floor / self.duration_s
+            if self.duration_s
+            else 0.0
+        )
 
     @property
     def cost(self) -> float:
@@ -608,6 +779,8 @@ class FleetReport:
             "dropped": self.dropped,
             "availability": self.availability,
             "goodput": self.goodput,
+            "degraded": self.degraded,
+            "goodput_at_accuracy": self.goodput_at_accuracy,
             "p50_s": self.p50,
             "p99_s": self.p99,
             "cost": self.cost,
@@ -616,6 +789,7 @@ class FleetReport:
                 {
                     "name": o.spec.name,
                     "assigned": o.assigned,
+                    "at_floor": o.at_floor,
                     "served": o.served,
                     "dropped": o.dropped,
                     "cost": o.cost,
@@ -731,12 +905,16 @@ class FleetRouter:
         self,
         arrivals: np.ndarray,
         floors: np.ndarray | None = None,
+        deadlines: np.ndarray | None = None,
     ) -> np.ndarray:
         """Assign each arrival to a replica index, or ``-1`` for shed.
 
         Pure decision pass — no replica is simulated.  ``floors`` is an
         optional per-request Top-5 accuracy requirement in percent
-        (used by ``tiered`` routing); ``None`` means no requirement.
+        (used by ``tiered`` and ``adaptive`` routing); ``deadlines`` is
+        an optional per-request latency deadline in seconds (used by
+        ``adaptive``).  ``None`` means no requirement (floor 0, or an
+        infinite deadline).
 
         The columnar engine (the default) makes bit-identical decisions
         to the per-arrival reference loop — tested property-style in
@@ -756,19 +934,32 @@ class FleetRouter:
                 raise ConfigurationError(
                     "floors must align with arrivals"
                 )
+        if deadlines is None:
+            deadlines = np.full(arrivals.size, np.inf)
+        else:
+            deadlines = np.asarray(deadlines, dtype=float)
+            if deadlines.shape != arrivals.shape:
+                raise ConfigurationError(
+                    "deadlines must align with arrivals"
+                )
         if self.engine == "event":
-            return self._route_reference(arrivals, floors)
-        return self._route_columnar(arrivals, floors)
+            return self._route_reference(arrivals, floors, deadlines)
+        return self._route_columnar(arrivals, floors, deadlines)
 
     def _route_reference(
-        self, arrivals: np.ndarray, floors: np.ndarray
+        self,
+        arrivals: np.ndarray,
+        floors: np.ndarray,
+        deadlines: np.ndarray,
     ) -> np.ndarray:
         """The per-arrival decision loop the columnar pass replays.
 
         One :meth:`_RoutingState.advance`/``select``/``assign`` cycle
         per arrival — the executable specification the equivalence
         tests compare against.  Inputs are pre-validated by
-        :meth:`route`.
+        :meth:`route`.  Past the admission policy's ``degrade_limit``
+        the request's floor is waived (passed to the policy as 0), the
+        graceful-degradation rung before ``queue_limit`` shedding.
         """
         policy = ROUTING_POLICIES[self.routing](self)
         state = _RoutingState(self.capacities)
@@ -776,8 +967,11 @@ class FleetRouter:
         tokens = float(admission.burst) if admission else 0.0
         last_refill = 0.0
         assignment = np.empty(arrivals.size, dtype=np.int64)
-        for i, (t, floor) in enumerate(zip(arrivals, floors)):
+        for i, (t, floor, deadline) in enumerate(
+            zip(arrivals, floors, deadlines)
+        ):
             state.advance(t)
+            degrade = False
             if admission is not None:
                 if admission.rate_per_s is not None:
                     tokens = min(
@@ -797,13 +991,25 @@ class FleetRouter:
                     continue
                 if admission.rate_per_s is not None:
                     tokens -= 1.0
-            pick = policy.select(float(t), float(floor), state)
+                degrade = (
+                    admission.degrade_limit is not None
+                    and state.total_backlog >= admission.degrade_limit
+                )
+            pick = policy.select(
+                float(t),
+                0.0 if degrade else float(floor),
+                float(deadline),
+                state,
+            )
             state.assign(pick)
             assignment[i] = pick
         return assignment
 
     def _route_columnar(
-        self, arrivals: np.ndarray, floors: np.ndarray
+        self,
+        arrivals: np.ndarray,
+        floors: np.ndarray,
+        deadlines: np.ndarray,
     ) -> np.ndarray:
         """Vectorized decision pass, bit-identical to the reference.
 
@@ -819,14 +1025,18 @@ class FleetRouter:
           bucket, when present, is a cheap scalar pre-pass.
         * Otherwise a scalar loop runs with plain Python floats,
           draining only the *tracked* replicas a decision can read.
-          Scalar ``max(0, b - dt*c)`` / first-min scans replicate the
+          ``adaptive`` reads every backlog (its estimated waits), so
+          it always takes this path with all replicas tracked.  Scalar
+          ``max(0, b - dt*c)`` / first-min scans replicate the
           reference's ``np.maximum``/``np.argmin`` exactly (same IEEE
-          ops, first-extremum ties).
+          ops, first-extremum ties), and ``backlog / capacity`` is the
+          same IEEE division either way.
 
         The one regrouping hazard is ``total_backlog``: numpy's
         ``.sum()`` switches to unrolled accumulation at 8 elements, so
-        depth shedding on fleets of >= 8 replicas falls back to the
-        reference loop rather than risk a differently-rounded sum.
+        depth shedding *or* degradation thresholds on fleets of >= 8
+        replicas fall back to the reference loop rather than risk a
+        differently-rounded sum.
         """
         n = arrivals.size
         n_replicas = len(self.replicas)
@@ -836,34 +1046,47 @@ class FleetRouter:
         queue_limit = (
             admission.queue_limit if admission is not None else None
         )
-        if queue_limit is not None and n_replicas >= 8:
-            return self._route_reference(arrivals, floors)
+        degrade_limit = (
+            admission.degrade_limit if admission is not None else None
+        )
+        depth_read = (
+            queue_limit is not None or degrade_limit is not None
+        )
+        if depth_read and n_replicas >= 8:
+            return self._route_reference(arrivals, floors, deadlines)
 
         # --- per-distinct-floor candidate tables (tiered only) -------
-        codes = cand_sets = None
+        codes = cand_sets = zero_cands = None
         if routing == "tiered":
             tiers = _AccuracyTiered(self)
-            uniq, codes = np.unique(floors, return_inverse=True)
-            cand_sets = []
-            for floor in uniq.tolist():
+
+            def _tier_cands(floor: float) -> tuple[int, ...]:
+                # the reference policy's own numpy expressions
                 eligible = np.flatnonzero(
                     tiers._top5 >= floor - 1e-9
                 )
                 if eligible.size == 0:
-                    cand_sets.append((tiers._best,))
-                    continue
+                    return (tiers._best,)
                 rates = tiers._rates[eligible]
                 cheapest = eligible[
                     np.flatnonzero(rates == rates.min())
                 ]
-                cand_sets.append(tuple(int(c) for c in cheapest))
+                return tuple(int(c) for c in cheapest)
+
+            uniq, codes = np.unique(floors, return_inverse=True)
+            cand_sets = [_tier_cands(f) for f in uniq.tolist()]
+            if degrade_limit is not None:
+                # degraded requests route with their floor waived
+                zero_cands = _tier_cands(0.0)
         elif routing == "weighted":
             # construct for its validation (positive weights) even on
             # the scalar path below, which re-reads the arrays
             wrr = _WeightedThroughput(self)
+        elif routing == "adaptive":
+            adapt = _Adaptive(self)
 
         # which replicas can a decision actually read?
-        if queue_limit is not None or routing == "jsq":
+        if depth_read or routing in ("jsq", "adaptive"):
             tracked = list(range(n_replicas))
         elif routing == "tiered":
             tracked = sorted(
@@ -919,6 +1142,11 @@ class FleetRouter:
             wsum = float(wrr._weights.sum())
         elif routing == "tiered":
             code_list = codes.tolist()
+        elif routing == "adaptive":
+            top5 = [float(v) for v in adapt._top5]
+            rates_ph = [float(v) for v in adapt._rates]
+            floor_list = floors.tolist()
+            deadline_list = deadlines.tolist()
         for i in range(n):
             t = arrival_list[i]
             dt = t - last_t
@@ -927,6 +1155,7 @@ class FleetRouter:
                     drained = backlog[r] - dt * capacity[r]
                     backlog[r] = drained if drained > 0.0 else 0.0
                 last_t = t
+            degrade = False
             if admission is not None:
                 if rate_on:
                     # same value as min(burst, tokens + dt * rate)
@@ -942,6 +1171,10 @@ class FleetRouter:
                     continue
                 if rate_on:
                     tokens -= 1.0
+                degrade = (
+                    degrade_limit is not None
+                    and sum(backlog) >= degrade_limit
+                )
             if routing == "round-robin":
                 pick = next_rr
                 next_rr += 1
@@ -964,8 +1197,56 @@ class FleetRouter:
                         best = credit
                         pick = r
                 current[pick] -= wsum
+            elif routing == "adaptive":
+                floor = 0.0 if degrade else floor_list[i]
+                deadline = deadline_list[i]
+                # lexicographic (rate, backlog, index) min over the
+                # floor-and-deadline-eligible set — same winner as the
+                # reference's argmin-over-cheapest-subset expressions
+                pick = -1
+                min_floor = floor - 1e-9
+                for r in range(n_replicas):
+                    if (
+                        backlog[r] / capacity[r] <= deadline
+                        and top5[r] >= min_floor
+                    ):
+                        rr = rates_ph[r]
+                        if (
+                            pick < 0
+                            or rr < best_rate
+                            or (
+                                rr == best_rate
+                                and backlog[r] < best_backlog
+                            )
+                        ):
+                            pick = r
+                            best_rate = rr
+                            best_backlog = backlog[r]
+                if pick < 0:
+                    # degrade: most accurate replica inside the
+                    # deadline (first max), else min estimated wait
+                    best = float("-inf")
+                    for r in range(n_replicas):
+                        if (
+                            backlog[r] / capacity[r] <= deadline
+                            and top5[r] > best
+                        ):
+                            best = top5[r]
+                            pick = r
+                    if pick < 0:
+                        pick = 0
+                        best = backlog[0] / capacity[0]
+                        for r in range(1, n_replicas):
+                            wait = backlog[r] / capacity[r]
+                            if wait < best:
+                                best = wait
+                                pick = r
             else:  # tiered with backlog tie-breaks
-                cands = cand_sets[code_list[i]]
+                cands = (
+                    zero_cands
+                    if degrade
+                    else cand_sets[code_list[i]]
+                )
                 pick = cands[0]
                 if len(cands) > 1:
                     best = backlog[pick]
@@ -1009,6 +1290,7 @@ class FleetRouter:
         self,
         arrivals: np.ndarray,
         floors: np.ndarray | None = None,
+        deadlines: np.ndarray | None = None,
         telemetry: FleetTelemetry | None = None,
     ) -> FleetReport:
         """Route ``arrivals`` and serve every sub-stream; returns the
@@ -1017,7 +1299,9 @@ class FleetRouter:
         Each replica's sub-stream runs through the unchanged simulator
         with the replica's own :class:`~repro.cloud.faults.FaultPlan`;
         replicas that receive no requests idle (and are billed) for the
-        fleet's makespan.  ``telemetry`` is an optional
+        fleet's makespan.  ``floors`` / ``deadlines`` are the optional
+        per-request accuracy floors and latency deadlines the decision
+        pass reads.  ``telemetry`` is an optional
         :class:`FleetTelemetry`; as with the bare simulators it never
         perturbs a simulated float.
         """
@@ -1028,12 +1312,19 @@ class FleetRouter:
             routing=self.routing,
             requests=int(arrivals.size),
         ) as span:
-            report = self._run(arrivals, floors, telemetry)
+            report = self._run(arrivals, floors, deadlines, telemetry)
         metrics = get_metrics()
         metrics.counter("router.runs").inc()
         metrics.counter("router.requests").inc(report.offered)
         metrics.counter("router.shed").inc(report.shed)
         metrics.counter("router.drops").inc(report.dropped)
+        if report.degraded:
+            # counter exists only when degradation happened, keeping
+            # pre-adaptive counter snapshots (bench!) byte-identical
+            metrics.counter("router.degraded").inc(report.degraded)
+        metrics.gauge("router.goodput_at_accuracy").set(
+            report.goodput_at_accuracy
+        )
         from repro.obs.telemetry import record_report_gauges
 
         record_report_gauges(report, prefix="router", registry=metrics)
@@ -1048,18 +1339,42 @@ class FleetRouter:
         self,
         arrivals: np.ndarray,
         floors: np.ndarray | None,
+        deadlines: np.ndarray | None,
         telemetry: FleetTelemetry | None,
     ) -> FleetReport:
-        assignment = self.route(arrivals, floors)
+        assignment = self.route(arrivals, floors, deadlines)
         shed_count = int((assignment == -1).sum())
         if telemetry is not None and shed_count:
             for t in arrivals[assignment == -1]:
                 telemetry.record_shed(float(t))
+        # decision-level floor accounting over the final assignment
+        # (post-hoc reads only — the decision floats are untouched)
+        admitted = assignment >= 0
+        if floors is None:
+            met = admitted
+        else:
+            top5 = np.array(
+                [pair.top5 for pair in self.accuracies], dtype=float
+            )
+            met = admitted.copy()
+            met[admitted] = (
+                top5[assignment[admitted]]
+                >= np.asarray(floors, dtype=float)[admitted] - 1e-9
+            )
         reports: list[object | None] = []
         assigned_counts: list[int] = []
+        at_floor_counts: list[int] = []
         for index, replica in enumerate(self.replicas):
-            sub = arrivals[assignment == index]
+            mine = assignment == index
+            sub = arrivals[mine]
             assigned_counts.append(int(sub.size))
+            at_floor_counts.append(int(np.count_nonzero(met & mine)))
+            if telemetry is not None:
+                telemetry.record_tier(
+                    replica.name,
+                    assigned_counts[-1],
+                    at_floor_counts[-1],
+                )
             if sub.size == 0:
                 reports.append(None)
                 continue
@@ -1076,8 +1391,8 @@ class FleetRouter:
             default=float(arrivals[-1]) if arrivals.size else 0.0,
         )
         outcomes = []
-        for replica, assigned, report in zip(
-            self.replicas, assigned_counts, reports
+        for replica, assigned, at_floor, report in zip(
+            self.replicas, assigned_counts, at_floor_counts, reports
         ):
             if report is None:
                 rate = (
@@ -1094,6 +1409,7 @@ class FleetRouter:
                     assigned=assigned,
                     report=report,
                     cost=cost,
+                    at_floor=at_floor,
                 )
             )
         return FleetReport(

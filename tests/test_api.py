@@ -308,6 +308,109 @@ class TestFleetRequest:
         assert exc.value.code == "infeasible"
 
 
+class TestGoodputAccuracyFrontier:
+    @staticmethod
+    def _spec(routing, replicas, admission=None):
+        from repro.calibration import (
+            caffenet_accuracy_model,
+            caffenet_time_model,
+        )
+        from repro.serving import FleetSpec
+
+        return FleetSpec(
+            caffenet_time_model(),
+            caffenet_accuracy_model(),
+            replicas,
+            routing=routing,
+            admission=admission,
+        )
+
+    @staticmethod
+    def _replica(name, spec=None):
+        from repro.cloud.catalog import instance_type
+        from repro.cloud.configuration import ResourceConfiguration
+        from repro.cloud.instance import CloudInstance
+        from repro.pruning.base import PruneSpec
+        from repro.serving import BatchPolicy, ReplicaSpec
+
+        return ReplicaSpec(
+            name,
+            ResourceConfiguration(
+                [CloudInstance(instance_type("p2.xlarge"))]
+            ),
+            spec if spec is not None else PruneSpec.unpruned(),
+            BatchPolicy(max_batch=32, max_wait_s=0.05),
+        )
+
+    def test_empty_candidates_rejected(self):
+        from repro.serving import FleetWorkload
+
+        with pytest.raises(ApiError) as exc:
+            api.goodput_accuracy_frontier(
+                (), FleetWorkload(10.0, 5.0)
+            )
+        assert exc.value.code == "invalid_request"
+
+    def test_dominated_candidate_falls_off_the_frontier(self):
+        from repro.pruning.base import PruneSpec
+        from repro.serving import AdmissionPolicy, FleetWorkload
+
+        sweet = PruneSpec({"conv1": 0.3, "conv2": 0.5})
+        fleet = (
+            self._replica("gold"),
+            self._replica("cheap", sweet),
+        )
+        # sustained overload of the floored tier: static sheds at the
+        # queue limit, adaptive degrades and keeps serving
+        workload = FleetWorkload(
+            70.0,
+            20.0,
+            seed=3,
+            floors=((0.0, 0.5), (75.0, 0.5)),
+            deadlines=((0.4, 0.5), (1.2, 0.5)),
+        )
+        static = self._spec(
+            "tiered", fleet, AdmissionPolicy(queue_limit=40.0)
+        )
+        adaptive = self._spec(
+            "adaptive",
+            fleet,
+            AdmissionPolicy(queue_limit=40.0, degrade_limit=20.0),
+        )
+        frontier = api.goodput_accuracy_frontier(
+            (static, adaptive), workload
+        )
+        specs = [spec for spec, _ in frontier]
+        # equal hourly rate: only the higher goodput@accuracy survives
+        assert len(specs) == 1
+        pairs = [
+            (s, api.fleet_report(s, workload))
+            for s in (static, adaptive)
+        ]
+        best, _ = max(
+            pairs, key=lambda p: p[1].goodput_at_accuracy
+        )
+        assert specs[0] is best
+        assert best is adaptive
+
+    def test_sorted_by_cost_and_single_candidate_survives(self):
+        from repro.serving import FleetWorkload
+
+        workload = FleetWorkload(20.0, 10.0, seed=1)
+        small = self._spec("jsq", (self._replica("solo"),))
+        big = self._spec(
+            "jsq",
+            (self._replica("a"), self._replica("b")),
+        )
+        frontier = api.goodput_accuracy_frontier(
+            (big, small), workload
+        )
+        rates = [spec.hourly_rate for spec, _ in frontier]
+        assert rates == sorted(rates)
+        only = api.goodput_accuracy_frontier((small,), workload)
+        assert only[0][0] is small
+
+
 class TestDeprecatedShims:
     def test_planner_free_functions_warn_and_delegate(self):
         from repro.core.planner import (

@@ -67,6 +67,7 @@ class TestRunSuite:
             "autoscale.surge",
             "fleet.routed",
             "fleet.columnar",
+            "fleet.adaptive",
             "service.plan",
         }
 
@@ -255,6 +256,31 @@ class TestCheck:
         )
         assert not report.ok
         assert any("drifted" in f for f in report.failures)
+
+    def test_drift_message_sanitizes_stored_machine_string(
+        self, tmp_path
+    ):
+        """Records are hand-editable JSON: a hostile ``machine`` value
+        must not reach the terminal raw (control characters could
+        spoof gate lines), and over-long values are capped."""
+        record(tmp_path, repeats=1, scenarios=_fast_scenarios())
+        path = bench_paths(tmp_path)[-1]
+        payload = json.loads(path.read_text())
+        payload["environment"]["machine"] = (
+            "evil\r\x1b[2Kok: no regressions\n" + "A" * 100
+        )
+        path.write_text(json.dumps(payload))
+        report = check(
+            tmp_path, repeats=1, scenarios=_fast_scenarios()
+        )
+        assert report.machine_drift
+        drift = next(
+            w for w in report.warnings if "different hardware" in w
+        )
+        assert "\r" not in drift and "\x1b" not in drift
+        assert "\\x0d" in drift and "\\x1b" in drift
+        assert "..." in drift
+        assert "A" * 60 not in drift
 
     def test_same_machine_baseline_reports_no_drift(self, tmp_path):
         record(tmp_path, repeats=1, scenarios=_fast_scenarios())

@@ -285,6 +285,7 @@ class TestRouteDecisionEquivalence:
             np.zeros(arrivals.size)
             if floors is None
             else np.asarray(floors, dtype=float),
+            np.full(arrivals.size, np.inf),
         )
         assert np.array_equal(columnar, reference)
 
@@ -314,6 +315,100 @@ class TestRouteDecisionEquivalence:
             FleetRouter(
                 TM, AM, _replicas(random.Random(0), 1), engine="x"
             )
+
+
+def _adaptive_admission(rng: random.Random) -> AdmissionPolicy | None:
+    kind = rng.randrange(5)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return AdmissionPolicy(
+            queue_limit=rng.choice([5.0, 60.0, 400.0])
+        )
+    if kind == 2:
+        return AdmissionPolicy(
+            queue_limit=60.0,
+            degrade_limit=rng.choice([0.0, 10.0, 60.0]),
+        )
+    if kind == 3:
+        return AdmissionPolicy(
+            degrade_limit=rng.choice([0.0, 8.0, 120.0])
+        )
+    return AdmissionPolicy(
+        rate_per_s=rng.choice([20.0, 150.0]),
+        burst=rng.choice([1, 32]),
+        queue_limit=rng.choice([30.0, 400.0]),
+        degrade_limit=rng.choice([3.0, 30.0]),
+    )
+
+
+class TestAdaptiveDecisionEquivalence:
+    """The adaptive policy's scalar replay is bit-identical too.
+
+    Seeds x admission shapes (including ``degrade_limit``, which
+    forces the depth-read paths) x deadline mixtures x replica counts
+    on both sides of the ``>= 8``-replica reference fallback.
+    """
+
+    @pytest.mark.parametrize("trial", range(40))
+    def test_adaptive_sweep_bit_identical(self, trial):
+        rng = random.Random(8800 + trial)
+        replicas = _replicas(rng, rng.choice([1, 2, 3, 4, 9]))
+        admission = _adaptive_admission(rng)
+        arrivals = poisson_arrivals(
+            rng.choice([10.0, 80.0, 300.0]),
+            rng.choice([3.0, 10.0]),
+            seed=rng.randrange(10_000),
+        )
+        drng = np.random.default_rng(rng.randrange(10_000))
+        floors = drng.choice(
+            [0.0, 60.0, 75.0, 82.0, 99.5], size=arrivals.size
+        )
+        if rng.random() < 0.25:
+            deadlines = None
+        else:
+            deadlines = drng.choice(
+                [0.02, 0.3, 2.0, np.inf], size=arrivals.size
+            )
+        router = FleetRouter(
+            TM, AM, replicas, routing="adaptive", admission=admission
+        )
+        columnar = router.route(arrivals, floors, deadlines)
+        reference = router._route_reference(
+            np.asarray(arrivals, dtype=float),
+            np.asarray(floors, dtype=float),
+            np.full(arrivals.size, np.inf)
+            if deadlines is None
+            else np.asarray(deadlines, dtype=float),
+        )
+        assert np.array_equal(columnar, reference)
+
+    def test_degrade_limit_with_tiered_bit_identical(self):
+        """The admission-level degradation rung is policy-agnostic;
+        cover its columnar candidate-table path under ``tiered``."""
+        for seed in (1, 2, 3):
+            rng = random.Random(7700 + seed)
+            replicas = _replicas(rng, 3)
+            router = FleetRouter(
+                TM,
+                AM,
+                replicas,
+                routing="tiered",
+                admission=AdmissionPolicy(
+                    queue_limit=40.0, degrade_limit=10.0
+                ),
+            )
+            arrivals = poisson_arrivals(200.0, 5.0, seed=seed)
+            floors = np.random.default_rng(seed).choice(
+                [0.0, 75.0, 99.0], size=arrivals.size
+            )
+            columnar = router.route(arrivals, floors)
+            reference = router._route_reference(
+                np.asarray(arrivals, dtype=float),
+                np.asarray(floors, dtype=float),
+                np.full(arrivals.size, np.inf),
+            )
+            assert np.array_equal(columnar, reference)
 
 
 class TestFleetEngineEquivalence:
@@ -354,6 +449,51 @@ class TestFleetEngineEquivalence:
                 router.run(arrivals, floors=floors)
             )
         assert fingerprints["event"] == fingerprints["columnar"]
+
+    def test_adaptive_fleet_bit_identical_across_engines(self):
+        """Seeds x fault plans x deadline mixtures: the full adaptive
+        run (decisions + serving + floor accounting) agrees."""
+        for seed in (2, 9, 17):
+            rng = random.Random(600 + seed)
+            replicas = [
+                ReplicaSpec(
+                    name=r.name,
+                    configuration=r.configuration,
+                    spec=r.spec,
+                    policy=r.policy,
+                    hourly_rate=r.hourly_rate,
+                    faults=_fault_plan(rng, 12.0),
+                )
+                for r in _replicas(rng, 3)
+            ]
+            arrivals = poisson_arrivals(150.0, 12.0, seed=seed)
+            drng = np.random.default_rng(seed)
+            floors = drng.choice([0.0, 75.0], size=arrivals.size)
+            deadlines = drng.choice(
+                [0.05, 0.5, np.inf], size=arrivals.size
+            )
+            fingerprints = {}
+            for engine in ("event", "columnar"):
+                router = FleetRouter(
+                    TM,
+                    AM,
+                    replicas,
+                    routing="adaptive",
+                    admission=AdmissionPolicy(
+                        queue_limit=80.0, degrade_limit=30.0
+                    ),
+                    engine=engine,
+                )
+                report = router.run(
+                    arrivals, floors=floors, deadlines=deadlines
+                )
+                fingerprints[engine] = self._fleet_fingerprint(
+                    report
+                ) + (
+                    report.degraded,
+                    tuple(o.at_floor for o in report.outcomes),
+                )
+            assert fingerprints["event"] == fingerprints["columnar"]
 
     def test_fleet_cache_shared_across_engines(self):
         """``engine`` is absent from the cache key on purpose: both

@@ -26,6 +26,7 @@ GOLDEN_ARTEFACTS = (
     "fig10",
     "algorithm1",
     "ext-fleet-routing",
+    "ext-adaptive-accuracy",
 )
 
 

@@ -92,6 +92,38 @@ class TestSingleReplicaEquivalence:
         assert fleet.p99 == bare.p99
         assert fleet.duration_s == bare.duration_s
 
+    def test_adaptive_n1_without_degradation_equals_bare(self):
+        """One replica, no ``degrade_limit``: every adaptive decision
+        collapses onto replica 0 and nothing is served below floor,
+        so the fleet equals the bare simulator byte for byte."""
+        arrivals = poisson_arrivals(100.0, 30.0, seed=5)
+        bare = ServingSimulator(
+            TM, AM, _config("p2.8xlarge"), PruneSpec.unpruned(), POLICY
+        ).run(arrivals)
+        fleet = FleetRouter(
+            TM,
+            AM,
+            [
+                ReplicaSpec(
+                    "solo",
+                    _config("p2.8xlarge"),
+                    PruneSpec.unpruned(),
+                    POLICY,
+                )
+            ],
+            routing="adaptive",
+        ).run(
+            arrivals,
+            floors=np.full(arrivals.size, 75.0),
+            deadlines=np.full(arrivals.size, 0.25),
+        )
+        assert fleet.degraded == 0
+        assert fleet.served == bare.served
+        assert fleet.goodput_at_accuracy == fleet.goodput
+        report = fleet.outcomes[0].report
+        assert np.array_equal(report.latencies_s, bare.latencies_s)
+        assert report.cost == bare.cost
+
     def test_equivalence_holds_under_faults(self):
         arrivals = poisson_arrivals(120.0, 30.0, seed=3)
         plan = FaultPlan.sample(
@@ -191,6 +223,157 @@ class TestRoutingPolicies:
         assert assignment.tolist() == [0, 1, 0, 1]
 
 
+class TestAdaptiveRouting:
+    def test_equals_tiered_when_deadlines_are_infinite(self):
+        """The documented reduction: with every deadline infinite and
+        no ``degrade_limit``, adaptive and tiered pick identically."""
+        arrivals = poisson_arrivals(150.0, 10.0, seed=13)
+        floors = np.random.default_rng(13).choice(
+            [0.0, 75.0, 99.0], size=arrivals.size
+        )
+        picks = {}
+        for routing in ("tiered", "adaptive"):
+            router = FleetRouter(
+                TM, AM, _heterogeneous(), routing=routing
+            )
+            picks[routing] = router.route(arrivals, floors)
+        assert np.array_equal(picks["tiered"], picks["adaptive"])
+
+    def test_spills_below_floor_when_gold_misses_deadline(self):
+        router = FleetRouter(
+            TM, AM, _heterogeneous(), routing="adaptive"
+        )
+        # gold can hold two queued requests inside this deadline
+        deadline = 2.5 / router.capacities[0]
+        assignment = router.route(
+            np.zeros(4),
+            np.full(4, 75.0),
+            np.full(4, deadline),
+        )
+        # three fit on the only floor-clearing replica; the fourth
+        # degrades to the most accurate replica still in time
+        assert assignment.tolist() == [0, 0, 0, 1]
+
+    def test_min_wait_fallback_when_nothing_is_timely(self):
+        router = FleetRouter(
+            TM, AM, _heterogeneous(), routing="adaptive"
+        )
+        assignment = router.route(
+            np.zeros(5), np.zeros(5), np.full(5, 1e-12)
+        )
+        # cheapest empty replicas first; once every queue is nonempty
+        # the smallest estimated wait (the widest replica) wins
+        assert assignment.tolist() == [1, 2, 0, 0, 0]
+
+    def test_deadline_free_requests_take_the_cheapest_tier(self):
+        router = FleetRouter(
+            TM, AM, _heterogeneous(), routing="adaptive"
+        )
+        assignment = router.route(
+            np.arange(10, dtype=float),
+            np.array([0.0, 75.0] * 5),
+        )
+        assert (assignment[1::2] == 0).all()
+        assert (assignment[::2] > 0).all()
+
+    def test_degrade_limit_serves_below_floor_before_shedding(self):
+        router = FleetRouter(
+            TM,
+            AM,
+            _heterogeneous(),
+            routing="adaptive",
+            admission=AdmissionPolicy(
+                queue_limit=8.0, degrade_limit=4.0
+            ),
+        )
+        report = router.run(
+            np.zeros(10), floors=np.full(10, 75.0)
+        )
+        # backlog 0-3: at floor on gold; 4-7: floor waived, served on
+        # the cheap tier; 8-9: shed at the queue limit
+        assert report.shed == 2
+        assert report.degraded == 4
+        assert report.outcomes[0].at_floor == 4
+        assert report.outcomes[0].degraded == 0
+        assert sum(o.degraded for o in report.outcomes) == 4
+
+    def test_degrade_limit_works_with_tiered_routing(self):
+        router = FleetRouter(
+            TM,
+            AM,
+            _heterogeneous(),
+            routing="tiered",
+            admission=AdmissionPolicy(degrade_limit=4.0),
+        )
+        report = router.run(
+            np.zeros(8), floors=np.full(8, 75.0)
+        )
+        assert report.shed == 0
+        assert report.degraded == 4
+
+    def test_accounting_identities_hold(self):
+        workload_floors = np.random.default_rng(23).choice(
+            [0.0, 75.0], size=400
+        )
+        router = FleetRouter(
+            TM,
+            AM,
+            _heterogeneous(),
+            routing="adaptive",
+            admission=AdmissionPolicy(
+                queue_limit=20.0, degrade_limit=10.0
+            ),
+        )
+        report = router.run(
+            poisson_arrivals(300.0, 4.0, seed=23)[:400],
+            floors=workload_floors,
+            deadlines=np.full(400, 0.05),
+        )
+        assert report.degraded == sum(
+            o.degraded for o in report.outcomes
+        )
+        assert 0 <= report.served_at_floor <= report.served
+        assert (
+            report.goodput_at_accuracy
+            <= report.goodput + 1e-9
+        )
+        summary = report.summary()
+        assert summary["degraded"] == report.degraded
+        assert summary["goodput_at_accuracy"] == pytest.approx(
+            report.goodput_at_accuracy
+        )
+        for row, outcome in zip(
+            summary["replicas"], report.outcomes
+        ):
+            assert row["name"] == outcome.spec.name
+            assert row["at_floor"] == outcome.at_floor
+
+    def test_goodput_at_accuracy_equals_goodput_without_floors(self):
+        router = FleetRouter(TM, AM, _heterogeneous(), routing="jsq")
+        report = router.run(poisson_arrivals(80.0, 10.0, seed=3))
+        assert report.degraded == 0
+        assert report.goodput_at_accuracy == pytest.approx(
+            report.goodput
+        )
+
+    def test_workload_deadline_mixture_draw(self):
+        workload = FleetWorkload(
+            50.0,
+            5.0,
+            seed=7,
+            deadlines=((0.5, 0.25), (2.0, 0.75)),
+        )
+        drawn = workload.deadlines_s(2000)
+        assert set(np.unique(drawn)) == {0.5, 2.0}
+        # independent of the floors draw, deterministic per seed
+        assert np.array_equal(drawn, workload.deadlines_s(2000))
+        assert FleetWorkload(50.0, 5.0, seed=7).deadlines_s(10) is None
+        # the mixture is part of the evaluation-cache identity
+        assert workload.cache_key() != (
+            FleetWorkload(50.0, 5.0, seed=7).cache_key()
+        )
+
+
 class TestValidation:
     def test_empty_fleet_rejected(self):
         with pytest.raises(ConfigurationError, match="at least one"):
@@ -218,6 +401,29 @@ class TestValidation:
         router = FleetRouter(TM, AM, [_replica("a")])
         with pytest.raises(ConfigurationError, match="align"):
             router.route(np.zeros(3), np.zeros(2))
+
+    def test_misaligned_deadlines_rejected(self):
+        router = FleetRouter(TM, AM, [_replica("a")])
+        with pytest.raises(ConfigurationError, match="align"):
+            router.route(np.zeros(3), np.zeros(3), np.zeros(2))
+
+    def test_negative_degrade_limit_rejected(self):
+        with pytest.raises(ConfigurationError, match="degrade"):
+            AdmissionPolicy(degrade_limit=-1.0)
+
+    def test_degrade_limit_above_queue_limit_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            AdmissionPolicy(queue_limit=5.0, degrade_limit=10.0)
+
+    def test_nonpositive_workload_deadline_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            FleetWorkload(10.0, 1.0, deadlines=((0.0, 1.0),))
+
+    def test_workload_deadline_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            FleetWorkload(
+                10.0, 1.0, deadlines=((0.5, 0.5), (2.0, 0.2))
+            )
 
     def test_autoscaled_replica_needs_single_type(self):
         config = ResourceConfiguration(
@@ -419,6 +625,45 @@ class TestFleetTelemetry:
         assert "router.latency_p99_s" in snapshot["gauges"]
         assert "router.availability" in snapshot["gauges"]
         assert snapshot["counters"]["router.runs"] == 1
+
+    def test_tier_counts_and_degraded_counters_published(self):
+        registry = MetricsRegistry()
+        with scoped_observability(Tracer(enabled=False), registry):
+            telemetry = FleetTelemetry()
+            FleetRouter(
+                TM,
+                AM,
+                _heterogeneous(),
+                routing="adaptive",
+                admission=AdmissionPolicy(
+                    queue_limit=8.0, degrade_limit=4.0
+                ),
+            ).run(
+                np.zeros(10),
+                floors=np.full(10, 75.0),
+                telemetry=telemetry,
+            )
+        assert telemetry.degraded == 4
+        assert telemetry.tier_counts["gold"]["at_floor"] == 4
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["router.degraded"] == 4
+        assert snapshot["counters"]["router.gold.at_floor"] == 4
+        assert "router.goodput_at_accuracy" in snapshot["gauges"]
+
+    def test_tier_counters_absent_without_degradation(self):
+        """Pre-adaptive runs keep byte-identical counter snapshots:
+        the degraded/at-floor counters only exist once a request was
+        actually served below its floor."""
+        registry = MetricsRegistry()
+        with scoped_observability(Tracer(enabled=False), registry):
+            telemetry = FleetTelemetry()
+            FleetRouter(TM, AM, _heterogeneous()).run(
+                poisson_arrivals(50.0, 5.0, seed=4),
+                telemetry=telemetry,
+            )
+        counters = registry.snapshot()["counters"]
+        assert "router.degraded" not in counters
+        assert not any("at_floor" in k for k in counters)
 
     def test_burn_rates_compose_admission_and_drops(self):
         router = FleetRouter(
